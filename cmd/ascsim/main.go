@@ -1,0 +1,73 @@
+// Command ascsim runs the overclocking-enhanced auto-scaler simulation
+// with tunable load and thresholds and prints a per-interval trace plus
+// summary statistics.
+//
+//	ascsim -policy oca -qps-start 500 -qps-max 4000 -qps-step 500 -phase 300
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"immersionoc/internal/autoscaler"
+)
+
+func main() {
+	policyName := flag.String("policy", "oca", "auto-scaler policy: baseline, oce, oca")
+	qpsStart := flag.Float64("qps-start", 500, "initial client load (QPS)")
+	qpsMax := flag.Float64("qps-max", 4000, "peak client load (QPS)")
+	qpsStep := flag.Float64("qps-step", 500, "load increment per phase")
+	phase := flag.Float64("phase", 300, "seconds per phase")
+	seed := flag.Uint64("seed", 3, "arrival seed")
+	outThr := flag.Float64("scale-out", 0.50, "scale-out utilization threshold")
+	upThr := flag.Float64("scale-up", 0.40, "scale-up utilization threshold")
+	trace := flag.Bool("trace", true, "print a per-minute trace")
+	flag.Parse()
+
+	var policy autoscaler.Policy
+	switch strings.ToLower(*policyName) {
+	case "baseline":
+		policy = autoscaler.Baseline
+	case "oce", "oc-e":
+		policy = autoscaler.OCE
+	case "oca", "oc-a":
+		policy = autoscaler.OCA
+	default:
+		fmt.Fprintf(os.Stderr, "ascsim: unknown policy %q\n", *policyName)
+		os.Exit(2)
+	}
+
+	phases := autoscaler.RampPhases(*qpsStart, *qpsMax, *qpsStep, *phase)
+	cfg := autoscaler.DefaultConfig(policy, phases)
+	cfg.Seed = *seed
+	cfg.ScaleOutThr = *outThr
+	cfg.ScaleUpThr = *upThr
+
+	r, err := autoscaler.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("policy %s over %d phases (%.0f→%.0f QPS)\n\n", r.Policy, len(phases), *qpsStart, *qpsMax)
+	if *trace {
+		fmt.Printf("%8s %6s %6s %5s %8s\n", "t", "util", "freq%", "VMs", "power")
+		total := 0.0
+		for _, p := range phases {
+			total += p.DurationS
+		}
+		for ts := 60.0; ts < total; ts += 60 {
+			fmt.Printf("%7.0fs %6.2f %5.0f%% %5.0f %7.0fW\n",
+				ts, r.Util.At(ts), r.FreqFrac.At(ts)*100, r.VMs.At(ts), r.PowerW.At(ts))
+		}
+		fmt.Println()
+	}
+	fmt.Printf("requests: %d completed, %d dropped\n", r.Completed, r.Dropped)
+	fmt.Printf("latency:  P95 %.2f ms, mean %.2f ms\n", r.P95LatencyS*1000, r.AvgLatencyS*1000)
+	fmt.Printf("capacity: max %d VMs, %.2f VM×hours\n", r.MaxVMs, r.VMHours)
+	fmt.Printf("power:    %.0f W server average, %.0f W VM-attributed, %.1f mJ/request\n", r.AvgPowerW, r.AvgVMPowerW, r.EnergyPerReqJ*1000)
+	fmt.Printf("actions:  %d scale-outs, %d scale-ins, %d scale-ups, %d scale-downs\n",
+		r.ScaleOuts, r.ScaleIns, r.ScaleUps, r.ScaleDowns)
+}

@@ -1,0 +1,136 @@
+// Command octl regenerates the paper's tables and figures from the
+// simulation models. Run with no arguments for the full evaluation, or
+// name specific experiments:
+//
+//	octl table1 table5 fig9
+//	octl all
+//
+// Paper artifacts: table1 table2 table3 fig4 table5 table6
+// power-savings stability fig9 fig10 fig11 fig12 fig13 tco-oversub
+// fig15 fig16 table11 packing buffers capacity.
+//
+// Extensions: highperf wearbudget capping tank policies diurnal
+// cooling fleetsim ablation-eq1 ablation-bec ablation-bursts.
+//
+// ASCII figure renderings: plot-fig12 plot-fig15 plot-fig16
+// plot-diurnal.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"immersionoc/internal/experiments"
+)
+
+type experiment struct {
+	name string
+	run  func() (*experiments.Table, error)
+}
+
+func wrap(f func() *experiments.Table) func() (*experiments.Table, error) {
+	return func() (*experiments.Table, error) { return f(), nil }
+}
+
+var all = []experiment{
+	{"table1", wrap(experiments.TableI)},
+	{"table2", wrap(experiments.TableII)},
+	{"table3", experiments.TableIII},
+	{"fig4", wrap(experiments.Fig4)},
+	{"table5", experiments.TableV},
+	{"power-savings", func() (*experiments.Table, error) {
+		_, t, err := experiments.PowerSavings()
+		return t, err
+	}},
+	{"stability", wrap(experiments.StabilityReport)},
+	{"table6", experiments.TableVI},
+	{"tco-oversub", func() (*experiments.Table, error) {
+		t, _, _, err := experiments.OversubTCO()
+		return t, err
+	}},
+	{"fig9", wrap(experiments.Fig9)},
+	{"fig10", wrap(experiments.Fig10)},
+	{"fig11", wrap(experiments.Fig11)},
+	{"fig12", wrap(experiments.Fig12)},
+	{"fig13", wrap(experiments.Fig13)},
+	{"fig15", experiments.Fig15},
+	{"fig16", experiments.Fig16},
+	{"table11", func() (*experiments.Table, error) {
+		t, _, err := experiments.TableXI()
+		return t, err
+	}},
+	{"packing", wrap(experiments.Packing)},
+	{"buffers", wrap(experiments.Buffers)},
+	{"capacity", wrap(experiments.CapacityCrisis)},
+	{"capping", experiments.Capping},
+	{"ablation-eq1", experiments.AblationEq1},
+	{"ablation-bec", experiments.AblationBEC},
+	{"ablation-bursts", wrap(experiments.AblationBursts)},
+	{"policies", experiments.PolicyComparison},
+	{"tank", experiments.TankEnvelope},
+	{"highperf", experiments.HighPerf},
+	{"wearbudget", experiments.WearBudget},
+	{"diurnal", experiments.Diurnal},
+	{"cooling", experiments.CoolingComparison},
+	{"fleetsim", experiments.FleetSim},
+	{"migration", experiments.Migration},
+}
+
+// plots render ASCII charts instead of tables.
+var plots = []struct {
+	name string
+	run  func() (string, error)
+}{
+	{"plot-fig12", experiments.PlotFig12},
+	{"plot-fig15", experiments.PlotFig15},
+	{"plot-fig16", experiments.PlotFig16},
+	{"plot-diurnal", experiments.PlotDiurnal},
+}
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 || (len(args) == 1 && args[0] == "all") {
+		for _, e := range all {
+			run(e)
+		}
+		return
+	}
+	known := make(map[string]experiment, len(all))
+	var names []string
+	for _, e := range all {
+		known[e.name] = e
+		names = append(names, e.name)
+	}
+	knownPlots := map[string]func() (string, error){}
+	for _, p := range plots {
+		knownPlots[p.name] = p.run
+		names = append(names, p.name)
+	}
+	for _, a := range args {
+		if pr, ok := knownPlots[a]; ok {
+			out, err := pr()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "octl: %s: %v\n", a, err)
+				os.Exit(1)
+			}
+			fmt.Printf("== %s ==\n%s\n", a, out)
+			continue
+		}
+		e, ok := known[a]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "octl: unknown experiment %q\navailable: %s\n", a, strings.Join(names, " "))
+			os.Exit(2)
+		}
+		run(e)
+	}
+}
+
+func run(e experiment) {
+	t, err := e.run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "octl: %s: %v\n", e.name, err)
+		os.Exit(1)
+	}
+	fmt.Printf("== %s ==\n%s\n", e.name, t)
+}

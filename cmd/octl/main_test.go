@@ -1,0 +1,81 @@
+package main
+
+import "testing"
+
+func TestRegistryNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.name == "" {
+			t.Fatal("empty experiment name")
+		}
+		if seen[e.name] {
+			t.Fatalf("duplicate experiment %q", e.name)
+		}
+		seen[e.name] = true
+		if e.run == nil {
+			t.Fatalf("experiment %q has no runner", e.name)
+		}
+	}
+}
+
+func TestRegistryCoversPaperArtifacts(t *testing.T) {
+	required := []string{
+		"table1", "table2", "table3", "fig4", "table5", "table6",
+		"power-savings", "stability", "tco-oversub",
+		"fig9", "fig10", "fig11", "fig12", "fig13", "fig15", "fig16",
+		"table11", "packing", "buffers", "capacity",
+	}
+	have := map[string]bool{}
+	for _, e := range all {
+		have[e.name] = true
+	}
+	for _, name := range required {
+		if !have[name] {
+			t.Errorf("paper artifact %q missing from the registry", name)
+		}
+	}
+}
+
+func TestFastExperimentsRun(t *testing.T) {
+	// The model-driven (non-simulation) experiments must all render.
+	fast := map[string]bool{
+		"table1": true, "table2": true, "table3": true, "fig4": true,
+		"table5": true, "power-savings": true, "stability": true,
+		"table6": true, "tco-oversub": true, "fig9": true, "fig10": true,
+		"fig11": true, "wearbudget": true, "cooling": true,
+		"ablation-bec": true, "highperf": true, "tank": true,
+	}
+	for _, e := range all {
+		if !fast[e.name] {
+			continue
+		}
+		tbl, err := e.run()
+		if err != nil {
+			t.Errorf("%s: %v", e.name, err)
+			continue
+		}
+		if tbl == nil || len(tbl.Rows) == 0 {
+			t.Errorf("%s: empty table", e.name)
+		}
+	}
+}
+
+func TestPlotNamesDisjoint(t *testing.T) {
+	names := map[string]bool{}
+	for _, e := range all {
+		names[e.name] = true
+	}
+	seen := map[string]bool{}
+	for _, p := range plots {
+		if names[p.name] {
+			t.Errorf("plot %q collides with an experiment name", p.name)
+		}
+		if seen[p.name] {
+			t.Errorf("duplicate plot %q", p.name)
+		}
+		seen[p.name] = true
+		if p.run == nil {
+			t.Errorf("plot %q has no runner", p.name)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+// Command tcocalc evaluates the datacenter TCO model for the three
+// scenarios of Table VI at a configurable oversubscription ratio.
+//
+//	tcocalc -oversub 0.10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"immersionoc/internal/tco"
+)
+
+func main() {
+	oversub := flag.Float64("oversub", 0.10, "physical-core oversubscription ratio")
+	flag.Parse()
+
+	m, err := tco.NewDefaultFromTableI()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("capacity expansion from PUE reclaim (%.2f → %.2f): %+.1f%% servers\n\n",
+		m.AirPeakPUE, m.TwoPhasePeakPUE, (m.ExpansionFactor()-1)*100)
+
+	air := m.CostPerCore(tco.AirCooled)
+	fmt.Printf("%-22s %10s %10s %10s\n", "category", "air", "2PIC", "2PIC+OC")
+	nonOC := m.CostPerCore(tco.TwoPhase)
+	oc := m.CostPerCore(tco.TwoPhaseOC)
+	for _, c := range tco.Categories() {
+		fmt.Printf("%-22s %10.3f %10.3f %10.3f\n", c, air.PerCore[c], nonOC.PerCore[c], oc.PerCore[c])
+	}
+	fmt.Printf("%-22s %10.3f %10.3f %10.3f\n", "cost / physical core", air.Total(), nonOC.Total(), oc.Total())
+
+	fmt.Printf("\ncost / virtual core at %.0f%% oversubscription:\n", *oversub*100)
+	for _, s := range []tco.Scenario{tco.AirCooled, tco.TwoPhase, tco.TwoPhaseOC} {
+		base := m.CostPerVCore(s, 0)
+		with := m.CostPerVCore(s, *oversub)
+		note := ""
+		if s != tco.AirCooled {
+			sv := m.OversubAnalysis(s, *oversub)
+			note = fmt.Sprintf("  (%.1f%% cheaper than air)", sv.VsAir*100)
+		}
+		fmt.Printf("  %-24s %.3f → %.3f%s\n", s, base, with, note)
+	}
+	fmt.Println("\n(only overclockable 2PIC can absorb the oversubscription without performance loss)")
+}

@@ -1,0 +1,63 @@
+// Autoscaling: run the paper's overclocking-enhanced auto-scaler on
+// the Client-Server (M/G/k) workload and compare the three policies —
+// Baseline (scale-out/in only), OC-E (overclock while scaling out),
+// and OC-A (scale up, then out).
+//
+//	go run ./examples/autoscaling [-qps-max 4000] [-phase 300] [-seed 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"immersionoc/internal/autoscaler"
+)
+
+func main() {
+	qpsMax := flag.Float64("qps-max", 4000, "peak client load (QPS)")
+	phaseS := flag.Float64("phase", 300, "seconds per load step")
+	seed := flag.Uint64("seed", 3, "arrival process seed")
+	flag.Parse()
+
+	phases := autoscaler.RampPhases(500, *qpsMax, 500, *phaseS)
+	fmt.Printf("load: 500 → %.0f QPS in steps of 500 every %.0f s\n\n", *qpsMax, *phaseS)
+
+	var results []*autoscaler.Result
+	for _, policy := range []autoscaler.Policy{autoscaler.Baseline, autoscaler.OCE, autoscaler.OCA} {
+		cfg := autoscaler.DefaultConfig(policy, phases)
+		cfg.Seed = *seed
+		r, err := autoscaler.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results = append(results, r)
+	}
+
+	base := results[0]
+	fmt.Printf("%-9s %-12s %-12s %-8s %-9s %-10s %s\n",
+		"policy", "P95 latency", "avg latency", "max VMs", "VM×hours", "VM power", "actions (out/in/up/down)")
+	for _, r := range results {
+		fmt.Printf("%-9s %6.2f ms    %6.2f ms    %-8d %-9.2f %+7.1f%%   %d/%d/%d/%d\n",
+			r.Policy, r.P95LatencyS*1000, r.AvgLatencyS*1000, r.MaxVMs, r.VMHours,
+			(r.AvgVMPowerW/base.AvgVMPowerW-1)*100,
+			r.ScaleOuts, r.ScaleIns, r.ScaleUps, r.ScaleDowns)
+	}
+
+	oca := results[2]
+	fmt.Printf("\nOC-A vs baseline: P95 %.2fx, avg %.2fx, VM-hours saved %.2f (%.0f%%)\n",
+		oca.P95LatencyS/base.P95LatencyS, oca.AvgLatencyS/base.AvgLatencyS,
+		base.VMHours-oca.VMHours, (1-oca.VMHours/base.VMHours)*100)
+
+	// A coarse utilization/frequency timeline for the OC-A run.
+	fmt.Println("\nOC-A timeline (every 5 minutes):")
+	fmt.Printf("%8s %6s %6s %5s\n", "t", "util", "freq%", "VMs")
+	total := 0.0
+	for _, p := range phases {
+		total += p.DurationS
+	}
+	for ts := 150.0; ts < total; ts += 300 {
+		fmt.Printf("%7.0fs %6.2f %5.0f%% %5.0f\n",
+			ts, oca.Util.At(ts), oca.FreqFrac.At(ts)*100, oca.VMs.At(ts))
+	}
+}

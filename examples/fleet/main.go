@@ -1,0 +1,45 @@
+// Fleet: run the full-stack datacenter simulation — VM placement with
+// oversubscription, per-server overclock decisions, tank condenser
+// budgets, feeder power capping, and wear accounting — over a synthetic
+// two-day trace, and print the row's behaviour.
+//
+//	go run ./examples/fleet [-servers 36] [-rate 0.02] [-feeder 12000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"immersionoc/internal/dcsim"
+	"immersionoc/internal/plot"
+)
+
+func main() {
+	servers := flag.Int("servers", 36, "fleet size")
+	rate := flag.Float64("rate", 0.02, "VM arrival rate per second")
+	feeder := flag.Float64("feeder", 12000, "row power budget in watts (0 = unlimited)")
+	flag.Parse()
+
+	cfg := dcsim.DefaultConfig()
+	cfg.Servers = *servers
+	cfg.Trace.ArrivalRatePerS = *rate
+	cfg.FeederBudgetW = *feeder
+
+	rep, err := dcsim.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("fleet of %d servers in %d-blade tanks, %.0f W row budget\n\n",
+		cfg.Servers, cfg.ServersPerTank, cfg.FeederBudgetW)
+	fmt.Println(rep)
+	fmt.Println()
+
+	rep.Density.Name = "density (vcores/pcore)"
+	fmt.Println(plot.Lines("packing density over the trace", 72, 8, rep.Density))
+	rep.Overclocked.Name = "overclocked servers"
+	fmt.Println(plot.Lines("overclocked servers over the trace", 72, 8, rep.Overclocked))
+	rep.PowerW.Name = "row power (W)"
+	fmt.Println(plot.Lines("row power over the trace", 72, 8, rep.PowerW))
+}

@@ -1,0 +1,49 @@
+// Gputraining: the tank #2 scenario — an overclockable RTX 2080ti
+// under FC-3284 runs CNN training. The GPU governor picks a Table VIII
+// configuration per model, encoding the Figure 11 lesson: memory
+// overclocking is granted only where the model's memory-bound fraction
+// earns it.
+//
+//	go run ./examples/gputraining
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"immersionoc/internal/core"
+	"immersionoc/internal/freq"
+	"immersionoc/internal/server"
+	"immersionoc/internal/workload"
+)
+
+func main() {
+	srv := server.New(server.Tank2Spec())
+	fmt.Printf("server: %s (%s attached)\n\n", srv.Spec.Name, srv.Spec.GPU.Name)
+
+	fmt.Printf("%-8s %-7s %-12s %-12s %-10s\n", "model", "config", "train gain", "added power", "epoch time")
+	for _, m := range workload.VGGModels() {
+		d, err := core.DecideGPU(m, core.MaxPerformance, srv.Spec.GPU.Power)
+		if err != nil {
+			log.Fatalf("%s: %v", m.Name, err)
+		}
+		if err := srv.SetGPUConfig(d.Config); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s %-7s %+10.1f%% %+9.0f W   %5.0f s → %.0f s\n",
+			m.Name, d.Config.Name, d.Improvement*100, d.PowerDeltaW,
+			m.Seconds(freq.GPUBase), m.Seconds(d.Config))
+	}
+
+	fmt.Println("\nperf-per-watt objective instead:")
+	for _, name := range []string{"VGG16", "VGG16B"} {
+		m, _ := workload.VGGByName(name)
+		d, err := core.DecideGPU(m, core.PerfPerWatt, srv.Spec.GPU.Power)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-8s → %s (+%.1f%% at +%.0f W)\n", name, d.Config.Name, d.Improvement*100, d.PowerDeltaW)
+	}
+	fmt.Println("\n(the paper: OCG3 raised P99 power 9.5% over OCG1 for VGG16B while offering")
+	fmt.Println(" little to no performance improvement — the governor refuses that trade)")
+}

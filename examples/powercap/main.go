@@ -1,0 +1,78 @@
+// Powercap: demonstrate workload-priority-based power capping (§IV).
+// An overclocked row is hit by a shrinking power budget; the
+// priority-aware capper sheds harvest and batch frequency first so
+// critical workloads keep their overclock, then restores highest
+// priority first when the budget recovers.
+//
+//	go run ./examples/powercap
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"immersionoc/internal/capping"
+	"immersionoc/internal/freq"
+	"immersionoc/internal/power"
+)
+
+func main() {
+	ladder, err := freq.NewLadder(3.4, 4.1, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mk := func(name string, prio capping.Priority, servers int) *capping.Group {
+		return &capping.Group{
+			Name: name, Priority: prio, Servers: servers,
+			UtilSum: 18, ActiveCores: 24,
+			Model: power.Tank1Server, Ladder: ladder,
+			Config: freq.OC1, ScalableFraction: 0.8,
+		}
+	}
+	groups := []*capping.Group{
+		mk("critical", capping.Critical, 8),
+		mk("production", capping.Production, 10),
+		mk("batch", capping.Batch, 8),
+		mk("harvest", capping.Harvest, 6),
+	}
+	ctl, err := capping.NewController(1e9, 40, groups...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	demand := ctl.TotalPowerW()
+	fmt.Printf("row demand fully overclocked: %.0f W\n\n", demand)
+
+	show := func(stage string) {
+		fmt.Printf("%s (row %.0f W / budget %.0f W):\n", stage, ctl.TotalPowerW(), ctl.BudgetW)
+		for _, g := range ctl.Groups() {
+			fmt.Printf("  %-10s %-10s %.2f GHz (perf %+.1f%%)\n",
+				g.Name, g.Priority, float64(g.FreqGHz()), -g.PerfImpact()*100)
+		}
+		fmt.Println()
+	}
+
+	// A sequence of budget changes: mild breach, severe breach,
+	// recovery.
+	for _, step := range []struct {
+		label  string
+		budget float64
+	}{
+		{"mild breach (-4%)", demand * 0.96},
+		{"severe breach (-12%)", demand * 0.88},
+		{"recovery", demand * 1.05},
+	} {
+		ctl.BudgetW = step.budget
+		if step.budget >= demand {
+			acts := ctl.Restore()
+			fmt.Printf("-- %s: restored %d rungs\n", step.label, len(acts))
+		} else {
+			acts, err := ctl.Enforce()
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("-- %s: shed %d rungs\n", step.label, len(acts))
+		}
+		show(step.label)
+	}
+	fmt.Println("critical shed last and least — harvest and batch absorbed the breaches.")
+}

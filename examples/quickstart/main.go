@@ -1,0 +1,91 @@
+// Quickstart: build a simulated two-phase-immersion-cooled server,
+// ask the overclocking governor for a safe configuration for a
+// workload, apply it, and inspect the consequences — performance,
+// power, junction temperature, and projected component lifetime.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"immersionoc/internal/core"
+	"immersionoc/internal/freq"
+	"immersionoc/internal/power"
+	"immersionoc/internal/server"
+	"immersionoc/internal/workload"
+)
+
+func main() {
+	// Small tank #1: a 28-core Xeon W-3175X immersed in HFE-7000.
+	srv := server.New(server.Tank1Spec())
+	fmt.Printf("server: %s, %d cores, cooled by %s\n",
+		srv.Spec.Name, srv.Spec.Cores, srv.Spec.Thermal.Describe())
+
+	// The server runs the SQL OLTP workload on 4 cores at moderate
+	// utilization; the rest of the machine hosts other VMs.
+	app := workload.SQL
+	srv.SetLoad(14, 16)
+
+	// The governor vets overclocking configurations against the
+	// lifetime model, the stability envelope, and the feeder's
+	// power-delivery headroom.
+	gov := core.NewGovernor(srv)
+	gov.Feeder = power.NewFeeder(400)
+
+	decision, err := gov.Decide(core.Request{
+		Vector:      core.VectorOf(app),
+		Objective:   core.MaxPerformance,
+		UtilSum:     14,
+		ActiveCores: 16,
+	})
+	if err != nil {
+		log.Fatalf("no admissible overclock: %v", err)
+	}
+	fmt.Printf("\ngovernor decision: %s\n", decision.Rationale)
+
+	if err := gov.Apply(decision); err != nil {
+		log.Fatal(err)
+	}
+
+	// Inspect the operating point after overclocking.
+	op, err := srv.OperatingPoint()
+	if err != nil {
+		log.Fatal(err)
+	}
+	life, err := srv.ProjectedLifetimeYears()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\napplied %s: core %.2f GHz (%v band), %.3f V\n",
+		srv.Config().Name, float64(srv.Config().CoreGHz), srv.Band(), srv.Voltage())
+	fmt.Printf("  socket: %.0f W at Tj %.1f °C\n", op.PowerW, op.JunctionC)
+	fmt.Printf("  server power: %.0f W (B2 baseline %.0f W)\n",
+		srv.PowerW(), srv.Spec.ServerPower.Power(freq.B2, 14, 16))
+	fmt.Printf("  projected lifetime: %.1f years (service life target %.0f)\n",
+		life, gov.MinLifetimeYears)
+	fmt.Printf("  %s %s: %.1f → %.1f ms (%.1f%% better)\n",
+		app.Name, app.Metric,
+		app.MetricValue(freq.B2), app.MetricValue(decision.Config),
+		decision.Improvement*100)
+
+	// Run for a simulated month and check wear accounting.
+	if err := srv.Advance(30 * 24); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nafter 30 days: wear budget used %.2f%%, credit %.4f hazard-years, expected correctable errors %.1f\n",
+		srv.WearUsed()*100, srv.WearCredit(), srv.ExpectedErrors())
+
+	// Contrast with the same server in air: the governor refuses.
+	airGov := core.NewGovernor(server.New(server.AirSpec()))
+	if _, err := airGov.Decide(core.Request{
+		Vector:      core.VectorOf(app),
+		Objective:   core.MaxPerformance,
+		UtilSum:     14,
+		ActiveCores: 16,
+	}); err != nil {
+		fmt.Printf("\nair-cooled governor: %v\n", err)
+		fmt.Println("(air cooling cannot sustain overclocking without sacrificing the 5-year service life — Table V)")
+	}
+}

@@ -1,0 +1,3 @@
+module immersionoc
+
+go 1.22

@@ -1,0 +1,591 @@
+// Package autoscaler implements the paper's overclocking-enhanced VM
+// auto-scaler (§V, §VI-D, Figure 14).
+//
+// The auto-scaler watches the server VMs' telemetry (CPU utilization,
+// Aperf/Pperf counters) and makes two kinds of decisions:
+//
+//   - scale-out/in: add a VM when the 3-minute average utilization
+//     exceeds the scale-out threshold (deployment takes ~60 s), remove
+//     one when it falls below the scale-in threshold;
+//   - scale-up/down: change the CPU frequency of the server VMs within
+//     a ladder between the baseline (B2, 3.4 GHz) and the overclock
+//     (OC1, 4.1 GHz), using the 30-second average utilization and the
+//     Equation 1 model to pick the minimum frequency that keeps
+//     utilization under the scale-up threshold.
+//
+// Three policies are evaluated (Table XI):
+//
+//   - Baseline: scale-out/in only, no frequency changes;
+//   - OC-E: overclock straight to OC1 while a scale-out is in flight,
+//     hiding the VM-creation latency, then return to baseline;
+//   - OC-A ("scale up then out"): keep utilization below the scale-up
+//     threshold by overclocking first, postponing or avoiding the
+//     scale-out; scale out only when even the maximum frequency cannot
+//     hold utilization under the scale-out threshold.
+package autoscaler
+
+import (
+	"fmt"
+	"math"
+
+	"immersionoc/internal/counters"
+	"immersionoc/internal/freq"
+	"immersionoc/internal/power"
+	"immersionoc/internal/queueing"
+	"immersionoc/internal/sim"
+	"immersionoc/internal/stats"
+	"immersionoc/internal/workload"
+)
+
+// Policy selects the auto-scaler variant.
+type Policy int
+
+const (
+	// Baseline scales out/in only.
+	Baseline Policy = iota
+	// OCE overclocks while scale-out is in flight (OC-E).
+	OCE
+	// OCA overclocks to postpone/avoid scale-out (OC-A).
+	OCA
+	// Predictive extends the baseline with trend-based proactive
+	// scale-out (the predictive autoscaling the paper cites
+	// providers deploying): when the utilization trend forecasts a
+	// threshold crossing within the scale-out latency, the VM starts
+	// early. No overclocking. Not part of the paper's evaluation;
+	// included as an ablation point against OC-E/OC-A.
+	Predictive
+	// PredictiveOCA combines the trend-based early scale-out with
+	// OC-A's overclock-first behaviour.
+	PredictiveOCA
+)
+
+func (p Policy) String() string {
+	switch p {
+	case Baseline:
+		return "Baseline"
+	case OCE:
+		return "OC-E"
+	case OCA:
+		return "OC-A"
+	case Predictive:
+		return "Predictive"
+	case PredictiveOCA:
+		return "Pred+OC-A"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Config parameterizes one auto-scaler run.
+type Config struct {
+	Policy Policy
+	// App is the served application (Client-Server in the paper).
+	App workload.Profile
+	// Phases is the client load schedule.
+	Phases []queueing.LoadPhase
+	// Seed seeds the arrival process.
+	Seed uint64
+
+	// InitialVMs is the starting VM count.
+	InitialVMs int
+	// MinVMs/MaxVMs bound scale-in/out.
+	MinVMs, MaxVMs int
+
+	// ScaleOutThr/ScaleInThr act on the long-window utilization.
+	ScaleOutThr, ScaleInThr float64
+	// ScaleUpThr/ScaleDownThr act on the short-window utilization.
+	ScaleUpThr, ScaleDownThr float64
+	// LongWindowS and ShortWindowS are the averaging windows (180 s
+	// and 30 s in the paper).
+	LongWindowS, ShortWindowS float64
+	// DecisionPeriodS is the control loop period (3 s).
+	DecisionPeriodS float64
+	// ScaleOutLatencyS is VM deployment time (60 s).
+	ScaleOutLatencyS float64
+	// ScaleInCooldownS throttles consecutive scale-ins so the
+	// post-removal window can refill.
+	ScaleInCooldownS float64
+	// ScaleOutCooldownS suppresses new scale-outs after one
+	// completes until the long utilization window has refilled with
+	// post-scale-out samples; otherwise stale high samples trigger
+	// spurious additional VMs.
+	ScaleOutCooldownS float64
+	// FreqCooldownS spaces consecutive scale-up steps so the short
+	// window can reflect the previous step before the next one (the
+	// paper's "more than one frequency adjustment ... because the
+	// utilization ... is averaged over the last 30 seconds").
+	FreqCooldownS float64
+	// ForecastHorizonS is how far ahead the Predictive policies
+	// extrapolate the utilization trend; defaults to the scale-out
+	// latency plus one long window.
+	ForecastHorizonS float64
+	// NaiveScaleUp disables the Equation 1 model in the OC-A
+	// policies: any scale-up goes straight to the maximum frequency
+	// regardless of the measured scalable fraction. Used by the
+	// ablation that quantifies what the model is worth.
+	NaiveScaleUp bool
+
+	// BaseGHz/MaxGHz and LadderBins define the frequency range (B2
+	// to OC1 in 8 bins).
+	BaseGHz, MaxGHz freq.GHz
+	LadderBins      int
+
+	// DisableScaleOut turns off scale-out/in (the Figure 15 model
+	// validation runs scale-up/down only).
+	DisableScaleOut bool
+	// PCores is the host's physical core capacity.
+	PCores int
+	// AppWorkers is the per-VM service concurrency (worker pool
+	// size); zero means one worker per vcore. The paper's
+	// client-server application serves requests from a worker pool
+	// smaller than the VM size, so CPU utilization reads moderate
+	// while the pool saturates during load surges.
+	AppWorkers int
+	// AppUtilQueueWeight is the per-queued-request utilization
+	// overhead (see queueing.VM.UtilQueueWeight).
+	AppUtilQueueWeight float64
+	// SampleEveryS is the telemetry sampling period for the series
+	// recorded for figures.
+	SampleEveryS float64
+	// PowerModel computes server power for the power accounting.
+	PowerModel power.ServerModel
+}
+
+// DefaultConfig returns the paper's experimental setup for the given
+// policy and load schedule.
+func DefaultConfig(p Policy, phases []queueing.LoadPhase) Config {
+	return Config{
+		Policy:             p,
+		App:                workload.ClientServer,
+		Phases:             phases,
+		Seed:               1,
+		InitialVMs:         1,
+		MinVMs:             1,
+		MaxVMs:             7,
+		ScaleOutThr:        0.50,
+		ScaleInThr:         0.20,
+		ScaleUpThr:         0.40,
+		ScaleDownThr:       0.20,
+		LongWindowS:        180,
+		ShortWindowS:       30,
+		DecisionPeriodS:    3,
+		ScaleOutLatencyS:   60,
+		ScaleInCooldownS:   120,
+		ScaleOutCooldownS:  180,
+		FreqCooldownS:      24,
+		ForecastHorizonS:   240,
+		BaseGHz:            freq.B2.CoreGHz,
+		MaxGHz:             freq.OC1.CoreGHz,
+		LadderBins:         8,
+		PCores:             28,
+		AppWorkers:         3,
+		AppUtilQueueWeight: 0,
+		SampleEveryS:       3,
+		PowerModel:         power.Tank1Server,
+	}
+}
+
+// Result captures one run's outcome and the recorded series.
+type Result struct {
+	Policy Policy
+	// P95LatencyS and AvgLatencyS are end-to-end request latencies.
+	P95LatencyS, AvgLatencyS float64
+	// MaxVMs is the peak concurrent (deployed or deploying) VMs.
+	MaxVMs int
+	// VMHours integrates deployed VMs over the run.
+	VMHours float64
+	// AvgPowerW is the time-averaged server power.
+	AvgPowerW float64
+	// AvgVMPowerW is the time-averaged power attributable to the
+	// server VMs themselves (core dynamic + active-core overhead,
+	// excluding shared platform/uncore/memory power) — the quantity
+	// the paper's +7%/+27% numbers describe.
+	AvgVMPowerW float64
+	// Completed and Dropped count requests.
+	Completed, Dropped uint64
+	// EnergyPerReqJ is server energy divided by completed requests —
+	// the efficiency metric that decides whether overclocking or
+	// extra VMs serve a diurnal day more cheaply.
+	EnergyPerReqJ float64
+	// Util is the sampled average VM utilization (Figure 16).
+	Util *stats.Series
+	// FreqFrac is the frequency as a fraction of the ladder range
+	// (Figure 15's secondary axis).
+	FreqFrac *stats.Series
+	// FreqGHz is the absolute frequency series.
+	FreqGHz *stats.Series
+	// VMs is the deployed VM count over time.
+	VMs *stats.Series
+	// PowerW is the sampled power series.
+	PowerW *stats.Series
+	// VMPowerW is the sampled VM-attributed power series.
+	VMPowerW *stats.Series
+	// ScaleOuts, ScaleIns, ScaleUps, ScaleDowns count actions.
+	ScaleOuts, ScaleIns, ScaleUps, ScaleDowns int
+}
+
+// vmState tracks telemetry bookkeeping for one VM.
+type vmState struct {
+	vm           *queueing.VM
+	acc          *counters.Accumulator
+	lastSample   counters.Sample
+	lastIntegral float64
+	lastTime     float64
+}
+
+// Run executes the auto-scaler simulation and returns the result.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.App.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.InitialVMs < 1 || cfg.MaxVMs < cfg.InitialVMs {
+		return nil, fmt.Errorf("autoscaler: bad VM bounds (initial %d, max %d)", cfg.InitialVMs, cfg.MaxVMs)
+	}
+	ladder, err := freq.NewLadder(cfg.BaseGHz, cfg.MaxGHz, cfg.LadderBins)
+	if err != nil {
+		return nil, err
+	}
+
+	sf := cfg.App.ScalableFraction()
+	eng := queueing.NewEngine(sf)
+	host := eng.NewHost(cfg.PCores)
+	lb := queueing.NewLoadBalancer(host)
+
+	res := &Result{
+		Policy:   cfg.Policy,
+		Util:     stats.NewSeries("utilization"),
+		FreqFrac: stats.NewSeries("freq-fraction"),
+		FreqGHz:  stats.NewSeries("freq-ghz"),
+		VMs:      stats.NewSeries("vms"),
+		PowerW:   stats.NewSeries("power"),
+		VMPowerW: stats.NewSeries("vm-power"),
+	}
+
+	// speedAt converts a core frequency into the engine's execution
+	// rate multiplier: the frequency-scalable part of the demand
+	// shrinks with the clock.
+	speedAt := func(f freq.GHz) float64 {
+		r := sf*float64(cfg.BaseGHz/f) + (1 - sf)
+		return 1 / r
+	}
+
+	curFreq := cfg.BaseGHz
+	var states []*vmState
+	vmSeq := 0
+	addVM := func(now float64) *vmState {
+		vmSeq++
+		v := host.NewVM(fmt.Sprintf("vm%d", vmSeq), cfg.App.Cores, speedAt(curFreq))
+		v.Workers = cfg.AppWorkers
+		v.UtilQueueWeight = cfg.AppUtilQueueWeight
+		st := &vmState{
+			vm:       v,
+			acc:      counters.NewAccumulator(float64(cfg.BaseGHz)),
+			lastTime: now,
+		}
+		states = append(states, st)
+		return st
+	}
+
+	for i := 0; i < cfg.InitialVMs; i++ {
+		addVM(0)
+	}
+
+	service := queueing.LogNormalService(cfg.App.BaseServiceMS/1000, cfg.App.ServiceCV)
+	gen := queueing.NewGenerator(eng, lb, cfg.Seed, service, cfg.Phases)
+	gen.Start()
+
+	longWin := stats.NewWindow(cfg.LongWindowS)
+	shortWin := stats.NewWindow(cfg.ShortWindowS)
+
+	pendingScaleOut := false
+	lastScaleIn := math.Inf(-1)
+	lastScaleOutDone := math.Inf(-1)
+	lastFreqUp := math.Inf(-1)
+	deployed := cfg.InitialVMs
+	res.VMs.Add(0, float64(deployed))
+	res.MaxVMs = deployed
+
+	setFreq := func(f freq.GHz) {
+		if f == curFreq {
+			return
+		}
+		if f > curFreq {
+			res.ScaleUps++
+		} else {
+			res.ScaleDowns++
+		}
+		curFreq = f
+		sp := speedAt(f)
+		for _, st := range states {
+			st.vm.SetSpeed(sp)
+		}
+	}
+
+	powerCfg := func() freq.Config {
+		c := freq.B2
+		c.CoreGHz = curFreq
+		if curFreq > cfg.BaseGHz {
+			// Voltage offset scales with position in the ladder up
+			// to OC1's +50 mV.
+			c.VoltageOffsetMV = 50 * ladder.Fraction(curFreq)
+			c.Overclocked = true
+		}
+		return c
+	}
+
+	startScaleOut := func(s *sim.Simulation) bool {
+		if pendingScaleOut || deployed >= cfg.MaxVMs {
+			return false
+		}
+		if float64(s.Now())-lastScaleOutDone < cfg.ScaleOutCooldownS {
+			return false
+		}
+		pendingScaleOut = true
+		res.ScaleOuts++
+		deployed++
+		if deployed > res.MaxVMs {
+			res.MaxVMs = deployed
+		}
+		s.After(cfg.ScaleOutLatencyS, func(s2 *sim.Simulation) {
+			now := float64(s2.Now())
+			addVM(now)
+			pendingScaleOut = false
+			lastScaleOutDone = now
+			res.VMs.Add(now, float64(deployed))
+			if cfg.Policy == OCE {
+				// Scale-out complete: drop back to baseline.
+				setFreq(cfg.BaseGHz)
+			}
+		})
+		res.VMs.Add(float64(s.Now()), float64(deployed))
+		return true
+	}
+
+	scaleIn := func(now float64) {
+		if len(states) <= cfg.MinVMs || pendingScaleOut {
+			return
+		}
+		if now-lastScaleIn < cfg.ScaleInCooldownS {
+			return
+		}
+		lastScaleIn = now
+		res.ScaleIns++
+		victim := states[len(states)-1]
+		states = states[:len(states)-1]
+		victim.vm.SetAccepting(false)
+		host.RemoveVM(victim.vm)
+		deployed--
+		res.VMs.Add(now, float64(deployed))
+	}
+
+	// avgUtilAndSlope samples each VM's utilization since the last
+	// decision and the counter-measured scalable fraction.
+	avgUtilAndSlope := func(now float64) (util, slope float64) {
+		if len(states) == 0 {
+			return 0, sf
+		}
+		var uSum, slopeSum float64
+		var slopeN int
+		for _, st := range states {
+			integ := st.vm.BusyIntegral(now)
+			span := now - st.lastTime
+			var u float64
+			if span > 0 {
+				u = (integ - st.lastIntegral) / (span * float64(st.vm.VCores))
+			}
+			busy := integ - st.lastIntegral
+			st.acc.Advance(now, busy, float64(curFreq), sf)
+			cur := st.acc.Read()
+			d := cur.Sub(st.lastSample)
+			if d.Aperf > 0 {
+				slopeSum += d.ScalableFraction()
+				slopeN++
+			}
+			st.lastSample = cur
+			st.lastIntegral = integ
+			st.lastTime = now
+			uSum += u
+		}
+		util = uSum / float64(len(states))
+		if slopeN > 0 {
+			slope = slopeSum / float64(slopeN)
+		} else {
+			slope = sf
+		}
+		return util, slope
+	}
+
+	duration := gen.TotalDuration()
+	eng.Sim.NewTicker(sim.Time(cfg.DecisionPeriodS), cfg.DecisionPeriodS, func(s *sim.Simulation, t sim.Time) {
+		now := float64(t)
+		if now > duration {
+			return
+		}
+		util, slope := avgUtilAndSlope(now)
+		longWin.Add(now, util)
+		shortWin.Add(now, util)
+		uLong := longWin.Mean()
+		uShort := shortWin.Mean()
+
+		// Record series.
+		res.Util.Add(now, uShort)
+		res.FreqFrac.Add(now, ladder.Fraction(curFreq))
+		res.FreqGHz.Add(now, float64(curFreq))
+		total, vmOnly := instantPower(cfg, powerCfg(), states)
+		res.PowerW.Add(now, total)
+		res.VMPowerW.Add(now, vmOnly)
+
+		switch cfg.Policy {
+		case Baseline:
+			if !cfg.DisableScaleOut {
+				if uLong > cfg.ScaleOutThr {
+					startScaleOut(s)
+				} else if uLong < cfg.ScaleInThr {
+					scaleIn(now)
+				}
+			}
+		case OCE:
+			if !cfg.DisableScaleOut {
+				if uLong > cfg.ScaleOutThr {
+					// Overclock for the duration of the scale-out to
+					// hide the VM-creation latency.
+					if startScaleOut(s) {
+						setFreq(cfg.MaxGHz)
+					}
+				} else if uLong < cfg.ScaleInThr {
+					scaleIn(now)
+				}
+			}
+		case OCA, PredictiveOCA:
+			// Frequency control on the short window (Equation 1).
+			if uShort > cfg.ScaleUpThr && now-lastFreqUp >= cfg.FreqCooldownS {
+				if cfg.NaiveScaleUp {
+					if curFreq < cfg.MaxGHz {
+						setFreq(cfg.MaxGHz)
+						lastFreqUp = now
+					}
+				} else {
+					target := cfg.ScaleUpThr * 0.97
+					f, ok := counters.MinFreqForUtil(uShort, slope, float64(curFreq), target, ladderAbove(ladder, curFreq))
+					if (ok || f > float64(curFreq)) && freq.GHz(f) > curFreq {
+						setFreq(freq.GHz(f))
+						lastFreqUp = now
+					}
+				}
+			} else if uShort < cfg.ScaleDownThr && curFreq > cfg.BaseGHz {
+				target := cfg.ScaleUpThr * 0.9
+				f := counters.MaxDownFreqForUtil(uShort, slope, float64(curFreq), target, ladder.StepsFloat())
+				if freq.GHz(f) < curFreq {
+					setFreq(freq.GHz(f))
+				}
+			}
+			if !cfg.DisableScaleOut {
+				// Scale out only when even the max frequency cannot
+				// hold the long-window utilization under the
+				// threshold — or, for the predictive variant, when
+				// the trend forecasts that happening within the
+				// deployment latency.
+				trigger := uLong > cfg.ScaleOutThr
+				if cfg.Policy == PredictiveOCA {
+					trigger = trigger || shortWin.Forecast(cfg.ForecastHorizonS) > cfg.ScaleOutThr
+				}
+				if trigger && curFreq >= cfg.MaxGHz-1e-9 {
+					startScaleOut(s)
+				} else if uLong < cfg.ScaleInThr {
+					scaleIn(now)
+				}
+			}
+		case Predictive:
+			if !cfg.DisableScaleOut {
+				// Proactive trigger: the short-window trend forecasts
+				// a scale-out-threshold crossing within the
+				// deployment latency.
+				forecast := shortWin.Forecast(cfg.ForecastHorizonS)
+				if uLong > cfg.ScaleOutThr || forecast > cfg.ScaleOutThr {
+					startScaleOut(s)
+				} else if uLong < cfg.ScaleInThr && shortWin.Slope() <= 0 {
+					scaleIn(now)
+				}
+			}
+		}
+	})
+
+	eng.Sim.RunUntil(sim.Time(duration))
+
+	res.P95LatencyS = eng.AllLatency.P95()
+	res.AvgLatencyS = eng.AllLatency.Mean()
+	res.Completed = eng.Completed
+	res.Dropped = gen.Dropped
+	res.VMHours = res.VMs.Integral(0, duration) / 3600
+	res.AvgPowerW = res.PowerW.Mean()
+	res.AvgVMPowerW = res.VMPowerW.Mean()
+	if res.Completed > 0 {
+		res.EnergyPerReqJ = res.AvgPowerW * duration / float64(res.Completed)
+	}
+	return res, nil
+}
+
+// instantPower estimates server power from the VMs' current runnable
+// vcores under the active frequency configuration. The second return
+// value is the power attributable to the VMs themselves (core dynamic
+// plus active-core overhead).
+func instantPower(cfg Config, fc freq.Config, states []*vmState) (totalW, vmW float64) {
+	var utilSum float64
+	var active int
+	for _, st := range states {
+		utilSum += float64(st.vm.InService())
+		active += st.vm.VCores
+	}
+	totalW = cfg.PowerModel.Power(fc, utilSum, active)
+	vmW = utilSum*cfg.PowerModel.CoreW(fc) + float64(active)*cfg.PowerModel.CoreActiveW
+	return totalW, vmW
+}
+
+// ladderAbove returns ladder rungs strictly above f, ascending, as
+// float64 for the counters helpers.
+func ladderAbove(l *freq.Ladder, f freq.GHz) []float64 {
+	var out []float64
+	for _, s := range l.Steps() {
+		if s > f+1e-9 {
+			out = append(out, float64(s))
+		}
+	}
+	return out
+}
+
+// DiurnalPhases builds a compressed diurnal day: QPS follows a raised
+// cosine from base to peak and back over dayS seconds, discretized in
+// stepS-second phases. Long-running services see exactly this shape,
+// and it is where "scale up, then out" saves the most VM-hours.
+func DiurnalPhases(baseQPS, peakQPS, dayS, stepS float64) []queueing.LoadPhase {
+	var out []queueing.LoadPhase
+	for t := 0.0; t < dayS; t += stepS {
+		frac := (1 - math.Cos(2*math.Pi*t/dayS)) / 2
+		out = append(out, queueing.LoadPhase{
+			QPS:       baseQPS + (peakQPS-baseQPS)*frac,
+			DurationS: math.Min(stepS, dayS-t),
+		})
+	}
+	return out
+}
+
+// RampPhases builds the Table XI load schedule: QPS from start to max
+// in steps of `step` every phaseS seconds.
+func RampPhases(start, max, step, phaseS float64) []queueing.LoadPhase {
+	var out []queueing.LoadPhase
+	for q := start; q <= max+1e-9; q += step {
+		out = append(out, queueing.LoadPhase{QPS: q, DurationS: phaseS})
+	}
+	return out
+}
+
+// ValidationPhases is the Figure 15 load schedule: 1000, 2000, 500,
+// 3000, 1000 QPS for 5 minutes each.
+func ValidationPhases() []queueing.LoadPhase {
+	qs := []float64{1000, 2000, 500, 3000, 1000}
+	out := make([]queueing.LoadPhase, len(qs))
+	for i, q := range qs {
+		out[i] = queueing.LoadPhase{QPS: q, DurationS: 300}
+	}
+	return out
+}

@@ -1,0 +1,273 @@
+package autoscaler
+
+import (
+	"testing"
+
+	"immersionoc/internal/queueing"
+)
+
+func shortPhases() []queueing.LoadPhase {
+	return []queueing.LoadPhase{
+		{QPS: 500, DurationS: 200},
+		{QPS: 1500, DurationS: 300},
+		{QPS: 500, DurationS: 300},
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if Baseline.String() != "Baseline" || OCE.String() != "OC-E" || OCA.String() != "OC-A" {
+		t.Fatal("policy strings wrong")
+	}
+}
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	cfg := DefaultConfig(Baseline, nil)
+	if cfg.ScaleOutThr != 0.50 || cfg.ScaleInThr != 0.20 {
+		t.Fatal("scale-out/in thresholds not 50%/20%")
+	}
+	if cfg.ScaleUpThr != 0.40 || cfg.ScaleDownThr != 0.20 {
+		t.Fatal("scale-up/down thresholds not 40%/20%")
+	}
+	if cfg.LongWindowS != 180 || cfg.ShortWindowS != 30 {
+		t.Fatal("windows not 3 min / 30 s")
+	}
+	if cfg.DecisionPeriodS != 3 {
+		t.Fatal("decision period not 3 s")
+	}
+	if cfg.ScaleOutLatencyS != 60 {
+		t.Fatal("scale-out latency not 60 s")
+	}
+	if cfg.BaseGHz != 3.4 || cfg.MaxGHz != 4.1 || cfg.LadderBins != 8 {
+		t.Fatal("frequency range not B2→OC1 in 8 bins")
+	}
+}
+
+func TestBaselineScalesOut(t *testing.T) {
+	cfg := DefaultConfig(Baseline, shortPhases())
+	cfg.Seed = 11
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ScaleOuts == 0 {
+		t.Fatal("baseline never scaled out under a 3× load jump")
+	}
+	if r.ScaleUps != 0 || r.ScaleDowns != 0 {
+		t.Fatal("baseline changed frequency")
+	}
+	if r.MaxVMs < 2 {
+		t.Fatalf("max VMs %d", r.MaxVMs)
+	}
+	if r.Completed == 0 {
+		t.Fatal("no requests completed")
+	}
+}
+
+func TestBaselineScalesInAfterPeak(t *testing.T) {
+	cfg := DefaultConfig(Baseline, []queueing.LoadPhase{
+		{QPS: 1500, DurationS: 400},
+		{QPS: 200, DurationS: 600},
+	})
+	cfg.Seed = 11
+	cfg.InitialVMs = 3
+	cfg.MinVMs = 1
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ScaleIns == 0 {
+		t.Fatal("never scaled in after load dropped")
+	}
+}
+
+func TestOCAScalesUpBeforeOut(t *testing.T) {
+	cfg := DefaultConfig(OCA, shortPhases())
+	cfg.Seed = 11
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ScaleUps == 0 {
+		t.Fatal("OC-A never scaled up")
+	}
+	base := DefaultConfig(Baseline, shortPhases())
+	base.Seed = 11
+	rb, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.VMHours > rb.VMHours {
+		t.Fatalf("OC-A used more VM hours (%v) than baseline (%v)", r.VMHours, rb.VMHours)
+	}
+}
+
+func TestOCEOverclocksDuringScaleOutOnly(t *testing.T) {
+	cfg := DefaultConfig(OCE, shortPhases())
+	cfg.Seed = 11
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ScaleUps == 0 {
+		t.Fatal("OC-E never overclocked")
+	}
+	if r.ScaleUps != r.ScaleDowns {
+		t.Fatalf("OC-E ups %d != downs %d (must return to base after scale-out)", r.ScaleUps, r.ScaleDowns)
+	}
+	// OC-E must end the run at base frequency.
+	if got := r.FreqGHz.Values[len(r.FreqGHz.Values)-1]; got != float64(cfg.BaseGHz) {
+		t.Fatalf("final frequency %v, want base", got)
+	}
+}
+
+func TestFig15Validation(t *testing.T) {
+	cfg := DefaultConfig(OCA, ValidationPhases())
+	cfg.Seed = 3
+	cfg.InitialVMs = 3
+	cfg.MinVMs = 3
+	cfg.DisableScaleOut = true
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ScaleOuts != 0 || r.ScaleIns != 0 {
+		t.Fatal("scale-out/in fired while disabled")
+	}
+	// At 1000 QPS utilization sits under the scale-up threshold →
+	// base frequency.
+	if got := r.FreqFrac.At(250); got != 0 {
+		t.Fatalf("frequency fraction %v at low load, want 0", got)
+	}
+	// The 2000 QPS phase crosses 40% → frequency rises and the
+	// model brings utilization back under the threshold.
+	if got := r.FreqFrac.At(550); got <= 0 {
+		t.Fatal("no scale-up during the 2000 QPS phase")
+	}
+	if got := r.Util.At(580); got > 0.45 {
+		t.Fatalf("model failed to contain utilization: %v", got)
+	}
+	// At 3000 QPS even max frequency leaves utilization above the
+	// scale-out threshold (the paper's observation).
+	if got := r.FreqFrac.At(1150); got != 1 {
+		t.Fatalf("frequency fraction %v at 3000 QPS, want 1 (max)", got)
+	}
+	if got := r.Util.At(1150); got < 0.5 {
+		t.Fatalf("utilization %v at 3000 QPS, want > 0.5", got)
+	}
+	// Frequency returns to base when load drops.
+	if got := r.FreqFrac.At(1450); got != 0 {
+		t.Fatalf("frequency fraction %v after load drop, want 0", got)
+	}
+}
+
+func TestEquation1ReducesUtilization(t *testing.T) {
+	// With and without frequency control under the same 2000 QPS
+	// load: the controlled run must show lower utilization.
+	mk := func(policy Policy) *Result {
+		cfg := DefaultConfig(policy, []queueing.LoadPhase{{QPS: 2000, DurationS: 400}})
+		cfg.Seed = 5
+		cfg.InitialVMs = 3
+		cfg.MinVMs = 3
+		cfg.DisableScaleOut = true
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	oca := mk(OCA)
+	base := mk(Baseline)
+	if oca.Util.At(350) >= base.Util.At(350) {
+		t.Fatalf("OC-A utilization %v not below baseline %v", oca.Util.At(350), base.Util.At(350))
+	}
+	if oca.AvgPowerW <= base.AvgPowerW {
+		t.Fatal("overclocking did not raise power")
+	}
+}
+
+func TestRampPhases(t *testing.T) {
+	phases := RampPhases(500, 4000, 500, 300)
+	if len(phases) != 8 {
+		t.Fatalf("%d phases, want 8", len(phases))
+	}
+	if phases[0].QPS != 500 || phases[7].QPS != 4000 {
+		t.Fatal("ramp endpoints wrong")
+	}
+}
+
+func TestValidationPhases(t *testing.T) {
+	phases := ValidationPhases()
+	want := []float64{1000, 2000, 500, 3000, 1000}
+	if len(phases) != len(want) {
+		t.Fatalf("%d phases", len(phases))
+	}
+	for i, p := range phases {
+		if p.QPS != want[i] || p.DurationS != 300 {
+			t.Fatalf("phase %d = %+v", i, p)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	cfg := DefaultConfig(Baseline, shortPhases())
+	cfg.InitialVMs = 0
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("zero initial VMs accepted")
+	}
+	cfg = DefaultConfig(Baseline, shortPhases())
+	cfg.MaxVMs = 0
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("max below initial accepted")
+	}
+}
+
+func TestTableXIShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Table XI run in -short mode")
+	}
+	phases := RampPhases(500, 4000, 500, 300)
+	run := func(p Policy) *Result {
+		cfg := DefaultConfig(p, phases)
+		cfg.Seed = 3
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	base := run(Baseline)
+	oce := run(OCE)
+	oca := run(OCA)
+
+	// Paper Table XI shape: baseline and OC-E reach 6 VMs, OC-A 5.
+	if base.MaxVMs != 6 {
+		t.Errorf("baseline max VMs %d, want 6", base.MaxVMs)
+	}
+	if oce.MaxVMs != 6 {
+		t.Errorf("OC-E max VMs %d, want 6", oce.MaxVMs)
+	}
+	if oca.MaxVMs != 5 {
+		t.Errorf("OC-A max VMs %d, want 5", oca.MaxVMs)
+	}
+	// Latency: OC-A ≤ OC-E < baseline.
+	if !(oca.P95LatencyS < base.P95LatencyS && oce.P95LatencyS < base.P95LatencyS) {
+		t.Errorf("P95 ordering violated: base %v, OC-E %v, OC-A %v",
+			base.P95LatencyS, oce.P95LatencyS, oca.P95LatencyS)
+	}
+	if oca.AvgLatencyS >= base.AvgLatencyS {
+		t.Errorf("OC-A average latency not below baseline")
+	}
+	// VM-hours: OC-A saves capacity (paper: 2.20 → 1.95, ~11%).
+	if oca.VMHours >= base.VMHours*0.95 {
+		t.Errorf("OC-A VM-hours %v, want well below baseline %v", oca.VMHours, base.VMHours)
+	}
+	// Power: OC-A draws the most VM power, baseline the least.
+	if !(oca.AvgVMPowerW > oce.AvgVMPowerW && oce.AvgVMPowerW >= base.AvgVMPowerW) {
+		t.Errorf("VM power ordering violated: base %v, OC-E %v, OC-A %v",
+			base.AvgVMPowerW, oce.AvgVMPowerW, oca.AvgVMPowerW)
+	}
+	// Baseline utilization peaks near 70% (Figure 16).
+	if base.Util.Max() < 0.6 {
+		t.Errorf("baseline peak utilization %v, want ≥0.6", base.Util.Max())
+	}
+}

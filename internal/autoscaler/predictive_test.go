@@ -1,0 +1,116 @@
+package autoscaler
+
+import (
+	"testing"
+
+	"immersionoc/internal/queueing"
+)
+
+func rampForPrediction() []queueing.LoadPhase {
+	// A steady climb the trend extrapolation can see coming.
+	return []queueing.LoadPhase{
+		{QPS: 400, DurationS: 200},
+		{QPS: 700, DurationS: 120},
+		{QPS: 1000, DurationS: 120},
+		{QPS: 1300, DurationS: 120},
+		{QPS: 1600, DurationS: 240},
+	}
+}
+
+func runPolicy(t *testing.T, p Policy) *Result {
+	t.Helper()
+	cfg := DefaultConfig(p, rampForPrediction())
+	cfg.Seed = 9
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestPredictiveScalesOutEarlier(t *testing.T) {
+	base := runPolicy(t, Baseline)
+	pred := runPolicy(t, Predictive)
+	if pred.ScaleOuts == 0 {
+		t.Fatal("predictive never scaled out on a climbing ramp")
+	}
+	// The predictive policy's second VM must arrive no later than the
+	// baseline's (forecast triggers at or before the threshold
+	// crossing).
+	firstAt := func(r *Result) float64 {
+		for i, v := range r.VMs.Values {
+			if v >= 2 {
+				return r.VMs.Times[i]
+			}
+		}
+		return 1e18
+	}
+	if firstAt(pred) > firstAt(base) {
+		t.Fatalf("predictive scaled out at %v, baseline at %v", firstAt(pred), firstAt(base))
+	}
+}
+
+func TestPredictiveNeverOverclocks(t *testing.T) {
+	pred := runPolicy(t, Predictive)
+	if pred.ScaleUps != 0 || pred.ScaleDowns != 0 {
+		t.Fatal("pure predictive policy changed frequency")
+	}
+	if pred.FreqFrac.Max() != 0 {
+		t.Fatal("predictive policy left base frequency")
+	}
+}
+
+func TestPredictiveOCACombines(t *testing.T) {
+	r := runPolicy(t, PredictiveOCA)
+	if r.ScaleUps == 0 {
+		t.Fatal("Pred+OC-A never overclocked on a climbing ramp")
+	}
+	base := runPolicy(t, Baseline)
+	if r.P95LatencyS >= base.P95LatencyS {
+		t.Fatalf("Pred+OC-A P95 %v not below baseline %v", r.P95LatencyS, base.P95LatencyS)
+	}
+}
+
+func TestNaiveScaleUpJumpsToMax(t *testing.T) {
+	cfg := DefaultConfig(OCA, []queueing.LoadPhase{{QPS: 1900, DurationS: 300}})
+	cfg.Seed = 9
+	cfg.InitialVMs = 3
+	cfg.MinVMs = 3
+	cfg.DisableScaleOut = true
+	cfg.NaiveScaleUp = true
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ScaleUps == 0 {
+		t.Fatal("naive controller never scaled up")
+	}
+	// Every scale-up lands on the top rung: the frequency series
+	// only ever shows 0 or 1.
+	for _, v := range r.FreqFrac.Values {
+		if v != 0 && v != 1 {
+			t.Fatalf("naive controller at intermediate rung %v", v)
+		}
+	}
+}
+
+func TestModelUsesIntermediateRungs(t *testing.T) {
+	// A load needing only a modest boost: the Equation 1 controller
+	// settles below the top rung.
+	cfg := DefaultConfig(OCA, []queueing.LoadPhase{{QPS: 1800, DurationS: 400}})
+	cfg.Seed = 9
+	cfg.InitialVMs = 3
+	cfg.MinVMs = 3
+	cfg.DisableScaleOut = true
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := r.FreqFrac.Values[len(r.FreqFrac.Values)-1]
+	if final <= 0 {
+		t.Fatal("model never scaled up")
+	}
+	if final >= 1 {
+		t.Fatalf("model pegged at max for a moderate load (util ~0.42)")
+	}
+}

@@ -1,0 +1,241 @@
+package capping
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"immersionoc/internal/freq"
+	"immersionoc/internal/power"
+)
+
+func ladder(t *testing.T) *freq.Ladder {
+	t.Helper()
+	l, err := freq.NewLadder(3.4, 4.1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func group(t *testing.T, name string, prio Priority, servers int) *Group {
+	t.Helper()
+	return &Group{
+		Name:             name,
+		Priority:         prio,
+		Servers:          servers,
+		UtilSum:          20,
+		ActiveCores:      24,
+		Model:            power.Tank1Server,
+		Ladder:           ladder(t),
+		Config:           freq.OC1,
+		ScalableFraction: 0.8,
+	}
+}
+
+func controller(t *testing.T, budget float64, groups ...*Group) *Controller {
+	t.Helper()
+	c, err := NewController(budget, 20, groups...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestStartsAtTopOfLadder(t *testing.T) {
+	g := group(t, "a", Batch, 4)
+	controller(t, 1e6, g)
+	if g.FreqGHz() != 4.1 {
+		t.Fatalf("initial frequency %v", g.FreqGHz())
+	}
+	if g.PerfImpact() != 0 {
+		t.Fatalf("impact at top of ladder %v", g.PerfImpact())
+	}
+}
+
+func TestNoActionUnderBudget(t *testing.T) {
+	c := controller(t, 1e6, group(t, "a", Batch, 4))
+	acts, err := c.Enforce()
+	if err != nil || len(acts) != 0 {
+		t.Fatalf("enforce under budget: %v %v", acts, err)
+	}
+	if c.CapEvents != 0 {
+		t.Fatal("cap event counted without shedding")
+	}
+}
+
+func TestPrioritySheddingOrder(t *testing.T) {
+	crit := group(t, "critical", Critical, 4)
+	batch := group(t, "batch", Batch, 4)
+	harvest := group(t, "harvest", Harvest, 4)
+	c := controller(t, 1e9, crit, batch, harvest)
+	// Budget that forces some shedding: 97% of current draw.
+	c.BudgetW = c.TotalPowerW() * 0.97
+	acts, err := c.Enforce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acts) == 0 {
+		t.Fatal("no shedding")
+	}
+	// Harvest must shed before batch, batch before critical.
+	seenBatch := false
+	for _, a := range acts {
+		switch a.Group {
+		case "critical":
+			t.Fatal("critical group capped while lower priorities had headroom")
+		case "batch":
+			seenBatch = true
+		case "harvest":
+			if seenBatch && harvest.FreqGHz() > harvest.Ladder.Min() {
+				t.Fatal("batch shed before harvest exhausted")
+			}
+		}
+	}
+	if crit.FreqGHz() != 4.1 {
+		t.Fatalf("critical frequency %v, want untouched", crit.FreqGHz())
+	}
+	if c.TotalPowerW() > c.BudgetW {
+		t.Fatal("budget still exceeded after enforce")
+	}
+}
+
+func TestCriticalShedsLastButEventually(t *testing.T) {
+	crit := group(t, "critical", Critical, 4)
+	harvest := group(t, "harvest", Harvest, 4)
+	c := controller(t, 1e9, crit, harvest)
+	// Harsh budget: even after harvest bottoms out, critical must
+	// shed some.
+	harvestFloor := harvest.powerAt(harvest.Ladder.Min())
+	c.BudgetW = harvestFloor + crit.PowerW()*0.98
+	if _, err := c.Enforce(); err != nil {
+		t.Fatal(err)
+	}
+	if harvest.FreqGHz() != harvest.Ladder.Min() {
+		t.Fatal("harvest not fully shed before touching critical")
+	}
+	if crit.FreqGHz() >= 4.1 {
+		t.Fatal("critical untouched under a budget that requires it")
+	}
+}
+
+func TestInfeasibleBudget(t *testing.T) {
+	c := controller(t, 1, group(t, "a", Batch, 4))
+	_, err := c.Enforce()
+	if !errors.Is(err, ErrBudgetInfeasible) {
+		t.Fatalf("got %v, want ErrBudgetInfeasible", err)
+	}
+}
+
+func TestRestoreHighestPriorityFirst(t *testing.T) {
+	crit := group(t, "critical", Critical, 4)
+	batch := group(t, "batch", Batch, 4)
+	c := controller(t, 1e9, crit, batch)
+	c.BudgetW = c.TotalPowerW() * 0.90
+	if _, err := c.Enforce(); err != nil {
+		t.Fatal(err)
+	}
+	// Raise the budget back; critical (if it was capped) restores
+	// before batch.
+	c.BudgetW = c.TotalPowerW() * 1.3
+	acts := c.Restore()
+	if len(acts) == 0 {
+		t.Fatal("nothing restored with ample headroom")
+	}
+	// After restore, batch must not out-rank critical.
+	if crit.FreqGHz() < batch.FreqGHz() {
+		t.Fatalf("critical at %v below batch at %v after restore", crit.FreqGHz(), batch.FreqGHz())
+	}
+	if c.TotalPowerW() > c.BudgetW-c.RestoreMarginW {
+		t.Fatal("restore violated the hysteresis margin")
+	}
+}
+
+func TestRestoreRespectsMargin(t *testing.T) {
+	g := group(t, "a", Batch, 4)
+	c := controller(t, 1e9, g)
+	c.BudgetW = c.TotalPowerW() * 0.95
+	c.Enforce()
+	// Budget exactly at current power: no restore is possible
+	// within the margin.
+	c.BudgetW = c.TotalPowerW() + c.RestoreMarginW/2
+	if acts := c.Restore(); len(acts) != 0 {
+		t.Fatalf("restored %d rungs inside the margin", len(acts))
+	}
+}
+
+func TestUniformCapsCriticalToo(t *testing.T) {
+	mk := func() (*Controller, *Group, *Group) {
+		crit := group(t, "critical", Critical, 4)
+		harvest := group(t, "harvest", Harvest, 4)
+		c := controller(t, 1e9, crit, harvest)
+		c.BudgetW = c.TotalPowerW() * 0.97
+		return c, crit, harvest
+	}
+	cp, crit, _ := mk()
+	if _, err := cp.Enforce(); err != nil {
+		t.Fatal(err)
+	}
+	critPrio := crit.FreqGHz()
+
+	cu, critU, _ := mk()
+	if _, err := cu.UniformEnforce(); err != nil {
+		t.Fatal(err)
+	}
+	if critU.FreqGHz() >= 4.1 {
+		t.Fatal("uniform capper spared the critical group")
+	}
+	if critPrio <= critU.FreqGHz() {
+		t.Fatalf("priority capper kept critical at %v, uniform at %v — priority must preserve more",
+			critPrio, critU.FreqGHz())
+	}
+}
+
+func TestPerfImpactMonotone(t *testing.T) {
+	g := group(t, "a", Batch, 1)
+	c := controller(t, 1e9, g)
+	c.BudgetW = 1
+	c.Enforce() // drives to the floor (infeasible, but sheds fully)
+	if g.FreqGHz() != g.Ladder.Min() {
+		t.Fatalf("not at floor: %v", g.FreqGHz())
+	}
+	impact := g.PerfImpact()
+	// 0.8 scalable at 3.4 vs 4.1: 1 − 1/(0.8·4.1/3.4 + 0.2) ≈ 0.14.
+	if impact < 0.10 || impact > 0.18 {
+		t.Fatalf("floor impact %v, want ~0.14", impact)
+	}
+}
+
+func TestActionsAccounting(t *testing.T) {
+	g := group(t, "a", Batch, 4)
+	c := controller(t, 1e9, g)
+	before := c.TotalPowerW()
+	c.BudgetW = before * 0.95
+	acts, err := c.Enforce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shed float64
+	for _, a := range acts {
+		if a.Shed <= 0 {
+			t.Fatalf("non-positive shed in %+v", a)
+		}
+		if a.ToGHz >= a.FromGHz {
+			t.Fatalf("action did not reduce frequency: %+v", a)
+		}
+		shed += a.Shed
+	}
+	if math.Abs((before-c.TotalPowerW())-shed) > 1e-6 {
+		t.Fatalf("shed accounting %v vs actual %v", shed, before-c.TotalPowerW())
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := NewController(0, 0, group(t, "a", Batch, 1)); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+	bad := group(t, "b", Batch, 0)
+	if _, err := NewController(100, 0, bad); err == nil {
+		t.Fatal("zero servers accepted")
+	}
+}

@@ -1,0 +1,440 @@
+// Package cluster simulates fleet-level VM placement: the
+// multi-dimensional bin packing providers use (§V "Dense VM packing"),
+// CPU oversubscription backed by overclocking, failover buffers
+// (Figure 6), and capacity-crisis mitigation (Figure 7).
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"immersionoc/internal/vm"
+)
+
+// ServerSpec describes the physical shape of fleet servers.
+type ServerSpec struct {
+	PCores   int
+	MemoryGB float64
+	// Overclockable reports whether the server can enter the
+	// overclocking bands (2PIC fleet).
+	Overclockable bool
+	// OCSpeedup is the throughput gain available from overclocking
+	// (e.g. 1.20 for the +20% core/uncore overclock of OC3); it
+	// bounds how much CPU oversubscription overclocking can absorb.
+	OCSpeedup float64
+}
+
+// TwoSocketBlade is the large-tank Open Compute shape: 2 × 24 cores.
+var TwoSocketBlade = ServerSpec{PCores: 48, MemoryGB: 384, Overclockable: true, OCSpeedup: 1.20}
+
+// AirBlade is the same shape without overclocking capability.
+var AirBlade = ServerSpec{PCores: 48, MemoryGB: 384, Overclockable: false, OCSpeedup: 1.0}
+
+// Server is one fleet server with its current allocations.
+type Server struct {
+	ID   int
+	Spec ServerSpec
+	// Reserved marks buffer servers that normal placement skips.
+	Reserved bool
+	// Failed marks servers lost to an infrastructure failure.
+	Failed bool
+
+	vms       map[int]*vm.VM
+	vcoresUse int
+	memUse    float64
+}
+
+// VCoresUsed returns allocated vcores.
+func (s *Server) VCoresUsed() int { return s.vcoresUse }
+
+// MemoryUsed returns allocated memory in GB.
+func (s *Server) MemoryUsed() float64 { return s.memUse }
+
+// VMs returns the number of VMs placed on the server.
+func (s *Server) VMs() int { return len(s.vms) }
+
+// Oversubscribed reports whether allocated vcores exceed pcores.
+func (s *Server) Oversubscribed() bool { return s.vcoresUse > s.Spec.PCores }
+
+// VMsList returns the server's placed VMs in ascending ID order.
+func (s *Server) VMsList() []*vm.VM {
+	ids := make([]int, 0, len(s.vms))
+	for id := range s.vms {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]*vm.VM, len(ids))
+	for i, id := range ids {
+		out[i] = s.vms[id]
+	}
+	return out
+}
+
+// Policy controls placement behaviour.
+type Policy struct {
+	// CPUOversubRatio allows allocated vcores up to
+	// (1+ratio)·pcores on overclockable servers. Zero disables
+	// oversubscription.
+	CPUOversubRatio float64
+	// BufferFraction reserves that fraction of servers for failover
+	// (the static buffer of Figure 6). With overclocking-backed
+	// virtual buffers this is zero.
+	BufferFraction float64
+}
+
+// Cluster is a fleet of servers plus a placement policy.
+type Cluster struct {
+	Spec    ServerSpec
+	Policy  Policy
+	servers []*Server
+	placed  map[int]*Server // VM ID → server
+	// Rejected counts placement failures.
+	Rejected int
+}
+
+// New builds a cluster of n servers, reserving the policy's buffer
+// fraction as failover capacity.
+func New(spec ServerSpec, policy Policy, n int) *Cluster {
+	c := &Cluster{Spec: spec, Policy: policy, placed: make(map[int]*Server)}
+	reserve := int(float64(n) * policy.BufferFraction)
+	for i := 0; i < n; i++ {
+		s := &Server{ID: i, Spec: spec, vms: make(map[int]*vm.VM)}
+		if i >= n-reserve {
+			s.Reserved = true
+		}
+		c.servers = append(c.servers, s)
+	}
+	return c
+}
+
+// Servers returns the fleet.
+func (c *Cluster) Servers() []*Server { return c.servers }
+
+// SetOversubRatio changes the CPU oversubscription policy at runtime.
+// The virtual-buffer use-case (Figure 6) runs the fleet 1:1 during
+// normal operation and enables overclocking-backed oversubscription
+// only to absorb failover.
+func (c *Cluster) SetOversubRatio(r float64) {
+	if r < 0 {
+		r = 0
+	}
+	c.Policy.CPUOversubRatio = r
+}
+
+// vcoreCap returns the server's vcore allocation limit under the
+// policy.
+func (c *Cluster) vcoreCap(s *Server) int {
+	capV := s.Spec.PCores
+	if c.Policy.CPUOversubRatio > 0 && s.Spec.Overclockable {
+		capV = int(float64(s.Spec.PCores) * (1 + c.Policy.CPUOversubRatio))
+	}
+	return capV
+}
+
+// fits reports whether v fits on s under the policy.
+func (c *Cluster) fits(s *Server, v *vm.VM, useReserved bool) bool {
+	if s.Failed {
+		return false
+	}
+	if s.Reserved && !useReserved {
+		return false
+	}
+	if s.memUse+v.Type.MemoryGB > s.Spec.MemoryGB {
+		return false
+	}
+	if s.vcoresUse+v.Type.VCores > c.vcoreCap(s) {
+		return false
+	}
+	// High-performance VMs need overclocking headroom guaranteed:
+	// only non-oversubscribed overclockable servers qualify.
+	if v.Class == vm.HighPerf {
+		if !s.Spec.Overclockable {
+			return false
+		}
+		if s.vcoresUse+v.Type.VCores > s.Spec.PCores {
+			return false
+		}
+	}
+	return true
+}
+
+// Place assigns v to a server using best-fit on remaining vcores
+// (ties broken by server ID), mirroring production packers that
+// consolidate load to keep empty servers for large VMs. Returns the
+// chosen server or an error when no server fits.
+func (c *Cluster) Place(v *vm.VM) (*Server, error) {
+	return c.place(v, false)
+}
+
+func (c *Cluster) place(v *vm.VM, useReserved bool) (*Server, error) {
+	var best *Server
+	bestLeft := 1 << 30
+	for _, s := range c.servers {
+		if !c.fits(s, v, useReserved) {
+			continue
+		}
+		left := c.vcoreCap(s) - s.vcoresUse - v.Type.VCores
+		if left < bestLeft || (left == bestLeft && best != nil && s.ID < best.ID) {
+			best, bestLeft = s, left
+		}
+	}
+	if best == nil {
+		c.Rejected++
+		return nil, fmt.Errorf("cluster: no server fits VM %d (%d vcores, %.0f GB)", v.ID, v.Type.VCores, v.Type.MemoryGB)
+	}
+	best.vms[v.ID] = v
+	best.vcoresUse += v.Type.VCores
+	best.memUse += v.Type.MemoryGB
+	c.placed[v.ID] = best
+	return best, nil
+}
+
+// Remove releases a VM's resources.
+func (c *Cluster) Remove(v *vm.VM) error {
+	s, ok := c.placed[v.ID]
+	if !ok {
+		return errors.New("cluster: VM not placed")
+	}
+	delete(s.vms, v.ID)
+	delete(c.placed, v.ID)
+	s.vcoresUse -= v.Type.VCores
+	s.memUse -= v.Type.MemoryGB
+	return nil
+}
+
+// Stats summarizes fleet utilization.
+type Stats struct {
+	Servers, FailedServers, ReservedServers int
+	PlacedVMs                               int
+	VCoresAllocated, PCoresTotal            int
+	// Density is allocated vcores per available pcore.
+	Density float64
+	// VMsPerActiveServer is mean VMs per non-empty server.
+	VMsPerActiveServer float64
+	OversubscribedSrv  int
+}
+
+// Stats computes current fleet statistics.
+func (c *Cluster) Stats() Stats {
+	st := Stats{Servers: len(c.servers)}
+	active := 0
+	for _, s := range c.servers {
+		if s.Failed {
+			st.FailedServers++
+			continue
+		}
+		if s.Reserved {
+			st.ReservedServers++
+		}
+		st.PCoresTotal += s.Spec.PCores
+		st.VCoresAllocated += s.vcoresUse
+		st.PlacedVMs += len(s.vms)
+		if len(s.vms) > 0 {
+			active++
+		}
+		if s.Oversubscribed() {
+			st.OversubscribedSrv++
+		}
+	}
+	if st.PCoresTotal > 0 {
+		st.Density = float64(st.VCoresAllocated) / float64(st.PCoresTotal)
+	}
+	if active > 0 {
+		st.VMsPerActiveServer = float64(st.PlacedVMs) / float64(active)
+	}
+	return st
+}
+
+// FailServers marks n servers (highest VM counts first, emulating a
+// rack/row failure hitting loaded machines) as failed and returns the
+// VMs that must be re-created.
+func (c *Cluster) FailServers(n int) []*vm.VM {
+	candidates := make([]*Server, 0, len(c.servers))
+	for _, s := range c.servers {
+		if !s.Failed && !s.Reserved {
+			candidates = append(candidates, s)
+		}
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		if len(candidates[i].vms) != len(candidates[j].vms) {
+			return len(candidates[i].vms) > len(candidates[j].vms)
+		}
+		return candidates[i].ID < candidates[j].ID
+	})
+	if n > len(candidates) {
+		n = len(candidates)
+	}
+	var displaced []*vm.VM
+	for _, s := range candidates[:n] {
+		s.Failed = true
+		ids := make([]int, 0, len(s.vms))
+		for id := range s.vms {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			v := s.vms[id]
+			displaced = append(displaced, v)
+			delete(s.vms, id)
+			delete(c.placed, id)
+			s.vcoresUse -= v.Type.VCores
+			s.memUse -= v.Type.MemoryGB
+		}
+	}
+	return displaced
+}
+
+// Recover re-places displaced VMs. With a static buffer, reserved
+// servers open up; with an overclocking-backed virtual buffer, the
+// surviving servers absorb the VMs through oversubscription + OC.
+// Returns the number successfully re-created.
+func (c *Cluster) Recover(displaced []*vm.VM) int {
+	ok := 0
+	for _, v := range displaced {
+		if _, err := c.place(v, true); err == nil {
+			ok++
+		}
+	}
+	return ok
+}
+
+// PackTrace replays a VM arrival/departure trace through the cluster
+// and returns the peak density plus the rejection count.
+func (c *Cluster) PackTrace(trace []*vm.VM) (peakDensity float64, rejected int) {
+	for _, ev := range vm.Events(trace) {
+		if ev.Arrival {
+			if _, err := c.Place(ev.VM); err != nil {
+				rejected++
+			}
+			if d := c.Stats().Density; d > peakDensity {
+				peakDensity = d
+			}
+		} else if _, placed := c.placed[ev.VM.ID]; placed {
+			_ = c.Remove(ev.VM)
+		}
+	}
+	return peakDensity, rejected
+}
+
+// Migration is one planned VM move.
+type Migration struct {
+	VM   *vm.VM
+	From *Server
+	To   *Server
+}
+
+// PlanMigrations builds a live-migration plan that relieves
+// oversubscribed servers (§V: overclocking is "a stop-gap solution to
+// performance loss until live VM migration ... can eliminate the
+// problem completely"). Up to maxMoves VMs are moved from
+// oversubscribed servers to servers with 1:1 headroom, smallest VMs
+// first (live migration cost grows with VM memory). The plan is
+// returned without being applied.
+func (c *Cluster) PlanMigrations(maxMoves int) []Migration {
+	var plan []Migration
+	for _, s := range c.servers {
+		if s.Failed || !s.Oversubscribed() {
+			continue
+		}
+		over := s.vcoresUse - s.Spec.PCores
+		vms := s.VMsList()
+		// Smallest first: cheapest moves that still relieve pressure.
+		sort.Slice(vms, func(i, j int) bool {
+			if vms[i].Type.VCores != vms[j].Type.VCores {
+				return vms[i].Type.VCores < vms[j].Type.VCores
+			}
+			return vms[i].ID < vms[j].ID
+		})
+		for _, v := range vms {
+			if over <= 0 || len(plan) >= maxMoves {
+				break
+			}
+			dst := c.findHeadroom(s, v)
+			if dst == nil {
+				continue
+			}
+			plan = append(plan, Migration{VM: v, From: s, To: dst})
+			over -= v.Type.VCores
+			// Reserve the destination capacity while planning.
+			dst.vcoresUse += v.Type.VCores
+			dst.memUse += v.Type.MemoryGB
+		}
+	}
+	// Release the planning reservations; Apply re-places for real.
+	for _, m := range plan {
+		m.To.vcoresUse -= m.VM.Type.VCores
+		m.To.memUse -= m.VM.Type.MemoryGB
+	}
+	return plan
+}
+
+// findHeadroom returns a destination with 1:1 headroom for v, best-fit,
+// excluding src.
+func (c *Cluster) findHeadroom(src *Server, v *vm.VM) *Server {
+	var best *Server
+	bestLeft := 1 << 30
+	for _, s := range c.servers {
+		if s == src || s.Failed || s.Reserved {
+			continue
+		}
+		if s.vcoresUse+v.Type.VCores > s.Spec.PCores {
+			continue
+		}
+		if s.memUse+v.Type.MemoryGB > s.Spec.MemoryGB {
+			continue
+		}
+		left := s.Spec.PCores - s.vcoresUse - v.Type.VCores
+		if left < bestLeft || (left == bestLeft && best != nil && s.ID < best.ID) {
+			best, bestLeft = s, left
+		}
+	}
+	return best
+}
+
+// ApplyMigrations executes a plan, returning how many moves succeeded
+// (a destination may have filled since planning).
+func (c *Cluster) ApplyMigrations(plan []Migration) int {
+	done := 0
+	for _, m := range plan {
+		if m.To.vcoresUse+m.VM.Type.VCores > m.To.Spec.PCores ||
+			m.To.memUse+m.VM.Type.MemoryGB > m.To.Spec.MemoryGB {
+			continue
+		}
+		delete(m.From.vms, m.VM.ID)
+		m.From.vcoresUse -= m.VM.Type.VCores
+		m.From.memUse -= m.VM.Type.MemoryGB
+		m.To.vms[m.VM.ID] = m.VM
+		m.To.vcoresUse += m.VM.Type.VCores
+		m.To.memUse += m.VM.Type.MemoryGB
+		c.placed[m.VM.ID] = m.To
+		done++
+	}
+	return done
+}
+
+// InterferenceRisk estimates, for each oversubscribed server, whether
+// overclocking covers the expected concurrent demand: the sum of
+// per-VM average utilizations must not exceed pcores × OCSpeedup.
+// Returns the number of servers whose expected demand exceeds even the
+// overclocked capacity.
+func (c *Cluster) InterferenceRisk() int {
+	atRisk := 0
+	for _, s := range c.servers {
+		if s.Failed || !s.Oversubscribed() {
+			continue
+		}
+		var demand float64
+		for _, v := range s.vms {
+			demand += float64(v.Type.VCores) * v.AvgUtil
+		}
+		capacity := float64(s.Spec.PCores)
+		if s.Spec.Overclockable {
+			capacity *= s.Spec.OCSpeedup
+		}
+		if demand > capacity {
+			atRisk++
+		}
+	}
+	return atRisk
+}

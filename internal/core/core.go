@@ -1,0 +1,321 @@
+// Package core implements the overclocking governor — the control
+// plane the paper argues cloud providers need in order to "carefully
+// manage overclocking to provide performance benefits, while managing
+// the associated risks and costs" (§I, §V).
+//
+// The governor decides whether, which component, and how far to
+// overclock:
+//
+//   - bottleneck analysis: hardware-counter-derived bottleneck vectors
+//     say which domain (core, uncore/LLC, memory) actually limits the
+//     workload, so frequency is only raised where it helps (the
+//     Figure 9 lesson: overclock only the bounding resource);
+//   - risk management: every candidate configuration is vetted against
+//     the component lifetime model (wear budget / lifetime credit),
+//     the computational-stability envelope, and the power-delivery
+//     headroom of the feeder the server hangs off;
+//   - use-cases: admission of high-performance VMs, oversubscription
+//     mitigation (compute the speedup needed to hide contention),
+//     virtual failover buffers, and capacity-crisis mitigation.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"immersionoc/internal/freq"
+	"immersionoc/internal/power"
+	"immersionoc/internal/reliability"
+	"immersionoc/internal/server"
+	"immersionoc/internal/workload"
+)
+
+// BottleneckVector is the share of execution time attributable to each
+// frequency domain, as derived from per-domain stall counters.
+type BottleneckVector struct {
+	Core, LLC, Mem, Fixed float64
+}
+
+// VectorOf extracts the bottleneck vector from a workload profile (in
+// production this comes from counters; the profile is the simulated
+// ground truth the counters would measure).
+func VectorOf(p workload.Profile) BottleneckVector {
+	return BottleneckVector{Core: p.WCore, LLC: p.WLLC, Mem: p.WMem, Fixed: p.WFixed}
+}
+
+// Validate checks the vector sums to ~1.
+func (v BottleneckVector) Validate() error {
+	sum := v.Core + v.LLC + v.Mem + v.Fixed
+	if math.Abs(sum-1) > 1e-6 {
+		return fmt.Errorf("core: bottleneck vector sums to %.4f", sum)
+	}
+	if v.Core < 0 || v.LLC < 0 || v.Mem < 0 || v.Fixed < 0 {
+		return errors.New("core: negative bottleneck component")
+	}
+	return nil
+}
+
+// ServiceTimeRatio returns execution time under cfg relative to the
+// B2 reference for this vector.
+func (v BottleneckVector) ServiceTimeRatio(cfg freq.Config) float64 {
+	ref := workload.Reference
+	return v.Core*float64(ref.CoreGHz/cfg.CoreGHz) +
+		v.LLC*float64(ref.UncoreGHz/cfg.UncoreGHz) +
+		v.Mem*float64(ref.MemoryGHz/cfg.MemoryGHz) +
+		v.Fixed
+}
+
+// Dominant returns the domain with the largest scalable share.
+func (v BottleneckVector) Dominant() freq.Domain {
+	switch {
+	case v.Core >= v.LLC && v.Core >= v.Mem:
+		return freq.Core
+	case v.LLC >= v.Mem:
+		return freq.Uncore
+	default:
+		return freq.Memory
+	}
+}
+
+// Objective selects what the governor optimizes.
+type Objective int
+
+const (
+	// MaxPerformance picks the admissible config with the largest
+	// improvement.
+	MaxPerformance Objective = iota
+	// PerfPerWatt picks the admissible config with the best
+	// improvement per added watt (minimum improvement applies).
+	PerfPerWatt
+	// MinPowerForTarget picks the cheapest admissible config that
+	// meets a target improvement.
+	MinPowerForTarget
+)
+
+func (o Objective) String() string {
+	switch o {
+	case MaxPerformance:
+		return "max-performance"
+	case PerfPerWatt:
+		return "perf-per-watt"
+	case MinPowerForTarget:
+		return "min-power-for-target"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+// Request is one overclocking decision request.
+type Request struct {
+	Vector    BottleneckVector
+	Objective Objective
+	// TargetImprovement applies to MinPowerForTarget (fraction).
+	TargetImprovement float64
+	// MinImprovement filters out configs whose gain is noise
+	// (default 2%).
+	MinImprovement float64
+	// UtilSum and ActiveCores describe current load for power
+	// estimation.
+	UtilSum     float64
+	ActiveCores int
+}
+
+// Decision is the governor's answer.
+type Decision struct {
+	Config freq.Config
+	// Improvement is the predicted metric improvement vs B2.
+	Improvement float64
+	// PowerDeltaW is the predicted added server power vs B2.
+	PowerDeltaW float64
+	// LifetimeYears is the projected lifetime at the config.
+	LifetimeYears float64
+	// Rationale explains the choice.
+	Rationale string
+}
+
+// Governor vets overclocking configurations for one server.
+type Governor struct {
+	Server *server.Server
+	// Feeder, when non-nil, must have headroom for any power
+	// increase.
+	Feeder *power.Feeder
+	// MinLifetimeYears is the lifetime floor (the service life, 5y,
+	// unless wear credit justifies dipping below).
+	MinLifetimeYears float64
+	// AllowRedBand permits configurations that trade lifetime
+	// (below MinLifetimeYears) when wear credit is available.
+	AllowRedBand bool
+	// Candidates are the configurations considered; defaults to
+	// Table VII.
+	Candidates []freq.Config
+}
+
+// NewGovernor returns a governor with the paper's defaults.
+func NewGovernor(srv *server.Server) *Governor {
+	return &Governor{
+		Server:           srv,
+		MinLifetimeYears: reliability.ServiceLifeYears,
+		Candidates:       freq.TableVII(),
+	}
+}
+
+// ErrNoAdmissibleConfig is returned when no configuration passes the
+// risk checks with a useful improvement.
+var ErrNoAdmissibleConfig = errors.New("core: no admissible overclocking configuration")
+
+// admissible vets one configuration against stability, lifetime and
+// power-delivery constraints; returns the projected lifetime.
+func (g *Governor) admissible(cfg freq.Config, req Request) (lifetimeYears float64, powerDelta float64, ok bool) {
+	spec := g.Server.Spec
+	// Stability: never beyond the red band top, and never into the
+	// crash region of the stability model.
+	if cfg.CoreGHz > spec.Bands.MaxOC {
+		return 0, 0, false
+	}
+	if spec.Stability.Unstable(float64(cfg.CoreGHz), float64(spec.Bands.MaxSafeOC)) {
+		return 0, 0, false
+	}
+
+	// Lifetime at the candidate's operating point. Following the
+	// paper's foundry model, lifetime is evaluated at worst-case
+	// utilization — a VM mix can always fill the socket later.
+	op, err := spec.Socket.Solve(spec.Thermal, spec.Curve, cfg.CoreGHz, 0, 1.0)
+	if err != nil {
+		return 0, 0, false
+	}
+	cond := reliability.Condition{VoltageV: op.VoltageV, TjMaxC: op.JunctionC, TjMinC: spec.Thermal.IdleTemp()}
+	life, err := spec.Lifetime.Lifetime(cond)
+	if err != nil {
+		return 0, 0, false
+	}
+	if life < g.MinLifetimeYears {
+		if !(g.AllowRedBand && g.Server.WearCredit() > 0) {
+			return 0, 0, false
+		}
+	}
+
+	// Power delivery headroom.
+	base := spec.ServerPower.Power(freq.B2, req.UtilSum, req.ActiveCores)
+	cand := spec.ServerPower.Power(cfg, req.UtilSum, req.ActiveCores)
+	powerDelta = cand - base
+	if g.Feeder != nil && powerDelta > 0 && g.Feeder.Headroom() < powerDelta {
+		return 0, 0, false
+	}
+	return life, powerDelta, true
+}
+
+func clamp01(x float64) float64 { return math.Max(0, math.Min(1, x)) }
+
+// Decide returns the best admissible configuration for the request.
+func (g *Governor) Decide(req Request) (Decision, error) {
+	if err := req.Vector.Validate(); err != nil {
+		return Decision{}, err
+	}
+	if req.MinImprovement == 0 {
+		req.MinImprovement = 0.02
+	}
+	candidates := g.Candidates
+	if len(candidates) == 0 {
+		candidates = freq.TableVII()
+	}
+
+	var best Decision
+	found := false
+	better := func(cand, cur Decision) bool {
+		switch req.Objective {
+		case PerfPerWatt:
+			cw := cand.Improvement / math.Max(cand.PowerDeltaW, 1)
+			bw := cur.Improvement / math.Max(cur.PowerDeltaW, 1)
+			return cw > bw
+		case MinPowerForTarget:
+			return cand.PowerDeltaW < cur.PowerDeltaW
+		default:
+			return cand.Improvement > cur.Improvement
+		}
+	}
+
+	for _, cfg := range candidates {
+		imp := 1 - req.Vector.ServiceTimeRatio(cfg)
+		if imp < req.MinImprovement {
+			continue
+		}
+		if req.Objective == MinPowerForTarget && imp < req.TargetImprovement {
+			continue
+		}
+		life, dp, ok := g.admissible(cfg, req)
+		if !ok {
+			continue
+		}
+		d := Decision{
+			Config:        cfg,
+			Improvement:   imp,
+			PowerDeltaW:   dp,
+			LifetimeYears: life,
+			Rationale: fmt.Sprintf("%s: dominant bottleneck %v, +%.1f%% at +%.0fW, lifetime %.1fy",
+				cfg.Name, req.Vector.Dominant(), imp*100, dp, life),
+		}
+		if !found || better(d, best) {
+			best, found = d, true
+		}
+	}
+	if !found {
+		return Decision{}, ErrNoAdmissibleConfig
+	}
+	return best, nil
+}
+
+// Apply executes a decision on the managed server and reserves feeder
+// headroom.
+func (g *Governor) Apply(d Decision) error {
+	if g.Feeder != nil && d.PowerDeltaW > 0 {
+		if !g.Feeder.Offer(d.PowerDeltaW) {
+			g.Feeder.Release(d.PowerDeltaW)
+			return fmt.Errorf("core: feeder rejected %+.0fW", d.PowerDeltaW)
+		}
+	}
+	return g.Server.SetConfig(d.Config)
+}
+
+// Revert returns the server to the B2 baseline and releases feeder
+// headroom previously reserved by d.
+func (g *Governor) Revert(d Decision) error {
+	if g.Feeder != nil && d.PowerDeltaW > 0 {
+		g.Feeder.Release(d.PowerDeltaW)
+	}
+	return g.Server.SetConfig(freq.B2)
+}
+
+// MitigationSpeedup returns the throughput speedup needed to absorb
+// CPU oversubscription with the given expected concurrent demand (sum
+// of per-VM utilizations in core-equivalents) on pcores physical
+// cores: speedup = demand / pcores when demand exceeds capacity,
+// else 1.
+func MitigationSpeedup(demandCores, pcores float64) float64 {
+	if pcores <= 0 {
+		return math.Inf(1)
+	}
+	if demandCores <= pcores {
+		return 1
+	}
+	return demandCores / pcores
+}
+
+// ConfigForSpeedup returns the cheapest Table VII overclocking
+// configuration whose predicted speedup for the given bottleneck
+// vector meets the required speedup, or an error if even OC3 falls
+// short (the workload's scalable components are too small).
+func ConfigForSpeedup(required float64, vec BottleneckVector) (freq.Config, error) {
+	if err := vec.Validate(); err != nil {
+		return freq.Config{}, err
+	}
+	if required <= 1 {
+		return freq.B2, nil
+	}
+	for _, cfg := range []freq.Config{freq.OC1, freq.OC2, freq.OC3} {
+		if 1/vec.ServiceTimeRatio(cfg) >= required {
+			return cfg, nil
+		}
+	}
+	return freq.Config{}, fmt.Errorf("core: no configuration provides %.2f× speedup for vector %+v", required, vec)
+}

@@ -1,0 +1,276 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"immersionoc/internal/freq"
+	"immersionoc/internal/power"
+	"immersionoc/internal/server"
+	"immersionoc/internal/workload"
+)
+
+func immersedGovernor() *Governor {
+	return NewGovernor(server.New(server.Tank1Spec()))
+}
+
+func TestVectorOfAndValidate(t *testing.T) {
+	v := VectorOf(workload.SQL)
+	if err := v.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := BottleneckVector{Core: 0.5}
+	if bad.Validate() == nil {
+		t.Fatal("incomplete vector validated")
+	}
+	neg := BottleneckVector{Core: 1.5, Fixed: -0.5}
+	if neg.Validate() == nil {
+		t.Fatal("negative component validated")
+	}
+}
+
+func TestDominantDomain(t *testing.T) {
+	if d := (BottleneckVector{Core: 0.6, LLC: 0.2, Mem: 0.1, Fixed: 0.1}).Dominant(); d != freq.Core {
+		t.Fatalf("dominant %v", d)
+	}
+	if d := (BottleneckVector{Core: 0.1, LLC: 0.5, Mem: 0.2, Fixed: 0.2}).Dominant(); d != freq.Uncore {
+		t.Fatalf("dominant %v", d)
+	}
+	if d := (BottleneckVector{Core: 0.1, LLC: 0.2, Mem: 0.5, Fixed: 0.2}).Dominant(); d != freq.Memory {
+		t.Fatalf("dominant %v", d)
+	}
+}
+
+func TestServiceTimeRatioMatchesWorkload(t *testing.T) {
+	for _, p := range workload.Figure9Apps() {
+		v := VectorOf(p)
+		for _, cfg := range freq.TableVII() {
+			if math.Abs(v.ServiceTimeRatio(cfg)-p.ServiceTimeRatio(cfg)) > 1e-12 {
+				t.Fatalf("%s under %s: vector ratio diverges from profile", p.Name, cfg.Name)
+			}
+		}
+	}
+}
+
+func TestDecideMaxPerformance(t *testing.T) {
+	g := immersedGovernor()
+	d, err := g.Decide(Request{
+		Vector:      VectorOf(workload.Training),
+		Objective:   MaxPerformance,
+		UtilSum:     14,
+		ActiveCores: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Core-bound Training: every OC config helps; max performance
+	// picks the largest improvement (OC3 by a hair over OC1).
+	if !d.Config.Overclocked {
+		t.Fatalf("chose %s, want an overclocked config", d.Config.Name)
+	}
+	if d.Improvement < 0.10 {
+		t.Fatalf("improvement %v too small", d.Improvement)
+	}
+	if d.LifetimeYears < g.MinLifetimeYears {
+		t.Fatalf("decision violates lifetime floor: %v", d.LifetimeYears)
+	}
+}
+
+func TestDecidePerfPerWattPrefersOC1ForCoreBound(t *testing.T) {
+	g := immersedGovernor()
+	d, err := g.Decide(Request{
+		Vector:      VectorOf(workload.BI),
+		Objective:   PerfPerWatt,
+		UtilSum:     4,
+		ActiveCores: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BI gains only from core overclocking; cache/memory add power
+	// without performance — perf/W must land on OC1 (the Figure 9
+	// takeaway).
+	if d.Config.Name != "OC1" {
+		t.Fatalf("perf/W chose %s for BI, want OC1", d.Config.Name)
+	}
+}
+
+func TestDecideMinPowerForTarget(t *testing.T) {
+	g := immersedGovernor()
+	d, err := g.Decide(Request{
+		Vector:            VectorOf(workload.Training),
+		Objective:         MinPowerForTarget,
+		TargetImprovement: 0.10,
+		UtilSum:           4,
+		ActiveCores:       4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Improvement < 0.10 {
+		t.Fatalf("target not met: %v", d.Improvement)
+	}
+	// OC1 is the cheapest way to a 10% gain for a core-bound app.
+	if d.Config.Name != "OC1" {
+		t.Fatalf("chose %s, want OC1", d.Config.Name)
+	}
+}
+
+func TestDecideRejectsUselessOverclock(t *testing.T) {
+	g := immersedGovernor()
+	// A fully I/O-bound workload gains nothing; the governor must
+	// refuse to overclock (the paper's "wasteful" case).
+	_, err := g.Decide(Request{
+		Vector:      BottleneckVector{Fixed: 1.0},
+		Objective:   MaxPerformance,
+		UtilSum:     4,
+		ActiveCores: 4,
+	})
+	if !errors.Is(err, ErrNoAdmissibleConfig) {
+		t.Fatalf("io-bound workload got %v, want ErrNoAdmissibleConfig", err)
+	}
+}
+
+func TestAirCooledGovernorRefusesOverclock(t *testing.T) {
+	g := NewGovernor(server.New(server.AirSpec()))
+	d, err := g.Decide(Request{
+		Vector:      VectorOf(workload.Training),
+		Objective:   MaxPerformance,
+		UtilSum:     28,
+		ActiveCores: 28,
+	})
+	// In air, overclocking drops lifetime below the service life
+	// (Table V: <1 year); every OC candidate must be vetoed.
+	if err == nil && d.Config.Overclocked {
+		t.Fatalf("air-cooled governor approved %s (lifetime %v)", d.Config.Name, d.LifetimeYears)
+	}
+}
+
+func TestAirCooledRedBandWithCredit(t *testing.T) {
+	srv := server.New(server.AirSpec())
+	// Accumulate credit with light, cool operation.
+	srv.SetLoad(3, 28)
+	if err := srv.Advance(2000); err != nil {
+		t.Fatal(err)
+	}
+	g := NewGovernor(srv)
+	g.AllowRedBand = true
+	d, err := g.Decide(Request{
+		Vector:      VectorOf(workload.Training),
+		Objective:   MaxPerformance,
+		UtilSum:     14,
+		ActiveCores: 28,
+	})
+	if err != nil {
+		t.Fatalf("red band with credit refused: %v", err)
+	}
+	if !d.Config.Overclocked {
+		t.Fatal("red band decision not overclocked")
+	}
+}
+
+func TestFeederHeadroomVeto(t *testing.T) {
+	g := immersedGovernor()
+	g.Feeder = power.NewFeeder(100)
+	g.Feeder.Offer(99) // 1 W of headroom left
+	_, err := g.Decide(Request{
+		Vector:      VectorOf(workload.Training),
+		Objective:   MaxPerformance,
+		UtilSum:     20,
+		ActiveCores: 24,
+	})
+	if !errors.Is(err, ErrNoAdmissibleConfig) {
+		t.Fatalf("feeder without headroom got %v", err)
+	}
+}
+
+func TestApplyAndRevert(t *testing.T) {
+	g := immersedGovernor()
+	g.Feeder = power.NewFeeder(500)
+	d, err := g.Decide(Request{
+		Vector:      VectorOf(workload.Training),
+		Objective:   MaxPerformance,
+		UtilSum:     14,
+		ActiveCores: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Apply(d); err != nil {
+		t.Fatal(err)
+	}
+	if g.Server.Config().Name != d.Config.Name {
+		t.Fatal("apply did not set the configuration")
+	}
+	if g.Feeder.Load() != d.PowerDeltaW {
+		t.Fatalf("feeder load %v, want %v", g.Feeder.Load(), d.PowerDeltaW)
+	}
+	if err := g.Revert(d); err != nil {
+		t.Fatal(err)
+	}
+	if g.Server.Config().Name != "B2" {
+		t.Fatal("revert did not restore B2")
+	}
+	if g.Feeder.Load() != 0 {
+		t.Fatalf("feeder load %v after revert", g.Feeder.Load())
+	}
+}
+
+func TestMitigationSpeedup(t *testing.T) {
+	if MitigationSpeedup(10, 16) != 1 {
+		t.Fatal("under-capacity demand needs speedup")
+	}
+	if got := MitigationSpeedup(20, 16); math.Abs(got-1.25) > 1e-12 {
+		t.Fatalf("speedup %v, want 1.25", got)
+	}
+	if !math.IsInf(MitigationSpeedup(10, 0), 1) {
+		t.Fatal("zero pcores not infinite")
+	}
+}
+
+func TestConfigForSpeedup(t *testing.T) {
+	coreBound := BottleneckVector{Core: 0.9, LLC: 0.03, Mem: 0.03, Fixed: 0.04}
+	// No speedup needed → stay at B2.
+	cfg, err := ConfigForSpeedup(1.0, coreBound)
+	if err != nil || cfg.Name != "B2" {
+		t.Fatalf("ConfigForSpeedup(1.0): %v %v", cfg.Name, err)
+	}
+	// Highly scalable workload: OC1 provides up to ~1.18×.
+	cfg, err = ConfigForSpeedup(1.15, coreBound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Name != "OC1" {
+		t.Fatalf("chose %s, want OC1", cfg.Name)
+	}
+	// SQL needs its memory bottleneck lifted: OC1 is not enough for
+	// a 1.10× target but OC3 is.
+	cfg, err = ConfigForSpeedup(1.10, VectorOf(workload.SQL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Name == "OC1" || cfg.Name == "B2" {
+		t.Fatalf("chose %s for memory-heavy SQL, want OC2/OC3", cfg.Name)
+	}
+	// Unachievable speedup errors.
+	if _, err := ConfigForSpeedup(1.5, coreBound); err == nil {
+		t.Fatal("impossible speedup accepted")
+	}
+	// Fixed-time-bound workload can't be rescued by clocks at all.
+	ioBound := BottleneckVector{Core: 0.2, Fixed: 0.8}
+	if _, err := ConfigForSpeedup(1.2, ioBound); err == nil {
+		t.Fatal("io-bound speedup accepted")
+	}
+}
+
+func TestDecisionRationalePopulated(t *testing.T) {
+	g := immersedGovernor()
+	d, err := g.Decide(Request{Vector: VectorOf(workload.SQL), Objective: MaxPerformance, UtilSum: 4, ActiveCores: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Rationale == "" {
+		t.Fatal("empty rationale")
+	}
+}

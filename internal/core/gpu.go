@@ -1,0 +1,78 @@
+package core
+
+import (
+	"immersionoc/internal/freq"
+	"immersionoc/internal/workload"
+)
+
+// GPUDecision is the governor's answer for a GPU training workload
+// (the tank #2 scenario: an overclockable RTX 2080ti under 2PIC).
+type GPUDecision struct {
+	Config freq.GPUConfig
+	// Improvement is the predicted training-time reduction.
+	Improvement float64
+	// PowerDeltaW is the added P99 board power over stock.
+	PowerDeltaW float64
+}
+
+// DecideGPU picks a Table VIII GPU configuration for a CNN training
+// workload. The Figure 11 lesson is encoded directly: memory
+// overclocking (OCG2→OCG3) is only granted when the model's
+// memory-bound fraction justifies its power — for batch-optimized
+// models like VGG16B the governor stops at the power-limit bump.
+func DecideGPU(m workload.VGGModel, objective Objective, pm workload.GPUPowerModel) (GPUDecision, error) {
+	if err := m.Validate(); err != nil {
+		return GPUDecision{}, err
+	}
+	basePower := pm.P99(freq.GPUBase)
+
+	var best GPUDecision
+	found := false
+	better := func(cand, cur GPUDecision) bool {
+		switch objective {
+		case PerfPerWatt:
+			cw := cand.Improvement / max1(cand.PowerDeltaW)
+			bw := cur.Improvement / max1(cur.PowerDeltaW)
+			return cw > bw
+		case MinPowerForTarget:
+			return cand.PowerDeltaW < cur.PowerDeltaW
+		default:
+			// Gains below measurement noise (0.5%) are ties; a tie
+			// goes to the cheaper config — the Figure 11 lesson that
+			// OCG3's extra memory clock is waste for VGG16B.
+			const noise = 0.005
+			if cand.Improvement > cur.Improvement+noise {
+				return true
+			}
+			if cand.Improvement < cur.Improvement-noise {
+				return false
+			}
+			return cand.PowerDeltaW < cur.PowerDeltaW
+		}
+	}
+	for _, cfg := range freq.TableVIII() {
+		imp := m.Improvement(cfg)
+		if cfg.Overclocked && imp < 0.02 {
+			continue // overclocking that does not pay is waste
+		}
+		d := GPUDecision{
+			Config:      cfg,
+			Improvement: imp,
+			PowerDeltaW: pm.P99(cfg) - basePower,
+		}
+		if !found || better(d, best) {
+			best, found = d, true
+		}
+	}
+	if !found {
+		return GPUDecision{}, ErrNoAdmissibleConfig
+	}
+	return best, nil
+}
+
+func max1(v float64) float64 {
+	if v < 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"immersionoc/internal/workload"
+)
+
+func TestDecideGPUMaxPerformance(t *testing.T) {
+	m, err := workload.VGGByName("VGG11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := DecideGPU(m, MaxPerformance, workload.DefaultGPUPower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Config.Overclocked {
+		t.Fatalf("max performance picked %s", d.Config.Name)
+	}
+	if d.Improvement < 0.10 {
+		t.Fatalf("improvement %v too small", d.Improvement)
+	}
+}
+
+func TestDecideGPUStopsAtOCG2ForBatchOptimized(t *testing.T) {
+	// VGG16B: OCG3's extra memory clock adds power for no gain; with
+	// a performance tie the governor must take the cheaper config.
+	m, err := workload.VGGByName("VGG16B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := DecideGPU(m, MaxPerformance, workload.DefaultGPUPower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Config.Name == "OCG3" {
+		t.Fatalf("governor chose OCG3 for VGG16B (power without performance)")
+	}
+}
+
+func TestDecideGPUPerfPerWatt(t *testing.T) {
+	// Perf/W lands on OCG1: it raises clocks within the stock power
+	// limit — the cheapest gain on the table.
+	m, _ := workload.VGGByName("VGG16")
+	d, err := DecideGPU(m, PerfPerWatt, workload.DefaultGPUPower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Config.Name != "OCG1" {
+		t.Fatalf("perf/W chose %s, want OCG1", d.Config.Name)
+	}
+}
+
+func TestDecideGPUValidation(t *testing.T) {
+	bad := workload.VGGModel{Name: "bad", WSM: 0.5}
+	if _, err := DecideGPU(bad, MaxPerformance, workload.DefaultGPUPower); err == nil {
+		t.Fatal("invalid model accepted")
+	}
+}
+
+func TestDecideGPUAllModelsGetAConfig(t *testing.T) {
+	for _, m := range workload.VGGModels() {
+		d, err := DecideGPU(m, MaxPerformance, workload.DefaultGPUPower)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if d.Improvement <= 0 {
+			t.Fatalf("%s: non-positive improvement", m.Name)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+// Package counters emulates the per-core architecture-independent
+// hardware counters the paper's auto-scaler consumes — Aperf (cycles
+// the core is active) and Pperf (active cycles that are not stalled on
+// a dependency such as a memory access) — plus utilization sampling and
+// the delta arithmetic of Equation 1.
+//
+// For a workload whose busy time splits into a frequency-scalable
+// fraction s (compute) and a non-scalable fraction 1−s (stalls), the
+// counters satisfy ΔPperf/ΔAperf = s over any sampling interval.
+package counters
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sample is a point-in-time reading of one core's (or VM's aggregate)
+// counters.
+type Sample struct {
+	// TimeS is the sampling timestamp in seconds.
+	TimeS float64
+	// Aperf is accumulated active cycles.
+	Aperf float64
+	// Pperf is accumulated non-stalled active cycles.
+	Pperf float64
+	// Mperf is accumulated reference cycles while active (constant
+	// rate), giving effective frequency as Aperf/Mperf × base.
+	Mperf float64
+	// BusyS is accumulated busy seconds (for utilization).
+	BusyS float64
+}
+
+// Delta holds counter differences between two samples.
+type Delta struct {
+	Seconds float64
+	Aperf   float64
+	Pperf   float64
+	Mperf   float64
+	BusyS   float64
+}
+
+// Sub returns the delta from prev to s.
+func (s Sample) Sub(prev Sample) Delta {
+	return Delta{
+		Seconds: s.TimeS - prev.TimeS,
+		Aperf:   s.Aperf - prev.Aperf,
+		Pperf:   s.Pperf - prev.Pperf,
+		Mperf:   s.Mperf - prev.Mperf,
+		BusyS:   s.BusyS - prev.BusyS,
+	}
+}
+
+// ScalableFraction returns ΔPperf/ΔAperf: the fraction of busy cycles
+// that scale with frequency. Returns 0 for an empty interval.
+func (d Delta) ScalableFraction() float64 {
+	if d.Aperf <= 0 {
+		return 0
+	}
+	f := d.Pperf / d.Aperf
+	return math.Max(0, math.Min(1, f))
+}
+
+// Utilization returns busy-time utilization over the interval given
+// the number of cores aggregated into the sample.
+func (d Delta) Utilization(cores int) float64 {
+	if d.Seconds <= 0 || cores <= 0 {
+		return 0
+	}
+	u := d.BusyS / (d.Seconds * float64(cores))
+	return math.Max(0, math.Min(1, u))
+}
+
+// EffectiveGHz returns the average effective frequency over the
+// interval given the reference (base) frequency behind Mperf.
+func (d Delta) EffectiveGHz(baseGHz float64) float64 {
+	if d.Mperf <= 0 {
+		return 0
+	}
+	return baseGHz * d.Aperf / d.Mperf
+}
+
+// Accumulator integrates simulated activity into counter readings. The
+// workload model drives it with (busy seconds, scalable fraction,
+// frequency) intervals.
+type Accumulator struct {
+	baseGHz float64
+	cur     Sample
+}
+
+// NewAccumulator returns an accumulator with the given reference
+// frequency in GHz.
+func NewAccumulator(baseGHz float64) *Accumulator {
+	if baseGHz <= 0 {
+		panic("counters: non-positive base frequency")
+	}
+	return &Accumulator{baseGHz: baseGHz}
+}
+
+// Advance integrates an interval ending at time t during which the
+// core was busy for busyS seconds at frequency fGHz, with scalable
+// fraction sf of busy cycles doing non-stalled work.
+func (a *Accumulator) Advance(t, busyS, fGHz, sf float64) {
+	if t < a.cur.TimeS {
+		panic(fmt.Sprintf("counters: time went backwards: %v < %v", t, a.cur.TimeS))
+	}
+	if busyS < 0 {
+		panic("counters: negative busy time")
+	}
+	sf = math.Max(0, math.Min(1, sf))
+	cycles := busyS * fGHz * 1e9
+	a.cur.TimeS = t
+	a.cur.Aperf += cycles
+	a.cur.Pperf += cycles * sf
+	a.cur.Mperf += busyS * a.baseGHz * 1e9
+	a.cur.BusyS += busyS
+}
+
+// Read returns the current counter values.
+func (a *Accumulator) Read() Sample { return a.cur }
+
+// PredictUtilization implements Equation 1 of the paper: the expected
+// utilization after changing frequency from f0 to f1, given the current
+// utilization and the scalable fraction ΔPperf/ΔAperf observed over the
+// recent interval:
+//
+//	util' = util × (s·f0/f1 + (1−s))
+//
+// Frequency-scalable busy time shrinks proportionally with the clock;
+// stalled time does not.
+func PredictUtilization(util, scalableFraction, f0, f1 float64) float64 {
+	if f1 <= 0 || f0 <= 0 {
+		return util
+	}
+	s := math.Max(0, math.Min(1, scalableFraction))
+	u := util * (s*f0/f1 + (1 - s))
+	return math.Max(0, math.Min(1, u))
+}
+
+// MinFreqForUtil returns the minimum frequency from the ascending
+// candidate list that keeps predicted utilization at or below target,
+// per Equation 1. If none suffices, the highest candidate is returned
+// with ok=false.
+func MinFreqForUtil(util, scalableFraction, f0, target float64, candidates []float64) (float64, bool) {
+	for _, f := range candidates {
+		if PredictUtilization(util, scalableFraction, f0, f) <= target {
+			return f, true
+		}
+	}
+	if len(candidates) == 0 {
+		return f0, false
+	}
+	return candidates[len(candidates)-1], false
+}
+
+// MaxDownFreqForUtil returns the lowest frequency from the ascending
+// candidate list whose predicted utilization stays at or below target.
+// It is used when scaling down: pick the slowest clock that will not
+// push utilization back above the threshold.
+func MaxDownFreqForUtil(util, scalableFraction, f0, target float64, candidates []float64) float64 {
+	for _, f := range candidates {
+		if PredictUtilization(util, scalableFraction, f0, f) <= target {
+			return f
+		}
+	}
+	if len(candidates) == 0 {
+		return f0
+	}
+	return candidates[len(candidates)-1]
+}

@@ -1,0 +1,193 @@
+package counters
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccumulatorScalableFraction(t *testing.T) {
+	acc := NewAccumulator(3.4)
+	prev := acc.Read()
+	acc.Advance(10, 5, 3.4, 0.7)
+	d := acc.Read().Sub(prev)
+	if got := d.ScalableFraction(); math.Abs(got-0.7) > 1e-12 {
+		t.Fatalf("ΔPperf/ΔAperf = %v, want 0.7", got)
+	}
+}
+
+func TestAccumulatorUtilization(t *testing.T) {
+	acc := NewAccumulator(3.4)
+	prev := acc.Read()
+	acc.Advance(10, 4, 3.4, 0.5) // 4 busy seconds over 10s on 1 core
+	d := acc.Read().Sub(prev)
+	if got := d.Utilization(1); math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("utilization %v, want 0.4", got)
+	}
+	if got := d.Utilization(2); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("2-core utilization %v, want 0.2", got)
+	}
+}
+
+func TestAccumulatorEffectiveFrequency(t *testing.T) {
+	acc := NewAccumulator(3.4)
+	prev := acc.Read()
+	acc.Advance(5, 3, 4.1, 0.8)
+	d := acc.Read().Sub(prev)
+	if got := d.EffectiveGHz(3.4); math.Abs(got-4.1) > 1e-9 {
+		t.Fatalf("effective frequency %v, want 4.1", got)
+	}
+}
+
+func TestAccumulatorMixedFrequencies(t *testing.T) {
+	acc := NewAccumulator(3.4)
+	prev := acc.Read()
+	acc.Advance(10, 5, 3.4, 1.0)
+	acc.Advance(20, 5, 4.1, 1.0)
+	d := acc.Read().Sub(prev)
+	// Average effective frequency over equal busy time: (3.4+4.1)/2.
+	if got := d.EffectiveGHz(3.4); math.Abs(got-3.75) > 1e-9 {
+		t.Fatalf("mixed effective frequency %v, want 3.75", got)
+	}
+}
+
+func TestAccumulatorBackwardsTimePanics(t *testing.T) {
+	acc := NewAccumulator(3.4)
+	acc.Advance(10, 1, 3.4, 0.5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("backwards time did not panic")
+		}
+	}()
+	acc.Advance(5, 1, 3.4, 0.5)
+}
+
+func TestEquation1FixedPoints(t *testing.T) {
+	// s=1 (fully scalable): utilization scales exactly with f0/f1.
+	if got := PredictUtilization(0.6, 1.0, 3.4, 4.1); math.Abs(got-0.6*3.4/4.1) > 1e-12 {
+		t.Fatalf("fully scalable prediction %v", got)
+	}
+	// s=0 (fully stalled): frequency change is useless.
+	if got := PredictUtilization(0.6, 0, 3.4, 4.1); got != 0.6 {
+		t.Fatalf("memory-bound prediction %v, want unchanged", got)
+	}
+	// No frequency change: identity.
+	if got := PredictUtilization(0.6, 0.7, 3.4, 3.4); math.Abs(got-0.6) > 1e-12 {
+		t.Fatalf("identity prediction %v", got)
+	}
+}
+
+func TestEquation1Formula(t *testing.T) {
+	// util' = util × (s·f0/f1 + (1−s)).
+	util, s, f0, f1 := 0.5, 0.882, 3.4, 4.1
+	want := util * (s*f0/f1 + (1 - s))
+	if got := PredictUtilization(util, s, f0, f1); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Eq1 = %v, want %v", got, want)
+	}
+}
+
+func TestEquation1Properties(t *testing.T) {
+	f := func(uRaw, sRaw uint8) bool {
+		util := float64(uRaw%100) / 100
+		s := float64(sRaw%101) / 100
+		up := PredictUtilization(util, s, 3.4, 4.1)
+		down := PredictUtilization(util, s, 3.4, 3.0)
+		// Overclocking never raises predicted utilization;
+		// underclocking never lowers it.
+		return up <= util+1e-12 && down >= util-1e-12 && up >= 0 && down <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEquation1RoundTrip(t *testing.T) {
+	// Predicting f0→f1 then f1→f0 returns the original utilization
+	// (as long as no clamping occurs).
+	f := func(uRaw, sRaw uint8) bool {
+		util := 0.1 + float64(uRaw%60)/100
+		s := float64(sRaw%101) / 100
+		u1 := PredictUtilization(util, s, 3.4, 4.1)
+		u2 := PredictUtilization(u1, s, 4.1, 3.4)
+		// Not an exact inverse (the scalable fraction is measured at
+		// f0), but within the model it must round-trip when s is the
+		// same busy-cycle fraction: util·(s·r+(1−s))·(s/r+(1−s)).
+		return u2 >= u1 && u2 <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinFreqForUtil(t *testing.T) {
+	candidates := []float64{3.5, 3.6, 3.7, 3.8, 3.9, 4.0, 4.1}
+	// util 0.45, s=0.9: find min f with predicted ≤ 0.40.
+	f, ok := MinFreqForUtil(0.45, 0.9, 3.4, 0.40, candidates)
+	if !ok {
+		t.Fatal("no candidate found")
+	}
+	if got := PredictUtilization(0.45, 0.9, 3.4, f); got > 0.40 {
+		t.Fatalf("selected %v gives util %v > target", f, got)
+	}
+	// The step below must NOT satisfy the target (minimality).
+	for _, c := range candidates {
+		if c < f && PredictUtilization(0.45, 0.9, 3.4, c) <= 0.40 {
+			t.Fatalf("smaller candidate %v also satisfies target; %v not minimal", c, f)
+		}
+	}
+}
+
+func TestMinFreqForUtilInfeasible(t *testing.T) {
+	candidates := []float64{3.5, 4.1}
+	// Even max frequency cannot bring 0.9 util under 0.4.
+	f, ok := MinFreqForUtil(0.9, 0.9, 3.4, 0.4, candidates)
+	if ok {
+		t.Fatal("infeasible target reported ok")
+	}
+	if f != 4.1 {
+		t.Fatalf("infeasible fallback %v, want max candidate", f)
+	}
+}
+
+func TestMinFreqForUtilEmpty(t *testing.T) {
+	f, ok := MinFreqForUtil(0.9, 0.9, 3.4, 0.4, nil)
+	if ok || f != 3.4 {
+		t.Fatalf("empty candidates: %v %v", f, ok)
+	}
+}
+
+func TestMaxDownFreqForUtil(t *testing.T) {
+	candidates := []float64{3.4, 3.5, 3.6, 3.7, 3.8, 3.9, 4.0, 4.1}
+	// Running at 4.1 with low utilization: scale down as far as the
+	// target allows.
+	f := MaxDownFreqForUtil(0.15, 0.9, 4.1, 0.36, candidates)
+	if got := PredictUtilization(0.15, 0.9, 4.1, f); got > 0.36 {
+		t.Fatalf("scale-down choice %v gives util %v > target", f, got)
+	}
+	if f != 3.4 {
+		t.Fatalf("low utilization should drop to the bottom rung, got %v", f)
+	}
+}
+
+func TestDeltaEdgeCases(t *testing.T) {
+	var d Delta
+	if d.ScalableFraction() != 0 || d.Utilization(4) != 0 || d.EffectiveGHz(3.4) != 0 {
+		t.Fatal("zero delta not zero-valued")
+	}
+	d = Delta{Seconds: 10, BusyS: 100, Aperf: 10, Pperf: 20}
+	if got := d.Utilization(1); got != 1 {
+		t.Fatalf("utilization not clamped: %v", got)
+	}
+	if got := d.ScalableFraction(); got != 1 {
+		t.Fatalf("scalable fraction not clamped: %v", got)
+	}
+}
+
+func TestAccumulatorValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero base frequency did not panic")
+		}
+	}()
+	NewAccumulator(0)
+}

@@ -1,0 +1,132 @@
+package counters
+
+import (
+	"math"
+
+	"immersionoc/internal/rng"
+)
+
+// StallSample extends the Aperf/Pperf pair with the per-domain stall
+// breakdown modern cores expose (CYCLE_ACTIVITY.STALLS_L2_MISS-style
+// events): of the cycles Pperf does NOT count, how many were spent
+// waiting on the LLC versus memory. Together with Aperf/Pperf these
+// counters let a provider estimate a workload's bottleneck vector
+// without knowing anything about the VM's contents — the "counter-based
+// models" §IV and §V call for.
+type StallSample struct {
+	Sample
+	// LLCStall and MemStall are accumulated stalled cycles
+	// attributed to LLC hits-in-flight and DRAM misses.
+	LLCStall, MemStall float64
+	// WallS is accumulated wall-clock seconds (busy + idle), from
+	// which the fixed (non-CPU) fraction of the workload is
+	// inferred.
+	WallS float64
+}
+
+// StallDelta is the difference of two StallSamples.
+type StallDelta struct {
+	Delta
+	LLCStall, MemStall, WallS float64
+}
+
+// SubStalls returns the delta from prev to s.
+func (s StallSample) SubStalls(prev StallSample) StallDelta {
+	return StallDelta{
+		Delta:    s.Sample.Sub(prev.Sample),
+		LLCStall: s.LLCStall - prev.LLCStall,
+		MemStall: s.MemStall - prev.MemStall,
+		WallS:    s.WallS - prev.WallS,
+	}
+}
+
+// Vector estimates the bottleneck fractions (core, LLC, memory, fixed)
+// from the counter deltas. Core time is the non-stalled busy fraction,
+// LLC/memory split the stalled busy cycles, and fixed time is the
+// wall-clock remainder (I/O, network, think time) for a continuously
+// loaded workload.
+func (d StallDelta) Vector() (core, llc, mem, fixed float64) {
+	if d.WallS <= 0 || d.Aperf <= 0 {
+		return 0, 0, 0, 1
+	}
+	busyFrac := d.BusyS / d.WallS
+	if busyFrac > 1 {
+		busyFrac = 1
+	}
+	scal := d.ScalableFraction()
+	stall := d.LLCStall + d.MemStall
+	llcShare, memShare := 0.5, 0.5
+	if stall > 0 {
+		llcShare = d.LLCStall / stall
+		memShare = d.MemStall / stall
+	}
+	core = busyFrac * scal
+	llc = busyFrac * (1 - scal) * llcShare
+	mem = busyFrac * (1 - scal) * memShare
+	fixed = 1 - core - llc - mem
+	if fixed < 0 {
+		fixed = 0
+	}
+	return core, llc, mem, fixed
+}
+
+// StallAccumulator integrates simulated activity with per-domain stall
+// attribution and optional measurement noise — the emulated hardware a
+// governor samples in this repository.
+type StallAccumulator struct {
+	baseGHz float64
+	cur     StallSample
+	noise   *rng.Source
+	// NoiseFrac perturbs each recorded quantity by a uniform
+	// ±NoiseFrac relative error (counter multiplexing error).
+	NoiseFrac float64
+}
+
+// NewStallAccumulator returns an accumulator; seed selects the
+// measurement-noise stream (noise off until NoiseFrac is set).
+func NewStallAccumulator(baseGHz float64, seed uint64) *StallAccumulator {
+	if baseGHz <= 0 {
+		panic("counters: non-positive base frequency")
+	}
+	return &StallAccumulator{baseGHz: baseGHz, noise: rng.New(seed)}
+}
+
+func (a *StallAccumulator) perturb(v float64) float64 {
+	if a.NoiseFrac <= 0 {
+		return v
+	}
+	return v * (1 + a.NoiseFrac*(2*a.noise.Float64()-1))
+}
+
+// Advance integrates an interval ending at wall time t: busyS busy
+// seconds at fGHz, of which coreFrac retired work, llcFrac stalled on
+// the LLC and memFrac stalled on memory (fractions of busy time;
+// remainder is attributed to memory).
+func (a *StallAccumulator) Advance(t, busyS, fGHz, coreFrac, llcFrac, memFrac float64) {
+	if t < a.cur.WallS {
+		panic("counters: time went backwards")
+	}
+	if busyS < 0 {
+		panic("counters: negative busy time")
+	}
+	coreFrac = clampFrac(coreFrac)
+	llcFrac = clampFrac(llcFrac)
+	memFrac = clampFrac(memFrac)
+	if s := coreFrac + llcFrac + memFrac; s > 1 {
+		coreFrac, llcFrac, memFrac = coreFrac/s, llcFrac/s, memFrac/s
+	}
+	cycles := busyS * fGHz * 1e9
+	a.cur.TimeS = t
+	a.cur.WallS = t
+	a.cur.Aperf += a.perturb(cycles)
+	a.cur.Pperf += a.perturb(cycles * coreFrac)
+	a.cur.Mperf += a.perturb(busyS * a.baseGHz * 1e9)
+	a.cur.BusyS += busyS
+	a.cur.LLCStall += a.perturb(cycles * llcFrac)
+	a.cur.MemStall += a.perturb(cycles * memFrac)
+}
+
+func clampFrac(f float64) float64 { return math.Max(0, math.Min(1, f)) }
+
+// Read returns the current counters.
+func (a *StallAccumulator) Read() StallSample { return a.cur }

@@ -1,0 +1,115 @@
+package counters
+
+import (
+	"math"
+	"testing"
+
+	"immersionoc/internal/workload"
+)
+
+// driveProfile feeds a workload profile's ground-truth behaviour into a
+// stall accumulator for `seconds` of wall time at frequency f.
+func driveProfile(acc *StallAccumulator, p workload.Profile, seconds, fGHz float64) {
+	// Busy time per wall second is 1−WFixed for a continuously
+	// loaded core; of busy cycles, the core/LLC/mem split follows
+	// the vector.
+	busyShare := p.WCore + p.WLLC + p.WMem
+	if busyShare <= 0 {
+		acc.Advance(seconds, 0, fGHz, 0, 0, 0)
+		return
+	}
+	step := 1.0
+	for t := step; t <= seconds+1e-9; t += step {
+		acc.Advance(t, busyShare*step, fGHz,
+			p.WCore/busyShare, p.WLLC/busyShare, p.WMem/busyShare)
+	}
+}
+
+func TestStallVectorRecoversProfile(t *testing.T) {
+	for _, p := range workload.Figure9Apps() {
+		acc := NewStallAccumulator(3.4, 1)
+		driveProfile(acc, p, 60, 3.4)
+		d := acc.Read().SubStalls(StallSample{})
+		core, llc, mem, fixed := d.Vector()
+		for name, got := range map[string]struct{ got, want float64 }{
+			"core":  {core, p.WCore},
+			"llc":   {llc, p.WLLC},
+			"mem":   {mem, p.WMem},
+			"fixed": {fixed, p.WFixed},
+		} {
+			if math.Abs(got.got-got.want) > 0.02 {
+				t.Errorf("%s %s: estimated %v, truth %v", p.Name, name, got.got, got.want)
+			}
+		}
+	}
+}
+
+func TestStallVectorWithNoise(t *testing.T) {
+	// With 5% counter-multiplexing noise the estimate stays within a
+	// few points of the truth — good enough for config selection.
+	p := workload.SQL
+	acc := NewStallAccumulator(3.4, 7)
+	acc.NoiseFrac = 0.05
+	driveProfile(acc, p, 120, 3.4)
+	d := acc.Read().SubStalls(StallSample{})
+	core, llc, mem, fixed := d.Vector()
+	sum := core + llc + mem + fixed
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("vector sums to %v", sum)
+	}
+	if math.Abs(core-p.WCore) > 0.06 || math.Abs(mem-p.WMem) > 0.06 {
+		t.Fatalf("noisy estimate too far: core %v (truth %v), mem %v (truth %v)",
+			core, p.WCore, mem, p.WMem)
+	}
+}
+
+func TestStallVectorEmptyDelta(t *testing.T) {
+	var d StallDelta
+	core, llc, mem, fixed := d.Vector()
+	if core != 0 || llc != 0 || mem != 0 || fixed != 1 {
+		t.Fatalf("empty delta vector %v %v %v %v", core, llc, mem, fixed)
+	}
+}
+
+func TestStallAccumulatorNormalizesOverfullFractions(t *testing.T) {
+	acc := NewStallAccumulator(3.4, 1)
+	acc.Advance(1, 1, 3.4, 0.8, 0.8, 0.8) // sums to 2.4 → normalized
+	d := acc.Read().SubStalls(StallSample{})
+	if d.Pperf > d.Aperf+1e-6 {
+		t.Fatal("Pperf exceeds Aperf after normalization")
+	}
+	if d.LLCStall+d.MemStall+d.Pperf > d.Aperf*1.001 {
+		t.Fatal("attributed cycles exceed active cycles")
+	}
+}
+
+func TestStallAccumulatorPanics(t *testing.T) {
+	acc := NewStallAccumulator(3.4, 1)
+	acc.Advance(5, 1, 3.4, 0.5, 0.2, 0.2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("backwards time did not panic")
+		}
+	}()
+	acc.Advance(1, 1, 3.4, 0.5, 0.2, 0.2)
+}
+
+func TestEstimatedVectorDrivesGovernorLikeDecisions(t *testing.T) {
+	// The estimated vector must rank configurations the same way the
+	// ground truth does (the decision, not the decimals, is what
+	// matters).
+	for _, p := range []workload.Profile{workload.SQL, workload.BI, workload.Training} {
+		acc := NewStallAccumulator(3.4, 3)
+		acc.NoiseFrac = 0.03
+		driveProfile(acc, p, 60, 3.4)
+		d := acc.Read().SubStalls(StallSample{})
+		core, llc, mem, fixed := d.Vector()
+		est := workload.Profile{Name: p.Name + "-est", Cores: p.Cores,
+			WCore: core, WLLC: llc, WMem: mem, WFixed: fixed}
+		trueBest, _ := p.BestConfig()
+		estBest, _ := est.BestConfig()
+		if trueBest.Name != estBest.Name {
+			t.Errorf("%s: estimate picks %s, truth picks %s", p.Name, estBest.Name, trueBest.Name)
+		}
+	}
+}

@@ -1,0 +1,318 @@
+// Package dcsim is the full-stack integration simulation: a fleet of
+// immersion tanks replays a VM arrival trace through the cluster
+// placer, an overclocking governor policy decides per-server clocks to
+// absorb oversubscription, tanks integrate the resulting heat through
+// their condensers, a row feeder enforces the power-delivery budget by
+// cancelling the lowest-value overclocks, and every overclocked hour
+// accrues wear against the lifetime budget.
+//
+// It is the "everything wired together" demonstration a control-plane
+// operator would run before turning the paper's techniques on in
+// production: the same models that reproduce the paper's tables, now
+// interacting.
+package dcsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"immersionoc/internal/cluster"
+	"immersionoc/internal/freq"
+	"immersionoc/internal/power"
+	"immersionoc/internal/reliability"
+	"immersionoc/internal/stats"
+	"immersionoc/internal/thermal"
+	"immersionoc/internal/vm"
+)
+
+// Config parameterizes a fleet run.
+type Config struct {
+	// Servers is the fleet size; ServersPerTank groups them into
+	// tanks (the last tank may be partial).
+	Servers, ServersPerTank int
+	// OversubRatio is the CPU oversubscription the placer may use.
+	OversubRatio float64
+	// FeederBudgetW is the row's power-delivery limit (0 = no limit).
+	FeederBudgetW float64
+	// Trace generates the VM workload.
+	Trace vm.TraceConfig
+	// StepS is the control-loop period in trace seconds.
+	StepS float64
+	// OverclockThreshold is the expected-demand/pcores ratio above
+	// which a server requests an overclock. Expected demand is the
+	// long-run mean; bursts run ~2× above it, so a server whose mean
+	// demand exceeds half its cores will contend during bursts —
+	// that is the regime overclocking absorbs (Figure 12).
+	OverclockThreshold float64
+}
+
+// DefaultConfig is a 3-tank row under moderate load.
+func DefaultConfig() Config {
+	trace := vm.DefaultTrace
+	trace.ArrivalRatePerS = 0.01
+	trace.DurationS = 2 * 24 * 3600
+	trace.MeanLifetimeS = 10 * 3600
+	return Config{
+		Servers:            36,
+		ServersPerTank:     12,
+		OversubRatio:       0.25,
+		FeederBudgetW:      12500,
+		Trace:              trace,
+		StepS:              300,
+		OverclockThreshold: 0.5,
+	}
+}
+
+// BladeServer is the per-blade power model (2 × 24-core sockets).
+var BladeServer = power.ServerModel{
+	PlatformW:    60,
+	UncoreRefW:   40,
+	MemRefW:      44,
+	CorePerGHzV2: 1.75,
+	CoreActiveW:  0.9,
+	CoreParkedW:  0.25,
+	TotalCores:   48,
+	Curve:        power.XeonW3175XCurve,
+}
+
+// Report carries the run's KPIs.
+type Report struct {
+	// PeakDensity is the highest vcores/pcore reached.
+	PeakDensity float64
+	// Rejected counts denied VM arrivals.
+	Rejected int
+	// MaxBathC is the hottest any tank's bath got.
+	MaxBathC float64
+	// PeakOverclocked is the most servers overclocked at once.
+	PeakOverclocked int
+	// OverclockServerHours integrates overclocked servers over time.
+	OverclockServerHours float64
+	// CapEvents counts steps where the feeder budget forced
+	// overclocks to be cancelled.
+	CapEvents int
+	// CancelledOverclocks counts overclocks revoked by the feeder.
+	CancelledOverclocks int
+	// MeanWearUsed is the fleet-average fraction of the pro-rata
+	// wear budget consumed (1.0 = wearing exactly at the 5-year
+	// schedule).
+	MeanWearUsed float64
+	// PowerW, BathC, Overclocked and Density are time series.
+	PowerW, BathC, Overclocked, Density *stats.Series
+	// InterferenceAtRisk counts step observations where an
+	// oversubscribed server's demand exceeded even overclocked
+	// capacity.
+	InterferenceAtRisk int
+}
+
+type serverState struct {
+	srv   *cluster.Server
+	tank  int
+	oc    bool
+	wear  *reliability.WearMeter
+	hours float64
+}
+
+// Run executes the fleet simulation.
+func Run(cfg Config) (*Report, error) {
+	if cfg.Servers <= 0 || cfg.ServersPerTank <= 0 {
+		return nil, errors.New("dcsim: need positive fleet and tank sizes")
+	}
+	if cfg.StepS <= 0 {
+		return nil, errors.New("dcsim: need positive step")
+	}
+	if cfg.OverclockThreshold <= 0 {
+		cfg.OverclockThreshold = 0.5
+	}
+
+	cl := cluster.New(cluster.TwoSocketBlade, cluster.Policy{CPUOversubRatio: cfg.OversubRatio}, cfg.Servers)
+	nTanks := (cfg.Servers + cfg.ServersPerTank - 1) / cfg.ServersPerTank
+	tanks := make([]*thermal.Tank, nTanks)
+	for i := range tanks {
+		tanks[i] = thermal.LargeTank()
+		if err := tanks[i].Validate(); err != nil {
+			return nil, err
+		}
+	}
+
+	states := make([]*serverState, cfg.Servers)
+	for i, s := range cl.Servers() {
+		states[i] = &serverState{
+			srv:  s,
+			tank: i / cfg.ServersPerTank,
+			wear: reliability.NewWearMeter(reliability.Composite5nm, reliability.ServiceLifeYears),
+		}
+	}
+
+	events := vm.Events(vm.Generate(cfg.Trace))
+	rep := &Report{
+		PowerW:      stats.NewSeries("row-power"),
+		BathC:       stats.NewSeries("max-bath"),
+		Overclocked: stats.NewSeries("overclocked"),
+		Density:     stats.NewSeries("density"),
+	}
+
+	// serverDemand returns expected concurrent core demand.
+	serverDemand := func(s *cluster.Server) float64 {
+		var d float64
+		for _, v := range s.VMsList() {
+			d += float64(v.Type.VCores) * v.AvgUtil
+		}
+		return d
+	}
+
+	ei := 0
+	for t := 0.0; t < cfg.Trace.DurationS; t += cfg.StepS {
+		// Replay trace events due this step.
+		for ei < len(events) && events[ei].TimeS <= t {
+			ev := events[ei]
+			ei++
+			if ev.Arrival {
+				if _, err := cl.Place(ev.VM); err != nil {
+					rep.Rejected++
+				}
+			} else {
+				_ = cl.Remove(ev.VM) // not placed → ignore
+			}
+		}
+
+		// Overclock decisions: servers whose expected demand exceeds
+		// the threshold request an overclock; others run nominal.
+		type ocReq struct {
+			st   *serverState
+			need float64
+		}
+		var requests []ocReq
+		for _, st := range states {
+			st.oc = false
+			d := serverDemand(st.srv)
+			pc := float64(st.srv.Spec.PCores)
+			if d > cfg.OverclockThreshold*pc {
+				requests = append(requests, ocReq{st: st, need: d / pc})
+			}
+			if d > pc*st.srv.Spec.OCSpeedup {
+				rep.InterferenceAtRisk++
+			}
+		}
+		// Most-pressured servers get their overclock first.
+		sort.Slice(requests, func(i, j int) bool {
+			if requests[i].need != requests[j].need {
+				return requests[i].need > requests[j].need
+			}
+			return requests[i].st.srv.ID < requests[j].st.srv.ID
+		})
+
+		// Tank admission: each tank honours its condenser budget.
+		ocPerTank := make([]int, nTanks)
+		tankBudget := make([]int, nTanks)
+		for i, tk := range tanks {
+			n := cfg.ServersPerTank
+			if rem := cfg.Servers - i*cfg.ServersPerTank; rem < n {
+				n = rem
+			}
+			tankBudget[i] = tk.OverclockBudget(n, 658, 858)
+		}
+		granted := 0
+		for _, r := range requests {
+			if ocPerTank[r.st.tank] < tankBudget[r.st.tank] {
+				r.st.oc = true
+				ocPerTank[r.st.tank]++
+				granted++
+			}
+		}
+
+		// Feeder budget: cancel the least-pressured overclocks until
+		// the row fits (priority capping at the granularity of whole
+		// overclock grants).
+		rowPower := func() float64 {
+			var p float64
+			for _, st := range states {
+				cfgF := freq.B2
+				if st.oc {
+					cfgF = freq.OC1
+				}
+				p += BladeServer.Power(cfgF, serverDemand(st.srv), st.srv.VCoresUsed())
+			}
+			return p
+		}
+		if cfg.FeederBudgetW > 0 && rowPower() > cfg.FeederBudgetW {
+			rep.CapEvents++
+			for i := len(requests) - 1; i >= 0 && rowPower() > cfg.FeederBudgetW; i-- {
+				if requests[i].st.oc {
+					requests[i].st.oc = false
+					granted--
+					rep.CancelledOverclocks++
+				}
+			}
+		}
+
+		// Thermals: integrate each tank's heat.
+		heat := make([]float64, nTanks)
+		for _, st := range states {
+			w := 658.0
+			if st.oc {
+				w = 858.0
+			}
+			// Scale idle servers down: power follows demand.
+			util := math.Min(1, serverDemand(st.srv)/float64(st.srv.Spec.PCores))
+			heat[st.tank] += 200 + (w-200)*util
+		}
+		maxBath := 0.0
+		for i, tk := range tanks {
+			b := tk.Step(cfg.StepS, heat[i])
+			if b > maxBath {
+				maxBath = b
+			}
+		}
+		if maxBath > rep.MaxBathC {
+			rep.MaxBathC = maxBath
+		}
+
+		// Wear accrual.
+		hours := cfg.StepS / 3600
+		for _, st := range states {
+			bath := tanks[st.tank].BathC()
+			cond := reliability.Condition{VoltageV: power.NominalVoltage, TjMaxC: bath + 16, TjMinC: bath}
+			if st.oc {
+				cond = reliability.Condition{VoltageV: power.OverclockedVoltage, TjMaxC: bath + 24, TjMinC: bath}
+			}
+			util := math.Min(1, serverDemand(st.srv)/float64(st.srv.Spec.PCores))
+			st.wear.Accrue(cond, hours, util)
+			st.hours += hours
+		}
+
+		// KPIs.
+		density := cl.Stats().Density
+		if density > rep.PeakDensity {
+			rep.PeakDensity = density
+		}
+		if granted > rep.PeakOverclocked {
+			rep.PeakOverclocked = granted
+		}
+		rep.OverclockServerHours += float64(granted) * hours
+		rep.PowerW.Add(t, rowPower())
+		rep.BathC.Add(t, maxBath)
+		rep.Overclocked.Add(t, float64(granted))
+		rep.Density.Add(t, density)
+	}
+
+	// Fleet wear relative to the pro-rata schedule.
+	var wearSum float64
+	for _, st := range states {
+		if st.hours > 0 {
+			proRata := st.hours / (reliability.ServiceLifeYears * 24 * 365)
+			if proRata > 0 {
+				wearSum += st.wear.Used() / proRata
+			}
+		}
+	}
+	rep.MeanWearUsed = wearSum / float64(len(states))
+	return rep, nil
+}
+
+// String summarizes a report.
+func (r *Report) String() string {
+	return fmt.Sprintf("peak density %.3f, rejected %d, peak OC %d, OC server-hours %.1f, max bath %.1f°C, cap events %d (%d cancelled), wear rate %.2f× schedule",
+		r.PeakDensity, r.Rejected, r.PeakOverclocked, r.OverclockServerHours, r.MaxBathC, r.CapEvents, r.CancelledOverclocks, r.MeanWearUsed)
+}

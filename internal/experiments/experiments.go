@@ -1,0 +1,79 @@
+// Package experiments contains one reproducible harness per table and
+// figure of the paper's evaluation. Each harness returns structured
+// results plus a formatted text table matching the paper's
+// presentation; cmd/octl prints them, the test suite checks their
+// calibration targets, and bench_test.go wraps each in a testing.B
+// benchmark.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a formatted result table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Notes are printed under the table (calibration caveats,
+	// paper-reported values for comparison).
+	Notes []string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// F formats a float with the given decimals.
+func F(v float64, dec int) string {
+	return fmt.Sprintf("%.*f", dec, v)
+}
+
+// Pct formats a fraction as a signed percentage.
+func Pct(v float64) string {
+	return fmt.Sprintf("%+.1f%%", v*100)
+}

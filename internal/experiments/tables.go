@@ -1,0 +1,326 @@
+package experiments
+
+import (
+	"fmt"
+
+	"immersionoc/internal/fluids"
+	"immersionoc/internal/freq"
+	"immersionoc/internal/power"
+	"immersionoc/internal/reliability"
+	"immersionoc/internal/tco"
+	"immersionoc/internal/thermal"
+)
+
+// TableI reproduces the cooling-technology comparison.
+func TableI() *Table {
+	t := &Table{
+		Title:  "Table I — Comparison of the main datacenter cooling technologies",
+		Header: []string{"Technology", "Avg PUE", "Peak PUE", "Fan overhead", "Max server cooling"},
+	}
+	for _, s := range thermal.TableI() {
+		cool := fmt.Sprintf("%.0f W", s.MaxServerCoolingW)
+		if s.Tech == thermal.TwoPhaseImmersion {
+			cool = fmt.Sprintf(">%.0f kW", s.MaxServerCoolingW/1000)
+		}
+		t.AddRow(s.Tech.String(), F(s.AveragePUE, 2), F(s.PeakPUE, 2),
+			fmt.Sprintf("%.0f%%", s.FanOverhead*100), cool)
+	}
+	return t
+}
+
+// TableII reproduces the dielectric fluid properties.
+func TableII() *Table {
+	t := &Table{
+		Title:  "Table II — Main properties for two commonly used dielectric fluids",
+		Header: []string{"Property", fluids.FC3284.Name, fluids.HFE7000.Name},
+	}
+	fc, hfe := fluids.FC3284, fluids.HFE7000
+	t.AddRow("Boiling point", fmt.Sprintf("%.0f°C", fc.BoilingPointC), fmt.Sprintf("%.0f°C", hfe.BoilingPointC))
+	t.AddRow("Dielectric constant", F(fc.DielectricConstant, 2), F(hfe.DielectricConstant, 1))
+	t.AddRow("Latent heat of vaporization", fmt.Sprintf("%.0f J/g", fc.LatentHeatJPerG), fmt.Sprintf("%.0f J/g", hfe.LatentHeatJPerG))
+	t.AddRow("Useful life", fmt.Sprintf(">%.0f years", fc.UsefulLifeYears), fmt.Sprintf(">%.0f years", hfe.UsefulLifeYears))
+	return t
+}
+
+// TableIIIRow is one platform column of Table III.
+type TableIIIRow struct {
+	Platform          string
+	Cooling           string
+	TjC               float64
+	PowerW            float64
+	MaxTurboGHz       float64
+	BECLocation       string
+	ThermalResistance float64
+}
+
+// TableIIIData computes the Table III measurements from the thermal
+// models: junction temperature and attainable turbo for the two
+// large-tank platforms under air and FC-3284.
+func TableIIIData() ([]TableIIIRow, error) {
+	var rows []TableIIIRow
+	for _, p := range []thermal.Platform{thermal.Skylake8168, thermal.Skylake8180} {
+		for _, m := range []struct {
+			name  string
+			model thermal.Model
+			bec   string
+		}{
+			{"Air", p.Air, "N/A"},
+			{"2PIC", p.Immersion, p.BECLocation},
+		} {
+			tj, err := m.model.JunctionTemp(p.TDPW)
+			if err != nil {
+				return nil, err
+			}
+			turbo, err := p.MaxTurbo(m.model)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, TableIIIRow{
+				Platform:          p.Name,
+				Cooling:           m.name,
+				TjC:               tj,
+				PowerW:            p.TDPW,
+				MaxTurboGHz:       turbo,
+				BECLocation:       m.bec,
+				ThermalResistance: m.model.Resistance(),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// TableIII renders the Table III reproduction.
+func TableIII() (*Table, error) {
+	rows, err := TableIIIData()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Table III — Max attained frequency and power, air vs FC-3284 2PIC",
+		Header: []string{"Platform", "Cooling", "Tjmax", "Power", "Max turbo", "BEC location", "Rth"},
+		Notes: []string{
+			"paper: 8168 92/75°C 3.1/3.2GHz 0.22/0.12°C/W; 8180 90/68°C 2.6/2.7GHz 0.21/0.08°C/W",
+		},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Platform, r.Cooling, fmt.Sprintf("%.0f°C", r.TjC),
+			fmt.Sprintf("%.1fW", r.PowerW), fmt.Sprintf("%.1f GHz", r.MaxTurboGHz),
+			r.BECLocation, fmt.Sprintf("%.2f°C/W", r.ThermalResistance))
+	}
+	return t, nil
+}
+
+// Fig4 renders the operating bands of Figure 4 for the overclockable
+// Xeon.
+func Fig4() *Table {
+	b := freq.XeonW3175XBands
+	t := &Table{
+		Title:  "Figure 4 — Operating domains (Xeon W-3175X core clock)",
+		Header: []string{"Band", "Range (GHz)", "Availability"},
+	}
+	t.AddRow(freq.Guaranteed.String(), fmt.Sprintf("%.1f – %.1f", b.Min, b.Base), "always (guaranteed)")
+	t.AddRow(freq.Turbo.String(), fmt.Sprintf("%.1f – %.1f", b.Base, b.MaxTurbo), "thermal/power budget permitting")
+	t.AddRow("overclocked (green)", fmt.Sprintf("%.1f – %.1f", b.MaxTurbo, b.MaxSafeOC), "2PIC: sustained, no lifetime impact")
+	t.AddRow("overclocked (red)", fmt.Sprintf("%.1f – %.1f", b.MaxSafeOC, b.MaxOC), "2PIC: sustained, lifetime trade-off")
+	t.AddRow(freq.NonOperating.String(), fmt.Sprintf("> %.1f", b.MaxOC), "unstable (crashes observed)")
+	t.Notes = append(t.Notes, fmt.Sprintf("safe overclock headroom over all-core turbo: %+.0f%%", b.SafeHeadroom()*100))
+	return t
+}
+
+// TableVRow is one Table V lifetime projection.
+type TableVRow struct {
+	Cooling     string
+	Overclocked bool
+	VoltageV    float64
+	TjMaxC      float64
+	TjMinC      float64
+	Lifetime    float64
+}
+
+// TableVData evaluates the lifetime model at the six Table V operating
+// points. Junction temperatures come from the thermal models at the
+// nominal (205 W) and overclocked (305 W) socket powers.
+func TableVData() ([]TableVRow, error) {
+	model := reliability.Composite5nm
+	type caseDef struct {
+		cooling string
+		tm      thermal.Model
+		oc      bool
+	}
+	cases := []caseDef{
+		{"Air cooling", thermal.XeonTableV.Air, false},
+		{"Air cooling", thermal.XeonTableV.Air, true},
+		{"FC-3284", thermal.XeonTableV.Immersion, false},
+		{"FC-3284", thermal.XeonTableV.Immersion, true},
+		{"HFE-7000", thermal.XeonTableVHFE.Immersion, false},
+		{"HFE-7000", thermal.XeonTableVHFE.Immersion, true},
+	}
+	var rows []TableVRow
+	for _, c := range cases {
+		powerW := power.NominalSocketW
+		v := power.NominalVoltage
+		if c.oc {
+			powerW = power.OverclockedSocketW
+			v = power.OverclockedVoltage
+		}
+		tj, err := c.tm.JunctionTemp(powerW)
+		if err != nil {
+			return nil, err
+		}
+		cond := reliability.Condition{VoltageV: v, TjMaxC: tj, TjMinC: c.tm.IdleTemp()}
+		life, err := model.Lifetime(cond)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, TableVRow{
+			Cooling:     c.cooling,
+			Overclocked: c.oc,
+			VoltageV:    v,
+			TjMaxC:      tj,
+			TjMinC:      cond.TjMinC,
+			Lifetime:    life,
+		})
+	}
+	return rows, nil
+}
+
+// TableV renders the lifetime projections.
+func TableV() (*Table, error) {
+	rows, err := TableVData()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Table V — Projected lifetime, air vs 2PIC, nominal vs overclocked",
+		Header: []string{"Cooling", "OC", "Voltage", "Tj max", "DTj", "Lifetime"},
+		Notes: []string{
+			"paper: 5y / <1y / >10y / 4y / >10y / 5y",
+		},
+	}
+	for _, r := range rows {
+		oc := "no"
+		if r.Overclocked {
+			oc = "yes"
+		}
+		life := fmt.Sprintf("%.1f years", r.Lifetime)
+		if r.Lifetime > 10 {
+			life = ">10 years"
+		}
+		t.AddRow(r.Cooling, oc, fmt.Sprintf("%.2fV", r.VoltageV),
+			fmt.Sprintf("%.0f°C", r.TjMaxC),
+			fmt.Sprintf("%.0f°–%.0f°C", r.TjMinC, r.TjMaxC), life)
+	}
+	return t, nil
+}
+
+// PowerSavings reproduces the §IV per-server power-saving
+// decomposition (~182 W: 2×11 W static, 42 W fans, 118 W PUE).
+func PowerSavings() (power.SavingsBreakdown, *Table, error) {
+	// Static savings evaluated at the large-tank measurement: air
+	// 92 °C → FC-3284 75 °C (Table III, 8168 platform).
+	tAir, err := thermal.Skylake8168.Air.JunctionTemp(thermal.Skylake8168.TDPW)
+	if err != nil {
+		return power.SavingsBreakdown{}, nil, err
+	}
+	tImm, err := thermal.Skylake8168.Immersion.JunctionTemp(thermal.Skylake8168.TDPW)
+	if err != nil {
+		return power.SavingsBreakdown{}, nil, err
+	}
+	sb, err := power.ComputeSavings(power.XeonSocket, power.OpenComputeBlade, thermal.DirectEvaporative, power.NominalVoltage, tAir, tImm)
+	if err != nil {
+		return power.SavingsBreakdown{}, nil, err
+	}
+	t := &Table{
+		Title:  "§IV — Per-server power savings from 2PIC",
+		Header: []string{"Component", "Savings"},
+		Notes:  []string{"paper: 2×11W static + 42W fans + 118W PUE ≈ 182W"},
+	}
+	t.AddRow("Static power (per socket)", fmt.Sprintf("%.1f W × %d", sb.StaticPerSocketW, sb.Sockets))
+	t.AddRow("Fans", fmt.Sprintf("%.0f W", sb.FansW))
+	t.AddRow("PUE (datacenter, per server)", fmt.Sprintf("%.0f W", sb.PUEW))
+	t.AddRow("Total", fmt.Sprintf("%.0f W", sb.Total()))
+	return sb, t, nil
+}
+
+// StabilityReport reproduces the §IV computational-stability
+// observations: expected correctable errors over six months for the
+// two overclocking platforms.
+func StabilityReport() *Table {
+	s := reliability.DefaultStability
+	t := &Table{
+		Title:  "§IV — Computational stability under 6 months of aggressive overclocking",
+		Header: []string{"Platform", "Freq vs safe OC", "Expected correctable errors (180 days)", "Crash region"},
+		Notes:  []string{"paper: 0 errors tank #1, 56 CPU cache errors tank #2, crashes only when pushed excessively"},
+	}
+	cases := []struct {
+		name  string
+		ratio float64
+	}{
+		{"small tank #1 (Xeon @ +20.6%, validated)", 1.00},
+		{"small tank #2 (i9900k pushed past validation)", 1.035},
+		{"excessive (crash territory)", 1.06},
+	}
+	for _, c := range cases {
+		errs := s.ExpectedErrors(c.ratio, 1.0, 180)
+		crash := "no"
+		if s.Unstable(c.ratio, 1.0) {
+			crash = "yes"
+		}
+		t.AddRow(c.name, fmt.Sprintf("%.1f%%", (c.ratio-1)*100), F(errs, 1), crash)
+	}
+	return t
+}
+
+// TableVIData evaluates the TCO model for both 2PIC scenarios.
+func TableVIData() (tco.Model, tco.Breakdown, tco.Breakdown, tco.Breakdown, error) {
+	m, err := tco.NewDefaultFromTableI()
+	if err != nil {
+		return tco.Model{}, tco.Breakdown{}, tco.Breakdown{}, tco.Breakdown{}, err
+	}
+	return m, m.CostPerCore(tco.AirCooled), m.CostPerCore(tco.TwoPhase), m.CostPerCore(tco.TwoPhaseOC), nil
+}
+
+// TableVI renders the TCO analysis.
+func TableVI() (*Table, error) {
+	m, air, nonOC, oc, err := TableVIData()
+	if err != nil {
+		return nil, err
+	}
+	_ = m
+	t := &Table{
+		Title:  "Table VI — TCO analysis for 2PIC (relative to air-cooled baseline)",
+		Header: []string{"Category", "Non-overclockable 2PIC", "Overclockable 2PIC"},
+		Notes:  []string{"paper: -7% and -4% cost per physical core"},
+	}
+	dn := nonOC.Delta(air)
+	do := oc.Delta(air)
+	for _, c := range tco.Categories() {
+		fmtCell := func(v float64) string {
+			if v > -0.0005 && v < 0.0005 {
+				return ""
+			}
+			return Pct(v)
+		}
+		t.AddRow(c.String(), fmtCell(dn[c]), fmtCell(do[c]))
+	}
+	t.AddRow("Cost per physical core", Pct(nonOC.Total()-1), Pct(oc.Total()-1))
+	return t, nil
+}
+
+// OversubTCO reproduces the §VI-C oversubscription TCO numbers.
+func OversubTCO() (*Table, tco.OversubSavings, tco.OversubSavings, error) {
+	m, err := tco.NewDefaultFromTableI()
+	if err != nil {
+		return nil, tco.OversubSavings{}, tco.OversubSavings{}, err
+	}
+	ocS := m.OversubAnalysis(tco.TwoPhaseOC, 0.10)
+	nonS := m.OversubAnalysis(tco.TwoPhase, 0.10)
+	t := &Table{
+		Title:  "§VI-C — TCO per virtual core with 10% oversubscription",
+		Header: []string{"Scenario", "vs air-cooled (no oversub)", "vs same DC (no oversub)"},
+		Notes:  []string{"paper: overclockable 2PIC −13% vs air; non-overclockable ~−10% (vs itself)"},
+	}
+	t.AddRow(tco.TwoPhaseOC.String(), Pct(-ocS.VsAir), Pct(-ocS.VsSelf))
+	t.AddRow(tco.TwoPhase.String(), Pct(-nonS.VsAir), Pct(-nonS.VsSelf))
+	return t, ocS, nonS, nil
+}

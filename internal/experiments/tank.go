@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+
+	"immersionoc/internal/fluids"
+	"immersionoc/internal/power"
+	"immersionoc/internal/reliability"
+	"immersionoc/internal/thermal"
+)
+
+// TankRow is one point of the tank overclocking-budget sweep.
+type TankRow struct {
+	OverclockedServers int
+	HeatW              float64
+	BathC              float64
+	TjOverclockedC     float64
+	LifetimeYears      float64
+	WithinBudget       bool
+}
+
+// TankData sweeps the number of simultaneously overclocked blades in
+// the 36-server production tank and evaluates the vessel-level
+// consequences: bath temperature, the overclocked blades' junction
+// temperature, and their projected lifetime. The per-socket analysis of
+// Table V holds only while the condenser keeps the bath at the fluid's
+// boiling point; past the budget every server in the tank runs hotter.
+func TankData() ([]TankRow, int, error) {
+	const (
+		servers  = 36
+		nominalW = 658.0 // immersed blade (fans removed)
+		ocW      = 858.0 // +200 W for two overclocked sockets
+		socketW  = power.OverclockedSocketW
+	)
+	boiler := fluids.Boiler{Fluid: fluids.FC3284, AreaCm2: 28, BEC: true, SpreadingResistance: 0.065}
+
+	tank := thermal.LargeTank()
+	budget := tank.OverclockBudget(servers, nominalW, ocW)
+
+	var rows []TankRow
+	for n := 0; n <= servers; n += 6 {
+		heat := float64(servers-n)*nominalW + float64(n)*ocW
+		bath := tank.SteadyBathC(heat)
+		// Junction temperature of an overclocked socket at this bath.
+		sh, err := boiler.Superheat(socketW)
+		if err != nil {
+			return nil, 0, err
+		}
+		tj := bath + sh + boiler.SpreadingResistance*socketW
+		life, err := reliability.Composite5nm.Lifetime(reliability.Condition{
+			VoltageV: power.OverclockedVoltage,
+			TjMaxC:   tj,
+			TjMinC:   bath,
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		rows = append(rows, TankRow{
+			OverclockedServers: n,
+			HeatW:              heat,
+			BathC:              bath,
+			TjOverclockedC:     tj,
+			LifetimeYears:      life,
+			WithinBudget:       !tank.OverBudget(heat),
+		})
+	}
+	return rows, budget, nil
+}
+
+// TankEnvelope renders the tank-level overclocking budget experiment.
+func TankEnvelope() (*Table, error) {
+	rows, budget, err := TankData()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Extension — tank-level overclocking budget (36-blade production tank, FC-3284)",
+		Header: []string{"OC servers", "Heat", "Bath", "Tj (OC socket)", "OC lifetime", "Within budget"},
+		Notes: []string{
+			"the per-socket Table V analysis assumes the bath stays at the boiling point;",
+			"past the condenser budget every blade in the tank runs hotter",
+			fmt.Sprintf("condenser overclock budget: %d of 36 servers simultaneously", budget),
+		},
+	}
+	for _, r := range rows {
+		ok := "yes"
+		if !r.WithinBudget {
+			ok = "no"
+		}
+		t.AddRow(fmt.Sprintf("%d", r.OverclockedServers),
+			fmt.Sprintf("%.1f kW", r.HeatW/1000),
+			fmt.Sprintf("%.1f°C", r.BathC),
+			fmt.Sprintf("%.1f°C", r.TjOverclockedC),
+			fmt.Sprintf("%.1f years", r.LifetimeYears),
+			ok)
+	}
+	return t, nil
+}

@@ -1,0 +1,177 @@
+// Package fluids models the dielectric fluids used for two-phase
+// immersion cooling and the boiling heat-transfer behaviour that
+// determines junction temperatures. Properties for the two fluids the
+// paper uses (3M FC-3284 and 3M HFE-7000, Table II) are built in, along
+// with the boiling-enhancement-coating (BEC) effect the paper applies
+// to CPU boilers.
+package fluids
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Fluid describes a dielectric immersion fluid.
+type Fluid struct {
+	// Name is the commercial designation, e.g. "3M FC-3284".
+	Name string
+	// BoilingPointC is the boiling point at one atmosphere, in °C.
+	// In steady-state two-phase operation the bath sits at this
+	// temperature, which anchors component temperatures.
+	BoilingPointC float64
+	// DielectricConstant is the relative permittivity.
+	DielectricConstant float64
+	// LatentHeatJPerG is the latent heat of vaporization in J/g.
+	LatentHeatJPerG float64
+	// UsefulLifeYears is the manufacturer-stated useful life.
+	UsefulLifeYears float64
+	// NucleateHTC is the nucleate-boiling heat transfer coefficient
+	// on a smooth surface, in W/(cm²·°C). Determines the superheat
+	// (surface temperature above the boiling point) needed to carry
+	// a given heat flux.
+	NucleateHTC float64
+	// CriticalHeatFluxWPerCm2 is the flux beyond which film boiling
+	// (dryout) occurs on a smooth surface.
+	CriticalHeatFluxWPerCm2 float64
+}
+
+// Catalog entries for the fluids in Table II. Heat-transfer parameters
+// are representative values for fluorinated fluids; the paper's thermal
+// results (Table III, Table V) are matched by the thermal package using
+// these together with boiler geometry.
+var (
+	// FC3284 is 3M Fluorinert FC-3284 (boiling point 50°C), used in
+	// small tank #2 and the 36-server large tank.
+	FC3284 = Fluid{
+		Name:                    "3M FC-3284",
+		BoilingPointC:           50,
+		DielectricConstant:      1.86,
+		LatentHeatJPerG:         105,
+		UsefulLifeYears:         30,
+		NucleateHTC:             1.0,
+		CriticalHeatFluxWPerCm2: 15,
+	}
+	// HFE7000 is 3M Novec HFE-7000 (boiling point 34°C), used in
+	// small tank #1 with the overclockable Xeon W-3175X.
+	HFE7000 = Fluid{
+		Name:                    "3M HFE-7000",
+		BoilingPointC:           34,
+		DielectricConstant:      7.4,
+		LatentHeatJPerG:         142,
+		UsefulLifeYears:         30,
+		NucleateHTC:             1.1,
+		CriticalHeatFluxWPerCm2: 17,
+	}
+)
+
+// Catalog returns the built-in fluids in a stable order.
+func Catalog() []Fluid { return []Fluid{FC3284, HFE7000} }
+
+// ByName looks up a catalog fluid by its commercial name.
+func ByName(name string) (Fluid, error) {
+	for _, f := range Catalog() {
+		if f.Name == name {
+			return f, nil
+		}
+	}
+	return Fluid{}, fmt.Errorf("fluids: unknown fluid %q", name)
+}
+
+// BECImprovement is the boiling performance multiplier from 3M's
+// L-20227 microporous boiling enhancement coating, per the paper
+// ("improves boiling performance by 2× compared to un-coated smooth
+// surfaces").
+const BECImprovement = 2.0
+
+// ErrDryout is returned when a requested heat flux exceeds the critical
+// heat flux for the surface, meaning nucleate boiling would collapse
+// into film boiling and the component would overheat.
+var ErrDryout = errors.New("fluids: heat flux exceeds critical heat flux (dryout)")
+
+// Boiler models a boiling surface in contact with the fluid: the bare
+// integral heat spreader or a copper boiler plate, optionally coated
+// with BEC.
+type Boiler struct {
+	Fluid Fluid
+	// AreaCm2 is the wetted surface area in cm².
+	AreaCm2 float64
+	// BEC indicates whether the surface carries the L-20227 coating.
+	BEC bool
+	// SpreadingResistance is the conduction resistance from junction
+	// to boiling surface in °C/W (die, TIM, heat spreader, plate).
+	SpreadingResistance float64
+}
+
+// htc returns the effective heat transfer coefficient in W/(cm²·°C).
+func (b Boiler) htc() float64 {
+	h := b.Fluid.NucleateHTC
+	if b.BEC {
+		h *= BECImprovement
+	}
+	return h
+}
+
+// chf returns the effective critical heat flux in W/cm².
+func (b Boiler) chf() float64 {
+	c := b.Fluid.CriticalHeatFluxWPerCm2
+	if b.BEC {
+		c *= BECImprovement
+	}
+	return c
+}
+
+// Superheat returns the surface temperature rise above the fluid's
+// boiling point required to dissipate powerW, or ErrDryout if the flux
+// exceeds the critical heat flux.
+func (b Boiler) Superheat(powerW float64) (float64, error) {
+	if b.AreaCm2 <= 0 {
+		return 0, errors.New("fluids: boiler area must be positive")
+	}
+	flux := powerW / b.AreaCm2
+	if flux > b.chf() {
+		return 0, fmt.Errorf("%w: flux %.1f W/cm² > CHF %.1f W/cm²", ErrDryout, flux, b.chf())
+	}
+	return flux / b.htc(), nil
+}
+
+// JunctionTemp returns the junction temperature in °C when dissipating
+// powerW into the fluid bath: boiling point + surface superheat +
+// conduction rise through the spreading resistance.
+func (b Boiler) JunctionTemp(powerW float64) (float64, error) {
+	sh, err := b.Superheat(powerW)
+	if err != nil {
+		return 0, err
+	}
+	return b.Fluid.BoilingPointC + sh + b.SpreadingResistance*powerW, nil
+}
+
+// ThermalResistance returns the effective junction-to-fluid thermal
+// resistance in °C/W at the given power (superheat is linear in flux in
+// the nucleate regime, so this is power-independent apart from the CHF
+// limit; power is accepted for symmetry and validation).
+func (b Boiler) ThermalResistance(powerW float64) (float64, error) {
+	if b.AreaCm2 <= 0 {
+		return 0, errors.New("fluids: boiler area must be positive")
+	}
+	if _, err := b.Superheat(powerW); err != nil {
+		return 0, err
+	}
+	return 1/(b.htc()*b.AreaCm2) + b.SpreadingResistance, nil
+}
+
+// MaxPower returns the largest power the boiler can dissipate before
+// dryout.
+func (b Boiler) MaxPower() float64 {
+	return b.chf() * b.AreaCm2
+}
+
+// VaporGeneration returns the rate of vapor generation in g/s when the
+// boiler dissipates powerW. The condenser coil must return at least
+// this rate to liquid; sealed tanks plus vapor traps keep losses near
+// zero, per the paper's environmental discussion.
+func (b Boiler) VaporGeneration(powerW float64) float64 {
+	if b.Fluid.LatentHeatJPerG <= 0 {
+		return 0
+	}
+	return powerW / b.Fluid.LatentHeatJPerG
+}

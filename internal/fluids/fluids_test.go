@@ -1,0 +1,143 @@
+package fluids
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableIIValues(t *testing.T) {
+	if FC3284.BoilingPointC != 50 {
+		t.Fatalf("FC-3284 boiling point %v, want 50", FC3284.BoilingPointC)
+	}
+	if HFE7000.BoilingPointC != 34 {
+		t.Fatalf("HFE-7000 boiling point %v, want 34", HFE7000.BoilingPointC)
+	}
+	if FC3284.DielectricConstant != 1.86 || HFE7000.DielectricConstant != 7.4 {
+		t.Fatal("dielectric constants disagree with Table II")
+	}
+	if FC3284.LatentHeatJPerG != 105 || HFE7000.LatentHeatJPerG != 142 {
+		t.Fatal("latent heats disagree with Table II")
+	}
+	if FC3284.UsefulLifeYears < 30 || HFE7000.UsefulLifeYears < 30 {
+		t.Fatal("useful life below 30 years")
+	}
+}
+
+func TestByName(t *testing.T) {
+	f, err := ByName("3M FC-3284")
+	if err != nil || f.Name != FC3284.Name {
+		t.Fatalf("ByName FC-3284: %v %v", f, err)
+	}
+	if _, err := ByName("water"); err == nil {
+		t.Fatal("unknown fluid did not error")
+	}
+}
+
+func TestCatalogStable(t *testing.T) {
+	c := Catalog()
+	if len(c) != 2 || c[0].Name != FC3284.Name || c[1].Name != HFE7000.Name {
+		t.Fatalf("catalog order unexpected: %v", c)
+	}
+}
+
+func testBoiler() Boiler {
+	return Boiler{Fluid: FC3284, AreaCm2: 20, SpreadingResistance: 0.05}
+}
+
+func TestBECDoublesHeatTransfer(t *testing.T) {
+	plain := testBoiler()
+	coated := testBoiler()
+	coated.BEC = true
+	sp, err := plain.Superheat(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := coated.Superheat(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sp/sc-BECImprovement) > 1e-9 {
+		t.Fatalf("BEC improvement %v, want %v", sp/sc, BECImprovement)
+	}
+	if coated.MaxPower() != plain.MaxPower()*BECImprovement {
+		t.Fatal("BEC did not raise critical heat flux")
+	}
+}
+
+func TestDryout(t *testing.T) {
+	b := testBoiler() // CHF 15 W/cm² × 20 cm² = 300 W
+	if _, err := b.Superheat(299); err != nil {
+		t.Fatalf("unexpected dryout at 299 W: %v", err)
+	}
+	_, err := b.Superheat(301)
+	if !errors.Is(err, ErrDryout) {
+		t.Fatalf("expected ErrDryout, got %v", err)
+	}
+	if _, err := b.JunctionTemp(301); !errors.Is(err, ErrDryout) {
+		t.Fatalf("JunctionTemp should propagate dryout, got %v", err)
+	}
+}
+
+func TestJunctionTempComposition(t *testing.T) {
+	b := testBoiler()
+	tj, err := b.JunctionTemp(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 50 (bath) + flux/htc (5/1) + 0.05×100 = 60.
+	if math.Abs(tj-60) > 1e-9 {
+		t.Fatalf("junction temp %v, want 60", tj)
+	}
+}
+
+func TestThermalResistanceConsistency(t *testing.T) {
+	b := testBoiler()
+	r, err := b.ThermalResistance(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tj, _ := b.JunctionTemp(100)
+	if math.Abs(tj-(b.Fluid.BoilingPointC+r*100)) > 1e-9 {
+		t.Fatalf("resistance %v inconsistent with junction temp %v", r, tj)
+	}
+}
+
+func TestJunctionTempMonotonic(t *testing.T) {
+	b := testBoiler()
+	f := func(raw uint8) bool {
+		p1 := float64(raw)
+		p2 := p1 + 10
+		if p2 > b.MaxPower() {
+			return true
+		}
+		t1, err1 := b.JunctionTemp(p1)
+		t2, err2 := b.JunctionTemp(p2)
+		return err1 == nil && err2 == nil && t2 > t1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVaporGeneration(t *testing.T) {
+	b := testBoiler()
+	// 105 J/g latent heat → 105 W boils 1 g/s.
+	if got := b.VaporGeneration(105); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("vapor generation %v g/s, want 1", got)
+	}
+	if b.VaporGeneration(0) != 0 {
+		t.Fatal("idle boiler generates vapor")
+	}
+}
+
+func TestZeroAreaErrors(t *testing.T) {
+	b := Boiler{Fluid: FC3284}
+	if _, err := b.Superheat(10); err == nil {
+		t.Fatal("zero-area boiler did not error")
+	}
+	if _, err := b.ThermalResistance(10); err == nil {
+		t.Fatal("zero-area resistance did not error")
+	}
+}

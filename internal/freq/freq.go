@@ -1,0 +1,365 @@
+// Package freq models processor and GPU frequency domains: the
+// operating bands from Figure 4 (guaranteed, turbo, overclocking,
+// non-operating), the experimental CPU configurations of Table VII
+// (B1–B4, OC1–OC3), the GPU configurations of Table VIII, and the cost
+// of switching frequencies (tens of microseconds, which is what makes
+// scale-up so much cheaper than scale-out).
+package freq
+
+import (
+	"fmt"
+	"math"
+)
+
+// GHz is a frequency in gigahertz.
+type GHz float64
+
+// Domain identifies an independently clocked component.
+type Domain int
+
+const (
+	// Core is the CPU core clock domain.
+	Core Domain = iota
+	// Uncore is the uncore / last-level-cache clock domain.
+	Uncore
+	// Memory is the system memory (DRAM) clock domain.
+	Memory
+	// GPUCore is the GPU SM clock domain.
+	GPUCore
+	// GPUMemory is the GPU memory clock domain.
+	GPUMemory
+)
+
+var domainNames = map[Domain]string{
+	Core:      "core",
+	Uncore:    "uncore",
+	Memory:    "memory",
+	GPUCore:   "gpu-core",
+	GPUMemory: "gpu-memory",
+}
+
+func (d Domain) String() string {
+	if s, ok := domainNames[d]; ok {
+		return s
+	}
+	return fmt.Sprintf("domain(%d)", int(d))
+}
+
+// Band identifies an operating region from Figure 4.
+type Band int
+
+const (
+	// Guaranteed is the always-available region between the minimum
+	// and base frequency.
+	Guaranteed Band = iota
+	// Turbo is the opportunistic region between base and max turbo,
+	// available when thermal and power budgets permit.
+	Turbo
+	// Overclocked is the region beyond max turbo, beyond the
+	// manufacturer's design limits. With 2PIC this region is
+	// sustainable indefinitely (green band); part of it trades off
+	// component lifetime (red band).
+	Overclocked
+	// NonOperating is beyond the maximum stable frequency.
+	NonOperating
+)
+
+func (b Band) String() string {
+	switch b {
+	case Guaranteed:
+		return "guaranteed"
+	case Turbo:
+		return "turbo"
+	case Overclocked:
+		return "overclocked"
+	default:
+		return "non-operating"
+	}
+}
+
+// Bands describes the operating regions of one clock domain (Figure 4).
+type Bands struct {
+	Min GHz // minimum operating frequency
+	// Base is the nominal (guaranteed) frequency.
+	Base GHz
+	// MaxTurbo is the highest opportunistic frequency under the
+	// manufacturer's thermal/power limits (all-core).
+	MaxTurbo GHz
+	// MaxSafeOC is the highest overclock with no lifetime impact
+	// under 2PIC cooling (top of the green band; the paper measured
+	// +23% over all-core turbo for the Xeon in HFE-7000).
+	MaxSafeOC GHz
+	// MaxOC is the highest frequency before computational
+	// instability (top of the red band).
+	MaxOC GHz
+}
+
+// Classify returns the band containing frequency f.
+func (b Bands) Classify(f GHz) Band {
+	switch {
+	case f <= b.MaxTurbo:
+		if f <= b.Base {
+			return Guaranteed
+		}
+		return Turbo
+	case f <= b.MaxOC:
+		return Overclocked
+	default:
+		return NonOperating
+	}
+}
+
+// SafeHeadroom returns the fraction of additional frequency available
+// above all-core turbo with no lifetime impact (e.g. 0.23 for +23%).
+func (b Bands) SafeHeadroom() float64 {
+	if b.MaxTurbo <= 0 {
+		return 0
+	}
+	return float64(b.MaxSafeOC/b.MaxTurbo) - 1
+}
+
+// Validate checks band ordering.
+func (b Bands) Validate() error {
+	if !(b.Min <= b.Base && b.Base <= b.MaxTurbo && b.MaxTurbo <= b.MaxSafeOC && b.MaxSafeOC <= b.MaxOC) {
+		return fmt.Errorf("freq: bands out of order: %+v", b)
+	}
+	if b.Min <= 0 {
+		return fmt.Errorf("freq: non-positive minimum frequency: %+v", b)
+	}
+	return nil
+}
+
+// XeonW3175XBands are the core-domain bands for the overclockable Xeon
+// W-3175X in small tank #1: base 3.1 GHz, all-core turbo 3.4 GHz, safe
+// overclock 4.1 GHz (+20.6%, within the +23% envelope the voltage curve
+// supports), instability observed well past that.
+var XeonW3175XBands = Bands{
+	Min:       1.2,
+	Base:      3.1,
+	MaxTurbo:  3.4,
+	MaxSafeOC: 4.1,
+	MaxOC:     4.3,
+}
+
+// Config is one experimental frequency configuration for the CPU system
+// (Table VII): a core frequency, uncore/LLC frequency, memory frequency
+// and core voltage offset.
+type Config struct {
+	Name string
+	// CoreGHz is the sustained core clock (all-core).
+	CoreGHz GHz
+	// VoltageOffsetMV is the added core voltage in millivolts.
+	VoltageOffsetMV float64
+	// TurboEnabled reports whether opportunistic turbo is on. For
+	// overclocked configs turbo is superseded (N/A in the paper).
+	TurboEnabled bool
+	// UncoreGHz is the uncore/LLC clock.
+	UncoreGHz GHz
+	// MemoryGHz is the memory clock.
+	MemoryGHz GHz
+	// Overclocked reports whether any domain is beyond its
+	// manufacturer limit.
+	Overclocked bool
+}
+
+// Freq returns the configured frequency of a CPU-side domain.
+func (c Config) Freq(d Domain) GHz {
+	switch d {
+	case Core:
+		return c.CoreGHz
+	case Uncore:
+		return c.UncoreGHz
+	case Memory:
+		return c.MemoryGHz
+	default:
+		panic(fmt.Sprintf("freq: config has no domain %v", d))
+	}
+}
+
+// Table VII configurations for small tank #1 (Xeon W-3175X).
+var (
+	B1  = Config{Name: "B1", CoreGHz: 3.1, TurboEnabled: false, UncoreGHz: 2.4, MemoryGHz: 2.4}
+	B2  = Config{Name: "B2", CoreGHz: 3.4, TurboEnabled: true, UncoreGHz: 2.4, MemoryGHz: 2.4}
+	B3  = Config{Name: "B3", CoreGHz: 3.4, TurboEnabled: true, UncoreGHz: 2.8, MemoryGHz: 2.4}
+	B4  = Config{Name: "B4", CoreGHz: 3.4, TurboEnabled: true, UncoreGHz: 2.8, MemoryGHz: 3.0}
+	OC1 = Config{Name: "OC1", CoreGHz: 4.1, VoltageOffsetMV: 50, UncoreGHz: 2.4, MemoryGHz: 2.4, Overclocked: true}
+	OC2 = Config{Name: "OC2", CoreGHz: 4.1, VoltageOffsetMV: 50, UncoreGHz: 2.8, MemoryGHz: 2.4, Overclocked: true}
+	OC3 = Config{Name: "OC3", CoreGHz: 4.1, VoltageOffsetMV: 50, UncoreGHz: 2.8, MemoryGHz: 3.0, Overclocked: true}
+)
+
+// TableVII returns the seven CPU configurations in paper order.
+func TableVII() []Config {
+	return []Config{B1, B2, B3, B4, OC1, OC2, OC3}
+}
+
+// ConfigByName looks up a Table VII configuration.
+func ConfigByName(name string) (Config, error) {
+	for _, c := range TableVII() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Config{}, fmt.Errorf("freq: unknown config %q", name)
+}
+
+// GPUConfig is one experimental GPU configuration (Table VIII) for the
+// RTX 2080ti in small tank #2.
+type GPUConfig struct {
+	Name string
+	// PowerLimitW is the board power limit.
+	PowerLimitW float64
+	// BaseGHz and TurboGHz are the SM clock range.
+	BaseGHz, TurboGHz GHz
+	// MemoryGHz is the GDDR6 effective clock.
+	MemoryGHz GHz
+	// VoltageOffsetMV is the added core voltage.
+	VoltageOffsetMV float64
+	// Overclocked reports whether any knob is beyond stock.
+	Overclocked bool
+}
+
+// SustainedGHz estimates the SM clock the board sustains during a long
+// training run: turbo if the power limit allows, otherwise the
+// power-capped clock. The 250 W stock limit keeps the stock board below
+// its turbo bin; raising the limit to 300 W (OCG2/OCG3) lets the board
+// hold max turbo.
+func (g GPUConfig) SustainedGHz() GHz {
+	// Empirical sustained clocks for the 2080ti model used in the
+	// paper's tank #2 runs: the stock board at 250 W settles ~8%
+	// below max turbo; the overclocked 250 W config gives back about
+	// half of that; at 300 W the board holds its turbo clock.
+	switch {
+	case g.PowerLimitW >= 300:
+		return g.TurboGHz
+	case g.Overclocked:
+		return g.TurboGHz * 0.959
+	default:
+		return g.TurboGHz * 0.923
+	}
+}
+
+// Table VIII configurations.
+var (
+	GPUBase = GPUConfig{Name: "Base", PowerLimitW: 250, BaseGHz: 1.35, TurboGHz: 1.950, MemoryGHz: 6.8}
+	OCG1    = GPUConfig{Name: "OCG1", PowerLimitW: 250, BaseGHz: 1.55, TurboGHz: 2.085, MemoryGHz: 6.8, Overclocked: true}
+	OCG2    = GPUConfig{Name: "OCG2", PowerLimitW: 300, BaseGHz: 1.55, TurboGHz: 2.085, MemoryGHz: 8.1, VoltageOffsetMV: 100, Overclocked: true}
+	OCG3    = GPUConfig{Name: "OCG3", PowerLimitW: 300, BaseGHz: 1.55, TurboGHz: 2.085, MemoryGHz: 8.3, VoltageOffsetMV: 100, Overclocked: true}
+)
+
+// TableVIII returns the four GPU configurations in paper order.
+func TableVIII() []GPUConfig {
+	return []GPUConfig{GPUBase, OCG1, OCG2, OCG3}
+}
+
+// GPUConfigByName looks up a Table VIII configuration.
+func GPUConfigByName(name string) (GPUConfig, error) {
+	for _, c := range TableVIII() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return GPUConfig{}, fmt.Errorf("freq: unknown GPU config %q", name)
+}
+
+// TransitionLatencySeconds is the time to change a core frequency
+// (tens of microseconds per Mazouz et al., cited by the paper). This is
+// the number that makes scale-up ~10^6 times faster than scale-out.
+const TransitionLatencySeconds = 50e-6
+
+// Ladder is a discrete set of frequency steps between a low and high
+// bound, as used by the auto-scaler ("3.4 GHz (B2) to 4.1 GHz (OC1),
+// divided into 8 frequency bins").
+type Ladder struct {
+	steps []GHz
+}
+
+// NewLadder builds a ladder of n bins from lo to hi inclusive. n is the
+// number of bins (intervals); the ladder has n+1 rungs.
+func NewLadder(lo, hi GHz, n int) (*Ladder, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("freq: ladder needs at least 1 bin, got %d", n)
+	}
+	if hi <= lo {
+		return nil, fmt.Errorf("freq: ladder bounds inverted: lo=%v hi=%v", lo, hi)
+	}
+	steps := make([]GHz, n+1)
+	for i := 0; i <= n; i++ {
+		steps[i] = lo + (hi-lo)*GHz(i)/GHz(n)
+	}
+	return &Ladder{steps: steps}, nil
+}
+
+// Steps returns the rung frequencies in ascending order.
+func (l *Ladder) Steps() []GHz {
+	out := make([]GHz, len(l.steps))
+	copy(out, l.steps)
+	return out
+}
+
+// StepsFloat returns the rungs as float64 values in ascending order.
+func (l *Ladder) StepsFloat() []float64 {
+	out := make([]float64, len(l.steps))
+	for i, s := range l.steps {
+		out[i] = float64(s)
+	}
+	return out
+}
+
+// Min returns the lowest rung.
+func (l *Ladder) Min() GHz { return l.steps[0] }
+
+// Max returns the highest rung.
+func (l *Ladder) Max() GHz { return l.steps[len(l.steps)-1] }
+
+// Clamp returns the nearest rung at or above f (or the top rung).
+func (l *Ladder) Clamp(f GHz) GHz {
+	for _, s := range l.steps {
+		if s >= f-1e-12 {
+			return s
+		}
+	}
+	return l.Max()
+}
+
+// Up returns the rung one step above f (or the top rung).
+func (l *Ladder) Up(f GHz) GHz {
+	for _, s := range l.steps {
+		if s > f+1e-9 {
+			return s
+		}
+	}
+	return l.Max()
+}
+
+// Down returns the rung one step below f (or the bottom rung).
+func (l *Ladder) Down(f GHz) GHz {
+	for i := len(l.steps) - 1; i >= 0; i-- {
+		if l.steps[i] < f-1e-9 {
+			return l.steps[i]
+		}
+	}
+	return l.Min()
+}
+
+// Index returns the index of the rung nearest to f.
+func (l *Ladder) Index(f GHz) int {
+	best, bestD := 0, math.Inf(1)
+	for i, s := range l.steps {
+		d := math.Abs(float64(s - f))
+		if d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// Fraction returns f's position within the ladder range as a value in
+// [0, 1] (the secondary axis of Figure 15).
+func (l *Ladder) Fraction(f GHz) float64 {
+	span := l.Max() - l.Min()
+	if span <= 0 {
+		return 0
+	}
+	v := float64((f - l.Min()) / span)
+	return math.Max(0, math.Min(1, v))
+}

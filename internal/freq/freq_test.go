@@ -1,0 +1,236 @@
+package freq
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBandsClassify(t *testing.T) {
+	b := XeonW3175XBands
+	cases := []struct {
+		f    GHz
+		want Band
+	}{
+		{1.5, Guaranteed},
+		{3.1, Guaranteed},
+		{3.2, Turbo},
+		{3.4, Turbo},
+		{3.5, Overclocked},
+		{4.1, Overclocked},
+		{4.3, Overclocked},
+		{4.4, NonOperating},
+	}
+	for _, c := range cases {
+		if got := b.Classify(c.f); got != c.want {
+			t.Errorf("Classify(%v) = %v, want %v", c.f, got, c.want)
+		}
+	}
+}
+
+func TestBandsValidate(t *testing.T) {
+	if err := XeonW3175XBands.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Bands{Min: 1, Base: 3, MaxTurbo: 2, MaxSafeOC: 4, MaxOC: 5}
+	if bad.Validate() == nil {
+		t.Fatal("out-of-order bands validated")
+	}
+}
+
+func TestSafeHeadroomAbout20Percent(t *testing.T) {
+	// 4.1/3.4 − 1 ≈ 20.6%, within the paper's +23% envelope.
+	got := XeonW3175XBands.SafeHeadroom()
+	if math.Abs(got-0.206) > 0.005 {
+		t.Fatalf("safe headroom %v, want ~0.206", got)
+	}
+}
+
+func TestTableVIIConfigs(t *testing.T) {
+	cfgs := TableVII()
+	if len(cfgs) != 7 {
+		t.Fatalf("Table VII has %d configs, want 7", len(cfgs))
+	}
+	// Spot check against the paper's table.
+	if B1.CoreGHz != 3.1 || B1.TurboEnabled || B1.UncoreGHz != 2.4 || B1.MemoryGHz != 2.4 {
+		t.Fatalf("B1 = %+v", B1)
+	}
+	if !B2.TurboEnabled || B2.CoreGHz != 3.4 {
+		t.Fatalf("B2 = %+v", B2)
+	}
+	if B3.UncoreGHz != 2.8 || B3.MemoryGHz != 2.4 {
+		t.Fatalf("B3 = %+v", B3)
+	}
+	if B4.UncoreGHz != 2.8 || B4.MemoryGHz != 3.0 {
+		t.Fatalf("B4 = %+v", B4)
+	}
+	for _, oc := range []Config{OC1, OC2, OC3} {
+		if oc.CoreGHz != 4.1 || oc.VoltageOffsetMV != 50 || !oc.Overclocked {
+			t.Fatalf("%s = %+v", oc.Name, oc)
+		}
+	}
+	if OC2.UncoreGHz != 2.8 || OC3.MemoryGHz != 3.0 {
+		t.Fatal("OC2/OC3 secondary domains wrong")
+	}
+}
+
+func TestConfigByName(t *testing.T) {
+	c, err := ConfigByName("OC3")
+	if err != nil || c.Name != "OC3" {
+		t.Fatalf("ConfigByName: %v %v", c, err)
+	}
+	if _, err := ConfigByName("nope"); err == nil {
+		t.Fatal("unknown config did not error")
+	}
+}
+
+func TestConfigFreqDomains(t *testing.T) {
+	if OC3.Freq(Core) != 4.1 || OC3.Freq(Uncore) != 2.8 || OC3.Freq(Memory) != 3.0 {
+		t.Fatal("Freq accessor wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GPU domain on CPU config did not panic")
+		}
+	}()
+	OC3.Freq(GPUCore)
+}
+
+func TestTableVIIIConfigs(t *testing.T) {
+	cfgs := TableVIII()
+	if len(cfgs) != 4 {
+		t.Fatalf("Table VIII has %d configs, want 4", len(cfgs))
+	}
+	if GPUBase.PowerLimitW != 250 || GPUBase.BaseGHz != 1.35 || GPUBase.TurboGHz != 1.95 || GPUBase.MemoryGHz != 6.8 {
+		t.Fatalf("GPU base = %+v", GPUBase)
+	}
+	if OCG2.PowerLimitW != 300 || OCG2.MemoryGHz != 8.1 || OCG2.VoltageOffsetMV != 100 {
+		t.Fatalf("OCG2 = %+v", OCG2)
+	}
+	if OCG3.MemoryGHz != 8.3 {
+		t.Fatalf("OCG3 = %+v", OCG3)
+	}
+}
+
+func TestGPUSustainedClocks(t *testing.T) {
+	// Raising the power limit lets the board hold max turbo; the
+	// stock board settles below it.
+	if GPUBase.SustainedGHz() >= GPUBase.TurboGHz {
+		t.Fatal("stock board sustains full turbo at 250 W")
+	}
+	if OCG1.SustainedGHz() <= GPUBase.SustainedGHz() {
+		t.Fatal("OCG1 not faster than stock")
+	}
+	if OCG2.SustainedGHz() != OCG2.TurboGHz {
+		t.Fatal("300 W board does not hold turbo")
+	}
+}
+
+func TestGPUConfigByName(t *testing.T) {
+	c, err := GPUConfigByName("OCG1")
+	if err != nil || c.Name != "OCG1" {
+		t.Fatalf("GPUConfigByName: %v %v", c, err)
+	}
+	if _, err := GPUConfigByName("x"); err == nil {
+		t.Fatal("unknown GPU config did not error")
+	}
+}
+
+func TestTransitionLatencyTensOfMicroseconds(t *testing.T) {
+	if TransitionLatencySeconds < 10e-6 || TransitionLatencySeconds > 100e-6 {
+		t.Fatalf("transition latency %v, want tens of µs", TransitionLatencySeconds)
+	}
+}
+
+func TestLadderConstruction(t *testing.T) {
+	l, err := NewLadder(3.4, 4.1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := l.Steps()
+	if len(steps) != 9 {
+		t.Fatalf("8 bins → %d rungs, want 9", len(steps))
+	}
+	if l.Min() != 3.4 || l.Max() != 4.1 {
+		t.Fatalf("bounds %v–%v", l.Min(), l.Max())
+	}
+	if _, err := NewLadder(4.1, 3.4, 8); err == nil {
+		t.Fatal("inverted ladder accepted")
+	}
+	if _, err := NewLadder(3.4, 4.1, 0); err == nil {
+		t.Fatal("zero-bin ladder accepted")
+	}
+}
+
+func TestLadderUpDown(t *testing.T) {
+	l, _ := NewLadder(3.4, 4.1, 8)
+	if got := l.Up(3.4); math.Abs(float64(got-3.4875)) > 1e-9 {
+		t.Fatalf("Up(3.4) = %v", got)
+	}
+	if got := l.Up(4.1); got != 4.1 {
+		t.Fatalf("Up(max) = %v, want clamp at max", got)
+	}
+	if got := l.Down(4.1); math.Abs(float64(got-4.0125)) > 1e-9 {
+		t.Fatalf("Down(4.1) = %v", got)
+	}
+	if got := l.Down(3.4); got != 3.4 {
+		t.Fatalf("Down(min) = %v, want clamp at min", got)
+	}
+}
+
+func TestLadderUpDownInverse(t *testing.T) {
+	l, _ := NewLadder(3.4, 4.1, 8)
+	f := func(raw uint8) bool {
+		idx := int(raw) % 7 // interior rungs
+		s := l.Steps()[idx+1]
+		return l.Up(l.Down(s)) == s && l.Down(l.Up(s)) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLadderClamp(t *testing.T) {
+	l, _ := NewLadder(3.4, 4.1, 8)
+	if got := l.Clamp(3.5); float64(got) < 3.5 {
+		t.Fatalf("Clamp(3.5) = %v below request", got)
+	}
+	if got := l.Clamp(9); got != 4.1 {
+		t.Fatalf("Clamp(9) = %v, want max", got)
+	}
+}
+
+func TestLadderFraction(t *testing.T) {
+	l, _ := NewLadder(3.4, 4.1, 8)
+	if got := l.Fraction(3.4); got != 0 {
+		t.Fatalf("Fraction(min) = %v", got)
+	}
+	if got := l.Fraction(4.1); got != 1 {
+		t.Fatalf("Fraction(max) = %v", got)
+	}
+	if got := l.Fraction(3.75); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("Fraction(mid) = %v", got)
+	}
+	if got := l.Fraction(99); got != 1 {
+		t.Fatalf("Fraction clamping failed: %v", got)
+	}
+}
+
+func TestLadderIndex(t *testing.T) {
+	l, _ := NewLadder(3.4, 4.1, 8)
+	if got := l.Index(3.41); got != 0 {
+		t.Fatalf("Index near min = %d", got)
+	}
+	if got := l.Index(4.09); got != 8 {
+		t.Fatalf("Index near max = %d", got)
+	}
+}
+
+func TestDomainAndBandStrings(t *testing.T) {
+	if Core.String() != "core" || Uncore.String() != "uncore" || Memory.String() != "memory" {
+		t.Fatal("domain strings wrong")
+	}
+	if Guaranteed.String() != "guaranteed" || Overclocked.String() != "overclocked" {
+		t.Fatal("band strings wrong")
+	}
+}

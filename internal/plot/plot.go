@@ -1,0 +1,150 @@
+// Package plot renders time series and bar charts as ASCII — enough to
+// eyeball the reproduced figures (utilization traces, frequency
+// ladders, latency bars) straight from the terminal, the way the
+// paper's figures read.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"immersionoc/internal/stats"
+)
+
+// markers are assigned to series in order.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Lines renders one or more series as an ASCII line chart of the given
+// plot-area size (axes and labels add a few rows/columns). Series are
+// sampled as step functions on a common time grid.
+func Lines(title string, width, height int, series ...*stats.Series) string {
+	if width < 10 {
+		width = 10
+	}
+	if height < 4 {
+		height = 4
+	}
+	var tMin, tMax = math.Inf(1), math.Inf(-1)
+	var vMin, vMax = math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range series {
+		if s == nil || s.Len() == 0 {
+			continue
+		}
+		any = true
+		if s.Times[0] < tMin {
+			tMin = s.Times[0]
+		}
+		if s.Times[s.Len()-1] > tMax {
+			tMax = s.Times[s.Len()-1]
+		}
+		for _, v := range s.Values {
+			if v < vMin {
+				vMin = v
+			}
+			if v > vMax {
+				vMax = v
+			}
+		}
+	}
+	if !any {
+		return title + "\n(no data)\n"
+	}
+	if vMax == vMin {
+		vMax = vMin + 1
+	}
+	if tMax == tMin {
+		tMax = tMin + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		if s == nil || s.Len() == 0 {
+			continue
+		}
+		mark := markers[si%len(markers)]
+		for col := 0; col < width; col++ {
+			t := tMin + (tMax-tMin)*float64(col)/float64(width-1)
+			v := s.At(t)
+			row := int(math.Round((vMax - v) / (vMax - vMin) * float64(height-1)))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][col] = mark
+		}
+	}
+
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for i, row := range grid {
+		label := "        "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%7.3g ", vMax)
+		case height - 1:
+			label = fmt.Sprintf("%7.3g ", vMin)
+		case (height - 1) / 2:
+			label = fmt.Sprintf("%7.3g ", (vMax+vMin)/2)
+		}
+		fmt.Fprintf(&b, "%s|%s|\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "        %s\n", strings.Repeat("-", width+2))
+	fmt.Fprintf(&b, "        %-*.4g%*.4g\n", width/2, tMin, width/2+2, tMax)
+	// Legend.
+	var legend []string
+	for si, s := range series {
+		if s == nil {
+			continue
+		}
+		legend = append(legend, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Name))
+	}
+	if len(legend) > 0 {
+		fmt.Fprintf(&b, "        %s\n", strings.Join(legend, "   "))
+	}
+	return b.String()
+}
+
+// Bars renders a horizontal bar chart. Values must be non-negative;
+// each bar is scaled to the maximum.
+func Bars(title string, width int, labels []string, values []float64) string {
+	if len(labels) != len(values) {
+		return title + "\n(label/value mismatch)\n"
+	}
+	if width < 10 {
+		width = 10
+	}
+	maxV := 0.0
+	maxL := 0
+	for i, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+		if len(labels[i]) > maxL {
+			maxL = len(labels[i])
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for i, v := range values {
+		n := 0
+		if maxV > 0 {
+			n = int(math.Round(v / maxV * float64(width)))
+		}
+		if v > 0 && n == 0 {
+			n = 1
+		}
+		fmt.Fprintf(&b, "%-*s |%s %.4g\n", maxL, labels[i], strings.Repeat("█", n), v)
+	}
+	return b.String()
+}

@@ -1,0 +1,117 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+
+	"immersionoc/internal/stats"
+)
+
+func mkSeries(name string, pts ...float64) *stats.Series {
+	s := stats.NewSeries(name)
+	for i, v := range pts {
+		s.Add(float64(i), v)
+	}
+	return s
+}
+
+func TestLinesBasic(t *testing.T) {
+	s := mkSeries("util", 0, 1, 2, 3, 4)
+	out := Lines("test", 20, 5, s)
+	if !strings.Contains(out, "test") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "util") {
+		t.Fatal("missing legend")
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("missing data marks")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + height rows + axis + labels + legend.
+	if len(lines) != 1+5+1+1+1 {
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestLinesRisingSlope(t *testing.T) {
+	s := mkSeries("x", 0, 10)
+	out := Lines("", 10, 5, s)
+	rows := strings.Split(out, "\n")
+	// The max (10) appears top-right, the min (0) bottom-left.
+	top, bottom := rows[0], rows[4]
+	if !strings.Contains(top, "*") || !strings.Contains(bottom, "*") {
+		t.Fatalf("slope not rendered:\n%s", out)
+	}
+	if strings.Index(top, "*") < strings.Index(bottom, "*") {
+		t.Fatalf("rising series rendered falling:\n%s", out)
+	}
+}
+
+func TestLinesMultipleSeries(t *testing.T) {
+	a := mkSeries("a", 1, 1, 1)
+	b := mkSeries("b", 2, 2, 2)
+	out := Lines("", 15, 6, a, b)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("markers missing:\n%s", out)
+	}
+}
+
+func TestLinesEmpty(t *testing.T) {
+	out := Lines("t", 20, 5)
+	if !strings.Contains(out, "no data") {
+		t.Fatal("empty chart not handled")
+	}
+	out = Lines("t", 20, 5, stats.NewSeries("empty"))
+	if !strings.Contains(out, "no data") {
+		t.Fatal("empty series not handled")
+	}
+}
+
+func TestLinesConstantSeries(t *testing.T) {
+	s := mkSeries("c", 5, 5, 5)
+	out := Lines("", 10, 4, s)
+	if !strings.Contains(out, "*") {
+		t.Fatalf("constant series not rendered:\n%s", out)
+	}
+}
+
+func TestLinesDeterministic(t *testing.T) {
+	s := mkSeries("d", 3, 1, 4, 1, 5, 9, 2, 6)
+	if Lines("t", 30, 8, s) != Lines("t", 30, 8, s) {
+		t.Fatal("non-deterministic rendering")
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars("latency", 20, []string{"base", "oc"}, []float64{10, 5})
+	if !strings.Contains(out, "latency") || !strings.Contains(out, "base") {
+		t.Fatal("labels missing")
+	}
+	baseRow, ocRow := "", ""
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(l, "base") {
+			baseRow = l
+		}
+		if strings.HasPrefix(l, "oc") {
+			ocRow = l
+		}
+	}
+	if strings.Count(baseRow, "█") <= strings.Count(ocRow, "█") {
+		t.Fatalf("bar lengths not proportional:\n%s", out)
+	}
+}
+
+func TestBarsMismatch(t *testing.T) {
+	out := Bars("x", 20, []string{"a"}, []float64{1, 2})
+	if !strings.Contains(out, "mismatch") {
+		t.Fatal("mismatch not reported")
+	}
+}
+
+func TestBarsZeroValues(t *testing.T) {
+	out := Bars("x", 20, []string{"a", "b"}, []float64{0, 0})
+	if !strings.Contains(out, "a") {
+		t.Fatal("zero bars not rendered")
+	}
+}

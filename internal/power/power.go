@@ -1,0 +1,433 @@
+// Package power models processor and server power draw: the measured
+// voltage-frequency curve of the overclockable Xeon W-3175X (205 W @
+// 0.90 V to 305 W @ 0.98 V for +23% frequency), temperature-dependent
+// leakage (the source of the 11 W/socket static saving in 2PIC),
+// component and server power budgets for the Open Compute blade, the
+// tank #1 server model used by the Figure 9/12 experiments, RAPL-style
+// power capping, and the datacenter power-delivery constraints that
+// make indiscriminate overclocking unsafe.
+package power
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"immersionoc/internal/freq"
+	"immersionoc/internal/thermal"
+)
+
+// VFPoint is one point of a voltage-frequency curve.
+type VFPoint struct {
+	GHz freq.GHz
+	V   float64
+}
+
+// VFCurve maps core frequency to required core voltage by linear
+// interpolation between measured points (extrapolating at the ends).
+type VFCurve struct {
+	points []VFPoint
+}
+
+// NewVFCurve builds a curve from measured points. At least two points
+// are required; they are sorted by frequency.
+func NewVFCurve(points ...VFPoint) (*VFCurve, error) {
+	if len(points) < 2 {
+		return nil, errors.New("power: VF curve needs at least two points")
+	}
+	ps := make([]VFPoint, len(points))
+	copy(ps, points)
+	sort.Slice(ps, func(i, j int) bool { return ps[i].GHz < ps[j].GHz })
+	for i := 1; i < len(ps); i++ {
+		if ps[i].GHz == ps[i-1].GHz {
+			return nil, fmt.Errorf("power: duplicate VF point at %.2f GHz", ps[i].GHz)
+		}
+	}
+	return &VFCurve{points: ps}, nil
+}
+
+// Voltage returns the interpolated voltage at frequency f.
+func (c *VFCurve) Voltage(f freq.GHz) float64 {
+	ps := c.points
+	if f <= ps[0].GHz {
+		return lerp(ps[0], ps[1], f)
+	}
+	for i := 1; i < len(ps); i++ {
+		if f <= ps[i].GHz {
+			return lerp(ps[i-1], ps[i], f)
+		}
+	}
+	return lerp(ps[len(ps)-2], ps[len(ps)-1], f)
+}
+
+func lerp(a, b VFPoint, f freq.GHz) float64 {
+	t := float64((f - a.GHz) / (b.GHz - a.GHz))
+	return a.V + t*(b.V-a.V)
+}
+
+// XeonW3175XCurve is the experimental voltage curve from small tank #1:
+// 0.90 V at the 3.4 GHz all-core turbo rising to 0.98 V at the +23%
+// overclock (~4.18 GHz).
+var XeonW3175XCurve = mustCurve(
+	VFPoint{GHz: 2.4, V: 0.82},
+	VFPoint{GHz: 3.1, V: 0.87},
+	VFPoint{GHz: 3.4, V: 0.90},
+	VFPoint{GHz: 4.18, V: 0.98},
+)
+
+func mustCurve(points ...VFPoint) *VFCurve {
+	c, err := NewVFCurve(points...)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// The paper's measured overclocking endpoints on the Xeon voltage
+// curve: 205 W at 0.90 V nominal (all-core turbo) rising to 305 W at
+// 0.98 V for +23% frequency.
+const (
+	NominalSocketW     = 205.0
+	NominalVoltage     = 0.90
+	OverclockedSocketW = 305.0
+	OverclockedVoltage = 0.98
+	// OCFrequencyGain is the frequency headroom the 205→305 W
+	// voltage/power increase buys, relative to all-core turbo.
+	OCFrequencyGain = 0.23
+)
+
+// SocketModel computes per-socket CPU power as temperature-dependent
+// leakage plus activity-dependent dynamic power.
+//
+// Leakage: P_leak = LeakRefW · (V/LeakRefV)^VoltExp · exp((Tj-LeakRefTempC)/LeakThetaC).
+// Dynamic: P_dyn = CeffWPerGHzV2 · f · V² · util.
+//
+// Calibrated so that (a) at 3.4 GHz / 0.90 V fully utilized in
+// HFE-7000 (Tj 51 °C) the socket draws the paper's 205 W, (b) at the
+// +23% overclock / 0.98 V (Tj 60 °C) it draws ~305 W, and (c) cooling a
+// 92 °C air-cooled socket to 75 °C in FC-3284 saves ~11 W of static
+// power (§IV "Power consumption").
+type SocketModel struct {
+	LeakRefW     float64
+	LeakRefV     float64
+	LeakRefTempC float64
+	LeakThetaC   float64
+	VoltExp      float64
+	// CeffWPerGHzV2 is the effective switched capacitance of the
+	// whole socket in W/(GHz·V²) at full utilization.
+	CeffWPerGHzV2 float64
+	// TDPW is the rated thermal design power.
+	TDPW float64
+}
+
+// XeonSocket is the calibrated Table V / W-3175X-derived socket model.
+var XeonSocket = SocketModel{
+	LeakRefW:      24,
+	LeakRefV:      0.90,
+	LeakRefTempC:  92,
+	LeakThetaC:    25,
+	VoltExp:       3,
+	CeffWPerGHzV2: 72.75,
+	TDPW:          205,
+}
+
+// Leakage returns static power at the given voltage and junction
+// temperature.
+func (m SocketModel) Leakage(v, tjC float64) float64 {
+	return m.LeakRefW * math.Pow(v/m.LeakRefV, m.VoltExp) * math.Exp((tjC-m.LeakRefTempC)/m.LeakThetaC)
+}
+
+// Dynamic returns switching power at frequency f, voltage v and
+// utilization util in [0,1].
+func (m SocketModel) Dynamic(f freq.GHz, v, util float64) float64 {
+	if util < 0 {
+		util = 0
+	}
+	if util > 1 {
+		util = 1
+	}
+	return m.CeffWPerGHzV2 * float64(f) * v * v * util
+}
+
+// Power returns total socket power.
+func (m SocketModel) Power(f freq.GHz, v, tjC, util float64) float64 {
+	return m.Leakage(v, tjC) + m.Dynamic(f, v, util)
+}
+
+// OperatingPoint is a self-consistent (power, junction temperature)
+// solution for a socket under a thermal model.
+type OperatingPoint struct {
+	PowerW    float64
+	JunctionC float64
+	VoltageV  float64
+	FreqGHz   freq.GHz
+}
+
+// Solve finds the steady-state operating point of the socket at
+// frequency f and utilization util under thermal model tm: power
+// depends on junction temperature through leakage and vice versa, so
+// the fixed point is found iteratively.
+func (m SocketModel) Solve(tm thermal.Model, curve *VFCurve, f freq.GHz, offsetMV, util float64) (OperatingPoint, error) {
+	v := curve.Voltage(f) + offsetMV/1000
+	tj := tm.IdleTemp()
+	var p float64
+	for i := 0; i < 100; i++ {
+		p = m.Power(f, v, tj, util)
+		t, err := tm.JunctionTemp(p)
+		if err != nil {
+			return OperatingPoint{}, err
+		}
+		if math.Abs(t-tj) < 1e-6 {
+			tj = t
+			break
+		}
+		tj = t
+	}
+	return OperatingPoint{PowerW: p, JunctionC: tj, VoltageV: v, FreqGHz: f}, nil
+}
+
+// StaticSavings returns the leakage reduction per socket from cooling
+// the junction from tAir to tImm at voltage v (§IV reports ~11 W for a
+// 17–22 °C reduction).
+func (m SocketModel) StaticSavings(v, tAirC, tImmC float64) float64 {
+	return m.Leakage(v, tAirC) - m.Leakage(v, tImmC)
+}
+
+// ServerBudget is the component power budget of the large-tank Open
+// Compute 2-socket blade (§III): 700 W total.
+type ServerBudget struct {
+	SocketsW     float64 // 410 (2 × 205)
+	MemoryW      float64 // 120 (24 DDR4 DIMMs × 5 W)
+	MotherboardW float64 // 26
+	FPGAW        float64 // 30
+	StorageW     float64 // 72 (6 flash drives × 12 W)
+	FansW        float64 // 42
+}
+
+// OpenComputeBlade is the paper's 700 W server budget.
+var OpenComputeBlade = ServerBudget{
+	SocketsW:     410,
+	MemoryW:      120,
+	MotherboardW: 26,
+	FPGAW:        30,
+	StorageW:     72,
+	FansW:        42,
+}
+
+// Total returns the summed budget.
+func (b ServerBudget) Total() float64 {
+	return b.SocketsW + b.MemoryW + b.MotherboardW + b.FPGAW + b.StorageW + b.FansW
+}
+
+// Immersed returns the budget with fans removed (immersion disables
+// and removes all fans).
+func (b ServerBudget) Immersed() ServerBudget {
+	c := b
+	c.FansW = 0
+	return c
+}
+
+// SavingsBreakdown decomposes the per-server power saving of moving an
+// air-cooled server into 2PIC (§IV): reduced static power per socket,
+// eliminated fans, and the datacenter-level PUE reduction expressed as
+// per-server watts.
+type SavingsBreakdown struct {
+	StaticPerSocketW float64
+	Sockets          int
+	FansW            float64
+	PUEW             float64
+}
+
+// Total returns the summed savings (≈182 W for the paper's server).
+func (s SavingsBreakdown) Total() float64 {
+	return s.StaticPerSocketW*float64(s.Sockets) + s.FansW + s.PUEW
+}
+
+// ComputeSavings evaluates the §IV decomposition for a server budget
+// moving from an air technology to 2PIC. The PUE term follows the
+// paper's accounting: serverPower × peakPUE(air) × fractional peak-PUE
+// reduction.
+func ComputeSavings(m SocketModel, b ServerBudget, airTech thermal.Technology, vNominal, tAirC, tImmC float64) (SavingsBreakdown, error) {
+	air, err := thermal.Lookup(airTech)
+	if err != nil {
+		return SavingsBreakdown{}, err
+	}
+	twoP, err := thermal.Lookup(thermal.TwoPhaseImmersion)
+	if err != nil {
+		return SavingsBreakdown{}, err
+	}
+	reduction := (air.PeakPUE - twoP.PeakPUE) / air.PeakPUE
+	return SavingsBreakdown{
+		StaticPerSocketW: m.StaticSavings(vNominal, tAirC, tImmC),
+		Sockets:          2,
+		FansW:            b.FansW,
+		PUEW:             b.Total() * air.PeakPUE * reduction,
+	}, nil
+}
+
+// ServerModel computes total power for the tank #1 experimental server
+// (Xeon W-3175X, 128 GB) as a function of the active frequency
+// configuration and core activity. It decomposes into platform
+// (storage, NIC, VRM), uncore, memory, and per-core terms so that
+// uncore/memory overclocking raise power even when cores are idle —
+// the effect Figure 9 highlights for BI under OC2/OC3.
+type ServerModel struct {
+	PlatformW float64
+	// UncoreRefW is uncore power at 2.4 GHz / 0.90 V.
+	UncoreRefW float64
+	// MemRefW is memory subsystem power at 2.4 GHz / 1.2 V DIMMs.
+	MemRefW float64
+	// CorePerGHzV2 is per-core dynamic power in W/(GHz·V²).
+	CorePerGHzV2 float64
+	// CoreActiveW is the overhead of an un-parked core independent
+	// of utilization.
+	CoreActiveW float64
+	// CoreParkedW is the power of a parked (deep-idle) core.
+	CoreParkedW float64
+	// TotalCores is the socket core count (28 for the W-3175X).
+	TotalCores int
+	// Curve supplies core voltage.
+	Curve *VFCurve
+}
+
+// Tank1Server is the calibrated model for small tank #1, matching the
+// Figure 12 power observations (B2: 120/130 W at 12/16 pcores; OC3:
+// 160/173 W) to within a few percent.
+var Tank1Server = ServerModel{
+	PlatformW:    36,
+	UncoreRefW:   22,
+	MemRefW:      22,
+	CorePerGHzV2: 1.75,
+	CoreActiveW:  0.9,
+	CoreParkedW:  0.25,
+	TotalCores:   28,
+	Curve:        XeonW3175XCurve,
+}
+
+// uncoreVoltage returns the uncore rail voltage for an uncore clock.
+func uncoreVoltage(f freq.GHz) float64 {
+	// 0.90 V at 2.4 GHz, +50 mV at the 2.8 GHz overclock.
+	return 0.90 + 0.05*float64(f-2.4)/0.4
+}
+
+// memVoltage returns DIMM voltage for a memory clock (DDR4: 1.2 V at
+// 2400, 1.35 V at the 3000 overclock).
+func memVoltage(f freq.GHz) float64 {
+	return 1.2 + 0.15*float64(f-2.4)/0.6
+}
+
+// UncoreW returns uncore power under cfg.
+func (m ServerModel) UncoreW(cfg freq.Config) float64 {
+	v := uncoreVoltage(cfg.UncoreGHz)
+	return m.UncoreRefW * float64(cfg.UncoreGHz/2.4) * (v / 0.90) * (v / 0.90)
+}
+
+// MemoryW returns memory subsystem power under cfg.
+func (m ServerModel) MemoryW(cfg freq.Config) float64 {
+	v := memVoltage(cfg.MemoryGHz)
+	return m.MemRefW * float64(cfg.MemoryGHz/2.4) * (v / 1.2) * (v / 1.2)
+}
+
+// CoreW returns the power of one fully-busy core under cfg. The
+// curve's voltage already includes the stability offset recorded in
+// cfg.VoltageOffsetMV (Table VII documents the offset over stock VID,
+// and the measured curve was taken with it applied).
+func (m ServerModel) CoreW(cfg freq.Config) float64 {
+	v := m.Curve.Voltage(cfg.CoreGHz)
+	return m.CorePerGHzV2 * float64(cfg.CoreGHz) * v * v
+}
+
+// Power returns total server power with the given summed core
+// utilization (in core-equivalents) spread over activeCores un-parked
+// cores.
+func (m ServerModel) Power(cfg freq.Config, utilSum float64, activeCores int) float64 {
+	if activeCores < 0 {
+		activeCores = 0
+	}
+	if activeCores > m.TotalCores {
+		activeCores = m.TotalCores
+	}
+	if utilSum < 0 {
+		utilSum = 0
+	}
+	if utilSum > float64(activeCores) {
+		utilSum = float64(activeCores)
+	}
+	parked := m.TotalCores - activeCores
+	return m.PlatformW +
+		m.UncoreW(cfg) +
+		m.MemoryW(cfg) +
+		utilSum*m.CoreW(cfg) +
+		float64(activeCores)*m.CoreActiveW +
+		float64(parked)*m.CoreParkedW
+}
+
+// Capper implements RAPL-style power capping: given a power cap and a
+// frequency ladder, it returns the highest frequency whose worst-case
+// power stays under the cap.
+type Capper struct {
+	Model  ServerModel
+	CapW   float64
+	Ladder *freq.Ladder
+}
+
+// MaxFreq returns the highest ladder frequency that keeps server power
+// at or under the cap with the given activity, together with whether
+// capping had to reduce below the requested frequency.
+func (c Capper) MaxFreq(requested freq.GHz, cfg freq.Config, utilSum float64, activeCores int) (freq.GHz, bool) {
+	steps := c.Ladder.Steps()
+	best := steps[0]
+	for _, s := range steps {
+		if s > requested+1e-9 {
+			break
+		}
+		trial := cfg
+		trial.CoreGHz = s
+		if c.Model.Power(trial, utilSum, activeCores) <= c.CapW {
+			best = s
+		}
+	}
+	return best, best < requested-1e-9
+}
+
+// Feeder models a datacenter power-delivery element (PDU, breaker row)
+// with a rated limit and a provisioned (possibly oversubscribed) load.
+type Feeder struct {
+	RatedW float64
+	loadW  float64
+	// CapEvents counts times the feeder had to engage capping.
+	CapEvents int
+}
+
+// NewFeeder returns a feeder with the given rating.
+func NewFeeder(ratedW float64) *Feeder {
+	return &Feeder{RatedW: ratedW}
+}
+
+// Offer adds load to the feeder and reports whether the addition fits
+// without exceeding the rating. Load above the rating is recorded as a
+// cap event and clamped.
+func (f *Feeder) Offer(w float64) bool {
+	f.loadW += w
+	if f.loadW > f.RatedW {
+		f.CapEvents++
+		f.loadW = f.RatedW
+		return false
+	}
+	return true
+}
+
+// Release removes load.
+func (f *Feeder) Release(w float64) {
+	f.loadW -= w
+	if f.loadW < 0 {
+		f.loadW = 0
+	}
+}
+
+// Load returns current load in watts.
+func (f *Feeder) Load() float64 { return f.loadW }
+
+// Headroom returns remaining watts before the rating.
+func (f *Feeder) Headroom() float64 { return f.RatedW - f.loadW }

@@ -1,0 +1,262 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"immersionoc/internal/freq"
+	"immersionoc/internal/thermal"
+)
+
+func TestVFCurveInterpolation(t *testing.T) {
+	c, err := NewVFCurve(VFPoint{GHz: 2, V: 0.8}, VFPoint{GHz: 4, V: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Voltage(3); math.Abs(got-0.9) > 1e-12 {
+		t.Fatalf("V(3) = %v, want 0.9", got)
+	}
+	// Extrapolation at the ends.
+	if got := c.Voltage(5); math.Abs(got-1.1) > 1e-12 {
+		t.Fatalf("V(5) = %v, want 1.1", got)
+	}
+	if got := c.Voltage(1); math.Abs(got-0.7) > 1e-12 {
+		t.Fatalf("V(1) = %v, want 0.7", got)
+	}
+}
+
+func TestVFCurveValidation(t *testing.T) {
+	if _, err := NewVFCurve(VFPoint{GHz: 2, V: 0.8}); err == nil {
+		t.Fatal("single-point curve accepted")
+	}
+	if _, err := NewVFCurve(VFPoint{GHz: 2, V: 0.8}, VFPoint{GHz: 2, V: 0.9}); err == nil {
+		t.Fatal("duplicate frequency accepted")
+	}
+}
+
+func TestXeonCurveAnchors(t *testing.T) {
+	// The measured points from the paper: 0.90 V at all-core turbo,
+	// 0.98 V at the +23% overclock.
+	if got := XeonW3175XCurve.Voltage(3.4); math.Abs(got-0.90) > 1e-9 {
+		t.Fatalf("V(3.4) = %v, want 0.90", got)
+	}
+	if got := XeonW3175XCurve.Voltage(4.18); math.Abs(got-0.98) > 1e-9 {
+		t.Fatalf("V(4.18) = %v, want 0.98", got)
+	}
+}
+
+func TestVFCurveMonotonic(t *testing.T) {
+	f := func(raw uint8) bool {
+		f1 := 2.0 + float64(raw)/100
+		return XeonW3175XCurve.Voltage(freq.GHz(f1+0.1)) > XeonW3175XCurve.Voltage(freq.GHz(f1))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStaticSavingsAbout11W(t *testing.T) {
+	// §IV: cooling from ~92 °C (air) to ~75 °C (FC-3284) saves ~11 W
+	// of static power per socket.
+	got := XeonSocket.StaticSavings(NominalVoltage, 92, 75)
+	if math.Abs(got-11) > 1.5 {
+		t.Fatalf("static savings %v W, want ~11 W", got)
+	}
+}
+
+func TestLeakageIncreasesWithTemperature(t *testing.T) {
+	f := func(raw uint8) bool {
+		tj := 30 + float64(raw)/2
+		return XeonSocket.Leakage(0.9, tj+5) > XeonSocket.Leakage(0.9, tj)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeakageIncreasesWithVoltage(t *testing.T) {
+	if XeonSocket.Leakage(0.98, 70) <= XeonSocket.Leakage(0.90, 70) {
+		t.Fatal("leakage not increasing in voltage")
+	}
+}
+
+func TestSocketCalibration205W(t *testing.T) {
+	// Fully utilized at all-core turbo in HFE-7000, the socket draws
+	// its 205 W TDP.
+	op, err := XeonSocket.Solve(thermal.XeonTableVHFE.Immersion, XeonW3175XCurve, 3.4, 0, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(op.PowerW-205) > 5 {
+		t.Fatalf("nominal socket power %v, want ~205 W", op.PowerW)
+	}
+	if math.Abs(op.JunctionC-51) > 2 {
+		t.Fatalf("nominal Tj %v, want ~51 °C", op.JunctionC)
+	}
+}
+
+func TestSocketCalibration305W(t *testing.T) {
+	// At the +23% overclock (0.98 V) the socket draws ~305 W.
+	op, err := XeonSocket.Solve(thermal.XeonTableVHFE.Immersion, XeonW3175XCurve, 4.18, 0, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(op.VoltageV-0.98) > 1e-9 {
+		t.Fatalf("OC voltage %v, want 0.98", op.VoltageV)
+	}
+	if math.Abs(op.PowerW-305) > 10 {
+		t.Fatalf("OC socket power %v, want ~305 W", op.PowerW)
+	}
+}
+
+func TestServerBudget700W(t *testing.T) {
+	if got := OpenComputeBlade.Total(); got != 700 {
+		t.Fatalf("blade budget %v, want 700 W", got)
+	}
+	imm := OpenComputeBlade.Immersed()
+	if imm.FansW != 0 || imm.Total() != 658 {
+		t.Fatalf("immersed budget %v (fans %v), want 658/0", imm.Total(), imm.FansW)
+	}
+}
+
+func TestSavingsBreakdown182W(t *testing.T) {
+	sb, err := ComputeSavings(XeonSocket, OpenComputeBlade, thermal.DirectEvaporative, NominalVoltage, 92, 75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sb.FansW-42) > 1e-9 {
+		t.Fatalf("fan savings %v, want 42", sb.FansW)
+	}
+	if math.Abs(sb.PUEW-118) > 3 {
+		t.Fatalf("PUE savings %v, want ~118", sb.PUEW)
+	}
+	if math.Abs(sb.Total()-182) > 8 {
+		t.Fatalf("total savings %v, want ~182 W", sb.Total())
+	}
+}
+
+func TestServerModelFig12Power(t *testing.T) {
+	// Figure 12's measured server powers: B2 ~120/130 W at 12/16
+	// active pcores; OC3 ~160/173 W. Accept ±10%.
+	cases := []struct {
+		cfg     freq.Config
+		utilSum float64
+		active  int
+		want    float64
+	}{
+		{freq.B2, 7.2, 12, 120},
+		{freq.B2, 7.2, 16, 130},
+		{freq.OC3, 6.1, 12, 160},
+		{freq.OC3, 6.1, 16, 173},
+	}
+	for _, c := range cases {
+		got := Tank1Server.Power(c.cfg, c.utilSum, c.active)
+		if math.Abs(got-c.want)/c.want > 0.10 {
+			t.Errorf("power(%s, %v, %d) = %.1f W, want %v±10%%", c.cfg.Name, c.utilSum, c.active, got, c.want)
+		}
+	}
+}
+
+func TestServerModelMonotonicInUtil(t *testing.T) {
+	p1 := Tank1Server.Power(freq.B2, 4, 16)
+	p2 := Tank1Server.Power(freq.B2, 8, 16)
+	if p2 <= p1 {
+		t.Fatal("power not increasing in utilization")
+	}
+}
+
+func TestServerModelOC3IncreasesBasePower(t *testing.T) {
+	// Memory/uncore overclocking raises power even with idle cores —
+	// the Figure 9 BI observation.
+	b2 := Tank1Server.Power(freq.B2, 0, 4)
+	oc3 := Tank1Server.Power(freq.OC3, 0, 4)
+	if oc3 <= b2 {
+		t.Fatal("OC3 idle power not above B2")
+	}
+	if (oc3-b2)/b2 < 0.10 {
+		t.Fatalf("OC3 idle power increase only %.1f%%", (oc3-b2)/b2*100)
+	}
+}
+
+func TestServerModelClamps(t *testing.T) {
+	// Clamps: negative and oversized inputs do not panic or go wild.
+	p := Tank1Server.Power(freq.B2, -5, -1)
+	if p <= 0 {
+		t.Fatalf("clamped power non-positive: %v", p)
+	}
+	pAll := Tank1Server.Power(freq.B2, 999, 999)
+	pFull := Tank1Server.Power(freq.B2, 28, 28)
+	if pAll != pFull {
+		t.Fatalf("oversized inputs not clamped: %v vs %v", pAll, pFull)
+	}
+}
+
+func TestCapperReducesFrequency(t *testing.T) {
+	ladder, err := freq.NewLadder(3.4, 4.1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := Tank1Server.Power(withCore(freq.B2, 4.1), 20, 28)
+	capper := Capper{Model: Tank1Server, CapW: full - 20, Ladder: ladder}
+	got, capped := capper.MaxFreq(4.1, freq.B2, 20, 28)
+	if !capped {
+		t.Fatal("capper did not engage under the cap")
+	}
+	if got >= 4.1 {
+		t.Fatalf("capped frequency %v not below request", got)
+	}
+	trial := withCore(freq.B2, got)
+	if Tank1Server.Power(trial, 20, 28) > capper.CapW {
+		t.Fatal("capped frequency still exceeds cap")
+	}
+}
+
+func TestCapperNoCapNeeded(t *testing.T) {
+	ladder, _ := freq.NewLadder(3.4, 4.1, 8)
+	capper := Capper{Model: Tank1Server, CapW: 10000, Ladder: ladder}
+	got, capped := capper.MaxFreq(4.1, freq.B2, 20, 28)
+	if capped || got != 4.1 {
+		t.Fatalf("capper engaged unnecessarily: %v %v", got, capped)
+	}
+}
+
+func withCore(cfg freq.Config, f freq.GHz) freq.Config {
+	cfg.CoreGHz = f
+	return cfg
+}
+
+func TestFeeder(t *testing.T) {
+	f := NewFeeder(100)
+	if !f.Offer(60) {
+		t.Fatal("offer under rating rejected")
+	}
+	if f.Headroom() != 40 {
+		t.Fatalf("headroom %v, want 40", f.Headroom())
+	}
+	if f.Offer(50) {
+		t.Fatal("offer over rating accepted")
+	}
+	if f.CapEvents != 1 {
+		t.Fatalf("cap events %d, want 1", f.CapEvents)
+	}
+	if f.Load() != 100 {
+		t.Fatalf("load %v, want clamped to 100", f.Load())
+	}
+	f.Release(150)
+	if f.Load() != 0 {
+		t.Fatalf("release did not clamp at zero: %v", f.Load())
+	}
+}
+
+func TestOCFrequencyGainConstant(t *testing.T) {
+	if OCFrequencyGain != 0.23 {
+		t.Fatalf("OC frequency gain %v, want 0.23 (paper)", OCFrequencyGain)
+	}
+	ratio := OverclockedSocketW / NominalSocketW
+	// P2/P1 ≈ (f2/f1)·(V2/V1)² per the classic scaling.
+	approx := (1 + OCFrequencyGain) * math.Pow(OverclockedVoltage/NominalVoltage, 2)
+	if math.Abs(ratio-approx)/ratio > 0.03 {
+		t.Fatalf("published endpoints inconsistent: measured ratio %v vs f·V² %v", ratio, approx)
+	}
+}

@@ -1,0 +1,169 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"immersionoc/internal/rng"
+	"immersionoc/internal/sim"
+)
+
+// TestPropertyWorkConservation drives random workloads through random
+// host/VM topologies and checks the fundamental invariants: every
+// request completes, sojourn ≥ demand/speed, completion order respects
+// FIFO within a VM at equal concurrency, and busy integrals never
+// exceed capacity.
+func TestPropertyWorkConservation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		eng := NewEngine(0.8)
+		pcores := 1 + r.Intn(6)
+		host := eng.NewHost(pcores)
+		nVMs := 1 + r.Intn(4)
+		vms := make([]*VM, nVMs)
+		for i := range vms {
+			speed := 0.5 + r.Float64()*1.5
+			vms[i] = host.NewVM("v", 1+r.Intn(4), speed)
+			if r.Bernoulli(0.3) {
+				vms[i].Workers = 1 + r.Intn(vms[i].VCores)
+			}
+		}
+		type issued struct {
+			req    *Request
+			vm     *VM
+			demand float64
+		}
+		var reqs []issued
+		n := 5 + r.Intn(40)
+		end := 0.0
+		for i := 0; i < n; i++ {
+			at := r.Float64() * 10
+			if at > end {
+				end = at
+			}
+			vm := vms[r.Intn(nVMs)]
+			demand := 0.01 + r.Exp(2)
+			ii := issued{vm: vm, demand: demand}
+			idx := len(reqs)
+			reqs = append(reqs, ii)
+			eng.Sim.Schedule(sim.Time(at), func(*sim.Simulation) {
+				reqs[idx].req = vm.Submit(demand)
+			})
+		}
+		eng.Sim.Run()
+
+		if int(eng.Completed) != n {
+			return false
+		}
+		for _, ii := range reqs {
+			if ii.req == nil || ii.req.DoneS < 0 {
+				return false
+			}
+			minSojourn := ii.demand / ii.vm.Speed()
+			if ii.req.Sojourn() < minSojourn-1e-9 {
+				return false
+			}
+			if ii.req.StartS < ii.req.ArrivalS-1e-9 || ii.req.DoneS < ii.req.StartS {
+				return false
+			}
+		}
+		// Busy integral cannot exceed vcores × elapsed for any VM.
+		now := float64(eng.Sim.Now())
+		for _, vm := range vms {
+			if vm.BusyIntegral(now) > float64(vm.VCores)*now+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyPSNeverExceedsCapacity checks that under contention the
+// aggregate service rate never exceeds the host's physical cores:
+// total work completed ≤ pcores × makespan.
+func TestPropertyPSNeverExceedsCapacity(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		eng := NewEngine(1.0)
+		pcores := 1 + r.Intn(3)
+		host := eng.NewHost(pcores)
+		var totalWork float64
+		n := 3 + r.Intn(20)
+		for i := 0; i < n; i++ {
+			vm := host.NewVM("v", 1+r.Intn(3), 1.0)
+			d := 0.1 + r.Float64()
+			totalWork += d
+			vm.Submit(d)
+		}
+		eng.Sim.Run()
+		makespan := float64(eng.Sim.Now())
+		return totalWork <= float64(pcores)*makespan+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertySpeedChangesPreserveWork randomly changes VM speeds
+// mid-flight and checks requests still complete with sane sojourns.
+func TestPropertySpeedChangesPreserveWork(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		eng := NewEngine(0.9)
+		host := eng.NewHost(2)
+		vm := host.NewVM("v", 2, 1.0)
+		n := 3 + r.Intn(15)
+		for i := 0; i < n; i++ {
+			vm.Submit(0.05 + r.Exp(4))
+		}
+		// Random speed changes while work drains.
+		for i := 0; i < 5; i++ {
+			at := r.Float64() * 2
+			sp := 0.5 + r.Float64()*1.5
+			eng.Sim.Schedule(sim.Time(at), func(*sim.Simulation) { vm.SetSpeed(sp) })
+		}
+		eng.Sim.Run()
+		if int(eng.Completed) != n {
+			return false
+		}
+		return !math.IsNaN(eng.AllLatency.Mean()) && eng.AllLatency.Min() > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyDeterminism re-runs an identical random scenario and
+// compares outcomes exactly.
+func TestPropertyDeterminism(t *testing.T) {
+	run := func(seed uint64) (uint64, float64) {
+		r := rng.New(seed)
+		eng := NewEngine(0.7)
+		host := eng.NewHost(2)
+		a := host.NewVM("a", 2, 1.2)
+		b := host.NewVM("b", 1, 0.8)
+		for i := 0; i < 30; i++ {
+			vm := a
+			if r.Bernoulli(0.5) {
+				vm = b
+			}
+			at := r.Float64() * 5
+			d := 0.05 + r.Exp(3)
+			eng.Sim.Schedule(sim.Time(at), func(*sim.Simulation) { vm.Submit(d) })
+		}
+		eng.Sim.Run()
+		return eng.Completed, eng.AllLatency.Sum()
+	}
+	f := func(seed uint64) bool {
+		c1, s1 := run(seed)
+		c2, s2 := run(seed)
+		return c1 == c2 && s1 == s2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

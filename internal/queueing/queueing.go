@@ -1,0 +1,503 @@
+// Package queueing implements the discrete-event M/G/k client-server
+// simulation the paper's evaluation is built on: open-loop Markovian
+// (Poisson) arrivals, generally distributed service times, k server
+// VMs behind a load balancer, and processor-sharing contention when
+// virtual cores are oversubscribed onto fewer physical cores.
+//
+// The same engine drives three experiments:
+//   - Figure 12/13: several VMs' vcores share a limited physical core
+//     pool (oversubscription), with and without overclocking;
+//   - Figure 15/16 and Table XI: the auto-scaler adds/removes VMs and
+//     changes their frequency while a load generator sweeps QPS levels.
+package queueing
+
+import (
+	"fmt"
+	"math"
+
+	"immersionoc/internal/rng"
+	"immersionoc/internal/sim"
+	"immersionoc/internal/stats"
+)
+
+// Request is one client request flowing through the system.
+type Request struct {
+	// ArrivalS is the virtual arrival time.
+	ArrivalS float64
+	// DemandS is the service demand in seconds of a dedicated
+	// reference-speed core.
+	DemandS float64
+	// StartS is when service began (-1 while queued).
+	StartS float64
+	// DoneS is when service completed (-1 while in flight).
+	DoneS float64
+}
+
+// Sojourn returns the end-to-end latency.
+func (r *Request) Sojourn() float64 { return r.DoneS - r.ArrivalS }
+
+// job is an in-service request on a vcore.
+type job struct {
+	req       *Request
+	vm        *VM
+	remaining float64 // reference-speed seconds of work left
+	rate      float64 // current execution rate (reference-speed seconds per second)
+	updated   float64 // virtual time remaining was last advanced
+	done      *sim.Event
+}
+
+// Host is a physical server whose PCores are shared by the vcores of
+// its VMs. When the number of runnable vcores exceeds PCores, each
+// runnable vcore receives an equal processor-sharing slice.
+type Host struct {
+	// PCores is the number of physical cores available to VMs.
+	PCores int
+	vms    []*VM
+	jobs   map[*job]struct{}
+	eng    *Engine
+	// curShare caches the processor-sharing slice so uncontended
+	// transitions avoid a global reschedule.
+	curShare float64
+}
+
+// VM is a virtual machine with a fixed number of vcores, a FIFO queue,
+// and a speed factor representing its current frequency configuration.
+type VM struct {
+	// Name identifies the VM in traces.
+	Name string
+	// VCores is the number of virtual cores.
+	VCores int
+	// Workers is the service concurrency: the application's worker
+	// pool size. At most Workers requests are in service at once
+	// even when more vcores exist, so CPU utilization
+	// (busy/VCores) can look moderate while the worker pool is
+	// saturated — the regime where overclocking pays off most.
+	// Zero means Workers == VCores.
+	Workers int
+	// UtilQueueWeight adds a per-queued-request contribution to the
+	// measured CPU utilization (kernel, network stack and context
+	// switching overhead of a backlog). It affects telemetry only,
+	// not service capacity.
+	UtilQueueWeight float64
+	host            *Host
+	// speed is the execution rate multiplier relative to reference
+	// (e.g. 1.0 at B2, 1/serviceTimeRatio(OC1) when overclocked).
+	speed float64
+	// accepting reports whether the load balancer may route new
+	// requests here.
+	accepting bool
+
+	queue   []*Request
+	running map[*job]struct{}
+
+	// busyIntegral accumulates Σ(runnable vcores)·dt for utilization.
+	busyIntegral float64
+	// scaledBusyIntegral accumulates busy time weighted by the
+	// frequency-scalable fraction (for Aperf/Pperf emulation).
+	scaledBusyIntegral float64
+	lastAccount        float64
+
+	// Latency collects per-request sojourn times for completed
+	// requests routed to this VM.
+	Latency *stats.Digest
+}
+
+// Engine owns the simulation and all hosts/VMs.
+type Engine struct {
+	Sim *sim.Simulation
+	// ScalableFraction is the workload's ΔPperf/ΔAperf (fraction of
+	// busy cycles that scale with core frequency).
+	ScalableFraction float64
+	hosts            []*Host
+	// Completed counts finished requests.
+	Completed uint64
+	// AllLatency aggregates sojourn times across all VMs.
+	AllLatency *stats.Digest
+	// OnComplete, when non-nil, observes each completed request.
+	OnComplete func(*Request, *VM)
+}
+
+// NewEngine creates an engine on a fresh simulation.
+func NewEngine(scalableFraction float64) *Engine {
+	return &Engine{
+		Sim:              sim.New(),
+		ScalableFraction: scalableFraction,
+		AllLatency:       stats.NewDigest(),
+	}
+}
+
+// NewHost adds a host with the given physical core count.
+func (e *Engine) NewHost(pcores int) *Host {
+	if pcores <= 0 {
+		panic("queueing: host needs at least one pcore")
+	}
+	h := &Host{PCores: pcores, jobs: make(map[*job]struct{}), eng: e, curShare: 1}
+	e.hosts = append(e.hosts, h)
+	return h
+}
+
+// NewVM adds a VM to the host. Speed is the initial execution-rate
+// multiplier (1.0 = reference configuration).
+func (h *Host) NewVM(name string, vcores int, speed float64) *VM {
+	if vcores <= 0 {
+		panic("queueing: VM needs at least one vcore")
+	}
+	if speed <= 0 {
+		panic("queueing: VM speed must be positive")
+	}
+	vm := &VM{
+		Name:      name,
+		VCores:    vcores,
+		host:      h,
+		speed:     speed,
+		accepting: true,
+		running:   make(map[*job]struct{}),
+		Latency:   stats.NewDigest(),
+	}
+	vm.lastAccount = float64(h.eng.Sim.Now())
+	h.vms = append(h.vms, vm)
+	return vm
+}
+
+// VMs returns the host's VMs (including non-accepting ones).
+func (h *Host) VMs() []*VM { return h.vms }
+
+// RemoveVM detaches a VM from the host's scheduling (it finishes its
+// in-flight work first; new arrivals must not be routed to it).
+func (h *Host) RemoveVM(vm *VM) {
+	vm.accepting = false
+	for i, v := range h.vms {
+		if v == vm {
+			if len(vm.running) == 0 && len(vm.queue) == 0 {
+				h.vms = append(h.vms[:i], h.vms[i+1:]...)
+			}
+			return
+		}
+	}
+}
+
+// Speed returns the VM's current execution-rate multiplier.
+func (v *VM) Speed() float64 { return v.speed }
+
+// SetSpeed changes the VM's execution rate (frequency change). The
+// change takes effect immediately for queued and in-flight work —
+// frequency transitions take tens of microseconds, far below the
+// engine's resolution.
+func (v *VM) SetSpeed(speed float64) {
+	if speed <= 0 {
+		panic("queueing: VM speed must be positive")
+	}
+	if speed == v.speed {
+		return
+	}
+	v.speed = speed
+	v.host.reschedule()
+}
+
+// Accepting reports whether the load balancer may route requests here.
+func (v *VM) Accepting() bool { return v.accepting }
+
+// SetAccepting toggles request routing to this VM.
+func (v *VM) SetAccepting(ok bool) { v.accepting = ok }
+
+// Concurrency returns the effective service concurrency.
+func (v *VM) Concurrency() int {
+	if v.Workers > 0 && v.Workers < v.VCores {
+		return v.Workers
+	}
+	return v.VCores
+}
+
+// QueueLen returns the number of waiting (not yet served) requests.
+func (v *VM) QueueLen() int { return len(v.queue) }
+
+// InService returns the number of requests currently being served.
+func (v *VM) InService() int { return len(v.running) }
+
+// account integrates busy-vcore time up to now.
+func (v *VM) account(now float64) {
+	dt := now - v.lastAccount
+	if dt > 0 {
+		busy := float64(len(v.running)) + v.UtilQueueWeight*float64(len(v.queue))
+		if busy > float64(v.VCores) {
+			busy = float64(v.VCores)
+		}
+		v.busyIntegral += busy * dt
+		v.scaledBusyIntegral += busy * dt * v.host.eng.ScalableFraction
+	}
+	v.lastAccount = now
+}
+
+// UtilizationSince returns mean vcore utilization over (since, now]
+// given the recorded busy integral at `since` (see BusyIntegral).
+func (v *VM) UtilizationSince(sinceIntegral, sinceTime, now float64) float64 {
+	v.account(now)
+	span := now - sinceTime
+	if span <= 0 || v.VCores == 0 {
+		return 0
+	}
+	u := (v.busyIntegral - sinceIntegral) / (span * float64(v.VCores))
+	return math.Max(0, math.Min(1, u))
+}
+
+// BusyIntegral returns the accumulated busy vcore-seconds up to now.
+func (v *VM) BusyIntegral(now float64) float64 {
+	v.account(now)
+	return v.busyIntegral
+}
+
+// Submit routes a request with the given service demand (reference
+// seconds) to the VM at the current simulation time.
+func (v *VM) Submit(demand float64) *Request {
+	now := float64(v.host.eng.Sim.Now())
+	r := &Request{ArrivalS: now, DemandS: demand, StartS: -1, DoneS: -1}
+	v.queue = append(v.queue, r)
+	v.host.dispatch(v)
+	return r
+}
+
+// dispatch starts queued requests on free vcores of vm.
+func (h *Host) dispatch(vm *VM) {
+	var started []*job
+	for len(vm.queue) > 0 && len(vm.running) < vm.Concurrency() {
+		req := vm.queue[0]
+		vm.queue = vm.queue[1:]
+		now := float64(h.eng.Sim.Now())
+		vm.account(now)
+		req.StartS = now
+		j := &job{req: req, vm: vm, remaining: req.DemandS, updated: now}
+		vm.running[j] = struct{}{}
+		h.jobs[j] = struct{}{}
+		started = append(started, j)
+	}
+	if len(started) == 0 {
+		return
+	}
+	if h.share() != h.curShare {
+		// Adding runnable vcores changed everyone's slice.
+		h.reschedule()
+		return
+	}
+	for _, j := range started {
+		h.arm(j)
+	}
+}
+
+// runnable returns the number of in-service vcores on the host.
+func (h *Host) runnable() int { return len(h.jobs) }
+
+// share returns the processor-sharing slice each runnable vcore gets.
+func (h *Host) share() float64 {
+	n := h.runnable()
+	if n <= h.PCores {
+		return 1
+	}
+	return float64(h.PCores) / float64(n)
+}
+
+// arm sets a job's rate from the current share and schedules its
+// completion.
+func (h *Host) arm(j *job) {
+	if j.done != nil {
+		j.done.Cancel()
+		j.done = nil
+	}
+	j.rate = j.vm.speed * h.curShare
+	if j.rate <= 0 {
+		return
+	}
+	eta := j.remaining / j.rate
+	jj := j
+	j.done = h.eng.Sim.After(eta, func(s *sim.Simulation) {
+		h.complete(jj)
+	})
+}
+
+// reschedule advances all jobs to now at their old rates, recomputes
+// the share, and re-arms every completion event. Needed only when the
+// processor-sharing slice or a VM speed changes.
+func (h *Host) reschedule() {
+	now := float64(h.eng.Sim.Now())
+	h.curShare = h.share()
+	for j := range h.jobs {
+		if dt := now - j.updated; dt > 0 {
+			j.remaining -= dt * j.rate
+			if j.remaining < 0 {
+				j.remaining = 0
+			}
+		}
+		j.updated = now
+		h.arm(j)
+	}
+}
+
+// complete finishes a job, records latency, and dispatches queued work.
+func (h *Host) complete(j *job) {
+	now := float64(h.eng.Sim.Now())
+	j.vm.account(now)
+	delete(h.jobs, j)
+	delete(j.vm.running, j)
+	j.req.DoneS = now
+	j.vm.Latency.Add(j.req.Sojourn())
+	h.eng.AllLatency.Add(j.req.Sojourn())
+	h.eng.Completed++
+	if h.eng.OnComplete != nil {
+		h.eng.OnComplete(j.req, j.vm)
+	}
+	h.dispatch(j.vm)
+	if h.share() != h.curShare {
+		h.reschedule()
+	}
+}
+
+// LoadBalancer routes arrivals across accepting VMs. The paper's
+// architecture (Figure 14) places one in front of the server VMs.
+type LoadBalancer struct {
+	host *Host
+	next int
+}
+
+// NewLoadBalancer returns a round-robin balancer over the host's VMs.
+func NewLoadBalancer(h *Host) *LoadBalancer {
+	return &LoadBalancer{host: h}
+}
+
+// Pick returns the next accepting VM (round robin), or nil if none.
+func (lb *LoadBalancer) Pick() *VM {
+	vms := lb.host.vms
+	n := len(vms)
+	for i := 0; i < n; i++ {
+		vm := vms[(lb.next+i)%n]
+		if vm.accepting {
+			lb.next = (lb.next + i + 1) % n
+			return vm
+		}
+	}
+	return nil
+}
+
+// PickLeastLoaded returns the accepting VM with the fewest outstanding
+// requests, breaking ties round-robin.
+func (lb *LoadBalancer) PickLeastLoaded() *VM {
+	var best *VM
+	bestLoad := math.MaxInt
+	vms := lb.host.vms
+	n := len(vms)
+	for i := 0; i < n; i++ {
+		vm := vms[(lb.next+i)%n]
+		if !vm.accepting {
+			continue
+		}
+		load := vm.QueueLen() + vm.InService()
+		if load < bestLoad {
+			best, bestLoad = vm, load
+		}
+	}
+	if best != nil {
+		lb.next = (lb.next + 1) % n
+	}
+	return best
+}
+
+// ServiceSampler produces per-request demands in reference seconds.
+type ServiceSampler func(*rng.Source) float64
+
+// LogNormalService returns a sampler with the given mean (seconds) and
+// coefficient of variation — the paper's "General" service-time
+// distribution.
+func LogNormalService(meanS, cv float64) ServiceSampler {
+	return func(r *rng.Source) float64 { return r.LogNormal(meanS, cv) }
+}
+
+// DeterministicService returns a constant-demand sampler.
+func DeterministicService(meanS float64) ServiceSampler {
+	return func(r *rng.Source) float64 { return meanS }
+}
+
+// LoadPhase is one constant-rate segment of a load schedule.
+type LoadPhase struct {
+	// QPS is the Poisson arrival rate.
+	QPS float64
+	// DurationS is how long the phase lasts.
+	DurationS float64
+}
+
+// Generator drives open-loop Poisson arrivals through a balancer.
+type Generator struct {
+	eng     *Engine
+	lb      *LoadBalancer
+	rand    *rng.Source
+	service ServiceSampler
+	phases  []LoadPhase
+	// Dropped counts arrivals with no accepting VM.
+	Dropped uint64
+	// LeastLoaded selects balancer policy.
+	LeastLoaded bool
+}
+
+// NewGenerator creates a load generator.
+func NewGenerator(e *Engine, lb *LoadBalancer, seed uint64, service ServiceSampler, phases []LoadPhase) *Generator {
+	return &Generator{eng: e, lb: lb, rand: rng.New(seed), service: service, phases: phases}
+}
+
+// TotalDuration returns the summed phase durations.
+func (g *Generator) TotalDuration() float64 {
+	var d float64
+	for _, p := range g.phases {
+		d += p.DurationS
+	}
+	return d
+}
+
+// QPSAt returns the scheduled arrival rate at time t.
+func (g *Generator) QPSAt(t float64) float64 {
+	var off float64
+	for _, p := range g.phases {
+		if t < off+p.DurationS {
+			return p.QPS
+		}
+		off += p.DurationS
+	}
+	return 0
+}
+
+// Start schedules the arrival process beginning at the current
+// simulation time.
+func (g *Generator) Start() {
+	start := float64(g.eng.Sim.Now())
+	var arrive func(s *sim.Simulation)
+	arrive = func(s *sim.Simulation) {
+		t := float64(s.Now()) - start
+		qps := g.QPSAt(t)
+		if qps <= 0 {
+			// Schedule a probe at the next phase boundary, if any.
+			var off float64
+			for _, p := range g.phases {
+				off += p.DurationS
+				if t < off {
+					s.Schedule(sim.Time(start+off), arrive)
+					return
+				}
+			}
+			return
+		}
+		var vm *VM
+		if g.LeastLoaded {
+			vm = g.lb.PickLeastLoaded()
+		} else {
+			vm = g.lb.Pick()
+		}
+		if vm != nil {
+			vm.Submit(g.service(g.rand))
+		} else {
+			g.Dropped++
+		}
+		s.After(g.rand.Exp(qps), arrive)
+	}
+	g.eng.Sim.Schedule(sim.Time(start), arrive)
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (v *VM) String() string {
+	return fmt.Sprintf("vm %s (%d vcores, speed %.3f, q=%d run=%d)", v.Name, v.VCores, v.speed, len(v.queue), len(v.running))
+}

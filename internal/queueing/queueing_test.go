@@ -1,0 +1,334 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+
+	"immersionoc/internal/rng"
+	"immersionoc/internal/sim"
+)
+
+// runMM1 simulates an M/M/1 queue and returns the mean sojourn time.
+func runMM1(t *testing.T, lambda, mu float64, duration float64) float64 {
+	t.Helper()
+	eng := NewEngine(1.0)
+	host := eng.NewHost(1)
+	vm := host.NewVM("srv", 1, 1.0)
+	r := rng.New(42)
+	var arrive func(s *sim.Simulation)
+	arrive = func(s *sim.Simulation) {
+		if float64(s.Now()) >= duration {
+			return
+		}
+		vm.Submit(r.Exp(mu))
+		s.After(r.Exp(lambda), arrive)
+	}
+	eng.Sim.Schedule(0, arrive)
+	eng.Sim.RunUntil(sim.Time(duration * 1.5))
+	return eng.AllLatency.Mean()
+}
+
+func TestMM1MeanSojourn(t *testing.T) {
+	// M/M/1: E[T] = 1/(μ−λ).
+	lambda, mu := 60.0, 100.0
+	got := runMM1(t, lambda, mu, 2000)
+	want := 1 / (mu - lambda)
+	if math.Abs(got-want)/want > 0.08 {
+		t.Fatalf("M/M/1 mean sojourn %v, want %v ±8%%", got, want)
+	}
+}
+
+func TestMM1LowLoadIsServiceTime(t *testing.T) {
+	got := runMM1(t, 5, 100, 2000)
+	if math.Abs(got-1.0/100)/0.01 > 0.25 {
+		t.Fatalf("low-load sojourn %v, want ≈ service 0.01", got)
+	}
+}
+
+func TestSpeedScalesServiceTime(t *testing.T) {
+	// Deterministic demand on an idle VM: sojourn = demand/speed.
+	eng := NewEngine(1.0)
+	host := eng.NewHost(4)
+	vm := host.NewVM("v", 2, 2.0)
+	req := vm.Submit(1.0)
+	eng.Sim.Run()
+	if math.Abs(req.Sojourn()-0.5) > 1e-9 {
+		t.Fatalf("sojourn %v, want 0.5 at speed 2", req.Sojourn())
+	}
+}
+
+func TestSetSpeedMidFlight(t *testing.T) {
+	// Speed change applies to remaining work: 1s of demand, first
+	// 0.5s at speed 1, then speed 2 → finishes at 0.75s.
+	eng := NewEngine(1.0)
+	host := eng.NewHost(4)
+	vm := host.NewVM("v", 1, 1.0)
+	req := vm.Submit(1.0)
+	eng.Sim.Schedule(0.5, func(*sim.Simulation) { vm.SetSpeed(2.0) })
+	eng.Sim.Run()
+	if math.Abs(req.Sojourn()-0.75) > 1e-9 {
+		t.Fatalf("sojourn %v, want 0.75", req.Sojourn())
+	}
+}
+
+func TestVCoreConcurrencyLimit(t *testing.T) {
+	// 2 vcores, 3 unit jobs: two run immediately, the third waits.
+	eng := NewEngine(1.0)
+	host := eng.NewHost(8)
+	vm := host.NewVM("v", 2, 1.0)
+	r1 := vm.Submit(1)
+	r2 := vm.Submit(1)
+	r3 := vm.Submit(1)
+	eng.Sim.Run()
+	if r1.DoneS != 1 || r2.DoneS != 1 {
+		t.Fatalf("first two done at %v/%v, want 1", r1.DoneS, r2.DoneS)
+	}
+	if r3.DoneS != 2 {
+		t.Fatalf("queued job done at %v, want 2", r3.DoneS)
+	}
+	if r3.StartS != 1 {
+		t.Fatalf("queued job started at %v, want 1", r3.StartS)
+	}
+}
+
+func TestWorkerPoolLimit(t *testing.T) {
+	// 4 vcores but 2 workers: same as the 2-vcore case.
+	eng := NewEngine(1.0)
+	host := eng.NewHost(8)
+	vm := host.NewVM("v", 4, 1.0)
+	vm.Workers = 2
+	vm.Submit(1)
+	vm.Submit(1)
+	r3 := vm.Submit(1)
+	eng.Sim.Run()
+	if r3.DoneS != 2 {
+		t.Fatalf("worker-limited job done at %v, want 2", r3.DoneS)
+	}
+	if vm.Concurrency() != 2 {
+		t.Fatalf("concurrency %d, want 2", vm.Concurrency())
+	}
+}
+
+func TestProcessorSharingContention(t *testing.T) {
+	// 2 pcores, two VMs with 2 runnable vcores each → 4 runnable on
+	// 2 pcores → everything at half speed.
+	eng := NewEngine(1.0)
+	host := eng.NewHost(2)
+	a := host.NewVM("a", 2, 1.0)
+	b := host.NewVM("b", 2, 1.0)
+	r1 := a.Submit(1)
+	a.Submit(1)
+	b.Submit(1)
+	b.Submit(1)
+	eng.Sim.Run()
+	if math.Abs(r1.Sojourn()-2.0) > 1e-9 {
+		t.Fatalf("contended sojourn %v, want 2 (half speed)", r1.Sojourn())
+	}
+}
+
+func TestContentionReliefOnCompletion(t *testing.T) {
+	// 1 pcore, two 1-vcore VMs: jobs of 1s each share the core, the
+	// survivor speeds up after the shorter one finishes.
+	eng := NewEngine(1.0)
+	host := eng.NewHost(1)
+	a := host.NewVM("a", 1, 1.0)
+	b := host.NewVM("b", 1, 1.0)
+	ra := a.Submit(0.5)
+	rb := b.Submit(1.0)
+	eng.Sim.Run()
+	// Shared until a finishes at t=1 (0.5 work at rate 0.5); b then
+	// has 0.5 left at full rate → done at 1.5.
+	if math.Abs(ra.DoneS-1.0) > 1e-9 {
+		t.Fatalf("a done at %v, want 1.0", ra.DoneS)
+	}
+	if math.Abs(rb.DoneS-1.5) > 1e-9 {
+		t.Fatalf("b done at %v, want 1.5", rb.DoneS)
+	}
+}
+
+func TestUtilizationAccounting(t *testing.T) {
+	eng := NewEngine(0.8)
+	host := eng.NewHost(4)
+	vm := host.NewVM("v", 2, 1.0)
+	vm.Submit(1) // busy [0,1] on one vcore
+	eng.Sim.Run()
+	eng.Sim.RunUntil(2) // idle [1,2]
+	// Busy integral: 1 vcore-second over 2 seconds on 2 vcores = 0.25.
+	if got := vm.UtilizationSince(0, 0, 2); math.Abs(got-0.25) > 1e-9 {
+		t.Fatalf("utilization %v, want 0.25", got)
+	}
+}
+
+func TestUtilQueueWeight(t *testing.T) {
+	eng := NewEngine(1.0)
+	host := eng.NewHost(4)
+	vm := host.NewVM("v", 4, 1.0)
+	vm.Workers = 1
+	vm.UtilQueueWeight = 0.5
+	vm.Submit(1)
+	vm.Submit(1) // queued for [0,1]
+	eng.Sim.Run()
+	// [0,1]: 1 running + 0.5·1 queued = 1.5; [1,2]: 1 running.
+	// Integral = 2.5 over 2s × 4 vcores → 0.3125.
+	if got := vm.UtilizationSince(0, 0, 2); math.Abs(got-0.3125) > 1e-9 {
+		t.Fatalf("queue-weighted utilization %v, want 0.3125", got)
+	}
+}
+
+func TestLoadBalancerRoundRobin(t *testing.T) {
+	eng := NewEngine(1.0)
+	host := eng.NewHost(8)
+	a := host.NewVM("a", 1, 1)
+	b := host.NewVM("b", 1, 1)
+	c := host.NewVM("c", 1, 1)
+	lb := NewLoadBalancer(host)
+	got := []*VM{lb.Pick(), lb.Pick(), lb.Pick(), lb.Pick()}
+	want := []*VM{a, b, c, a}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pick %d = %v, want %v", i, got[i].Name, want[i].Name)
+		}
+	}
+}
+
+func TestLoadBalancerSkipsNonAccepting(t *testing.T) {
+	eng := NewEngine(1.0)
+	host := eng.NewHost(8)
+	a := host.NewVM("a", 1, 1)
+	b := host.NewVM("b", 1, 1)
+	a.SetAccepting(false)
+	lb := NewLoadBalancer(host)
+	if lb.Pick() != b || lb.Pick() != b {
+		t.Fatal("balancer did not skip non-accepting VM")
+	}
+	b.SetAccepting(false)
+	if lb.Pick() != nil {
+		t.Fatal("balancer returned a non-accepting VM")
+	}
+}
+
+func TestPickLeastLoaded(t *testing.T) {
+	eng := NewEngine(1.0)
+	host := eng.NewHost(8)
+	a := host.NewVM("a", 4, 1)
+	b := host.NewVM("b", 4, 1)
+	a.Submit(10)
+	a.Submit(10)
+	b.Submit(10)
+	lb := NewLoadBalancer(host)
+	if got := lb.PickLeastLoaded(); got != b {
+		t.Fatalf("least loaded = %v, want b", got.Name)
+	}
+}
+
+func TestRemoveVMDrains(t *testing.T) {
+	eng := NewEngine(1.0)
+	host := eng.NewHost(4)
+	vm := host.NewVM("v", 1, 1.0)
+	req := vm.Submit(1)
+	host.RemoveVM(vm)
+	if vm.Accepting() {
+		t.Fatal("removed VM still accepting")
+	}
+	eng.Sim.Run()
+	if req.DoneS != 1 {
+		t.Fatalf("in-flight work lost on removal: done at %v", req.DoneS)
+	}
+}
+
+func TestGeneratorPhases(t *testing.T) {
+	eng := NewEngine(1.0)
+	host := eng.NewHost(16)
+	host.NewVM("v", 8, 1.0)
+	lb := NewLoadBalancer(host)
+	gen := NewGenerator(eng, lb, 7, DeterministicService(0.001), []LoadPhase{
+		{QPS: 100, DurationS: 10},
+		{QPS: 0, DurationS: 10},
+		{QPS: 200, DurationS: 10},
+	})
+	if gen.TotalDuration() != 30 {
+		t.Fatalf("total duration %v", gen.TotalDuration())
+	}
+	if gen.QPSAt(5) != 100 || gen.QPSAt(15) != 0 || gen.QPSAt(25) != 200 || gen.QPSAt(35) != 0 {
+		t.Fatal("QPSAt schedule wrong")
+	}
+	gen.Start()
+	eng.Sim.RunUntil(30)
+	// ~100·10 + 0 + 200·10 = 3000 expected arrivals.
+	if eng.Completed < 2400 || eng.Completed > 3600 {
+		t.Fatalf("completed %d, want ≈3000", eng.Completed)
+	}
+	if gen.Dropped != 0 {
+		t.Fatalf("dropped %d requests with an accepting VM", gen.Dropped)
+	}
+}
+
+func TestGeneratorDropsWithoutVMs(t *testing.T) {
+	eng := NewEngine(1.0)
+	host := eng.NewHost(4)
+	v := host.NewVM("v", 1, 1.0)
+	v.SetAccepting(false)
+	lb := NewLoadBalancer(host)
+	gen := NewGenerator(eng, lb, 7, DeterministicService(0.001), []LoadPhase{{QPS: 50, DurationS: 5}})
+	gen.Start()
+	eng.Sim.RunUntil(5)
+	if gen.Dropped == 0 {
+		t.Fatal("no drops with zero accepting VMs")
+	}
+}
+
+func TestWorkConservation(t *testing.T) {
+	// Total completed work equals total submitted demand once the
+	// queue drains, regardless of contention pattern.
+	eng := NewEngine(1.0)
+	host := eng.NewHost(3)
+	vms := []*VM{host.NewVM("a", 2, 1), host.NewVM("b", 2, 1.5), host.NewVM("c", 2, 0.5)}
+	r := rng.New(5)
+	total := 0.0
+	for i := 0; i < 50; i++ {
+		d := r.Exp(2)
+		total += d
+		vms[i%3].Submit(d)
+	}
+	eng.Sim.Run()
+	if eng.Completed != 50 {
+		t.Fatalf("completed %d, want 50", eng.Completed)
+	}
+	// Each request's sojourn is at least demand/speed.
+	if eng.AllLatency.Min() <= 0 {
+		t.Fatal("non-positive sojourn recorded")
+	}
+	_ = total
+}
+
+func TestEngineScalableFractionInAccounting(t *testing.T) {
+	eng := NewEngine(0.6)
+	host := eng.NewHost(2)
+	vm := host.NewVM("v", 1, 1)
+	vm.Submit(1)
+	eng.Sim.Run()
+	integ := vm.BusyIntegral(1)
+	if math.Abs(integ-1) > 1e-9 {
+		t.Fatalf("busy integral %v, want 1", integ)
+	}
+}
+
+func TestValidationPanics(t *testing.T) {
+	eng := NewEngine(1.0)
+	mustPanic(t, "zero pcores", func() { eng.NewHost(0) })
+	host := eng.NewHost(1)
+	mustPanic(t, "zero vcores", func() { host.NewVM("v", 0, 1) })
+	mustPanic(t, "zero speed", func() { host.NewVM("v", 1, 0) })
+	vm := host.NewVM("v", 1, 1)
+	mustPanic(t, "negative speed", func() { vm.SetSpeed(-1) })
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", name)
+		}
+	}()
+	f()
+}

@@ -1,0 +1,356 @@
+// Package reliability models component lifetime and computational
+// stability under overclocking.
+//
+// Lifetime follows the structure of the paper's 5nm composite foundry
+// model (Table IV): three competing, time-dependent degradation
+// processes —
+//
+//   - gate oxide breakdown, accelerated by voltage and temperature
+//     (with the non-Arrhenius high-temperature acceleration reported by
+//     DiMaria & Stathis),
+//   - electromigration, accelerated by temperature (Black's equation),
+//   - thermal cycling, accelerated by the temperature swing ΔTj
+//     (Coffin–Manson),
+//
+// combined as a sum of hazards. The parameters are calibrated so the
+// model reproduces all six (cooling, overclock) → lifetime points of
+// Table V: air nominal 5 y, air overclocked < 1 y, FC-3284 nominal
+// > 10 y / overclocked ≈ 4 y, HFE-7000 nominal > 10 y / overclocked
+// ≈ 5 y.
+//
+// The package also provides wear accounting ("lifetime credit" for
+// moderately utilized servers, §IV) and a correctable-error stability
+// model reflecting the paper's six-month error logs.
+package reliability
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Condition describes a sustained operating condition of a processor.
+type Condition struct {
+	// VoltageV is the core supply voltage.
+	VoltageV float64
+	// TjMaxC is the peak junction temperature under load.
+	TjMaxC float64
+	// TjMinC is the low end of the junction temperature range (idle
+	// temperature; room ambient for air, bath temperature for
+	// immersion).
+	TjMinC float64
+}
+
+// DeltaT returns the thermal cycling swing in °C.
+func (c Condition) DeltaT() float64 { return c.TjMaxC - c.TjMinC }
+
+// Validate checks the condition for physical plausibility.
+func (c Condition) Validate() error {
+	if c.VoltageV <= 0 {
+		return errors.New("reliability: non-positive voltage")
+	}
+	if c.TjMaxC < c.TjMinC {
+		return fmt.Errorf("reliability: TjMax %.1f below TjMin %.1f", c.TjMaxC, c.TjMinC)
+	}
+	return nil
+}
+
+// LifetimeModel is the composite degradation model. Hazards are
+// expressed in 1/years relative to a reference condition; lifetime is
+// the inverse of the summed hazard.
+type LifetimeModel struct {
+	// Reference condition at which the hazard shares below apply
+	// (the paper's air-cooled nominal server: 0.90 V, Tj 85 °C,
+	// cycling 20–85 °C, 5-year lifetime).
+	RefVoltageV float64
+	RefTjC      float64
+	RefDeltaTC  float64
+
+	// OxideHazard, EMHazard, CyclingHazard are the per-process
+	// hazard rates (1/years) at the reference condition. Their sum
+	// is 1/(reference lifetime).
+	OxideHazard, EMHazard, CyclingHazard float64
+
+	// GammaPerV is the exponential voltage acceleration of oxide
+	// breakdown (1/V).
+	GammaPerV float64
+	// OxideEaOverKK is Ea/k for oxide breakdown in kelvin.
+	OxideEaOverKK float64
+	// OxideKneeC and OxideKneeSlope model the super-Arrhenius
+	// acceleration above the knee temperature (DiMaria & Stathis):
+	// the oxide hazard is multiplied by exp(slope·(Tj-knee)) for
+	// Tj above the knee.
+	OxideKneeC     float64
+	OxideKneeSlope float64
+	// EMEaOverKK is Ea/k for electromigration in kelvin.
+	EMEaOverKK float64
+	// CyclingExp is the Coffin–Manson exponent on ΔTj.
+	CyclingExp float64
+}
+
+// Composite5nm is the calibrated model reproducing Table V.
+var Composite5nm = LifetimeModel{
+	RefVoltageV:    0.90,
+	RefTjC:         85,
+	RefDeltaTC:     65,
+	OxideHazard:    0.10,
+	EMHazard:       0.04,
+	CyclingHazard:  0.06,
+	GammaPerV:      12.8,
+	OxideEaOverKK:  1841,  // Ea ≈ 0.16 eV effective in the operating range
+	OxideKneeC:     85,    // super-Arrhenius acceleration past 85 °C
+	OxideKneeSlope: 0.06,  // per °C above the knee
+	EMEaOverKK:     10445, // Ea ≈ 0.90 eV
+	CyclingExp:     2.5,
+}
+
+func kelvin(c float64) float64 { return c + 273.15 }
+
+// OxideHazardRate returns the gate-oxide-breakdown hazard (1/years)
+// under condition c.
+func (m LifetimeModel) OxideHazardRate(c Condition) float64 {
+	h := m.OxideHazard
+	h *= math.Exp(m.GammaPerV * (c.VoltageV - m.RefVoltageV))
+	h *= math.Exp(m.OxideEaOverKK * (1/kelvin(m.RefTjC) - 1/kelvin(c.TjMaxC)))
+	if c.TjMaxC > m.OxideKneeC {
+		h *= math.Exp(m.OxideKneeSlope * (c.TjMaxC - m.OxideKneeC))
+	}
+	return h
+}
+
+// EMHazardRate returns the electromigration hazard (1/years) under
+// condition c.
+func (m LifetimeModel) EMHazardRate(c Condition) float64 {
+	return m.EMHazard * math.Exp(m.EMEaOverKK*(1/kelvin(m.RefTjC)-1/kelvin(c.TjMaxC)))
+}
+
+// CyclingHazardRate returns the thermal cycling hazard (1/years) under
+// condition c.
+func (m LifetimeModel) CyclingHazardRate(c Condition) float64 {
+	dt := c.DeltaT()
+	if dt <= 0 {
+		return 0
+	}
+	return m.CyclingHazard * math.Pow(dt/m.RefDeltaTC, m.CyclingExp)
+}
+
+// TotalHazard returns the summed hazard (1/years) under condition c.
+func (m LifetimeModel) TotalHazard(c Condition) float64 {
+	return m.OxideHazardRate(c) + m.EMHazardRate(c) + m.CyclingHazardRate(c)
+}
+
+// Lifetime returns the projected lifetime in years under sustained
+// worst-case utilization at condition c.
+func (m LifetimeModel) Lifetime(c Condition) (float64, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	h := m.TotalHazard(c)
+	if h <= 0 {
+		return math.Inf(1), nil
+	}
+	return 1 / h, nil
+}
+
+// Breakdown reports the share of total wear attributable to each
+// process under condition c.
+type Breakdown struct {
+	Oxide, Electromigration, Cycling float64
+}
+
+// HazardBreakdown returns per-process hazard shares (summing to 1).
+func (m LifetimeModel) HazardBreakdown(c Condition) Breakdown {
+	ox := m.OxideHazardRate(c)
+	em := m.EMHazardRate(c)
+	tc := m.CyclingHazardRate(c)
+	total := ox + em + tc
+	if total <= 0 {
+		return Breakdown{}
+	}
+	return Breakdown{Oxide: ox / total, Electromigration: em / total, Cycling: tc / total}
+}
+
+// ServiceLifeYears is the useful server lifetime providers plan for
+// before decommissioning (§IV: "~5 years").
+const ServiceLifeYears = 5.0
+
+// MeetsServiceLife reports whether condition c sustains at least the
+// standard service life.
+func (m LifetimeModel) MeetsServiceLife(c Condition) bool {
+	l, err := m.Lifetime(c)
+	return err == nil && l >= ServiceLifeYears-1e-9
+}
+
+// MaxVoltageForLifetime returns the highest voltage (searching between
+// lo and hi) at which the lifetime under the given temperatures still
+// meets targetYears. Returns an error when even lo fails.
+func (m LifetimeModel) MaxVoltageForLifetime(targetYears, lo, hi, tjMaxC, tjMinC float64) (float64, error) {
+	check := func(v float64) bool {
+		l, err := m.Lifetime(Condition{VoltageV: v, TjMaxC: tjMaxC, TjMinC: tjMinC})
+		return err == nil && l >= targetYears
+	}
+	if !check(lo) {
+		return 0, fmt.Errorf("reliability: lifetime target %.1fy unreachable even at %.2fV", targetYears, lo)
+	}
+	if check(hi) {
+		return hi, nil
+	}
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if check(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}
+
+// WearMeter tracks accumulated wear of one component against its
+// lifetime budget. Wear accrues as hazard × time; a component that has
+// run cooler or at lower utilization than worst-case accumulates
+// "lifetime credit" that can be spent on overclocking (§IV).
+type WearMeter struct {
+	model  LifetimeModel
+	budget float64 // hazard-years allowed over the service life
+	wear   float64 // hazard-years accumulated
+	hours  float64 // wall hours accumulated
+}
+
+// NewWearMeter returns a meter budgeted for serviceYears at the
+// reference (worst-case air nominal) hazard.
+func NewWearMeter(m LifetimeModel, serviceYears float64) *WearMeter {
+	ref := Condition{VoltageV: m.RefVoltageV, TjMaxC: m.RefTjC, TjMinC: m.RefTjC - m.RefDeltaTC}
+	return &WearMeter{
+		model:  m,
+		budget: m.TotalHazard(ref) * serviceYears,
+	}
+}
+
+// Accrue records hours of operation at condition c scaled by
+// utilization (idle time wears mostly through cycling; we scale the
+// voltage/temperature processes by utilization and keep cycling whole).
+func (w *WearMeter) Accrue(c Condition, hours, utilization float64) {
+	if hours < 0 {
+		panic("reliability: negative hours")
+	}
+	u := math.Max(0, math.Min(1, utilization))
+	years := hours / (24 * 365)
+	h := (w.model.OxideHazardRate(c)+w.model.EMHazardRate(c))*u + w.model.CyclingHazardRate(c)
+	w.wear += h * years
+	w.hours += hours
+}
+
+// Used returns the fraction of the wear budget consumed.
+func (w *WearMeter) Used() float64 {
+	if w.budget <= 0 {
+		return 0
+	}
+	return w.wear / w.budget
+}
+
+// Credit returns the wear budget (in hazard-years) still unspent
+// relative to pro-rata consumption: positive values mean the part has
+// worn slower than its service-life schedule and can afford
+// overclocking.
+func (w *WearMeter) Credit(elapsedHours float64) float64 {
+	proRata := w.budget * (elapsedHours / (ServiceLifeYears * 24 * 365))
+	return proRata - w.wear
+}
+
+// Exhausted reports whether the budget is fully consumed.
+func (w *WearMeter) Exhausted() bool { return w.wear >= w.budget }
+
+// Hours returns total accrued hours.
+func (w *WearMeter) Hours() float64 { return w.hours }
+
+// MaxOCDutyCycle returns the largest fraction of time a component can
+// spend at the overclocked condition — the rest at the nominal
+// condition — while still meeting the service-life budget:
+//
+//	f·h_oc + (1−f)·h_nom ≤ 1/serviceYears
+//
+// This is the quantitative form of the paper's "lifetime credit":
+// moderately utilized (or immersion-cooled) servers wear below the
+// budgeted rate and can spend the difference on overclocking. Returns
+// 0 when even full-time nominal operation exceeds the budget, 1 when
+// full-time overclocking fits.
+func (m LifetimeModel) MaxOCDutyCycle(nominal, oc Condition, serviceYears float64) (float64, error) {
+	if err := nominal.Validate(); err != nil {
+		return 0, err
+	}
+	if err := oc.Validate(); err != nil {
+		return 0, err
+	}
+	if serviceYears <= 0 {
+		return 0, errors.New("reliability: non-positive service life")
+	}
+	budget := 1 / serviceYears
+	hNom := m.TotalHazard(nominal)
+	hOC := m.TotalHazard(oc)
+	if hNom >= budget {
+		return 0, nil
+	}
+	if hOC <= budget {
+		return 1, nil
+	}
+	f := (budget - hNom) / (hOC - hNom)
+	return math.Max(0, math.Min(1, f)), nil
+}
+
+// StabilityModel captures computational stability vs overclocking
+// aggressiveness: the rate of correctable errors grows exponentially
+// once frequency exceeds the validated safe overclock, and crashes
+// appear past the instability point. Calibrated to the paper's
+// six-month logs: zero errors in tank #1 (Xeon at +20.6%), 56 CPU
+// cache correctable errors in tank #2 (pushed harder), crashes only
+// when voltage/frequency were pushed excessively.
+type StabilityModel struct {
+	// SafeRatio is frequency/maxSafeOC at or below which no errors
+	// are expected.
+	SafeRatio float64
+	// ErrBaseRatePerDay is the correctable error rate just past the
+	// safe point.
+	ErrBaseRatePerDay float64
+	// ErrGrowth is the exponential growth per 1% of frequency past
+	// the safe point.
+	ErrGrowth float64
+	// CrashRatio is frequency/maxSafeOC beyond which ungraceful
+	// crashes occur.
+	CrashRatio float64
+}
+
+// DefaultStability is calibrated to the paper's observations.
+var DefaultStability = StabilityModel{
+	SafeRatio:         1.0,
+	ErrBaseRatePerDay: 0.1,
+	ErrGrowth:         0.32,
+	CrashRatio:        1.05,
+}
+
+// CorrectableErrorRate returns expected correctable errors per day at
+// the given frequency relative to the validated safe overclock.
+func (s StabilityModel) CorrectableErrorRate(f, maxSafe float64) float64 {
+	if maxSafe <= 0 {
+		return 0
+	}
+	r := f / maxSafe
+	if r <= s.SafeRatio {
+		return 0
+	}
+	pctOver := (r - s.SafeRatio) * 100
+	return s.ErrBaseRatePerDay * math.Exp(s.ErrGrowth*pctOver)
+}
+
+// ExpectedErrors returns expected correctable errors over a duration.
+func (s StabilityModel) ExpectedErrors(f, maxSafe, days float64) float64 {
+	return s.CorrectableErrorRate(f, maxSafe) * days
+}
+
+// Unstable reports whether operation at f risks crashes.
+func (s StabilityModel) Unstable(f, maxSafe float64) bool {
+	if maxSafe <= 0 {
+		return false
+	}
+	return f/maxSafe > s.CrashRatio
+}

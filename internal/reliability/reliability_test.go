@@ -1,0 +1,292 @@
+package reliability
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// tableVCondition builds the six Table V operating points.
+func tableVConditions() []struct {
+	name     string
+	cond     Condition
+	minYears float64
+	maxYears float64
+} {
+	return []struct {
+		name     string
+		cond     Condition
+		minYears float64
+		maxYears float64
+	}{
+		{"air nominal", Condition{0.90, 85, 20}, 4.5, 5.5},
+		{"air overclocked", Condition{0.98, 101, 20}, 0, 1.0},
+		{"FC-3284 nominal", Condition{0.90, 66, 50}, 10, math.Inf(1)},
+		{"FC-3284 overclocked", Condition{0.98, 74, 50}, 3.2, 4.8},
+		{"HFE-7000 nominal", Condition{0.90, 51, 34}, 10, math.Inf(1)},
+		{"HFE-7000 overclocked", Condition{0.98, 60, 34}, 4.3, 5.7},
+	}
+}
+
+func TestTableVLifetimes(t *testing.T) {
+	m := Composite5nm
+	for _, c := range tableVConditions() {
+		life, err := m.Lifetime(c.cond)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if life < c.minYears || life > c.maxYears {
+			t.Errorf("%s: lifetime %.2f years, want [%v, %v]", c.name, life, c.minYears, c.maxYears)
+		}
+	}
+}
+
+func TestAirNominalIsExactlyServiceLife(t *testing.T) {
+	m := Composite5nm
+	life, err := m.Lifetime(Condition{VoltageV: 0.90, TjMaxC: 85, TjMinC: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(life-ServiceLifeYears) > 0.01 {
+		t.Fatalf("reference lifetime %v, want %v", life, ServiceLifeYears)
+	}
+	if !m.MeetsServiceLife(Condition{VoltageV: 0.90, TjMaxC: 85, TjMinC: 20}) {
+		t.Fatal("reference condition fails MeetsServiceLife")
+	}
+}
+
+func TestHazardMonotonicInVoltage(t *testing.T) {
+	m := Composite5nm
+	f := func(raw uint8) bool {
+		v := 0.8 + float64(raw)/1000
+		c1 := Condition{v, 70, 40}
+		c2 := Condition{v + 0.02, 70, 40}
+		return m.TotalHazard(c2) > m.TotalHazard(c1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHazardMonotonicInTemperature(t *testing.T) {
+	m := Composite5nm
+	f := func(raw uint8) bool {
+		tj := 40 + float64(raw)/4
+		c1 := Condition{0.9, tj, 30}
+		c2 := Condition{0.9, tj + 3, 30}
+		return m.TotalHazard(c2) > m.TotalHazard(c1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCyclingHazardMonotonicInDeltaT(t *testing.T) {
+	m := Composite5nm
+	h1 := m.CyclingHazardRate(Condition{0.9, 80, 60})
+	h2 := m.CyclingHazardRate(Condition{0.9, 80, 20})
+	if h2 <= h1 {
+		t.Fatal("cycling hazard not increasing in ΔT")
+	}
+	if m.CyclingHazardRate(Condition{0.9, 60, 60}) != 0 {
+		t.Fatal("zero ΔT has non-zero cycling hazard")
+	}
+}
+
+func TestBreakdownSumsToOne(t *testing.T) {
+	m := Composite5nm
+	b := m.HazardBreakdown(Condition{0.95, 80, 40})
+	sum := b.Oxide + b.Electromigration + b.Cycling
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("breakdown sums to %v", sum)
+	}
+}
+
+func TestCyclingDominatesAirOverclock(t *testing.T) {
+	// Air overclocking suffers from the large 20–101 °C swing; the
+	// immersion conditions have small swings. Thermal cycling share
+	// must be much larger in air.
+	m := Composite5nm
+	air := m.HazardBreakdown(Condition{0.98, 101, 20})
+	imm := m.HazardBreakdown(Condition{0.98, 74, 50})
+	if air.Cycling <= imm.Cycling {
+		t.Fatalf("air cycling share %v not above immersion %v", air.Cycling, imm.Cycling)
+	}
+}
+
+func TestInvalidConditions(t *testing.T) {
+	m := Composite5nm
+	if _, err := m.Lifetime(Condition{0, 80, 40}); err == nil {
+		t.Fatal("zero voltage accepted")
+	}
+	if _, err := m.Lifetime(Condition{0.9, 40, 80}); err == nil {
+		t.Fatal("TjMax < TjMin accepted")
+	}
+}
+
+func TestMaxVoltageForLifetime(t *testing.T) {
+	m := Composite5nm
+	// At HFE-7000 overclocked temperatures, ~0.98 V sustains 5 years.
+	v, err := m.MaxVoltageForLifetime(5, 0.85, 1.1, 60, 34)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-0.98) > 0.02 {
+		t.Fatalf("max voltage %v, want ~0.98", v)
+	}
+	// Verify the returned voltage actually meets the target.
+	life, err := m.Lifetime(Condition{v, 60, 34})
+	if err != nil || life < 5 {
+		t.Fatalf("returned voltage gives %v years", life)
+	}
+	if _, err := m.MaxVoltageForLifetime(100, 0.85, 1.1, 101, 20); err == nil {
+		t.Fatal("unreachable target did not error")
+	}
+}
+
+func TestWearMeterBudget(t *testing.T) {
+	m := Composite5nm
+	w := NewWearMeter(m, ServiceLifeYears)
+	ref := Condition{VoltageV: 0.90, TjMaxC: 85, TjMinC: 20}
+	// Running at the reference worst case for the full service life
+	// exhausts the budget exactly.
+	w.Accrue(ref, ServiceLifeYears*24*365, 1.0)
+	if math.Abs(w.Used()-1) > 1e-9 {
+		t.Fatalf("budget used %v, want 1", w.Used())
+	}
+	if !w.Exhausted() {
+		t.Fatal("meter not exhausted after full service life at worst case")
+	}
+}
+
+func TestWearMeterCredit(t *testing.T) {
+	m := Composite5nm
+	w := NewWearMeter(m, ServiceLifeYears)
+	cool := Condition{VoltageV: 0.90, TjMaxC: 55, TjMinC: 40}
+	w.Accrue(cool, 1000, 0.3)
+	if w.Credit(1000) <= 0 {
+		t.Fatal("cool, lightly-utilized server accumulated no credit")
+	}
+	hot := Condition{VoltageV: 1.0, TjMaxC: 100, TjMinC: 20}
+	w2 := NewWearMeter(m, ServiceLifeYears)
+	w2.Accrue(hot, 1000, 1)
+	if w2.Credit(1000) >= 0 {
+		t.Fatal("hot overclocked server has positive credit")
+	}
+}
+
+func TestWearMeterNegativeHoursPanics(t *testing.T) {
+	w := NewWearMeter(Composite5nm, 5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative hours did not panic")
+		}
+	}()
+	w.Accrue(Condition{0.9, 80, 40}, -1, 1)
+}
+
+func TestStabilityNoErrorsAtSafeOC(t *testing.T) {
+	s := DefaultStability
+	// Tank #1 ran at the validated overclock for six months with
+	// zero errors.
+	if got := s.ExpectedErrors(4.1, 4.1, 180); got != 0 {
+		t.Fatalf("errors at safe OC: %v", got)
+	}
+	if s.Unstable(4.1, 4.1) {
+		t.Fatal("safe OC flagged unstable")
+	}
+}
+
+func TestStabilityTank2Errors(t *testing.T) {
+	// Tank #2 pushed past validation and logged 56 correctable
+	// errors over six months.
+	s := DefaultStability
+	got := s.ExpectedErrors(1.035, 1.0, 180)
+	if got < 25 || got > 110 {
+		t.Fatalf("expected errors %v, want ~56 (paper)", got)
+	}
+}
+
+func TestStabilityCrashRegion(t *testing.T) {
+	s := DefaultStability
+	if !s.Unstable(1.06, 1.0) {
+		t.Fatal("excessive overclock not flagged unstable")
+	}
+	if s.Unstable(1.02, 1.0) {
+		t.Fatal("mild overclock flagged unstable")
+	}
+}
+
+func TestStabilityErrorRateMonotonic(t *testing.T) {
+	s := DefaultStability
+	prev := -1.0
+	for r := 1.0; r < 1.1; r += 0.01 {
+		got := s.CorrectableErrorRate(r, 1.0)
+		if got < prev {
+			t.Fatalf("error rate not monotone at ratio %v", r)
+		}
+		prev = got
+	}
+}
+
+func TestMaxOCDutyCycle(t *testing.T) {
+	m := Composite5nm
+	nominal := Condition{VoltageV: 0.90, TjMaxC: 66, TjMinC: 50}
+	oc := Condition{VoltageV: 0.98, TjMaxC: 74, TjMinC: 50}
+	duty, err := m.MaxOCDutyCycle(nominal, oc, ServiceLifeYears)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FC-3284: nominal wears well below budget, OC above → a real
+	// interior duty cycle.
+	if duty <= 0.3 || duty >= 0.9 {
+		t.Fatalf("FC-3284 duty cycle %v, want interior (~0.67)", duty)
+	}
+	// The mixture must consume the budget exactly.
+	mixed := duty*m.TotalHazard(oc) + (1-duty)*m.TotalHazard(nominal)
+	if math.Abs(mixed-1/ServiceLifeYears) > 1e-9 {
+		t.Fatalf("mixed hazard %v, want %v", mixed, 1/ServiceLifeYears)
+	}
+}
+
+func TestMaxOCDutyCycleExtremes(t *testing.T) {
+	m := Composite5nm
+	// HFE-7000: overclocked hazard already within budget → 100%.
+	duty, err := m.MaxOCDutyCycle(
+		Condition{VoltageV: 0.90, TjMaxC: 51, TjMinC: 34},
+		Condition{VoltageV: 0.98, TjMaxC: 60, TjMinC: 34},
+		ServiceLifeYears)
+	if err != nil || duty != 1 {
+		t.Fatalf("HFE duty %v err %v, want 1", duty, err)
+	}
+	// Air: nominal already consumes the budget → 0%.
+	duty, err = m.MaxOCDutyCycle(
+		Condition{VoltageV: 0.90, TjMaxC: 85, TjMinC: 20},
+		Condition{VoltageV: 0.98, TjMaxC: 101, TjMinC: 20},
+		ServiceLifeYears)
+	if err != nil || duty != 0 {
+		t.Fatalf("air duty %v err %v, want 0", duty, err)
+	}
+	if _, err := m.MaxOCDutyCycle(Condition{}, Condition{}, 5); err == nil {
+		t.Fatal("invalid conditions accepted")
+	}
+}
+
+func TestDutyCycleEmpiricalWearMeter(t *testing.T) {
+	// Simulate 5 years alternating at the computed duty cycle: the
+	// wear meter should land at ~100% of budget, not over.
+	m := Composite5nm
+	nominal := Condition{VoltageV: 0.90, TjMaxC: 66, TjMinC: 50}
+	oc := Condition{VoltageV: 0.98, TjMaxC: 74, TjMinC: 50}
+	duty, err := m.MaxOCDutyCycle(nominal, oc, ServiceLifeYears)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWearMeter(m, ServiceLifeYears)
+	totalHours := ServiceLifeYears * 24 * 365
+	w.Accrue(oc, totalHours*duty, 1.0)
+	w.Accrue(nominal, totalHours*(1-duty), 1.0)
+	if math.Abs(w.Used()-1) > 0.01 {
+		t.Fatalf("wear after duty-cycled service life %v, want ~1.0", w.Used())
+	}
+}

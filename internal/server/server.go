@@ -1,0 +1,206 @@
+// Package server composes the substrate models — frequency domains,
+// thermal, power, reliability — into a simulated overclockable server.
+// It is the object the governor (internal/core) manages: set a
+// frequency configuration, read junction temperature, power draw,
+// accumulated wear, and correctable-error expectations.
+package server
+
+import (
+	"errors"
+	"fmt"
+
+	"immersionoc/internal/freq"
+	"immersionoc/internal/power"
+	"immersionoc/internal/reliability"
+	"immersionoc/internal/thermal"
+)
+
+// Spec describes the hardware of a simulated server.
+type Spec struct {
+	Name string
+	// Cores is the physical core count.
+	Cores int
+	// MemoryGB is installed memory.
+	MemoryGB float64
+	// Bands are the core-domain operating bands.
+	Bands freq.Bands
+	// Curve is the core voltage-frequency curve.
+	Curve *power.VFCurve
+	// Socket is the socket power model.
+	Socket power.SocketModel
+	// ServerPower is the whole-server power model.
+	ServerPower power.ServerModel
+	// Thermal converts socket power to junction temperature.
+	Thermal thermal.Model
+	// Lifetime is the degradation model.
+	Lifetime reliability.LifetimeModel
+	// Stability is the correctable-error model.
+	Stability reliability.StabilityModel
+	// GPU, when non-nil, attaches an overclockable GPU (tank #2).
+	GPU *GPUSpec
+}
+
+// Tank1Spec is small tank #1: the 28-core Xeon W-3175X immersed in
+// HFE-7000.
+func Tank1Spec() Spec {
+	return Spec{
+		Name:        "tank1-w3175x",
+		Cores:       28,
+		MemoryGB:    128,
+		Bands:       freq.XeonW3175XBands,
+		Curve:       power.XeonW3175XCurve,
+		Socket:      power.XeonSocket,
+		ServerPower: power.Tank1Server,
+		Thermal:     thermal.XeonTableVHFE.Immersion,
+		Lifetime:    reliability.Composite5nm,
+		Stability:   reliability.DefaultStability,
+	}
+}
+
+// AirSpec is the same server configured for air cooling in the 35 °C
+// thermal chamber — the paper's baseline.
+func AirSpec() Spec {
+	s := Tank1Spec()
+	s.Name = "air-w3175x"
+	s.Thermal = thermal.XeonTableV.Air
+	return s
+}
+
+// Server is a running simulated server.
+type Server struct {
+	Spec Spec
+	cfg  freq.Config
+	wear *reliability.WearMeter
+	// utilSum is the currently offered load in core-equivalents.
+	utilSum float64
+	// activeCores is the number of un-parked cores.
+	activeCores int
+	// errorCount accumulates expected correctable errors.
+	errorCount float64
+	hours      float64
+	gpuCfg     freq.GPUConfig
+	gpuSet     bool
+}
+
+// New returns a server at the B2 baseline configuration, idle.
+func New(spec Spec) *Server {
+	return &Server{
+		Spec: spec,
+		cfg:  freq.B2,
+		wear: reliability.NewWearMeter(spec.Lifetime, reliability.ServiceLifeYears),
+	}
+}
+
+// Config returns the active frequency configuration.
+func (s *Server) Config() freq.Config { return s.cfg }
+
+// ErrUnstable is returned when a requested configuration exceeds the
+// stability envelope.
+var ErrUnstable = errors.New("server: configuration beyond stability envelope")
+
+// SetConfig applies a frequency configuration. Configurations beyond
+// the stability envelope (red band top) are rejected — the paper's
+// experience is that excessive voltage/frequency crashes the machine.
+func (s *Server) SetConfig(cfg freq.Config) error {
+	if cfg.CoreGHz > s.Spec.Bands.MaxOC {
+		return fmt.Errorf("%w: %.2f GHz > max %.2f GHz", ErrUnstable, cfg.CoreGHz, s.Spec.Bands.MaxOC)
+	}
+	s.cfg = cfg
+	return nil
+}
+
+// Band returns the operating band of the current core frequency.
+func (s *Server) Band() freq.Band { return s.Spec.Bands.Classify(s.cfg.CoreGHz) }
+
+// SetLoad updates the offered load: utilSum core-equivalents across
+// activeCores un-parked cores.
+func (s *Server) SetLoad(utilSum float64, activeCores int) {
+	if utilSum < 0 || activeCores < 0 || activeCores > s.Spec.Cores {
+		panic("server: invalid load")
+	}
+	s.utilSum = utilSum
+	s.activeCores = activeCores
+}
+
+// PowerW returns current server power.
+func (s *Server) PowerW() float64 {
+	return s.Spec.ServerPower.Power(s.cfg, s.utilSum, s.activeCores)
+}
+
+// Voltage returns the current core voltage. The measured V-f curve
+// already includes the stability offset Table VII documents, so the
+// configuration's offset is not added again.
+func (s *Server) Voltage() float64 {
+	return s.Spec.Curve.Voltage(s.cfg.CoreGHz)
+}
+
+// SocketUtil returns socket-level utilization in [0,1].
+func (s *Server) SocketUtil() float64 {
+	if s.Spec.Cores == 0 {
+		return 0
+	}
+	u := s.utilSum / float64(s.Spec.Cores)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// OperatingPoint solves the socket's steady-state power and junction
+// temperature at the current configuration and load.
+func (s *Server) OperatingPoint() (power.OperatingPoint, error) {
+	return s.Spec.Socket.Solve(s.Spec.Thermal, s.Spec.Curve, s.cfg.CoreGHz, 0, s.SocketUtil())
+}
+
+// Condition returns the current reliability condition (voltage, peak
+// and idle junction temperatures).
+func (s *Server) Condition() (reliability.Condition, error) {
+	op, err := s.OperatingPoint()
+	if err != nil {
+		return reliability.Condition{}, err
+	}
+	return reliability.Condition{
+		VoltageV: op.VoltageV,
+		TjMaxC:   op.JunctionC,
+		TjMinC:   s.Spec.Thermal.IdleTemp(),
+	}, nil
+}
+
+// Advance accrues hours of operation at the current configuration and
+// load: wear, error expectations, and uptime.
+func (s *Server) Advance(hours float64) error {
+	if hours < 0 {
+		return errors.New("server: negative hours")
+	}
+	cond, err := s.Condition()
+	if err != nil {
+		return err
+	}
+	s.wear.Accrue(cond, hours, s.SocketUtil())
+	s.errorCount += s.Spec.Stability.ExpectedErrors(float64(s.cfg.CoreGHz), float64(s.Spec.Bands.MaxSafeOC), hours/24)
+	s.hours += hours
+	return nil
+}
+
+// WearUsed returns the fraction of the lifetime budget consumed.
+func (s *Server) WearUsed() float64 { return s.wear.Used() }
+
+// WearCredit returns unspent lifetime budget relative to pro-rata
+// consumption (positive = can afford overclocking).
+func (s *Server) WearCredit() float64 { return s.wear.Credit(s.hours) }
+
+// ExpectedErrors returns accumulated expected correctable errors.
+func (s *Server) ExpectedErrors() float64 { return s.errorCount }
+
+// Hours returns accumulated uptime.
+func (s *Server) Hours() float64 { return s.hours }
+
+// ProjectedLifetimeYears returns the lifetime if the server stayed at
+// its current operating condition indefinitely.
+func (s *Server) ProjectedLifetimeYears() (float64, error) {
+	cond, err := s.Condition()
+	if err != nil {
+		return 0, err
+	}
+	return s.Spec.Lifetime.Lifetime(cond)
+}

@@ -1,0 +1,250 @@
+package server
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"immersionoc/internal/freq"
+	"immersionoc/internal/reliability"
+)
+
+func TestNewServerDefaults(t *testing.T) {
+	s := New(Tank1Spec())
+	if s.Config().Name != "B2" {
+		t.Fatalf("initial config %s, want B2", s.Config().Name)
+	}
+	if s.Band() != freq.Turbo {
+		t.Fatalf("initial band %v, want turbo", s.Band())
+	}
+	if s.Hours() != 0 || s.WearUsed() != 0 {
+		t.Fatal("fresh server has history")
+	}
+}
+
+func TestSetConfigStabilityEnvelope(t *testing.T) {
+	s := New(Tank1Spec())
+	if err := s.SetConfig(freq.OC3); err != nil {
+		t.Fatalf("OC3 rejected: %v", err)
+	}
+	if s.Band() != freq.Overclocked {
+		t.Fatalf("band %v, want overclocked", s.Band())
+	}
+	tooFar := freq.OC1
+	tooFar.CoreGHz = 4.5
+	err := s.SetConfig(tooFar)
+	if !errors.Is(err, ErrUnstable) {
+		t.Fatalf("4.5 GHz accepted: %v", err)
+	}
+	if s.Config().Name != "OC3" {
+		t.Fatal("failed SetConfig mutated configuration")
+	}
+}
+
+func TestPowerIncreasesWithOverclock(t *testing.T) {
+	s := New(Tank1Spec())
+	s.SetLoad(14, 16)
+	base := s.PowerW()
+	if err := s.SetConfig(freq.OC3); err != nil {
+		t.Fatal(err)
+	}
+	if s.PowerW() <= base {
+		t.Fatal("overclocked power not above baseline")
+	}
+}
+
+func TestVoltageFollowsCurveAndOffset(t *testing.T) {
+	s := New(Tank1Spec())
+	vBase := s.Voltage()
+	if math.Abs(vBase-0.90) > 1e-9 {
+		t.Fatalf("B2 voltage %v, want 0.90", vBase)
+	}
+	s.SetConfig(freq.OC1)
+	vOC := s.Voltage()
+	if vOC <= vBase {
+		t.Fatal("OC voltage not above baseline")
+	}
+	if vOC < 0.97 || vOC > 1.05 {
+		t.Fatalf("OC1 voltage %v outside plausible range", vOC)
+	}
+}
+
+func TestOperatingPointImmersion(t *testing.T) {
+	s := New(Tank1Spec())
+	s.SetLoad(28, 28)
+	op, err := s.OperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fully loaded at B2 in HFE-7000: ~205 W, Tj ~51 °C.
+	if math.Abs(op.PowerW-205) > 8 {
+		t.Fatalf("operating power %v, want ~205", op.PowerW)
+	}
+	if math.Abs(op.JunctionC-51) > 3 {
+		t.Fatalf("junction %v, want ~51", op.JunctionC)
+	}
+}
+
+func TestProjectedLifetime(t *testing.T) {
+	imm := New(Tank1Spec())
+	imm.SetLoad(28, 28)
+	life, err := imm.ProjectedLifetimeYears()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if life < 10 {
+		t.Fatalf("nominal immersion lifetime %v, want >10 years", life)
+	}
+	imm.SetConfig(freq.OC1)
+	lifeOC, err := imm.ProjectedLifetimeYears()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lifeOC >= life {
+		t.Fatal("overclocking did not reduce projected lifetime")
+	}
+	if lifeOC < 4 {
+		t.Fatalf("OC1 in HFE lifetime %v, want ≥ ~4.5 years (Table V)", lifeOC)
+	}
+}
+
+func TestAirWearFasterThanImmersion(t *testing.T) {
+	air := New(AirSpec())
+	imm := New(Tank1Spec())
+	for _, s := range []*Server{air, imm} {
+		s.SetLoad(28, 28)
+		s.SetConfig(freq.OC1)
+		if err := s.Advance(1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if air.WearUsed() <= imm.WearUsed() {
+		t.Fatalf("air wear %v not above immersion %v under overclock", air.WearUsed(), imm.WearUsed())
+	}
+}
+
+func TestWearCreditAccrues(t *testing.T) {
+	s := New(Tank1Spec())
+	s.SetLoad(7, 28) // lightly utilized, cool
+	if err := s.Advance(5000); err != nil {
+		t.Fatal(err)
+	}
+	if s.WearCredit() <= 0 {
+		t.Fatal("cool lightly-loaded server accrued no credit")
+	}
+	if s.Hours() != 5000 {
+		t.Fatalf("hours %v", s.Hours())
+	}
+}
+
+func TestErrorsAccrueOnlyPastSafeOC(t *testing.T) {
+	s := New(Tank1Spec())
+	s.SetLoad(28, 28)
+	s.SetConfig(freq.OC1) // at the validated safe overclock
+	s.Advance(24 * 180)
+	if s.ExpectedErrors() != 0 {
+		t.Fatalf("errors at safe OC: %v", s.ExpectedErrors())
+	}
+	pushed := freq.OC1
+	pushed.CoreGHz = 4.25 // past safe, below crash
+	if err := s.SetConfig(pushed); err != nil {
+		t.Fatal(err)
+	}
+	s.Advance(24 * 180)
+	if s.ExpectedErrors() <= 0 {
+		t.Fatal("no errors past the validated overclock")
+	}
+}
+
+func TestAdvanceNegativeHours(t *testing.T) {
+	s := New(Tank1Spec())
+	if err := s.Advance(-1); err == nil {
+		t.Fatal("negative hours accepted")
+	}
+}
+
+func TestSetLoadValidation(t *testing.T) {
+	s := New(Tank1Spec())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid load did not panic")
+		}
+	}()
+	s.SetLoad(-1, 4)
+}
+
+func TestSocketUtilClamped(t *testing.T) {
+	s := New(Tank1Spec())
+	s.SetLoad(28, 28)
+	if got := s.SocketUtil(); got != 1 {
+		t.Fatalf("full util %v", got)
+	}
+	s.SetLoad(14, 28)
+	if got := s.SocketUtil(); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("half util %v", got)
+	}
+}
+
+func TestAirOverclockShortensLifeBelowServiceLife(t *testing.T) {
+	air := New(AirSpec())
+	air.SetLoad(28, 28)
+	air.SetConfig(freq.OC1)
+	life, err := air.ProjectedLifetimeYears()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if life >= reliability.ServiceLifeYears {
+		t.Fatalf("air-cooled overclock lifetime %v, want below service life", life)
+	}
+}
+
+func TestTank2GPU(t *testing.T) {
+	s := New(Tank2Spec())
+	cfg, err := s.GPUConfig()
+	if err != nil || cfg.Name != "Base" {
+		t.Fatalf("default GPU config %v err %v", cfg.Name, err)
+	}
+	basePower, err := s.GPUPowerW()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetGPUConfig(freq.OCG3); err != nil {
+		t.Fatal(err)
+	}
+	ocPower, err := s.GPUPowerW()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ocPower <= basePower {
+		t.Fatal("overclocked GPU not drawing more power")
+	}
+	if s.TotalPowerW() <= s.PowerW() {
+		t.Fatal("total power does not include the GPU")
+	}
+}
+
+func TestNoGPUErrors(t *testing.T) {
+	s := New(Tank1Spec())
+	if err := s.SetGPUConfig(freq.OCG1); err == nil {
+		t.Fatal("GPU config accepted on GPU-less server")
+	}
+	if _, err := s.GPUPowerW(); err == nil {
+		t.Fatal("GPU power on GPU-less server")
+	}
+	// Total power degrades gracefully to CPU-side power.
+	if s.TotalPowerW() != s.PowerW() {
+		t.Fatal("total power wrong without GPU")
+	}
+}
+
+func TestTank2CPUBands(t *testing.T) {
+	s := New(Tank2Spec())
+	if s.Spec.Bands.Validate() != nil {
+		t.Fatal("tank2 bands invalid")
+	}
+	// The i9900k overclocks ~6% past all-core turbo safely.
+	head := s.Spec.Bands.SafeHeadroom()
+	if head <= 0.04 || head > 0.10 {
+		t.Fatalf("tank2 safe headroom %v", head)
+	}
+}

@@ -1,0 +1,135 @@
+package server
+
+import (
+	"errors"
+
+	"immersionoc/internal/freq"
+	"immersionoc/internal/power"
+	"immersionoc/internal/reliability"
+	"immersionoc/internal/thermal"
+	"immersionoc/internal/workload"
+)
+
+// GPUSpec describes an attached overclockable GPU (small tank #2's
+// RTX 2080ti).
+type GPUSpec struct {
+	Name string
+	// Power estimates board power per configuration.
+	Power workload.GPUPowerModel
+}
+
+// Tank2Spec is small tank #2: an 8-core i9900k with an overclockable
+// RTX 2080ti, immersed in FC-3284. The CPU side reuses the Xeon
+// behavioural models scaled to the desktop part; the GPU side carries
+// the Table VIII configurations.
+func Tank2Spec() Spec {
+	s := Spec{
+		Name:     "tank2-i9900k-2080ti",
+		Cores:    8,
+		MemoryGB: 128,
+		Bands: freq.Bands{
+			Min:       1.2,
+			Base:      3.6,
+			MaxTurbo:  4.7,
+			MaxSafeOC: 5.0,
+			MaxOC:     5.2,
+		},
+		Curve:       i9900kCurve,
+		Socket:      i9900kSocket,
+		ServerPower: tank2Server,
+		Thermal:     thermal.XeonTableV.Immersion, // FC-3284 bath
+		Lifetime:    reliability.Composite5nm,
+		Stability:   reliability.DefaultStability,
+		GPU: &GPUSpec{
+			Name:  "RTX 2080ti",
+			Power: workload.DefaultGPUPower,
+		},
+	}
+	return s
+}
+
+// i9900kCurve is the desktop part's voltage curve (higher clocks,
+// higher voltages than the server Xeon).
+var i9900kCurve = mustCurve(
+	power.VFPoint{GHz: 3.6, V: 1.00},
+	power.VFPoint{GHz: 4.7, V: 1.18},
+	power.VFPoint{GHz: 5.0, V: 1.28},
+)
+
+func mustCurve(points ...power.VFPoint) *power.VFCurve {
+	c, err := power.NewVFCurve(points...)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// i9900kSocket scales the socket power model to the 95 W desktop TDP
+// class (the part runs far beyond TDP at all-core turbo, as desktop
+// boards allow).
+var i9900kSocket = power.SocketModel{
+	LeakRefW:      10,
+	LeakRefV:      1.0,
+	LeakRefTempC:  92,
+	LeakThetaC:    25,
+	VoltExp:       3,
+	CeffWPerGHzV2: 22,
+	TDPW:          95,
+}
+
+// tank2Server is the whole-server power model for the desktop box.
+var tank2Server = power.ServerModel{
+	PlatformW:    30,
+	UncoreRefW:   12,
+	MemRefW:      14,
+	CorePerGHzV2: 2.6,
+	CoreActiveW:  1.0,
+	CoreParkedW:  0.3,
+	TotalCores:   8,
+	Curve:        i9900kCurve,
+}
+
+// ErrNoGPU is returned by GPU operations on servers without one.
+var ErrNoGPU = errors.New("server: no GPU attached")
+
+// SetGPUConfig applies a Table VIII configuration to the attached GPU.
+func (s *Server) SetGPUConfig(cfg freq.GPUConfig) error {
+	if s.Spec.GPU == nil {
+		return ErrNoGPU
+	}
+	s.gpuCfg = cfg
+	s.gpuSet = true
+	return nil
+}
+
+// GPUConfig returns the active GPU configuration (stock when never
+// set).
+func (s *Server) GPUConfig() (freq.GPUConfig, error) {
+	if s.Spec.GPU == nil {
+		return freq.GPUConfig{}, ErrNoGPU
+	}
+	if !s.gpuSet {
+		return freq.GPUBase, nil
+	}
+	return s.gpuCfg, nil
+}
+
+// GPUPowerW returns the GPU's average board power during a training
+// run under the active configuration.
+func (s *Server) GPUPowerW() (float64, error) {
+	cfg, err := s.GPUConfig()
+	if err != nil {
+		return 0, err
+	}
+	return s.Spec.GPU.Power.Average(cfg), nil
+}
+
+// TotalPowerW returns server plus GPU power (servers without GPUs
+// return CPU-side power only).
+func (s *Server) TotalPowerW() float64 {
+	p := s.PowerW()
+	if g, err := s.GPUPowerW(); err == nil {
+		p += g
+	}
+	return p
+}

@@ -1,0 +1,203 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// A Simulation owns a virtual clock and a priority queue of pending
+// events. Events are functions scheduled to run at a virtual time; ties
+// are broken by insertion order so runs are fully deterministic. All of
+// the experiment harnesses in this repository (queueing, auto-scaling,
+// cluster failover) are built on this kernel.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a virtual timestamp measured in seconds from simulation start.
+type Time float64
+
+// Duration is a span of virtual time in seconds.
+type Duration = float64
+
+// Seconds converts a time.Duration into simulation seconds.
+func Seconds(d time.Duration) Duration { return d.Seconds() }
+
+// Event is a scheduled callback. The callback receives the simulation so
+// it can schedule follow-up events.
+type Event struct {
+	at   Time
+	seq  uint64
+	fn   func(*Simulation)
+	idx  int // heap index; -1 when not queued
+	dead bool
+}
+
+// At reports the virtual time the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// Cancel prevents a pending event from firing. Cancelling an event that
+// already fired (or was already cancelled) is a no-op.
+func (e *Event) Cancel() { e.dead = true }
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e.dead }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Simulation is a discrete-event simulator instance. The zero value is
+// not usable; construct with New.
+type Simulation struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	stopped bool
+	fired   uint64
+}
+
+// New returns an empty simulation with the clock at zero.
+func New() *Simulation {
+	return &Simulation{}
+}
+
+// Now returns the current virtual time.
+func (s *Simulation) Now() Time { return s.now }
+
+// EventsFired returns the number of events executed so far.
+func (s *Simulation) EventsFired() uint64 { return s.fired }
+
+// Pending returns the number of events still queued.
+func (s *Simulation) Pending() int { return len(s.queue) }
+
+// Schedule queues fn to run at absolute virtual time at. Scheduling in
+// the past (before Now) panics: it indicates a logic error in the model.
+func (s *Simulation) Schedule(at Time, fn func(*Simulation)) *Event {
+	if math.IsNaN(float64(at)) {
+		panic("sim: schedule at NaN time")
+	}
+	if at < s.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, s.now))
+	}
+	e := &Event{at: at, seq: s.seq, fn: fn, idx: -1}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After queues fn to run d seconds after the current time.
+func (s *Simulation) After(d Duration, fn func(*Simulation)) *Event {
+	return s.Schedule(s.now+Time(d), fn)
+}
+
+// Stop halts the run loop after the current event completes.
+func (s *Simulation) Stop() { s.stopped = true }
+
+// Run executes events until the queue drains or Stop is called.
+func (s *Simulation) Run() {
+	s.RunUntil(Time(math.Inf(1)))
+}
+
+// RunUntil executes events with timestamps <= end, then sets the clock
+// to end (if end is finite and beyond the last event). Returns the
+// number of events fired during this call.
+func (s *Simulation) RunUntil(end Time) uint64 {
+	start := s.fired
+	s.stopped = false
+	for len(s.queue) > 0 && !s.stopped {
+		next := s.queue[0]
+		if next.at > end {
+			break
+		}
+		heap.Pop(&s.queue)
+		if next.dead {
+			continue
+		}
+		s.now = next.at
+		s.fired++
+		next.fn(s)
+	}
+	if !math.IsInf(float64(end), 1) && end > s.now {
+		s.now = end
+	}
+	return s.fired - start
+}
+
+// Step executes exactly one pending event (skipping cancelled ones) and
+// reports whether an event was executed.
+func (s *Simulation) Step() bool {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.dead {
+			continue
+		}
+		s.now = e.at
+		s.fired++
+		e.fn(s)
+		return true
+	}
+	return false
+}
+
+// Ticker invokes fn every period seconds starting at start, until the
+// returned stop function is called or the simulation ends.
+type Ticker struct {
+	period Duration
+	fn     func(*Simulation, Time)
+	ev     *Event
+	done   bool
+}
+
+// NewTicker schedules a periodic callback. period must be positive.
+func (s *Simulation) NewTicker(start Time, period Duration, fn func(*Simulation, Time)) *Ticker {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	t := &Ticker{period: period, fn: fn}
+	var tick func(*Simulation)
+	tick = func(sm *Simulation) {
+		if t.done {
+			return
+		}
+		t.fn(sm, sm.Now())
+		if !t.done {
+			t.ev = sm.After(t.period, tick)
+		}
+	}
+	t.ev = s.Schedule(start, tick)
+	return t
+}
+
+// Stop cancels future ticks.
+func (t *Ticker) Stop() {
+	t.done = true
+	if t.ev != nil {
+		t.ev.Cancel()
+	}
+}

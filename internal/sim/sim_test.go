@@ -1,0 +1,230 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleRunsInOrder(t *testing.T) {
+	s := New()
+	var got []float64
+	for _, at := range []float64{3, 1, 2, 5, 4} {
+		at := at
+		s.Schedule(Time(at), func(sm *Simulation) {
+			got = append(got, float64(sm.Now()))
+		})
+	}
+	s.Run()
+	if !sort.Float64sAreSorted(got) {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if len(got) != 5 {
+		t.Fatalf("fired %d events, want 5", len(got))
+	}
+}
+
+func TestTieBreakByInsertionOrder(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(7, func(*Simulation) { got = append(got, i) })
+	}
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie order broken at %d: %v", i, got)
+		}
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	s := New()
+	s.Schedule(5, func(*Simulation) {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	s.Schedule(1, func(*Simulation) {})
+}
+
+func TestScheduleNaNPanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NaN time did not panic")
+		}
+	}()
+	s.Schedule(Time(math.NaN()), func(*Simulation) {})
+}
+
+func TestAfter(t *testing.T) {
+	s := New()
+	var at Time
+	s.Schedule(10, func(sm *Simulation) {
+		sm.After(5, func(sm2 *Simulation) { at = sm2.Now() })
+	})
+	s.Run()
+	if at != 15 {
+		t.Fatalf("After fired at %v, want 15", at)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	e := s.Schedule(1, func(*Simulation) { fired = true })
+	e.Cancel()
+	s.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !e.Cancelled() {
+		t.Fatal("Cancelled() false after Cancel")
+	}
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	s := New()
+	s.Schedule(3, func(*Simulation) {})
+	n := s.RunUntil(10)
+	if n != 1 {
+		t.Fatalf("fired %d, want 1", n)
+	}
+	if s.Now() != 10 {
+		t.Fatalf("clock at %v, want 10", s.Now())
+	}
+}
+
+func TestRunUntilLeavesLaterEvents(t *testing.T) {
+	s := New()
+	fired := 0
+	s.Schedule(3, func(*Simulation) { fired++ })
+	s.Schedule(30, func(*Simulation) { fired++ })
+	s.RunUntil(10)
+	if fired != 1 {
+		t.Fatalf("fired %d before deadline, want 1", fired)
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending %d, want 1", s.Pending())
+	}
+	s.Run()
+	if fired != 2 {
+		t.Fatalf("fired %d after Run, want 2", fired)
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New()
+	fired := 0
+	s.Schedule(1, func(sm *Simulation) { fired++; sm.Stop() })
+	s.Schedule(2, func(*Simulation) { fired++ })
+	s.Run()
+	if fired != 1 {
+		t.Fatalf("Stop did not halt the loop: fired %d", fired)
+	}
+}
+
+func TestStep(t *testing.T) {
+	s := New()
+	s.Schedule(1, func(*Simulation) {})
+	s.Schedule(2, func(*Simulation) {})
+	if !s.Step() || s.Now() != 1 {
+		t.Fatalf("first step: now=%v", s.Now())
+	}
+	if !s.Step() || s.Now() != 2 {
+		t.Fatalf("second step: now=%v", s.Now())
+	}
+	if s.Step() {
+		t.Fatal("step on empty queue returned true")
+	}
+}
+
+func TestTicker(t *testing.T) {
+	s := New()
+	var ticks []float64
+	var tk *Ticker
+	tk = s.NewTicker(0, 10, func(sm *Simulation, at Time) {
+		ticks = append(ticks, float64(at))
+		if len(ticks) == 4 {
+			tk.Stop()
+		}
+	})
+	s.RunUntil(100)
+	want := []float64{0, 10, 20, 30}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("tick %d at %v, want %v", i, ticks[i], want[i])
+		}
+	}
+}
+
+func TestTickerZeroPeriodPanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero period did not panic")
+		}
+	}()
+	s.NewTicker(0, 0, func(*Simulation, Time) {})
+}
+
+func TestEventsFired(t *testing.T) {
+	s := New()
+	for i := 0; i < 7; i++ {
+		s.Schedule(Time(i), func(*Simulation) {})
+	}
+	s.Run()
+	if s.EventsFired() != 7 {
+		t.Fatalf("EventsFired %d, want 7", s.EventsFired())
+	}
+}
+
+// Property: any multiset of timestamps executes in sorted order.
+func TestPropertyOrdering(t *testing.T) {
+	f := func(raw []uint16) bool {
+		s := New()
+		var got []float64
+		for _, r := range raw {
+			at := Time(r)
+			s.Schedule(at, func(sm *Simulation) { got = append(got, float64(sm.Now())) })
+		}
+		s.Run()
+		return sort.Float64sAreSorted(got) && len(got) == len(raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: nested scheduling from callbacks never executes before its
+// scheduling parent.
+func TestPropertyCausality(t *testing.T) {
+	f := func(delays []uint8) bool {
+		s := New()
+		ok := true
+		for _, d := range delays {
+			d := Duration(d)
+			s.Schedule(1, func(sm *Simulation) {
+				parent := sm.Now()
+				sm.After(d, func(sm2 *Simulation) {
+					if sm2.Now() < parent {
+						ok = false
+					}
+				})
+			})
+		}
+		s.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

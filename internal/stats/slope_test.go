@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSlopeLinear(t *testing.T) {
+	w := NewWindow(100)
+	for i := 0; i <= 10; i++ {
+		w.Add(float64(i), 2+0.5*float64(i))
+	}
+	if got := w.Slope(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("slope %v, want 0.5", got)
+	}
+	if got := w.Forecast(4); math.Abs(got-(7+2)) > 1e-12 {
+		t.Fatalf("forecast %v, want 9", got)
+	}
+}
+
+func TestSlopeFlat(t *testing.T) {
+	w := NewWindow(100)
+	for i := 0; i < 5; i++ {
+		w.Add(float64(i), 3)
+	}
+	if got := w.Slope(); math.Abs(got) > 1e-12 {
+		t.Fatalf("flat slope %v", got)
+	}
+}
+
+func TestSlopeDegenerate(t *testing.T) {
+	w := NewWindow(100)
+	if w.Slope() != 0 {
+		t.Fatal("empty window slope")
+	}
+	w.Add(1, 5)
+	if w.Slope() != 0 {
+		t.Fatal("single-sample slope")
+	}
+	if w.Forecast(10) != 5 {
+		t.Fatalf("single-sample forecast %v", w.Forecast(10))
+	}
+}
+
+func TestSlopeUsesWindowOnly(t *testing.T) {
+	w := NewWindow(5)
+	// Old decreasing samples get evicted; the retained trend is
+	// increasing.
+	w.Add(0, 10)
+	w.Add(1, 9)
+	w.Add(10, 1)
+	w.Add(12, 3)
+	w.Add(14, 5)
+	if got := w.Slope(); got <= 0 {
+		t.Fatalf("slope %v, want positive after eviction", got)
+	}
+}
+
+// Property: slope sign matches the endpoints' order for monotone data.
+func TestSlopeSignProperty(t *testing.T) {
+	f := func(deltas []uint8) bool {
+		if len(deltas) < 2 {
+			return true
+		}
+		w := NewWindow(1e9)
+		v := 0.0
+		for i, d := range deltas {
+			v += float64(d%16) + 0.1 // strictly increasing
+			w.Add(float64(i), v)
+		}
+		return w.Slope() > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

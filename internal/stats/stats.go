@@ -1,0 +1,353 @@
+// Package stats provides the streaming statistics used throughout the
+// experiments: exact percentile digests for latency distributions,
+// rolling time-windowed averages for the auto-scaler's utilization
+// monitors, histograms, and simple time-series recording for figure
+// regeneration.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Digest accumulates samples and answers percentile queries exactly.
+// It is intended for simulation-scale sample counts (millions), where
+// keeping every sample is cheap and exactness keeps the reproduced
+// tables stable across runs.
+type Digest struct {
+	samples []float64
+	sorted  bool
+	sum     float64
+}
+
+// NewDigest returns an empty digest.
+func NewDigest() *Digest { return &Digest{} }
+
+// Add records one sample.
+func (d *Digest) Add(v float64) {
+	d.samples = append(d.samples, v)
+	d.sorted = false
+	d.sum += v
+}
+
+// Count returns the number of samples recorded.
+func (d *Digest) Count() int { return len(d.samples) }
+
+// Sum returns the sum of all samples.
+func (d *Digest) Sum() float64 { return d.sum }
+
+// Mean returns the arithmetic mean (0 for an empty digest).
+func (d *Digest) Mean() float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	return d.sum / float64(len(d.samples))
+}
+
+// Reset discards all samples.
+func (d *Digest) Reset() {
+	d.samples = d.samples[:0]
+	d.sorted = false
+	d.sum = 0
+}
+
+func (d *Digest) ensureSorted() {
+	if !d.sorted {
+		sort.Float64s(d.samples)
+		d.sorted = true
+	}
+}
+
+// Quantile returns the q-quantile (q in [0,1]) using linear
+// interpolation between closest ranks. Returns 0 for an empty digest.
+func (d *Digest) Quantile(q float64) float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %v out of [0,1]", q))
+	}
+	d.ensureSorted()
+	if len(d.samples) == 1 {
+		return d.samples[0]
+	}
+	pos := q * float64(len(d.samples)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return d.samples[lo]
+	}
+	frac := pos - float64(lo)
+	return d.samples[lo]*(1-frac) + d.samples[hi]*frac
+}
+
+// P95 returns the 95th percentile.
+func (d *Digest) P95() float64 { return d.Quantile(0.95) }
+
+// P99 returns the 99th percentile.
+func (d *Digest) P99() float64 { return d.Quantile(0.99) }
+
+// Max returns the largest sample (0 for empty).
+func (d *Digest) Max() float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	d.ensureSorted()
+	return d.samples[len(d.samples)-1]
+}
+
+// Min returns the smallest sample (0 for empty).
+func (d *Digest) Min() float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	d.ensureSorted()
+	return d.samples[0]
+}
+
+// Stddev returns the population standard deviation.
+func (d *Digest) Stddev() float64 {
+	n := len(d.samples)
+	if n == 0 {
+		return 0
+	}
+	mean := d.Mean()
+	var ss float64
+	for _, v := range d.samples {
+		dv := v - mean
+		ss += dv * dv
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// Window is a rolling time window of (time, value) samples. The
+// auto-scaler uses Windows to compute "average CPU utilization over the
+// last 3 minutes / 30 seconds" exactly as the paper describes.
+type Window struct {
+	span   float64 // seconds of history to retain
+	times  []float64
+	values []float64
+}
+
+// NewWindow returns a rolling window retaining span seconds of samples.
+func NewWindow(span float64) *Window {
+	if span <= 0 {
+		panic("stats: window span must be positive")
+	}
+	return &Window{span: span}
+}
+
+// Add records a sample at time t, evicting samples older than span.
+// Samples must be added in non-decreasing time order.
+func (w *Window) Add(t, v float64) {
+	if n := len(w.times); n > 0 && t < w.times[n-1] {
+		panic("stats: window samples must be time-ordered")
+	}
+	w.times = append(w.times, t)
+	w.values = append(w.values, v)
+	cut := t - w.span
+	i := 0
+	for i < len(w.times) && w.times[i] < cut {
+		i++
+	}
+	if i > 0 {
+		w.times = append(w.times[:0], w.times[i:]...)
+		w.values = append(w.values[:0], w.values[i:]...)
+	}
+}
+
+// Mean returns the average of the samples currently in the window
+// (0 when empty).
+func (w *Window) Mean() float64 {
+	if len(w.values) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range w.values {
+		s += v
+	}
+	return s / float64(len(w.values))
+}
+
+// Len returns the number of retained samples.
+func (w *Window) Len() int { return len(w.values) }
+
+// Span returns the configured window span in seconds.
+func (w *Window) Span() float64 { return w.span }
+
+// Last returns the most recent sample value (0 when empty).
+func (w *Window) Last() float64 {
+	if len(w.values) == 0 {
+		return 0
+	}
+	return w.values[len(w.values)-1]
+}
+
+// Slope returns the least-squares trend of the windowed samples in
+// value units per second (0 with fewer than two samples or zero time
+// spread). Predictive auto-scaling uses it to forecast utilization.
+func (w *Window) Slope() float64 {
+	n := float64(len(w.times))
+	if n < 2 {
+		return 0
+	}
+	var st, sv, stt, stv float64
+	for i := range w.times {
+		st += w.times[i]
+		sv += w.values[i]
+		stt += w.times[i] * w.times[i]
+		stv += w.times[i] * w.values[i]
+	}
+	den := n*stt - st*st
+	if den == 0 {
+		return 0
+	}
+	return (n*stv - st*sv) / den
+}
+
+// Forecast extrapolates the windowed trend horizon seconds past the
+// most recent sample.
+func (w *Window) Forecast(horizonS float64) float64 {
+	return w.Last() + w.Slope()*horizonS
+}
+
+// Series records an append-only (time, value) series — one per curve of
+// a reproduced figure.
+type Series struct {
+	Name   string
+	Times  []float64
+	Values []float64
+}
+
+// NewSeries returns an empty named series.
+func NewSeries(name string) *Series { return &Series{Name: name} }
+
+// Add appends a point.
+func (s *Series) Add(t, v float64) {
+	s.Times = append(s.Times, t)
+	s.Values = append(s.Values, v)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.Times) }
+
+// At returns the value at or immediately before time t (0 if the series
+// has no point at or before t).
+func (s *Series) At(t float64) float64 {
+	i := sort.SearchFloat64s(s.Times, t)
+	if i < len(s.Times) && s.Times[i] == t {
+		return s.Values[i]
+	}
+	if i == 0 {
+		return 0
+	}
+	return s.Values[i-1]
+}
+
+// Mean returns the time-unweighted mean of the recorded values.
+func (s *Series) Mean() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.Values {
+		sum += v
+	}
+	return sum / float64(len(s.Values))
+}
+
+// Max returns the largest recorded value (0 when empty).
+func (s *Series) Max() float64 {
+	m := math.Inf(-1)
+	for _, v := range s.Values {
+		if v > m {
+			m = v
+		}
+	}
+	if math.IsInf(m, -1) {
+		return 0
+	}
+	return m
+}
+
+// TimeWeightedMean integrates the series as a step function over
+// [start, end] and divides by the span. Useful for VM-count integrals
+// (VM×hours) and average power.
+func (s *Series) TimeWeightedMean(start, end float64) float64 {
+	if end <= start {
+		return 0
+	}
+	return s.Integral(start, end) / (end - start)
+}
+
+// Integral integrates the step function defined by the series over
+// [start, end]. Each recorded value holds from its timestamp until the
+// next point (or end).
+func (s *Series) Integral(start, end float64) float64 {
+	if end <= start || len(s.Times) == 0 {
+		return 0
+	}
+	var total float64
+	for i := 0; i < len(s.Times); i++ {
+		t0 := s.Times[i]
+		var t1 float64
+		if i+1 < len(s.Times) {
+			t1 = s.Times[i+1]
+		} else {
+			t1 = end
+		}
+		lo := math.Max(t0, start)
+		hi := math.Min(t1, end)
+		if hi > lo {
+			total += s.Values[i] * (hi - lo)
+		}
+	}
+	return total
+}
+
+// Histogram is a fixed-bucket histogram over [lo, hi).
+type Histogram struct {
+	lo, hi  float64
+	buckets []uint64
+	under   uint64
+	over    uint64
+	count   uint64
+}
+
+// NewHistogram creates a histogram with n buckets spanning [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if hi <= lo || n <= 0 {
+		panic("stats: invalid histogram bounds")
+	}
+	return &Histogram{lo: lo, hi: hi, buckets: make([]uint64, n)}
+}
+
+// Add records a sample.
+func (h *Histogram) Add(v float64) {
+	h.count++
+	switch {
+	case v < h.lo:
+		h.under++
+	case v >= h.hi:
+		h.over++
+	default:
+		i := int((v - h.lo) / (h.hi - h.lo) * float64(len(h.buckets)))
+		if i >= len(h.buckets) {
+			i = len(h.buckets) - 1
+		}
+		h.buckets[i]++
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Bucket returns the count in bucket i.
+func (h *Histogram) Bucket(i int) uint64 { return h.buckets[i] }
+
+// Buckets returns the number of buckets.
+func (h *Histogram) Buckets() int { return len(h.buckets) }
+
+// OutOfRange returns the counts of samples below lo and at/above hi.
+func (h *Histogram) OutOfRange() (under, over uint64) { return h.under, h.over }

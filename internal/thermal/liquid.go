@@ -1,0 +1,106 @@
+package thermal
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ColdPlateModel is a single-phase cold-plate loop (§II): coolant is
+// pumped through a plate mounted on the package. Junction temperature
+// is the coolant supply temperature plus the coolant's caloric rise
+// plus the plate's convective resistance. Cold plates cool the plated
+// component well but leave the rest of the server on air — the
+// engineering-complexity point the paper makes.
+type ColdPlateModel struct {
+	// CoolantInC is the facility water/glycol supply temperature.
+	CoolantInC float64
+	// FlowWPerC is the coolant's caloric capacity (ṁ·cp): the bulk
+	// coolant temperature rises by P/FlowWPerC across the plate.
+	FlowWPerC float64
+	// PlateRthCPerW is the junction-to-coolant convective+conductive
+	// resistance of the plate assembly.
+	PlateRthCPerW float64
+	// IdleC is the junction temperature of an idle part.
+	IdleC float64
+}
+
+var _ Model = ColdPlateModel{}
+
+// JunctionTemp implements Model.
+func (m ColdPlateModel) JunctionTemp(powerW float64) (float64, error) {
+	if powerW < 0 {
+		return 0, errors.New("thermal: negative power")
+	}
+	if m.FlowWPerC <= 0 {
+		return 0, errors.New("thermal: cold plate needs positive coolant flow")
+	}
+	// Average bulk coolant temperature under the plate is the inlet
+	// plus half the caloric rise.
+	bulk := m.CoolantInC + powerW/(2*m.FlowWPerC)
+	return bulk + m.PlateRthCPerW*powerW, nil
+}
+
+// IdleTemp implements Model.
+func (m ColdPlateModel) IdleTemp() float64 { return m.IdleC }
+
+// Resistance implements Model (effective at 200 W).
+func (m ColdPlateModel) Resistance() float64 {
+	t, err := m.JunctionTemp(200)
+	if err != nil {
+		return 0
+	}
+	return (t - m.CoolantInC) / 200
+}
+
+// Describe implements Model.
+func (m ColdPlateModel) Describe() string {
+	return fmt.Sprintf("cold plate (coolant %.0f°C, Rth %.2f°C/W)", m.CoolantInC, m.Resistance())
+}
+
+// OnePhaseModel is single-phase immersion (1PIC): the dielectric bath
+// does not boil; pumps circulate it past the electronics and a heat
+// exchanger. Heat transfer is single-phase convection — better than
+// air, worse than boiling — and the bath temperature rises with the
+// tank's total load.
+type OnePhaseModel struct {
+	// BathC is the circulated bath temperature at the server (set by
+	// the tank's heat exchanger and total load).
+	BathC float64
+	// ConvRthCPerW is the junction-to-bath convective resistance
+	// (no phase change, so several times 2PIC's).
+	ConvRthCPerW float64
+}
+
+var _ Model = OnePhaseModel{}
+
+// JunctionTemp implements Model.
+func (m OnePhaseModel) JunctionTemp(powerW float64) (float64, error) {
+	if powerW < 0 {
+		return 0, errors.New("thermal: negative power")
+	}
+	return m.BathC + m.ConvRthCPerW*powerW, nil
+}
+
+// IdleTemp implements Model.
+func (m OnePhaseModel) IdleTemp() float64 { return m.BathC }
+
+// Resistance implements Model.
+func (m OnePhaseModel) Resistance() float64 { return m.ConvRthCPerW }
+
+// Describe implements Model.
+func (m OnePhaseModel) Describe() string {
+	return fmt.Sprintf("1PIC (bath %.0f°C, Rth %.2f°C/W)", m.BathC, m.ConvRthCPerW)
+}
+
+// Representative per-socket models for the §II technology comparison,
+// consistent with the Table I capabilities (cold plates and 1PIC cool
+// to ~2 kW/server, 2PIC beyond 4 kW) and the Alibaba/Google deployments
+// the paper cites.
+var (
+	// ColdPlateXeon: 30 °C facility water, generous flow, a good
+	// microchannel plate.
+	ColdPlateXeon = ColdPlateModel{CoolantInC: 30, FlowWPerC: 180, PlateRthCPerW: 0.085, IdleC: 30}
+	// OnePhaseXeon: 42 °C circulated bath (Alibaba-style), forced
+	// single-phase convection over a finned spreader.
+	OnePhaseXeon = OnePhaseModel{BathC: 42, ConvRthCPerW: 0.13}
+)

@@ -1,0 +1,67 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+)
+
+func TestColdPlateJunctionTemp(t *testing.T) {
+	m := ColdPlateXeon
+	tj, err := m.JunctionTemp(205)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 30 + 205/(2·180) + 0.085·205 ≈ 48 °C.
+	want := 30 + 205.0/360 + 0.085*205
+	if math.Abs(tj-want) > 1e-9 {
+		t.Fatalf("cold plate Tj %v, want %v", tj, want)
+	}
+	if m.IdleTemp() != 30 {
+		t.Fatalf("idle %v", m.IdleTemp())
+	}
+	if _, err := m.JunctionTemp(-1); err == nil {
+		t.Fatal("negative power accepted")
+	}
+	bad := ColdPlateModel{CoolantInC: 30}
+	if _, err := bad.JunctionTemp(100); err == nil {
+		t.Fatal("zero flow accepted")
+	}
+}
+
+func TestColdPlateResistanceConsistent(t *testing.T) {
+	m := ColdPlateXeon
+	r := m.Resistance()
+	tj, _ := m.JunctionTemp(200)
+	if math.Abs((m.CoolantInC+r*200)-tj) > 1e-9 {
+		t.Fatalf("resistance %v inconsistent", r)
+	}
+}
+
+func TestOnePhaseModel(t *testing.T) {
+	m := OnePhaseXeon
+	tj, err := m.JunctionTemp(205)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 42 + 0.13*205
+	if math.Abs(tj-want) > 1e-9 {
+		t.Fatalf("1PIC Tj %v, want %v", tj, want)
+	}
+	if m.IdleTemp() != 42 || m.Resistance() != 0.13 {
+		t.Fatal("1PIC accessors wrong")
+	}
+	if _, err := m.JunctionTemp(-1); err == nil {
+		t.Fatal("negative power accepted")
+	}
+}
+
+func TestLiquidCoolingOrdering(t *testing.T) {
+	// At the overclocked power, the §II hierarchy must hold: air
+	// hottest, 1PIC better, 2PIC FC better still.
+	air, _ := XeonTableV.Air.JunctionTemp(305)
+	onep, _ := OnePhaseXeon.JunctionTemp(305)
+	twop, _ := XeonTableV.Immersion.JunctionTemp(305)
+	if !(air > onep && onep > twop) {
+		t.Fatalf("ordering violated: air %v, 1PIC %v, 2PIC %v", air, onep, twop)
+	}
+}

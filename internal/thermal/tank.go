@@ -1,0 +1,188 @@
+package thermal
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"immersionoc/internal/fluids"
+)
+
+// Tank models a 2PIC tank at the vessel level: servers boil fluid,
+// the condenser coil rejects the heat into a coolant loop, and in a
+// sealed tank any imbalance raises pressure and with it the saturation
+// (bath) temperature. The bath temperature is the floor under every
+// junction temperature in the tank, so the condenser budget is the
+// fleet-level constraint on how many servers may overclock at once —
+// the tank-scale analogue of the paper's per-socket analysis.
+//
+// Heat rejection follows a UA model: Q_out = UA · (T_bath − T_coolant).
+// In steady state T_bath = max(boiling point, T_coolant + Q_in/UA); the
+// transient follows the tank's thermal mass.
+type Tank struct {
+	Fluid fluids.Fluid
+	// CondenserUAWPerC is the condenser's heat transfer conductance.
+	CondenserUAWPerC float64
+	// CoolantInC is the condenser coolant inlet temperature.
+	CoolantInC float64
+	// ThermalMassJPerC is the tank's lumped thermal mass (fluid +
+	// immersed hardware).
+	ThermalMassJPerC float64
+	// MaxBathC is the operational bath-temperature limit (vapor
+	// pressure / seal rating); 0 disables the limit.
+	MaxBathC float64
+
+	bathC float64
+}
+
+// LargeTank is the 36-blade production prototype (§III): sized so the
+// nominal 36 × 700 W load condenses with the bath a few degrees above
+// FC-3284's boiling point.
+func LargeTank() *Tank {
+	t := &Tank{
+		Fluid:            fluids.FC3284,
+		CondenserUAWPerC: 1800, // 25.2 kW at ~14 °C approach
+		CoolantInC:       38,
+		ThermalMassJPerC: 2.6e6, // ~1500 kg fluid + hardware
+		MaxBathC:         54,
+	}
+	t.bathC = t.Fluid.BoilingPointC
+	return t
+}
+
+// Validate checks tank parameters.
+func (t *Tank) Validate() error {
+	if t.CondenserUAWPerC <= 0 {
+		return errors.New("thermal: tank needs positive condenser UA")
+	}
+	if t.ThermalMassJPerC <= 0 {
+		return errors.New("thermal: tank needs positive thermal mass")
+	}
+	if t.CoolantInC >= t.Fluid.BoilingPointC {
+		return fmt.Errorf("thermal: coolant at %.0f°C cannot condense %s (boils at %.0f°C)",
+			t.CoolantInC, t.Fluid.Name, t.Fluid.BoilingPointC)
+	}
+	return nil
+}
+
+// BathC returns the current bath temperature.
+func (t *Tank) BathC() float64 {
+	if t.bathC == 0 {
+		return t.Fluid.BoilingPointC
+	}
+	return t.bathC
+}
+
+// SteadyBathC returns the steady-state bath temperature under a
+// sustained heat load.
+func (t *Tank) SteadyBathC(heatW float64) float64 {
+	ss := t.CoolantInC + heatW/t.CondenserUAWPerC
+	return math.Max(t.Fluid.BoilingPointC, ss)
+}
+
+// CondenserCapacityW returns the largest sustained heat load that
+// keeps the bath at the fluid's boiling point (no pressure rise).
+func (t *Tank) CondenserCapacityW() float64 {
+	return t.CondenserUAWPerC * (t.Fluid.BoilingPointC - t.CoolantInC)
+}
+
+// MaxHeatW returns the largest sustained heat load that respects the
+// bath limit (infinite when no limit is set).
+func (t *Tank) MaxHeatW() float64 {
+	if t.MaxBathC <= 0 {
+		return math.Inf(1)
+	}
+	return t.CondenserUAWPerC * (t.MaxBathC - t.CoolantInC)
+}
+
+// Step advances the bath temperature by dt seconds under heatW of
+// input: dT/dt = (Q_in − UA·(T − coolant)) / C, floored at the boiling
+// point (excess condenser capacity cannot sub-cool a boiling bath).
+func (t *Tank) Step(dtS, heatW float64) float64 {
+	if t.bathC == 0 {
+		t.bathC = t.Fluid.BoilingPointC
+	}
+	qOut := t.CondenserUAWPerC * (t.bathC - t.CoolantInC)
+	t.bathC += (heatW - qOut) / t.ThermalMassJPerC * dtS
+	if t.bathC < t.Fluid.BoilingPointC {
+		t.bathC = t.Fluid.BoilingPointC
+	}
+	return t.bathC
+}
+
+// OverBudget reports whether a sustained heat load would push the bath
+// past its limit.
+func (t *Tank) OverBudget(heatW float64) bool {
+	if t.MaxBathC <= 0 {
+		return false
+	}
+	return t.SteadyBathC(heatW) > t.MaxBathC
+}
+
+// OverclockBudget answers the fleet question: with `servers` machines
+// at nominalW each, how many can run at overclockedW simultaneously
+// before the steady-state bath exceeds the limit?
+func (t *Tank) OverclockBudget(servers int, nominalW, overclockedW float64) int {
+	if overclockedW <= nominalW {
+		if t.OverBudget(float64(servers) * nominalW) {
+			return 0
+		}
+		return servers
+	}
+	budget := t.MaxHeatW() - float64(servers)*nominalW
+	if budget <= 0 {
+		return 0
+	}
+	if math.IsInf(budget, 1) {
+		return servers
+	}
+	n := int(budget / (overclockedW - nominalW))
+	if n > servers {
+		n = servers
+	}
+	return n
+}
+
+// TankThermalModel adapts a tank-aware boiler into a Model whose
+// junction temperature floats on the current bath temperature — the
+// per-server thermal model to use when the tank is near its condenser
+// budget.
+type TankThermalModel struct {
+	Tank   *Tank
+	Boiler fluids.Boiler
+}
+
+var _ Model = TankThermalModel{}
+
+// JunctionTemp implements Model: bath temperature replaces the fluid's
+// nominal boiling point.
+func (m TankThermalModel) JunctionTemp(powerW float64) (float64, error) {
+	if powerW < 0 {
+		return 0, errors.New("thermal: negative power")
+	}
+	if powerW == 0 {
+		return m.IdleTemp(), nil
+	}
+	sh, err := m.Boiler.Superheat(powerW)
+	if err != nil {
+		return 0, err
+	}
+	return m.Tank.BathC() + sh + m.Boiler.SpreadingResistance*powerW, nil
+}
+
+// IdleTemp implements Model.
+func (m TankThermalModel) IdleTemp() float64 { return m.Tank.BathC() }
+
+// Resistance implements Model.
+func (m TankThermalModel) Resistance() float64 {
+	r, err := m.Boiler.ThermalResistance(200)
+	if err != nil {
+		return 0
+	}
+	return r
+}
+
+// Describe implements Model.
+func (m TankThermalModel) Describe() string {
+	return fmt.Sprintf("2PIC tank %s (bath %.1f°C)", m.Tank.Fluid.Name, m.Tank.BathC())
+}

@@ -1,0 +1,157 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+
+	"immersionoc/internal/fluids"
+)
+
+func TestLargeTankValidates(t *testing.T) {
+	if err := LargeTank().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTankValidation(t *testing.T) {
+	bad := &Tank{Fluid: fluids.FC3284, CondenserUAWPerC: 0, ThermalMassJPerC: 1}
+	if bad.Validate() == nil {
+		t.Fatal("zero UA accepted")
+	}
+	hot := &Tank{Fluid: fluids.HFE7000, CondenserUAWPerC: 100, ThermalMassJPerC: 1, CoolantInC: 40}
+	if hot.Validate() == nil {
+		t.Fatal("coolant above boiling point accepted")
+	}
+}
+
+func TestSteadyBathFloorsAtBoilingPoint(t *testing.T) {
+	tk := LargeTank()
+	// Light load: the condenser easily keeps the bath at the boiling
+	// point.
+	if got := tk.SteadyBathC(1000); got != fluids.FC3284.BoilingPointC {
+		t.Fatalf("light-load bath %v, want boiling point", got)
+	}
+}
+
+func TestSteadyBathRisesPastCapacity(t *testing.T) {
+	tk := LargeTank()
+	capacity := tk.CondenserCapacityW()
+	if got := tk.SteadyBathC(capacity); math.Abs(got-fluids.FC3284.BoilingPointC) > 1e-9 {
+		t.Fatalf("bath at capacity %v, want boiling point", got)
+	}
+	over := tk.SteadyBathC(capacity * 1.2)
+	if over <= fluids.FC3284.BoilingPointC {
+		t.Fatal("bath did not rise past condenser capacity")
+	}
+}
+
+func TestLargeTankSizedForNominalLoad(t *testing.T) {
+	tk := LargeTank()
+	// 36 blades × 658 W (immersed, no fans) must fit inside the
+	// condenser budget; fully overclocked (+200 W each) must not.
+	nominal := 36 * 658.0
+	if tk.OverBudget(nominal) {
+		t.Fatalf("nominal load %v W over budget (max %v)", nominal, tk.MaxHeatW())
+	}
+	allOC := 36 * 858.0
+	if !tk.OverBudget(allOC) {
+		t.Fatalf("fully overclocked load %v W within budget (max %v)", allOC, tk.MaxHeatW())
+	}
+}
+
+func TestOverclockBudget(t *testing.T) {
+	tk := LargeTank()
+	n := tk.OverclockBudget(36, 658, 858)
+	if n <= 0 || n >= 36 {
+		t.Fatalf("overclock budget %d, want a real subset of 36", n)
+	}
+	// Check the budget is tight: n servers fit, n+1 do not.
+	heat := func(k int) float64 { return float64(36-k)*658 + float64(k)*858 }
+	if tk.OverBudget(heat(n)) {
+		t.Fatalf("%d overclocked servers over budget", n)
+	}
+	if !tk.OverBudget(heat(n + 1)) {
+		t.Fatalf("%d overclocked servers still within budget", n+1)
+	}
+}
+
+func TestOverclockBudgetEdges(t *testing.T) {
+	tk := LargeTank()
+	if got := tk.OverclockBudget(10, 658, 658); got != 10 {
+		t.Fatalf("no extra power: budget %d, want all", got)
+	}
+	if got := tk.OverclockBudget(200, 658, 858); got != 0 {
+		t.Fatalf("oversized fleet: budget %d, want 0", got)
+	}
+	unlimited := LargeTank()
+	unlimited.MaxBathC = 0
+	if got := unlimited.OverclockBudget(36, 658, 858); got != 36 {
+		t.Fatalf("no bath limit: budget %d, want 36", got)
+	}
+}
+
+func TestTransientConvergesToSteadyState(t *testing.T) {
+	tk := LargeTank()
+	heat := tk.CondenserCapacityW() * 1.15
+	want := tk.SteadyBathC(heat)
+	for i := 0; i < 100000; i++ {
+		tk.Step(1, heat)
+	}
+	if math.Abs(tk.BathC()-want) > 0.05 {
+		t.Fatalf("transient bath %v, steady state %v", tk.BathC(), want)
+	}
+}
+
+func TestTransientCoolsBackToBoilingPoint(t *testing.T) {
+	tk := LargeTank()
+	for i := 0; i < 50000; i++ {
+		tk.Step(1, tk.CondenserCapacityW()*1.3)
+	}
+	if tk.BathC() <= fluids.FC3284.BoilingPointC {
+		t.Fatal("bath did not heat up")
+	}
+	for i := 0; i < 200000; i++ {
+		tk.Step(1, 1000)
+	}
+	if math.Abs(tk.BathC()-fluids.FC3284.BoilingPointC) > 0.05 {
+		t.Fatalf("bath %v did not cool back to boiling point", tk.BathC())
+	}
+}
+
+func TestTankThermalModelTracksBath(t *testing.T) {
+	tk := LargeTank()
+	m := TankThermalModel{
+		Tank:   tk,
+		Boiler: fluids.Boiler{Fluid: fluids.FC3284, AreaCm2: 28, BEC: true, SpreadingResistance: 0.06},
+	}
+	cool, err := m.JunctionTemp(205)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Heat the tank and re-evaluate: the junction must rise with the
+	// bath, one-for-one.
+	for i := 0; i < 100000; i++ {
+		tk.Step(1, tk.CondenserCapacityW()*1.2)
+	}
+	hot, err := m.JunctionTemp(205)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rise := tk.BathC() - fluids.FC3284.BoilingPointC
+	if math.Abs((hot-cool)-rise) > 0.05 {
+		t.Fatalf("junction rose %v for a %v bath rise", hot-cool, rise)
+	}
+	if m.IdleTemp() != tk.BathC() {
+		t.Fatal("idle temperature does not track the bath")
+	}
+}
+
+func TestTankModelRejectsDryout(t *testing.T) {
+	m := TankThermalModel{
+		Tank:   LargeTank(),
+		Boiler: fluids.Boiler{Fluid: fluids.FC3284, AreaCm2: 4},
+	}
+	if _, err := m.JunctionTemp(1000); err == nil {
+		t.Fatal("dryout not propagated")
+	}
+}

@@ -1,0 +1,369 @@
+// Package thermal models datacenter cooling: the technology catalog of
+// Table I (PUE, fan overhead, maximum server cooling), lumped
+// thermal-resistance models that turn component power into junction
+// temperatures for air and immersion cooling (Table III, Table V), and
+// the derived datacenter-level quantities (PUE savings, reclaimed
+// power) that feed the power and TCO models.
+package thermal
+
+import (
+	"errors"
+	"fmt"
+
+	"immersionoc/internal/fluids"
+)
+
+// Technology identifies a datacenter cooling technology from Table I.
+type Technology int
+
+const (
+	// Chillers is closed-loop chiller-based air cooling.
+	Chillers Technology = iota
+	// WaterSide is water-side economized air cooling.
+	WaterSide
+	// DirectEvaporative is direct evaporative (free) air cooling.
+	DirectEvaporative
+	// ColdPlates is CPU cold-plate liquid cooling.
+	ColdPlates
+	// OnePhaseImmersion is single-phase immersion cooling (1PIC).
+	OnePhaseImmersion
+	// TwoPhaseImmersion is two-phase immersion cooling (2PIC).
+	TwoPhaseImmersion
+)
+
+func (t Technology) String() string {
+	switch t {
+	case Chillers:
+		return "Chillers"
+	case WaterSide:
+		return "Water-side"
+	case DirectEvaporative:
+		return "Direct evaporative"
+	case ColdPlates:
+		return "CPU cold plates"
+	case OnePhaseImmersion:
+		return "1PIC"
+	case TwoPhaseImmersion:
+		return "2PIC"
+	default:
+		return fmt.Sprintf("Technology(%d)", int(t))
+	}
+}
+
+// Spec describes one cooling technology (one row of Table I).
+type Spec struct {
+	Tech Technology
+	// AveragePUE and PeakPUE are total-power/IT-power ratios.
+	AveragePUE, PeakPUE float64
+	// FanOverhead is the fraction of server power consumed by server
+	// fans (0 for immersion).
+	FanOverhead float64
+	// MaxServerCoolingW is the highest per-server heat load the
+	// technology can remove.
+	MaxServerCoolingW float64
+	// Air reports whether servers are air cooled (vs liquid).
+	Air bool
+}
+
+// TableI returns the cooling technology catalog (Table I) in paper
+// order.
+func TableI() []Spec {
+	return []Spec{
+		{Tech: Chillers, AveragePUE: 1.70, PeakPUE: 2.00, FanOverhead: 0.05, MaxServerCoolingW: 700, Air: true},
+		{Tech: WaterSide, AveragePUE: 1.19, PeakPUE: 1.25, FanOverhead: 0.06, MaxServerCoolingW: 700, Air: true},
+		{Tech: DirectEvaporative, AveragePUE: 1.12, PeakPUE: 1.20, FanOverhead: 0.06, MaxServerCoolingW: 700, Air: true},
+		{Tech: ColdPlates, AveragePUE: 1.08, PeakPUE: 1.13, FanOverhead: 0.03, MaxServerCoolingW: 2000, Air: false},
+		{Tech: OnePhaseImmersion, AveragePUE: 1.05, PeakPUE: 1.07, FanOverhead: 0, MaxServerCoolingW: 2000, Air: false},
+		{Tech: TwoPhaseImmersion, AveragePUE: 1.02, PeakPUE: 1.03, FanOverhead: 0, MaxServerCoolingW: 4000, Air: false},
+	}
+}
+
+// Lookup returns the Table I spec for a technology.
+func Lookup(t Technology) (Spec, error) {
+	for _, s := range TableI() {
+		if s.Tech == t {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("thermal: unknown technology %v", t)
+}
+
+// PeakPUESavings returns the fractional reduction in total datacenter
+// power when moving from one technology to another at peak (the paper's
+// "peak PUE is reduced from 1.20 ... to 1.03 ... a reduction of 14%").
+func PeakPUESavings(from, to Technology) (float64, error) {
+	f, err := Lookup(from)
+	if err != nil {
+		return 0, err
+	}
+	t, err := Lookup(to)
+	if err != nil {
+		return 0, err
+	}
+	return (f.PeakPUE - t.PeakPUE) / f.PeakPUE, nil
+}
+
+// Model converts component power into junction temperature.
+type Model interface {
+	// JunctionTemp returns the steady-state junction temperature in
+	// °C at the given sustained component power in watts.
+	JunctionTemp(powerW float64) (float64, error)
+	// IdleTemp returns the junction temperature when the component
+	// is idle (the low end of the thermal cycling range DTj).
+	IdleTemp() float64
+	// Resistance returns the effective junction-to-ambient (or
+	// junction-to-fluid) thermal resistance in °C/W.
+	Resistance() float64
+	// Describe returns a short human-readable description.
+	Describe() string
+}
+
+// AirModel is a lumped air-cooling model: junction temperature is the
+// inlet air temperature plus in-chassis preheat plus the heatsink
+// resistance times power, capped by a throttle temperature the part
+// protects itself at.
+type AirModel struct {
+	// InletC is the supplied air temperature (35 °C in the paper's
+	// thermal chamber).
+	InletC float64
+	// PreheatC is the temperature rise of the air reaching the
+	// component from upstream components and chassis recirculation.
+	PreheatC float64
+	// RthCPerW is the junction-to-local-air thermal resistance.
+	RthCPerW float64
+	// IdleC is the junction temperature of an idle part (the paper's
+	// lifetime table uses a 20 °C lower bound for air).
+	IdleC float64
+	// ThrottleC is the junction temperature at which the part
+	// throttles; 0 means no explicit limit is modelled.
+	ThrottleC float64
+}
+
+var _ Model = AirModel{}
+
+// JunctionTemp implements Model.
+func (m AirModel) JunctionTemp(powerW float64) (float64, error) {
+	if powerW < 0 {
+		return 0, errors.New("thermal: negative power")
+	}
+	return m.InletC + m.PreheatC + m.RthCPerW*powerW, nil
+}
+
+// IdleTemp implements Model.
+func (m AirModel) IdleTemp() float64 { return m.IdleC }
+
+// Resistance implements Model.
+func (m AirModel) Resistance() float64 { return m.RthCPerW }
+
+// Describe implements Model.
+func (m AirModel) Describe() string {
+	return fmt.Sprintf("air (inlet %.0f°C, Rth %.2f°C/W)", m.InletC, m.RthCPerW)
+}
+
+// Throttling reports whether the part would exceed its throttle
+// temperature at the given power.
+func (m AirModel) Throttling(powerW float64) bool {
+	if m.ThrottleC <= 0 {
+		return false
+	}
+	t, err := m.JunctionTemp(powerW)
+	return err == nil && t > m.ThrottleC
+}
+
+// ImmersionModel is a two-phase immersion model: the bath sits at the
+// fluid's boiling point and the junction rises by the boiler's
+// effective resistance (nucleate boiling + spreading).
+type ImmersionModel struct {
+	Boiler fluids.Boiler
+}
+
+var _ Model = ImmersionModel{}
+
+// JunctionTemp implements Model.
+func (m ImmersionModel) JunctionTemp(powerW float64) (float64, error) {
+	if powerW < 0 {
+		return 0, errors.New("thermal: negative power")
+	}
+	if powerW == 0 {
+		return m.IdleTemp(), nil
+	}
+	return m.Boiler.JunctionTemp(powerW)
+}
+
+// IdleTemp implements Model: an idle part sits at the bath temperature
+// (the fluid's boiling point during steady operation of the tank).
+func (m ImmersionModel) IdleTemp() float64 { return m.Boiler.Fluid.BoilingPointC }
+
+// Resistance implements Model, evaluated at a nominal 200 W.
+func (m ImmersionModel) Resistance() float64 {
+	r, err := m.Boiler.ThermalResistance(200)
+	if err != nil {
+		return 0
+	}
+	return r
+}
+
+// Describe implements Model.
+func (m ImmersionModel) Describe() string {
+	return fmt.Sprintf("2PIC %s (bath %.0f°C, Rth %.2f°C/W)", m.Boiler.Fluid.Name, m.Boiler.Fluid.BoilingPointC, m.Resistance())
+}
+
+// FixedModel is a directly parameterized model (base temperature +
+// resistance), used where the paper reports measured resistances
+// without boiler geometry.
+type FixedModel struct {
+	BaseC, RthCPerW, IdleC float64
+	Name                   string
+}
+
+var _ Model = FixedModel{}
+
+// JunctionTemp implements Model.
+func (m FixedModel) JunctionTemp(powerW float64) (float64, error) {
+	if powerW < 0 {
+		return 0, errors.New("thermal: negative power")
+	}
+	return m.BaseC + m.RthCPerW*powerW, nil
+}
+
+// IdleTemp implements Model.
+func (m FixedModel) IdleTemp() float64 { return m.IdleC }
+
+// Resistance implements Model.
+func (m FixedModel) Resistance() float64 { return m.RthCPerW }
+
+// Describe implements Model.
+func (m FixedModel) Describe() string { return m.Name }
+
+// Platform bundles the air and 2PIC thermal models for one processor
+// platform, with its measured parameters.
+type Platform struct {
+	Name string
+	// TDPW is the socket thermal design power.
+	TDPW float64
+	// BaseTurboGHz is the highest all-core turbo sustained in air.
+	BaseTurboGHz float64
+	// BinGHz is the frequency bin granularity (100 MHz).
+	BinGHz float64
+	// HeadroomPerBinC is the junction-temperature reduction that
+	// buys one extra turbo bin (from the paper: 17–22 °C bought one
+	// 100 MHz bin on both platforms).
+	HeadroomPerBinC float64
+	Air             Model
+	Immersion       Model
+	// BECLocation documents where the boiling enhancement coating is
+	// applied for this platform.
+	BECLocation string
+}
+
+// MaxTurbo returns the highest sustainable all-core turbo under the
+// given model: the air baseline turbo plus one bin per HeadroomPerBinC
+// of junction-temperature reduction relative to air at TDP.
+func (p Platform) MaxTurbo(m Model) (float64, error) {
+	tAir, err := p.Air.JunctionTemp(p.TDPW)
+	if err != nil {
+		return 0, err
+	}
+	t, err := m.JunctionTemp(p.TDPW)
+	if err != nil {
+		return 0, err
+	}
+	headroom := tAir - t
+	if headroom <= 0 || p.HeadroomPerBinC <= 0 {
+		return p.BaseTurboGHz, nil
+	}
+	bins := int(headroom / p.HeadroomPerBinC)
+	return p.BaseTurboGHz + float64(bins)*p.BinGHz, nil
+}
+
+// Skylake8168 is the 24-core platform from the large tank (half of the
+// 36 blades), calibrated to Table III: air Tj 92 °C / 3.1 GHz turbo,
+// 2PIC (FC-3284, BEC on a copper plate) Tj 75 °C / 3.2 GHz.
+var Skylake8168 = Platform{
+	Name:            "Skylake 8168 (24-core)",
+	TDPW:            205,
+	BaseTurboGHz:    3.1,
+	BinGHz:          0.1,
+	HeadroomPerBinC: 15,
+	Air:             AirModel{InletC: 35, PreheatC: 12, RthCPerW: 0.22, IdleC: 20, ThrottleC: 96},
+	Immersion: ImmersionModel{Boiler: fluids.Boiler{
+		Fluid: fluids.FC3284,
+		// Copper boiler plate with L-20227 BEC: 16 cm² wetted area,
+		// 2x HTC, plus plate spreading resistance. Net ~0.12 °C/W,
+		// matching Table III.
+		AreaCm2:             16,
+		BEC:                 true,
+		SpreadingResistance: 0.089,
+	}},
+	BECLocation: "Copper plate",
+}
+
+// Skylake8180 is the 28-core platform from the large tank, calibrated
+// to Table III: air Tj 90 °C / 2.6 GHz turbo, 2PIC (FC-3284, BEC
+// directly on the integral heat spreader) Tj 68 °C / 2.7 GHz.
+var Skylake8180 = Platform{
+	Name:            "Skylake 8180 (28-core)",
+	TDPW:            205,
+	BaseTurboGHz:    2.6,
+	BinGHz:          0.1,
+	HeadroomPerBinC: 15,
+	Air:             AirModel{InletC: 35, PreheatC: 12, RthCPerW: 0.21, IdleC: 20, ThrottleC: 94},
+	Immersion: ImmersionModel{Boiler: fluids.Boiler{
+		Fluid: fluids.FC3284,
+		// BEC directly on the larger 8180 IHS: 28 cm², 2x HTC,
+		// minimal spreading. Net ~0.08 °C/W, matching Table III.
+		AreaCm2:             28,
+		BEC:                 true,
+		SpreadingResistance: 0.065,
+	}},
+	BECLocation: "CPU IHS",
+}
+
+// XeonTableV is the platform used for the lifetime projections of
+// Table V (a Xeon socket extrapolated from the W-3175X voltage curve):
+// air nominal runs at Tj 85 °C and overclocked (305 W) at 101 °C;
+// FC-3284 yields 66/74 °C and HFE-7000 51/60 °C.
+var XeonTableV = Platform{
+	Name:            "Xeon (Table V)",
+	TDPW:            205,
+	BaseTurboGHz:    3.4,
+	BinGHz:          0.1,
+	HeadroomPerBinC: 15,
+	Air:             AirModel{InletC: 35, PreheatC: 17.2, RthCPerW: 0.16, IdleC: 20, ThrottleC: 105},
+	Immersion: ImmersionModel{Boiler: fluids.Boiler{
+		Fluid:               fluids.FC3284,
+		AreaCm2:             28,
+		BEC:                 true,
+		SpreadingResistance: 0.060,
+	}},
+	BECLocation: "CPU IHS",
+}
+
+// XeonTableVHFE is XeonTableV immersed in HFE-7000 instead of FC-3284.
+var XeonTableVHFE = Platform{
+	Name:            "Xeon (Table V, HFE-7000)",
+	TDPW:            205,
+	BaseTurboGHz:    3.4,
+	BinGHz:          0.1,
+	HeadroomPerBinC: 15,
+	Air:             XeonTableV.Air,
+	Immersion: ImmersionModel{Boiler: fluids.Boiler{
+		Fluid:               fluids.HFE7000,
+		AreaCm2:             28,
+		BEC:                 true,
+		SpreadingResistance: 0.067,
+	}},
+	BECLocation: "CPU IHS",
+}
+
+// Platforms returns the calibrated platforms.
+func Platforms() []Platform {
+	return []Platform{Skylake8168, Skylake8180, XeonTableV, XeonTableVHFE}
+}
+
+// WUE (water usage effectiveness, L/kWh) projections: the paper states
+// simulated 2PIC WUE is at par with evaporative-cooled datacenters.
+const (
+	WUEEvaporative = 1.0
+	WUE2PIC        = 1.0
+)

@@ -1,0 +1,188 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTableIMatchesPaper(t *testing.T) {
+	want := map[Technology]struct {
+		avg, peak, fan, max float64
+	}{
+		Chillers:          {1.70, 2.00, 0.05, 700},
+		WaterSide:         {1.19, 1.25, 0.06, 700},
+		DirectEvaporative: {1.12, 1.20, 0.06, 700},
+		ColdPlates:        {1.08, 1.13, 0.03, 2000},
+		OnePhaseImmersion: {1.05, 1.07, 0, 2000},
+		TwoPhaseImmersion: {1.02, 1.03, 0, 4000},
+	}
+	for _, s := range TableI() {
+		w := want[s.Tech]
+		if s.AveragePUE != w.avg || s.PeakPUE != w.peak || s.FanOverhead != w.fan || s.MaxServerCoolingW != w.max {
+			t.Fatalf("%v: got %+v, want %+v", s.Tech, s, w)
+		}
+	}
+}
+
+func TestImmersionHasNoFans(t *testing.T) {
+	for _, s := range TableI() {
+		if !s.Air && s.Tech != ColdPlates && s.FanOverhead != 0 {
+			t.Fatalf("%v: immersion with fan overhead %v", s.Tech, s.FanOverhead)
+		}
+	}
+}
+
+func TestPeakPUESavings14Percent(t *testing.T) {
+	// The paper: evaporative 1.20 → 2PIC 1.03 is a 14% reduction in
+	// total datacenter power.
+	got, err := PeakPUESavings(DirectEvaporative, TwoPhaseImmersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.14) > 0.005 {
+		t.Fatalf("peak PUE savings %v, want ~0.14", got)
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup(Technology(99)); err == nil {
+		t.Fatal("unknown technology did not error")
+	}
+}
+
+func TestTableIIICalibration(t *testing.T) {
+	cases := []struct {
+		p        Platform
+		airTj    float64
+		immTj    float64
+		airTurbo float64
+		immTurbo float64
+		airRth   float64
+		immRth   float64
+		tjTol    float64
+	}{
+		{Skylake8168, 92, 75, 3.1, 3.2, 0.22, 0.12, 1.5},
+		{Skylake8180, 90, 68, 2.6, 2.7, 0.21, 0.08, 1.5},
+	}
+	for _, c := range cases {
+		airT, err := c.p.Air.JunctionTemp(c.p.TDPW)
+		if err != nil {
+			t.Fatal(err)
+		}
+		immT, err := c.p.Immersion.JunctionTemp(c.p.TDPW)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(airT-c.airTj) > c.tjTol {
+			t.Errorf("%s air Tj %v, want %v±%v", c.p.Name, airT, c.airTj, c.tjTol)
+		}
+		if math.Abs(immT-c.immTj) > c.tjTol {
+			t.Errorf("%s 2PIC Tj %v, want %v±%v", c.p.Name, immT, c.immTj, c.tjTol)
+		}
+		at, err := c.p.MaxTurbo(c.p.Air)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(at-c.airTurbo) > 1e-9 {
+			t.Errorf("%s air turbo %v, want %v", c.p.Name, at, c.airTurbo)
+		}
+		it, err := c.p.MaxTurbo(c.p.Immersion)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(it-c.immTurbo) > 1e-9 {
+			t.Errorf("%s 2PIC turbo %v, want %v (one extra bin)", c.p.Name, it, c.immTurbo)
+		}
+		if math.Abs(c.p.Air.Resistance()-c.airRth) > 0.005 {
+			t.Errorf("%s air Rth %v, want %v", c.p.Name, c.p.Air.Resistance(), c.airRth)
+		}
+		if math.Abs(c.p.Immersion.Resistance()-c.immRth) > 0.006 {
+			t.Errorf("%s 2PIC Rth %v, want %v", c.p.Name, c.p.Immersion.Resistance(), c.immRth)
+		}
+	}
+}
+
+func TestTableVTemperatures(t *testing.T) {
+	// The lifetime table's operating points: air 85/101 °C,
+	// FC-3284 66/74 °C, HFE-7000 51/60 °C at 205/305 W.
+	cases := []struct {
+		m            Model
+		nom, oc, tol float64
+	}{
+		{XeonTableV.Air, 85, 101, 1},
+		{XeonTableV.Immersion, 66, 74, 1},
+		{XeonTableVHFE.Immersion, 51, 60, 1},
+	}
+	for i, c := range cases {
+		nom, err := c.m.JunctionTemp(205)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oc, err := c.m.JunctionTemp(305)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(nom-c.nom) > c.tol {
+			t.Errorf("case %d nominal Tj %v, want %v", i, nom, c.nom)
+		}
+		if math.Abs(oc-c.oc) > c.tol {
+			t.Errorf("case %d OC Tj %v, want %v", i, oc, c.oc)
+		}
+	}
+}
+
+func TestIdleTemps(t *testing.T) {
+	if XeonTableV.Air.IdleTemp() != 20 {
+		t.Fatalf("air idle %v, want 20 (Table V DTj low end)", XeonTableV.Air.IdleTemp())
+	}
+	if XeonTableV.Immersion.IdleTemp() != 50 {
+		t.Fatalf("FC idle %v, want 50 (bath temperature)", XeonTableV.Immersion.IdleTemp())
+	}
+	if XeonTableVHFE.Immersion.IdleTemp() != 34 {
+		t.Fatalf("HFE idle %v, want 34 (bath temperature)", XeonTableVHFE.Immersion.IdleTemp())
+	}
+}
+
+func TestAirThrottling(t *testing.T) {
+	m := AirModel{InletC: 35, PreheatC: 12, RthCPerW: 0.22, ThrottleC: 96}
+	if m.Throttling(205) {
+		t.Fatal("throttling at TDP")
+	}
+	if !m.Throttling(305) {
+		t.Fatal("not throttling at overclocked power in air")
+	}
+}
+
+func TestNegativePowerErrors(t *testing.T) {
+	for _, m := range []Model{XeonTableV.Air, XeonTableV.Immersion, FixedModel{}} {
+		if _, err := m.JunctionTemp(-1); err == nil {
+			t.Fatalf("%s accepted negative power", m.Describe())
+		}
+	}
+}
+
+func TestFixedModel(t *testing.T) {
+	m := FixedModel{BaseC: 40, RthCPerW: 0.1, IdleC: 25, Name: "fixed"}
+	tj, err := m.JunctionTemp(100)
+	if err != nil || tj != 50 {
+		t.Fatalf("fixed model Tj %v err %v", tj, err)
+	}
+	if m.IdleTemp() != 25 || m.Resistance() != 0.1 || m.Describe() != "fixed" {
+		t.Fatal("fixed model accessors wrong")
+	}
+}
+
+func TestImmersionCoolerThanAirEverywhere(t *testing.T) {
+	for _, p := range Platforms() {
+		for _, w := range []float64{50, 100, 205, 305} {
+			at, err1 := p.Air.JunctionTemp(w)
+			it, err2 := p.Immersion.JunctionTemp(w)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("%s at %vW: %v %v", p.Name, w, err1, err2)
+			}
+			if it >= at {
+				t.Fatalf("%s at %vW: immersion (%v°C) not cooler than air (%v°C)", p.Name, w, it, at)
+			}
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package vm
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// The CSV trace format lets downstream users replace the synthetic
+// generator with real VM traces (e.g. derived from the public Azure
+// dataset the paper's characterization references). Columns:
+//
+//	id,vcores,memory_gb,class,arrival_s,lifetime_s,avg_util,scalable_fraction
+//
+// A header row is written on export and tolerated on import.
+
+var csvHeader = []string{"id", "vcores", "memory_gb", "class", "arrival_s", "lifetime_s", "avg_util", "scalable_fraction"}
+
+// WriteCSV exports a trace.
+func WriteCSV(w io.Writer, trace []*VM) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, v := range trace {
+		rec := []string{
+			strconv.Itoa(v.ID),
+			strconv.Itoa(v.Type.VCores),
+			strconv.FormatFloat(v.Type.MemoryGB, 'g', -1, 64),
+			v.Class.String(),
+			strconv.FormatFloat(v.ArrivalS, 'g', -1, 64),
+			strconv.FormatFloat(v.LifetimeS, 'g', -1, 64),
+			strconv.FormatFloat(v.AvgUtil, 'g', -1, 64),
+			strconv.FormatFloat(v.ScalableFraction, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// classFromString parses a Class name.
+func classFromString(s string) (Class, error) {
+	switch s {
+	case "regular":
+		return Regular, nil
+	case "high-perf":
+		return HighPerf, nil
+	case "harvest":
+		return Harvest, nil
+	default:
+		return Regular, fmt.Errorf("vm: unknown class %q", s)
+	}
+}
+
+// ReadCSV imports a trace, validating every record.
+func ReadCSV(r io.Reader) ([]*VM, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	var out []*VM
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		line++
+		if line == 1 && rec[0] == "id" {
+			continue // header
+		}
+		v, err := parseRecord(rec)
+		if err != nil {
+			return nil, fmt.Errorf("vm: record %d: %w", line, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseRecord(rec []string) (*VM, error) {
+	id, err := strconv.Atoi(rec[0])
+	if err != nil {
+		return nil, fmt.Errorf("id: %w", err)
+	}
+	vcores, err := strconv.Atoi(rec[1])
+	if err != nil {
+		return nil, fmt.Errorf("vcores: %w", err)
+	}
+	if vcores <= 0 {
+		return nil, fmt.Errorf("vcores %d must be positive", vcores)
+	}
+	mem, err := strconv.ParseFloat(rec[2], 64)
+	if err != nil {
+		return nil, fmt.Errorf("memory_gb: %w", err)
+	}
+	if mem <= 0 {
+		return nil, fmt.Errorf("memory %v must be positive", mem)
+	}
+	class, err := classFromString(rec[3])
+	if err != nil {
+		return nil, err
+	}
+	arrival, err := strconv.ParseFloat(rec[4], 64)
+	if err != nil {
+		return nil, fmt.Errorf("arrival_s: %w", err)
+	}
+	if arrival < 0 {
+		return nil, fmt.Errorf("arrival %v must be non-negative", arrival)
+	}
+	life, err := strconv.ParseFloat(rec[5], 64)
+	if err != nil {
+		return nil, fmt.Errorf("lifetime_s: %w", err)
+	}
+	if life <= 0 {
+		return nil, fmt.Errorf("lifetime %v must be positive", life)
+	}
+	util, err := strconv.ParseFloat(rec[6], 64)
+	if err != nil {
+		return nil, fmt.Errorf("avg_util: %w", err)
+	}
+	if util < 0 || util > 1 {
+		return nil, fmt.Errorf("avg_util %v outside [0,1]", util)
+	}
+	sf, err := strconv.ParseFloat(rec[7], 64)
+	if err != nil {
+		return nil, fmt.Errorf("scalable_fraction: %w", err)
+	}
+	if sf < 0 || sf > 1 {
+		return nil, fmt.Errorf("scalable_fraction %v outside [0,1]", sf)
+	}
+	return &VM{
+		ID:               id,
+		Type:             Type{Name: fmt.Sprintf("v%d", vcores), VCores: vcores, MemoryGB: mem},
+		Class:            class,
+		ArrivalS:         arrival,
+		LifetimeS:        life,
+		AvgUtil:          util,
+		ScalableFraction: sf,
+	}, nil
+}

@@ -1,0 +1,84 @@
+package vm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	cfg := DefaultTrace
+	cfg.DurationS = 6 * 3600
+	trace := Generate(cfg)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, trace); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(trace) {
+		t.Fatalf("round trip %d of %d VMs", len(back), len(trace))
+	}
+	for i := range trace {
+		a, b := trace[i], back[i]
+		if a.ID != b.ID || a.Type.VCores != b.Type.VCores || a.Type.MemoryGB != b.Type.MemoryGB {
+			t.Fatalf("vm %d shape mismatch: %+v vs %+v", i, a, b)
+		}
+		if a.Class != b.Class || a.ArrivalS != b.ArrivalS || a.LifetimeS != b.LifetimeS {
+			t.Fatalf("vm %d timing mismatch", i)
+		}
+		if a.AvgUtil != b.AvgUtil || a.ScalableFraction != b.ScalableFraction {
+			t.Fatalf("vm %d profile mismatch", i)
+		}
+	}
+}
+
+func TestReadCSVWithoutHeader(t *testing.T) {
+	in := "1,4,16,regular,0,100,0.5,0.7\n2,8,32,high-perf,10,200,0.3,0.8\n"
+	vms, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vms) != 2 {
+		t.Fatalf("%d VMs", len(vms))
+	}
+	if vms[1].Class != HighPerf {
+		t.Fatalf("class %v", vms[1].Class)
+	}
+}
+
+func TestReadCSVValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		row  string
+	}{
+		{"bad id", "x,4,16,regular,0,100,0.5,0.7"},
+		{"zero vcores", "1,0,16,regular,0,100,0.5,0.7"},
+		{"negative memory", "1,4,-1,regular,0,100,0.5,0.7"},
+		{"bad class", "1,4,16,gold,0,100,0.5,0.7"},
+		{"negative arrival", "1,4,16,regular,-5,100,0.5,0.7"},
+		{"zero lifetime", "1,4,16,regular,0,0,0.5,0.7"},
+		{"util out of range", "1,4,16,regular,0,100,1.5,0.7"},
+		{"sf out of range", "1,4,16,regular,0,100,0.5,-0.1"},
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c.row + "\n")); err == nil {
+			t.Errorf("%s accepted", c.name)
+		}
+	}
+}
+
+func TestReadCSVWrongArity(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("1,2,3\n")); err == nil {
+		t.Fatal("short record accepted")
+	}
+}
+
+func TestReadCSVEmpty(t *testing.T) {
+	vms, err := ReadCSV(strings.NewReader(""))
+	if err != nil || len(vms) != 0 {
+		t.Fatalf("empty input: %v %v", vms, err)
+	}
+}

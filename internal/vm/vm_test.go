@@ -1,0 +1,172 @@
+package vm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(DefaultTrace)
+	b := Generate(DefaultTrace)
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if *a[i] != *b[i] {
+			t.Fatalf("trace diverges at VM %d", i)
+		}
+	}
+}
+
+func TestGenerateSeedChangesTrace(t *testing.T) {
+	cfg := DefaultTrace
+	cfg.Seed = 43
+	a := Generate(DefaultTrace)
+	b := Generate(cfg)
+	if len(a) == len(b) {
+		same := true
+		for i := range a {
+			if a[i].ArrivalS != b[i].ArrivalS {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestTraceShape(t *testing.T) {
+	trace := Generate(DefaultTrace)
+	if len(trace) == 0 {
+		t.Fatal("empty trace")
+	}
+	expected := DefaultTrace.ArrivalRatePerS * DefaultTrace.DurationS
+	if math.Abs(float64(len(trace))-expected)/expected > 0.15 {
+		t.Fatalf("trace size %d, expected ≈%v", len(trace), expected)
+	}
+	var lifeSum float64
+	highPerf := 0
+	for _, v := range trace {
+		if v.ArrivalS < 0 || v.ArrivalS >= DefaultTrace.DurationS {
+			t.Fatalf("arrival %v outside trace horizon", v.ArrivalS)
+		}
+		if v.LifetimeS <= 0 {
+			t.Fatalf("non-positive lifetime")
+		}
+		if v.AvgUtil < 0.15 || v.AvgUtil > 0.65 {
+			t.Fatalf("avg util %v out of range", v.AvgUtil)
+		}
+		if v.ScalableFraction < 0.4 || v.ScalableFraction > 0.9 {
+			t.Fatalf("scalable fraction %v out of range", v.ScalableFraction)
+		}
+		lifeSum += v.LifetimeS
+		if v.Class == HighPerf {
+			highPerf++
+		}
+	}
+	meanLife := lifeSum / float64(len(trace))
+	// Pareto lifetimes with truncation: mean lands near configured.
+	if meanLife < DefaultTrace.MeanLifetimeS*0.5 || meanLife > DefaultTrace.MeanLifetimeS*1.8 {
+		t.Fatalf("mean lifetime %v, configured %v", meanLife, DefaultTrace.MeanLifetimeS)
+	}
+	frac := float64(highPerf) / float64(len(trace))
+	if math.Abs(frac-DefaultTrace.HighPerfFraction) > 0.04 {
+		t.Fatalf("high-perf fraction %v, want ~%v", frac, DefaultTrace.HighPerfFraction)
+	}
+}
+
+func TestEventsOrderedAndPaired(t *testing.T) {
+	trace := Generate(DefaultTrace)
+	evs := Events(trace)
+	if len(evs) != 2*len(trace) {
+		t.Fatalf("%d events for %d VMs", len(evs), len(trace))
+	}
+	live := make(map[int]bool)
+	prev := -1.0
+	for _, e := range evs {
+		if e.TimeS < prev {
+			t.Fatal("events out of time order")
+		}
+		prev = e.TimeS
+		if e.Arrival {
+			if live[e.VM.ID] {
+				t.Fatalf("VM %d arrived twice", e.VM.ID)
+			}
+			live[e.VM.ID] = true
+		} else {
+			if !live[e.VM.ID] {
+				t.Fatalf("VM %d departed before arriving", e.VM.ID)
+			}
+			delete(live, e.VM.ID)
+		}
+	}
+	if len(live) != 0 {
+		t.Fatalf("%d VMs never departed", len(live))
+	}
+}
+
+func TestEventsDepartureBeforeArrivalOnTie(t *testing.T) {
+	a := &VM{ID: 1, ArrivalS: 0, LifetimeS: 10}
+	b := &VM{ID: 2, ArrivalS: 10, LifetimeS: 5}
+	evs := Events([]*VM{a, b})
+	// At t=10: a departs, then b arrives.
+	if evs[1].Arrival || evs[1].VM.ID != 1 {
+		t.Fatalf("tie order: %+v", evs[1])
+	}
+	if !evs[2].Arrival || evs[2].VM.ID != 2 {
+		t.Fatalf("tie order: %+v", evs[2])
+	}
+}
+
+func TestTypesCatalog(t *testing.T) {
+	ts := Types()
+	if len(ts) != 4 {
+		t.Fatalf("%d types", len(ts))
+	}
+	for _, ty := range ts {
+		if ty.VCores <= 0 || ty.MemoryGB <= 0 {
+			t.Fatalf("bad type %+v", ty)
+		}
+		if ty.MemoryGB/float64(ty.VCores) != 4 {
+			t.Fatalf("%s: memory-to-vcore ratio %v, want 4", ty.Name, ty.MemoryGB/float64(ty.VCores))
+		}
+	}
+}
+
+func TestEndS(t *testing.T) {
+	v := &VM{ArrivalS: 5, LifetimeS: 7}
+	if v.EndS() != 12 {
+		t.Fatalf("EndS %v", v.EndS())
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	if Regular.String() != "regular" || HighPerf.String() != "high-perf" || Harvest.String() != "harvest" {
+		t.Fatal("class strings wrong")
+	}
+}
+
+func TestCreationLatencyMatchesPaper(t *testing.T) {
+	if CreationLatencyS != 60 {
+		t.Fatalf("creation latency %v, want 60 s (paper)", CreationLatencyS)
+	}
+}
+
+// Property: traces are valid for arbitrary seeds and moderate rates.
+func TestGeneratePropertyValid(t *testing.T) {
+	f := func(seed uint64) bool {
+		cfg := TraceConfig{Seed: seed, ArrivalRatePerS: 0.01, DurationS: 3600, MeanLifetimeS: 1800, HighPerfFraction: 0.2}
+		for _, v := range Generate(cfg) {
+			if v.ArrivalS >= cfg.DurationS || v.LifetimeS <= 0 || v.Type.VCores == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

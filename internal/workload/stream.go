@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"fmt"
+
+	"immersionoc/internal/freq"
+	"immersionoc/internal/power"
+)
+
+// StreamKernel identifies one of the four STREAM kernels.
+type StreamKernel int
+
+const (
+	// Copy is a[i] = b[i].
+	Copy StreamKernel = iota
+	// Scale is a[i] = q*b[i].
+	Scale
+	// Add is a[i] = b[i] + c[i].
+	Add
+	// Triad is a[i] = b[i] + q*c[i].
+	Triad
+)
+
+func (k StreamKernel) String() string {
+	switch k {
+	case Copy:
+		return "copy"
+	case Scale:
+		return "scale"
+	case Add:
+		return "add"
+	case Triad:
+		return "triad"
+	default:
+		return fmt.Sprintf("kernel(%d)", int(k))
+	}
+}
+
+// StreamKernels returns the four kernels in STREAM order.
+func StreamKernels() []StreamKernel { return []StreamKernel{Copy, Scale, Add, Triad} }
+
+// StreamModel predicts sustainable memory bandwidth for the STREAM
+// benchmark as a function of the memory, uncore and core clocks
+// (Figure 10). Peak bandwidth scales with the memory clock; the
+// achievable fraction of peak is limited by how fast the core and
+// uncore can generate and retire requests, captured by a
+// latency-concurrency denominator:
+//
+//	BW = K_kernel · f_mem / (1 + α·f_mem/f_uncore + β·f_mem/f_core)
+//
+// α and β are calibrated so B4 achieves +17% and OC3 +24% over B1, the
+// paper's headline Figure 10 numbers.
+type StreamModel struct {
+	// Alpha weights the uncore (LLC/ring) limitation.
+	Alpha float64
+	// Beta weights the core request-generation limitation.
+	Beta float64
+	// KernelScale is the per-kernel bandwidth constant in MB/s per
+	// GHz of memory clock, normalized so B1 bandwidths land at
+	// typical six-channel DDR4 values.
+	KernelScale map[StreamKernel]float64
+}
+
+// DefaultStream is the calibrated Figure 10 model. KernelScale values
+// are the B1-configuration bandwidths in MB/s (typical of a
+// six-channel DDR4-2400 Skylake socket).
+var DefaultStream = StreamModel{
+	Alpha: 1.03,
+	Beta:  1.18,
+	KernelScale: map[StreamKernel]float64{
+		Copy:  84000,
+		Scale: 83000,
+		Add:   92500,
+		Triad: 93500,
+	},
+}
+
+// Bandwidth returns the sustainable bandwidth in MB/s for a kernel
+// under cfg.
+func (m StreamModel) Bandwidth(k StreamKernel, cfg freq.Config) float64 {
+	scale, ok := m.KernelScale[k]
+	if !ok {
+		panic(fmt.Sprintf("workload: no scale for kernel %v", k))
+	}
+	den := func(c freq.Config) float64 {
+		fm := float64(c.MemoryGHz)
+		return 1 + m.Alpha*fm/float64(c.UncoreGHz) + m.Beta*fm/float64(c.CoreGHz)
+	}
+	// Normalized so KernelScale is the B1 bandwidth exactly.
+	return scale * float64(cfg.MemoryGHz/freq.B1.MemoryGHz) * den(freq.B1) / den(cfg)
+}
+
+// Improvement returns the bandwidth gain of cfg over base for kernel k.
+func (m StreamModel) Improvement(k StreamKernel, base, cfg freq.Config) float64 {
+	return m.Bandwidth(k, cfg)/m.Bandwidth(k, base) - 1
+}
+
+// Power returns the average server power while running STREAM on all
+// cores under cfg — STREAM keeps cores busy issuing loads, so core
+// activity is high but the scalable fraction is low.
+func (m StreamModel) Power(sm power.ServerModel, cfg freq.Config) float64 {
+	// 16 threads as in Table IX; cores are architecturally active
+	// but mostly stalled on memory, so their effective switching
+	// activity is low.
+	return sm.Power(cfg, 16*0.45, 16)
+}

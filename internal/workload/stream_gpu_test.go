@@ -1,0 +1,180 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"immersionoc/internal/freq"
+	"immersionoc/internal/power"
+)
+
+func TestStreamHeadlineNumbers(t *testing.T) {
+	// Paper Figure 10: B4 achieves +17% and OC3 +24% over B1.
+	m := DefaultStream
+	for _, k := range StreamKernels() {
+		if got := m.Improvement(k, freq.B1, freq.B4); math.Abs(got-0.17) > 0.015 {
+			t.Errorf("%v: B4 improvement %v, want ~0.17", k, got)
+		}
+		if got := m.Improvement(k, freq.B1, freq.OC3); math.Abs(got-0.24) > 0.015 {
+			t.Errorf("%v: OC3 improvement %v, want ~0.24", k, got)
+		}
+	}
+}
+
+func TestStreamBandwidthMonotoneInAggressiveness(t *testing.T) {
+	m := DefaultStream
+	order := []freq.Config{freq.B1, freq.B2, freq.B3, freq.B4}
+	for _, k := range StreamKernels() {
+		prev := 0.0
+		for _, cfg := range order {
+			bw := m.Bandwidth(k, cfg)
+			if bw <= prev {
+				t.Errorf("%v: bandwidth not increasing at %s", k, cfg.Name)
+			}
+			prev = bw
+		}
+	}
+}
+
+func TestStreamB1Absolute(t *testing.T) {
+	// B1 bandwidths should be six-channel DDR4-2400 class (80–95
+	// GB/s).
+	m := DefaultStream
+	for _, k := range StreamKernels() {
+		bw := m.Bandwidth(k, freq.B1)
+		if bw < 80000 || bw > 96000 {
+			t.Errorf("%v: B1 bandwidth %v MB/s out of DDR4 range", k, bw)
+		}
+	}
+}
+
+func TestStreamMemoryDominates(t *testing.T) {
+	// Memory overclocking (B3→B4) must matter more than core
+	// overclocking (B2→... OC1 vs B2) for STREAM.
+	m := DefaultStream
+	memGain := m.Improvement(Triad, freq.B3, freq.B4)
+	coreGain := m.Improvement(Triad, freq.B2, withCore(freq.B2, 4.1))
+	if memGain <= coreGain {
+		t.Fatalf("memory gain %v not above core gain %v", memGain, coreGain)
+	}
+}
+
+func withCore(cfg freq.Config, f freq.GHz) freq.Config {
+	cfg.CoreGHz = f
+	return cfg
+}
+
+func TestStreamPowerIncreasesWithAggressiveness(t *testing.T) {
+	m := DefaultStream
+	p1 := m.Power(power.Tank1Server, freq.B1)
+	p2 := m.Power(power.Tank1Server, freq.OC3)
+	if p2 <= p1 {
+		t.Fatal("OC3 STREAM power not above B1")
+	}
+}
+
+func TestStreamUnknownKernelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown kernel did not panic")
+		}
+	}()
+	DefaultStream.Bandwidth(StreamKernel(42), freq.B1)
+}
+
+func TestVGGModelsValidate(t *testing.T) {
+	models := VGGModels()
+	if len(models) != 6 {
+		t.Fatalf("%d VGG models, want 6", len(models))
+	}
+	for _, m := range models {
+		if err := m.Validate(); err != nil {
+			t.Error(err)
+		}
+	}
+	if _, err := VGGByName("VGG16B"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VGGByName("VGG99"); err == nil {
+		t.Fatal("unknown model did not error")
+	}
+}
+
+func TestVGGImprovementUpTo15Percent(t *testing.T) {
+	// Paper: execution time decreases by up to 15%.
+	best := 0.0
+	for _, m := range VGGModels() {
+		for _, cfg := range freq.TableVIII() {
+			if imp := m.Improvement(cfg); imp > best {
+				best = imp
+			}
+			if imp := m.Improvement(cfg); imp < 0 {
+				t.Errorf("%s under %s: negative improvement %v", m.Name, cfg.Name, imp)
+			}
+		}
+	}
+	if best < 0.12 || best > 0.16 {
+		t.Fatalf("best VGG improvement %.1f%%, want ~15%%", best*100)
+	}
+}
+
+func TestVGG16BSaturatesPastOCG1(t *testing.T) {
+	// Paper: for VGG16B, OCG3 provides no additional improvement
+	// over OCG2, and its memory sensitivity is minimal.
+	m, _ := VGGByName("VGG16B")
+	i2 := m.Improvement(freq.OCG2)
+	i3 := m.Improvement(freq.OCG3)
+	if i3-i2 > 0.005 {
+		t.Fatalf("VGG16B gains %.2f%% from OCG2→OCG3, want ~none", (i3-i2)*100)
+	}
+	// Memory-bound fraction must be the smallest of all models.
+	for _, other := range VGGModels() {
+		if other.Name != "VGG16B" && other.WMem <= m.WMem {
+			t.Errorf("%s WMem %v ≤ VGG16B's %v", other.Name, other.WMem, m.WMem)
+		}
+	}
+}
+
+func TestVGGPowerCalibration(t *testing.T) {
+	// Paper: P99 power 193 W stock → 231 W overclocked (+19%).
+	pm := DefaultGPUPower
+	base := pm.P99(freq.GPUBase)
+	oc := pm.P99(freq.OCG3)
+	if math.Abs(base-193) > 5 {
+		t.Fatalf("stock P99 power %v, want ~193 W", base)
+	}
+	if math.Abs(oc-231) > 7 {
+		t.Fatalf("OCG3 P99 power %v, want ~231 W", oc)
+	}
+	if math.Abs(oc/base-1.19) > 0.03 {
+		t.Fatalf("power increase %v, want ~+19%%", oc/base-1)
+	}
+}
+
+func TestVGGPowerRespectsLimit(t *testing.T) {
+	pm := DefaultGPUPower
+	for _, cfg := range freq.TableVIII() {
+		if pm.Average(cfg) > cfg.PowerLimitW || pm.P99(cfg) > cfg.PowerLimitW {
+			t.Errorf("%s: power exceeds board limit", cfg.Name)
+		}
+	}
+}
+
+func TestVGGOCG1ToOCG3P99Increase(t *testing.T) {
+	// Paper: P99 increases ~9.5% between OCG1 and OCG3.
+	pm := DefaultGPUPower
+	got := pm.P99(freq.OCG3)/pm.P99(freq.OCG1) - 1
+	if got < 0.06 || got > 0.14 {
+		t.Fatalf("OCG1→OCG3 P99 increase %v, want ~9.5%%", got)
+	}
+}
+
+func TestVGGSecondsScale(t *testing.T) {
+	m, _ := VGGByName("VGG16")
+	if m.Seconds(freq.GPUBase) != m.BaseSeconds {
+		t.Fatal("base seconds not identity")
+	}
+	if m.Seconds(freq.OCG3) >= m.BaseSeconds {
+		t.Fatal("overclocked training not faster")
+	}
+}

@@ -1,0 +1,310 @@
+// Package workload models the representative cloud applications of
+// Table IX and how their performance and power respond to component
+// overclocking.
+//
+// Each application is characterized by a bottleneck vector: the
+// fractions of its execution (or request service) time attributable to
+// core compute, the uncore/LLC, memory, and fixed components (I/O,
+// network) at the B2 baseline configuration. Changing a domain's clock
+// rescales only that component, which is exactly the paper's
+// observation that "the performance impact of overclocking depends on
+// the workload-bounding resource". Latency metrics (P95/P99) are
+// additionally amplified through the queueing relationship between
+// service time and waiting time at the app's operating utilization.
+//
+// Vectors are calibrated against Figure 9: OC1 (core) helps most apps
+// the most, except TeraSort and DiskSpeed; OC2 (cache) accelerates
+// Pmbench and DiskSpeed; OC3 (memory) helps memory-bound SQL
+// significantly; Training and BI gain nothing from cache/memory
+// overclocking.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"immersionoc/internal/freq"
+	"immersionoc/internal/power"
+)
+
+// MetricKind says whether the application's metric of interest
+// improves by going down (latency, runtime) or up (throughput).
+type MetricKind int
+
+const (
+	// LowerIsBetter marks latency/runtime metrics.
+	LowerIsBetter MetricKind = iota
+	// HigherIsBetter marks throughput metrics.
+	HigherIsBetter
+)
+
+func (k MetricKind) String() string {
+	if k == HigherIsBetter {
+		return "higher-is-better"
+	}
+	return "lower-is-better"
+}
+
+// Profile describes one Table IX application.
+type Profile struct {
+	// Name is the application name as in Table IX.
+	Name string
+	// Cores is the number of cores the application needs.
+	Cores int
+	// InHouse reports whether the workload is Microsoft-internal (I)
+	// vs publicly available (P).
+	InHouse bool
+	// Desc is the Table IX description.
+	Desc string
+	// Metric is the metric of interest ("P95 Lat", "Seconds", ...).
+	Metric string
+	Kind   MetricKind
+
+	// WCore, WLLC, WMem, WFixed are the bottleneck fractions at the
+	// B2 baseline. They sum to 1.
+	WCore, WLLC, WMem, WFixed float64
+
+	// QueueRho is the operating utilization for latency metrics;
+	// latency then amplifies service-time improvements through
+	// 1/(1-ρ). Zero means the metric tracks service time directly.
+	QueueRho float64
+
+	// AvgUtil and P99Util are the per-core utilizations during the
+	// run, used for the average and 99th-percentile power draw of
+	// Figure 9.
+	AvgUtil, P99Util float64
+
+	// BaseMetric is the absolute metric value at B2 (milliseconds
+	// for latencies, seconds for runtimes, operations/s for
+	// throughputs), for presentation.
+	BaseMetric float64
+	// BaseServiceMS is the mean per-request service time at B2 in
+	// milliseconds, for apps driven through the queueing simulator.
+	BaseServiceMS float64
+	// ServiceCV is the coefficient of variation of service times
+	// (the "G" in M/G/k).
+	ServiceCV float64
+}
+
+// Validate checks internal consistency.
+func (p Profile) Validate() error {
+	sum := p.WCore + p.WLLC + p.WMem + p.WFixed
+	if math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("workload %s: bottleneck vector sums to %.4f, want 1", p.Name, sum)
+	}
+	for _, w := range []float64{p.WCore, p.WLLC, p.WMem, p.WFixed} {
+		if w < 0 {
+			return fmt.Errorf("workload %s: negative bottleneck weight", p.Name)
+		}
+	}
+	if p.Cores <= 0 {
+		return fmt.Errorf("workload %s: non-positive core count", p.Name)
+	}
+	if p.QueueRho < 0 || p.QueueRho >= 1 {
+		return fmt.Errorf("workload %s: queue utilization %.2f outside [0,1)", p.Name, p.QueueRho)
+	}
+	return nil
+}
+
+// Reference is the configuration all bottleneck vectors are measured
+// at (B2: core 3.4, uncore 2.4, memory 2.4).
+var Reference = freq.B2
+
+// ServiceTimeRatio returns service time under cfg divided by service
+// time under the B2 reference: each bottleneck component scales
+// inversely with its domain clock.
+func (p Profile) ServiceTimeRatio(cfg freq.Config) float64 {
+	return p.WCore*float64(Reference.CoreGHz/cfg.CoreGHz) +
+		p.WLLC*float64(Reference.UncoreGHz/cfg.UncoreGHz) +
+		p.WMem*float64(Reference.MemoryGHz/cfg.MemoryGHz) +
+		p.WFixed
+}
+
+// ScalableFraction returns the fraction of *busy* cycles that scale
+// with the core clock — what ΔPperf/ΔAperf measures. Stall cycles
+// (LLC and memory waits) do not retire work; fixed I/O time is not
+// busy at all, so it is excluded from the denominator.
+func (p Profile) ScalableFraction() float64 {
+	busy := p.WCore + p.WLLC + p.WMem
+	if busy <= 0 {
+		return 0
+	}
+	return p.WCore / busy
+}
+
+// MetricRatio returns metric(cfg)/metric(B2). For lower-is-better
+// latency metrics with QueueRho > 0, the service-time change is
+// amplified by queueing: lat ∝ S/(1−ρ·S/S0) at fixed offered load.
+// Throughput metrics return the inverse of the runtime ratio.
+func (p Profile) MetricRatio(cfg freq.Config) float64 {
+	s := p.ServiceTimeRatio(cfg)
+	switch {
+	case p.Kind == HigherIsBetter:
+		return 1 / s
+	case p.QueueRho > 0:
+		// M/G/1-PS response time at fixed arrival rate λ:
+		// T = S/(1-λS). At B2, λS0 = ρ. Under cfg, λS = ρ·s.
+		num := s * (1 - p.QueueRho)
+		den := 1 - p.QueueRho*s
+		if den <= 0 {
+			return math.Inf(1)
+		}
+		return num / den
+	default:
+		return s
+	}
+}
+
+// Improvement returns the fractional improvement of the metric of
+// interest under cfg versus B2 (positive is better for both metric
+// kinds).
+func (p Profile) Improvement(cfg freq.Config) float64 {
+	r := p.MetricRatio(cfg)
+	if p.Kind == HigherIsBetter {
+		return r - 1
+	}
+	return 1 - r
+}
+
+// MetricValue returns the absolute metric value under cfg.
+func (p Profile) MetricValue(cfg freq.Config) float64 {
+	return p.BaseMetric * p.MetricRatio(cfg)
+}
+
+// ServerPower returns the average and P99 server power draw while the
+// application runs alone on the given server model under cfg
+// (Figure 9's lower panels).
+func (p Profile) ServerPower(m power.ServerModel, cfg freq.Config) (avgW, p99W float64) {
+	avgW = m.Power(cfg, float64(p.Cores)*p.AvgUtil, p.Cores)
+	p99W = m.Power(cfg, float64(p.Cores)*p.P99Util, p.Cores)
+	return avgW, p99W
+}
+
+// Table IX application profiles. The top nine are the cloud
+// applications; VGG and STREAM are modelled separately (gpu.go,
+// stream.go) and appear here for the catalog only.
+var (
+	SQL = Profile{
+		Name: "SQL", Cores: 4, InHouse: true,
+		Desc: "BenchCraft standard OLTP", Metric: "P95 Lat", Kind: LowerIsBetter,
+		WCore: 0.42, WLLC: 0.10, WMem: 0.33, WFixed: 0.15,
+		QueueRho: 0.45, AvgUtil: 0.55, P99Util: 0.85,
+		BaseMetric: 18.0, BaseServiceMS: 8.0, ServiceCV: 1.2,
+	}
+	Training = Profile{
+		Name: "Training", Cores: 4, InHouse: true,
+		Desc: "TensorFlow model CPU training", Metric: "Seconds", Kind: LowerIsBetter,
+		WCore: 0.80, WLLC: 0.03, WMem: 0.02, WFixed: 0.15,
+		AvgUtil: 0.92, P99Util: 0.99,
+		BaseMetric: 1260, BaseServiceMS: 0, ServiceCV: 0,
+	}
+	KeyValue = Profile{
+		Name: "Key-Value", Cores: 8, InHouse: true,
+		Desc: "Distributed key-value store", Metric: "P99 Lat", Kind: LowerIsBetter,
+		WCore: 0.45, WLLC: 0.15, WMem: 0.15, WFixed: 0.25,
+		QueueRho: 0.40, AvgUtil: 0.45, P99Util: 0.80,
+		BaseMetric: 2.4, BaseServiceMS: 0.9, ServiceCV: 1.5,
+	}
+	BI = Profile{
+		Name: "BI", Cores: 4, InHouse: true,
+		Desc: "Business intelligence", Metric: "Seconds", Kind: LowerIsBetter,
+		WCore: 0.75, WLLC: 0.02, WMem: 0.03, WFixed: 0.20,
+		AvgUtil: 0.85, P99Util: 0.98,
+		BaseMetric: 840, BaseServiceMS: 0, ServiceCV: 0,
+	}
+	ClientServer = Profile{
+		Name: "Client-Server", Cores: 4, InHouse: true,
+		Desc: "M/G/k queue application", Metric: "P95 Lat", Kind: LowerIsBetter,
+		WCore: 0.75, WLLC: 0.05, WMem: 0.05, WFixed: 0.15,
+		QueueRho: 0.40, AvgUtil: 0.50, P99Util: 0.90,
+		BaseMetric: 12.0, BaseServiceMS: 2.8, ServiceCV: 0.5,
+	}
+	Pmbench = Profile{
+		Name: "Pmbench", Cores: 2, InHouse: false,
+		Desc: "Paging performance", Metric: "Seconds", Kind: LowerIsBetter,
+		WCore: 0.35, WLLC: 0.32, WMem: 0.18, WFixed: 0.15,
+		AvgUtil: 0.70, P99Util: 0.95,
+		BaseMetric: 310, BaseServiceMS: 0, ServiceCV: 0,
+	}
+	DiskSpeed = Profile{
+		Name: "DiskSpeed", Cores: 2, InHouse: false,
+		Desc: "Microsoft's Disk IO bench", Metric: "OPS/S", Kind: HigherIsBetter,
+		WCore: 0.20, WLLC: 0.45, WMem: 0.10, WFixed: 0.25,
+		AvgUtil: 0.60, P99Util: 0.85,
+		BaseMetric: 182000, BaseServiceMS: 0, ServiceCV: 0,
+	}
+	SPECJBB = Profile{
+		Name: "SPECJBB", Cores: 4, InHouse: false,
+		Desc: "SpecJbb 2000", Metric: "OPS/S", Kind: HigherIsBetter,
+		WCore: 0.60, WLLC: 0.15, WMem: 0.10, WFixed: 0.15,
+		AvgUtil: 0.88, P99Util: 0.99,
+		BaseMetric: 95000, BaseServiceMS: 0, ServiceCV: 0,
+	}
+	TeraSort = Profile{
+		Name: "TeraSort", Cores: 4, InHouse: false,
+		Desc: "Hadoop TeraSort", Metric: "Seconds", Kind: LowerIsBetter,
+		WCore: 0.20, WLLC: 0.15, WMem: 0.30, WFixed: 0.35,
+		AvgUtil: 0.65, P99Util: 0.92,
+		BaseMetric: 540, BaseServiceMS: 0, ServiceCV: 0,
+	}
+	VGGEntry = Profile{
+		Name: "VGG", Cores: 16, InHouse: false,
+		Desc: "CNN model GPU training", Metric: "Seconds", Kind: LowerIsBetter,
+		WCore: 0.10, WLLC: 0.02, WMem: 0.03, WFixed: 0.85,
+		AvgUtil: 0.30, P99Util: 0.60,
+		BaseMetric: 3600,
+	}
+	STREAMEntry = Profile{
+		Name: "STREAM", Cores: 16, InHouse: false,
+		Desc: "Memory bandwidth", Metric: "MB/S", Kind: HigherIsBetter,
+		WCore: 0.05, WLLC: 0.15, WMem: 0.78, WFixed: 0.02,
+		AvgUtil: 0.95, P99Util: 1.0,
+		BaseMetric: 88000,
+	}
+)
+
+// TableIX returns all Table IX applications in paper order.
+func TableIX() []Profile {
+	return []Profile{SQL, Training, KeyValue, BI, ClientServer, Pmbench, DiskSpeed, SPECJBB, TeraSort, VGGEntry, STREAMEntry}
+}
+
+// Figure9Apps returns the applications shown in Figure 9 (the CPU
+// cloud applications: six lower-is-better, two higher-is-better).
+func Figure9Apps() []Profile {
+	return []Profile{SQL, Training, KeyValue, BI, Pmbench, TeraSort, DiskSpeed, SPECJBB}
+}
+
+// ByName looks up a Table IX application.
+func ByName(name string) (Profile, error) {
+	for _, p := range TableIX() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("workload: unknown application %q", name)
+}
+
+// BestConfig returns the Table VII configuration that maximizes the
+// metric improvement for the profile, and the improvement.
+func (p Profile) BestConfig() (freq.Config, float64) {
+	best := Reference
+	bestImp := 0.0
+	for _, cfg := range freq.TableVII() {
+		if imp := p.Improvement(cfg); imp > bestImp {
+			best, bestImp = cfg, imp
+		}
+	}
+	return best, bestImp
+}
+
+// IncrementalGains returns the marginal improvement contributed by
+// each overclocking step: B2→OC1 (core), OC1→OC2 (+cache),
+// OC2→OC3 (+memory). This is the decomposition behind the paper's
+// "core overclocking provides the most benefit, with the exception of
+// TeraSort and DiskSpeed".
+func (p Profile) IncrementalGains() (core, cache, memory float64) {
+	i1 := p.Improvement(freq.OC1)
+	i2 := p.Improvement(freq.OC2)
+	i3 := p.Improvement(freq.OC3)
+	return i1, i2 - i1, i3 - i2
+}

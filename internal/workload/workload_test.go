@@ -1,0 +1,205 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"immersionoc/internal/freq"
+	"immersionoc/internal/power"
+)
+
+func TestAllProfilesValidate(t *testing.T) {
+	for _, p := range TableIX() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestTableIXCatalog(t *testing.T) {
+	if len(TableIX()) != 11 {
+		t.Fatalf("Table IX has %d apps, want 11", len(TableIX()))
+	}
+	wantCores := map[string]int{
+		"SQL": 4, "Training": 4, "Key-Value": 8, "BI": 4, "Client-Server": 4,
+		"Pmbench": 2, "DiskSpeed": 2, "SPECJBB": 4, "TeraSort": 4, "VGG": 16, "STREAM": 16,
+	}
+	for _, p := range TableIX() {
+		if wantCores[p.Name] != p.Cores {
+			t.Errorf("%s cores %d, want %d", p.Name, p.Cores, wantCores[p.Name])
+		}
+	}
+	if _, err := ByName("SQL"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown app did not error")
+	}
+}
+
+func TestBaselineIsIdentity(t *testing.T) {
+	for _, p := range TableIX() {
+		if r := p.MetricRatio(freq.B2); math.Abs(r-1) > 1e-12 {
+			t.Errorf("%s: MetricRatio(B2) = %v", p.Name, r)
+		}
+		if imp := p.Improvement(freq.B2); math.Abs(imp) > 1e-12 {
+			t.Errorf("%s: Improvement(B2) = %v", p.Name, imp)
+		}
+	}
+}
+
+func TestOverclockingAlwaysImproves(t *testing.T) {
+	// Paper: "In all configurations, overclocking improves the
+	// metric of interest."
+	for _, p := range Figure9Apps() {
+		for _, cfg := range []freq.Config{freq.OC1, freq.OC2, freq.OC3} {
+			if imp := p.Improvement(cfg); imp <= 0 {
+				t.Errorf("%s under %s: improvement %v", p.Name, cfg.Name, imp)
+			}
+		}
+	}
+}
+
+func TestImprovementRange10To25(t *testing.T) {
+	// Paper: best-case improvements land in roughly 10–25%.
+	for _, p := range Figure9Apps() {
+		_, best := p.BestConfig()
+		if best < 0.10 || best > 0.27 {
+			t.Errorf("%s: best improvement %.1f%%, want within ~10–25%%", p.Name, best*100)
+		}
+	}
+}
+
+func TestCoreOCBestExceptTeraSortAndDiskSpeed(t *testing.T) {
+	// Paper: "Core overclocking (OC1) provides the most benefit,
+	// with the exception of TeraSort and DiskSpeed" — i.e. the
+	// B2→OC1 increment dominates the cache and memory increments.
+	for _, p := range Figure9Apps() {
+		core, cache, mem := p.IncrementalGains()
+		coreDominates := core >= cache && core >= mem
+		switch p.Name {
+		case "TeraSort", "DiskSpeed":
+			if coreDominates {
+				t.Errorf("%s: core increment %v dominates (cache %v, mem %v), paper says it should not", p.Name, core, cache, mem)
+			}
+		default:
+			if !coreDominates {
+				t.Errorf("%s: core increment %v not dominant (cache %v, mem %v)", p.Name, core, cache, mem)
+			}
+		}
+	}
+}
+
+func TestCacheOCAcceleratesPmbenchAndDiskSpeed(t *testing.T) {
+	for _, name := range []string{"Pmbench", "DiskSpeed"} {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, cache, _ := p.IncrementalGains()
+		if cache < 0.04 {
+			t.Errorf("%s: cache increment only %.1f%%", name, cache*100)
+		}
+	}
+}
+
+func TestMemoryOCHelpsSQLMost(t *testing.T) {
+	_, _, sqlMem := SQL.IncrementalGains()
+	for _, p := range Figure9Apps() {
+		if p.Name == "SQL" {
+			continue
+		}
+		_, _, mem := p.IncrementalGains()
+		if mem >= sqlMem {
+			t.Errorf("%s memory increment %.1f%% ≥ SQL's %.1f%%", p.Name, mem*100, sqlMem*100)
+		}
+	}
+}
+
+func TestTrainingAndBIInsensitiveToUncoreMemory(t *testing.T) {
+	for _, name := range []string{"Training", "BI"} {
+		p, _ := ByName(name)
+		core, cache, mem := p.IncrementalGains()
+		if cache+mem > 0.25*core {
+			t.Errorf("%s: cache+mem increments %.1f%% too large vs core %.1f%%",
+				name, (cache+mem)*100, core*100)
+		}
+	}
+}
+
+func TestB1SlowerThanB2(t *testing.T) {
+	for _, p := range Figure9Apps() {
+		if p.Improvement(freq.B1) >= 0 {
+			t.Errorf("%s: B1 (no turbo) not slower than B2", p.Name)
+		}
+	}
+}
+
+func TestScalableFraction(t *testing.T) {
+	// ClientServer: wCore/(wCore+wLLC+wMem) = 0.75/0.85.
+	if got := ClientServer.ScalableFraction(); math.Abs(got-0.75/0.85) > 1e-9 {
+		t.Fatalf("ClientServer scalable fraction %v", got)
+	}
+	f := func(a, b, c uint8) bool {
+		p := Profile{WCore: float64(a), WLLC: float64(b), WMem: float64(c)}
+		sf := p.ScalableFraction()
+		return sf >= 0 && sf <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencyAmplification(t *testing.T) {
+	// A latency metric with queueing improves MORE than its raw
+	// service time under overclocking.
+	svc := 1 - SQL.ServiceTimeRatio(freq.OC3)
+	lat := SQL.Improvement(freq.OC3)
+	if lat <= svc {
+		t.Fatalf("latency improvement %v not amplified over service %v", lat, svc)
+	}
+}
+
+func TestServerPowerOrdering(t *testing.T) {
+	for _, p := range Figure9Apps() {
+		avg, p99 := p.ServerPower(power.Tank1Server, freq.B2)
+		if p99 < avg {
+			t.Errorf("%s: P99 power %v below average %v", p.Name, p99, avg)
+		}
+		avgOC, _ := p.ServerPower(power.Tank1Server, freq.OC3)
+		if avgOC <= avg {
+			t.Errorf("%s: OC3 power not above B2", p.Name)
+		}
+	}
+}
+
+func TestMetricValueScales(t *testing.T) {
+	got := Training.MetricValue(freq.OC1)
+	want := Training.BaseMetric * Training.MetricRatio(freq.OC1)
+	if got != want {
+		t.Fatalf("MetricValue %v, want %v", got, want)
+	}
+}
+
+func TestValidateRejectsBadProfiles(t *testing.T) {
+	bad := Profile{Name: "x", Cores: 4, WCore: 0.5, WLLC: 0.1, WMem: 0.1, WFixed: 0.1}
+	if bad.Validate() == nil {
+		t.Fatal("vector not summing to 1 accepted")
+	}
+	bad2 := Profile{Name: "x", Cores: 0, WCore: 1}
+	if bad2.Validate() == nil {
+		t.Fatal("zero cores accepted")
+	}
+	bad3 := Profile{Name: "x", Cores: 1, WCore: 1, QueueRho: 1.0}
+	if bad3.Validate() == nil {
+		t.Fatal("queue rho = 1 accepted")
+	}
+}
+
+func TestThroughputMetricInverse(t *testing.T) {
+	r := SPECJBB.ServiceTimeRatio(freq.OC1)
+	if got := SPECJBB.MetricRatio(freq.OC1); math.Abs(got-1/r) > 1e-12 {
+		t.Fatalf("throughput ratio %v, want %v", got, 1/r)
+	}
+}
