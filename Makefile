@@ -1,0 +1,30 @@
+# Build / verification entry points. `make verify` is the CI gate:
+# vet, build, and the full test suite under the race detector (the
+# parallel experiment runner executes 8-wide inside it).
+
+GO ?= go
+
+.PHONY: build vet test race verify bench bench-runner
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detect the parallel runner and its CLI quickly.
+race:
+	$(GO) test -race ./internal/runner/... ./cmd/octl/...
+
+verify:
+	$(GO) vet ./... && $(GO) build ./... && $(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Serial-vs-parallel wall clock of the full evaluation.
+bench-runner:
+	$(GO) test -bench=BenchmarkRunnerAll -benchtime=1x

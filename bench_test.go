@@ -11,12 +11,42 @@
 package immersionoc_test
 
 import (
+	"context"
+	"runtime"
 	"testing"
 
 	"immersionoc/internal/dcsim"
 	"immersionoc/internal/experiments"
+	"immersionoc/internal/runner"
 	"immersionoc/internal/vm"
 )
+
+// BenchmarkRunnerAll regenerates the full table evaluation through the
+// experiment runner, serially and with a GOMAXPROCS-wide worker pool.
+// On a multi-core machine the parallel case amortizes the serial sum
+// (the report's "serial cost") down to roughly the slowest experiment.
+func BenchmarkRunnerAll(b *testing.B) {
+	exps := experiments.Tables()
+	if len(exps) == 0 {
+		b.Fatal("empty registry")
+	}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", runtime.GOMAXPROCS(0)},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := runner.Run(context.Background(), exps, runner.Config{Workers: bc.workers})
+				if failed := r.Failed(); len(failed) > 0 {
+					b.Fatalf("%s: %v", failed[0].Name, failed[0].Err)
+				}
+			}
+		})
+	}
+}
 
 func BenchmarkTableI(b *testing.B) {
 	for i := 0; i < b.N; i++ {
@@ -179,7 +209,7 @@ func BenchmarkFig13(b *testing.B) {
 func BenchmarkFig15(b *testing.B) {
 	var freqAt3000 float64
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig15Data(3)
+		res, err := experiments.Fig15Data(experiments.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -191,7 +221,7 @@ func BenchmarkFig15(b *testing.B) {
 func BenchmarkTableXI(b *testing.B) {
 	var ocaVMh float64
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.TableXIData(3)
+		res, err := experiments.TableXIData(experiments.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -203,7 +233,7 @@ func BenchmarkTableXI(b *testing.B) {
 func BenchmarkFig16(b *testing.B) {
 	var peak float64
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.TableXIData(3)
+		res, err := experiments.TableXIData(experiments.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -324,7 +354,7 @@ func BenchmarkAblationBursts(b *testing.B) {
 func BenchmarkAblationEq1(b *testing.B) {
 	var saving float64
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.AblationEq1Data(5)
+		res, err := experiments.AblationEq1Data(experiments.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -336,7 +366,7 @@ func BenchmarkAblationEq1(b *testing.B) {
 func BenchmarkPolicyComparison(b *testing.B) {
 	var best float64
 	for i := 0; i < b.N; i++ {
-		results, err := experiments.PolicyComparisonData(3)
+		results, err := experiments.PolicyComparisonData(experiments.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -370,7 +400,7 @@ func BenchmarkCoolingComparison(b *testing.B) {
 func BenchmarkDiurnal(b *testing.B) {
 	var saved float64
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.DiurnalData(3, 1800)
+		res, err := experiments.DiurnalData(experiments.Options{DurationS: 1800})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,136 +1,261 @@
 // Command octl regenerates the paper's tables and figures from the
-// simulation models. Run with no arguments for the full evaluation, or
-// name specific experiments:
+// simulation models through the parallel experiment runner. Run with
+// no arguments for the full evaluation, or name specific experiments:
 //
 //	octl table1 table5 fig9
-//	octl all
+//	octl all -j 8
+//	octl list
+//	octl -tags paper
+//	octl -json fig9 table5 > results.ndjson
+//	octl -out artifacts/ all
+//
+// Flags (accepted before or after experiment names):
+//
+//	-j N            worker count (default GOMAXPROCS)
+//	-tags a,b       run the experiments carrying any of the tags
+//	-json           emit NDJSON results on stdout instead of tables
+//	-out dir        write one <name>.json + <name>.txt per experiment
+//	-timeout d      per-experiment timeout (e.g. 30s; 0 = none)
+//	-retries N      re-run a failing experiment up to N times
+//	-seed N         override every experiment's RNG seed (0 = calibrated)
+//	-duration S     override simulated duration in seconds (0 = calibrated)
+//
+// A failing experiment no longer aborts the run: octl runs everything,
+// prints a failure summary, and exits non-zero at the end. A run
+// summary footer (wall time, percentile experiment latencies) goes to
+// stderr.
 //
 // Paper artifacts: table1 table2 table3 fig4 table5 table6
 // power-savings stability fig9 fig10 fig11 fig12 fig13 tco-oversub
 // fig15 fig16 table11 packing buffers capacity.
 //
 // Extensions: highperf wearbudget capping tank policies diurnal
-// cooling fleetsim ablation-eq1 ablation-bec ablation-bursts.
+// cooling fleetsim migration ablation-eq1 ablation-bec
+// ablation-bursts.
 //
 // ASCII figure renderings: plot-fig12 plot-fig15 plot-fig16
 // plot-diurnal.
+//
+// `octl list` prints the full registry with kinds and tags.
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"strings"
+	"time"
 
 	"immersionoc/internal/experiments"
+	"immersionoc/internal/runner"
 )
 
-type experiment struct {
-	name string
-	run  func() (*experiments.Table, error)
-}
-
-func wrap(f func() *experiments.Table) func() (*experiments.Table, error) {
-	return func() (*experiments.Table, error) { return f(), nil }
-}
-
-var all = []experiment{
-	{"table1", wrap(experiments.TableI)},
-	{"table2", wrap(experiments.TableII)},
-	{"table3", experiments.TableIII},
-	{"fig4", wrap(experiments.Fig4)},
-	{"table5", experiments.TableV},
-	{"power-savings", func() (*experiments.Table, error) {
-		_, t, err := experiments.PowerSavings()
-		return t, err
-	}},
-	{"stability", wrap(experiments.StabilityReport)},
-	{"table6", experiments.TableVI},
-	{"tco-oversub", func() (*experiments.Table, error) {
-		t, _, _, err := experiments.OversubTCO()
-		return t, err
-	}},
-	{"fig9", wrap(experiments.Fig9)},
-	{"fig10", wrap(experiments.Fig10)},
-	{"fig11", wrap(experiments.Fig11)},
-	{"fig12", wrap(experiments.Fig12)},
-	{"fig13", wrap(experiments.Fig13)},
-	{"fig15", experiments.Fig15},
-	{"fig16", experiments.Fig16},
-	{"table11", func() (*experiments.Table, error) {
-		t, _, err := experiments.TableXI()
-		return t, err
-	}},
-	{"packing", wrap(experiments.Packing)},
-	{"buffers", wrap(experiments.Buffers)},
-	{"capacity", wrap(experiments.CapacityCrisis)},
-	{"capping", experiments.Capping},
-	{"ablation-eq1", experiments.AblationEq1},
-	{"ablation-bec", experiments.AblationBEC},
-	{"ablation-bursts", wrap(experiments.AblationBursts)},
-	{"policies", experiments.PolicyComparison},
-	{"tank", experiments.TankEnvelope},
-	{"highperf", experiments.HighPerf},
-	{"wearbudget", experiments.WearBudget},
-	{"diurnal", experiments.Diurnal},
-	{"cooling", experiments.CoolingComparison},
-	{"fleetsim", experiments.FleetSim},
-	{"migration", experiments.Migration},
-}
-
-// plots render ASCII charts instead of tables.
-var plots = []struct {
-	name string
-	run  func() (string, error)
-}{
-	{"plot-fig12", experiments.PlotFig12},
-	{"plot-fig15", experiments.PlotFig15},
-	{"plot-fig16", experiments.PlotFig16},
-	{"plot-diurnal", experiments.PlotDiurnal},
-}
-
 func main() {
-	args := os.Args[1:]
-	if len(args) == 0 || (len(args) == 1 && args[0] == "all") {
-		for _, e := range all {
-			run(e)
-		}
-		return
-	}
-	known := make(map[string]experiment, len(all))
+	os.Exit(run(os.Args[1:]))
+}
+
+type cli struct {
+	workers  int
+	tags     string
+	jsonOut  bool
+	outDir   string
+	timeout  time.Duration
+	retries  int
+	seed     uint64
+	duration float64
+}
+
+// parseArgs accepts flags interleaved with experiment names
+// (`octl all -j 8` and `octl -j 8 all` both work).
+func parseArgs(args []string) (cli, []string, error) {
+	var c cli
+	fs := flag.NewFlagSet("octl", flag.ContinueOnError)
+	fs.IntVar(&c.workers, "j", 0, "worker count (0 = GOMAXPROCS)")
+	fs.StringVar(&c.tags, "tags", "", "comma-separated tags to select experiments by")
+	fs.BoolVar(&c.jsonOut, "json", false, "emit NDJSON results on stdout")
+	fs.StringVar(&c.outDir, "out", "", "write per-experiment .json and .txt files to this directory")
+	fs.DurationVar(&c.timeout, "timeout", 0, "per-experiment timeout (0 = none)")
+	fs.IntVar(&c.retries, "retries", 0, "re-run a failing experiment up to N times")
+	fs.Uint64Var(&c.seed, "seed", 0, "override experiment RNG seeds (0 = calibrated defaults)")
+	fs.Float64Var(&c.duration, "duration", 0, "override simulated duration in seconds (0 = calibrated defaults)")
 	var names []string
-	for _, e := range all {
-		known[e.name] = e
-		names = append(names, e.name)
-	}
-	knownPlots := map[string]func() (string, error){}
-	for _, p := range plots {
-		knownPlots[p.name] = p.run
-		names = append(names, p.name)
-	}
-	for _, a := range args {
-		if pr, ok := knownPlots[a]; ok {
-			out, err := pr()
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "octl: %s: %v\n", a, err)
-				os.Exit(1)
-			}
-			fmt.Printf("== %s ==\n%s\n", a, out)
-			continue
+	rest := args
+	for {
+		if err := fs.Parse(rest); err != nil {
+			return c, nil, err
 		}
-		e, ok := known[a]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "octl: unknown experiment %q\navailable: %s\n", a, strings.Join(names, " "))
-			os.Exit(2)
+		rest = fs.Args()
+		if len(rest) == 0 {
+			return c, names, nil
 		}
-		run(e)
+		names = append(names, rest[0])
+		rest = rest[1:]
 	}
 }
 
-func run(e experiment) {
-	t, err := e.run()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "octl: %s: %v\n", e.name, err)
-		os.Exit(1)
+// selection resolves the command line into an ordered experiment list.
+func selection(c cli, names []string) ([]experiments.Experiment, error) {
+	if c.tags != "" {
+		if len(names) > 0 {
+			return nil, fmt.Errorf("use either -tags or experiment names, not both")
+		}
+		want := map[string]bool{}
+		for _, t := range strings.Split(c.tags, ",") {
+			if t = strings.TrimSpace(t); t != "" {
+				want[t] = true
+			}
+		}
+		var sel []experiments.Experiment
+		for _, e := range experiments.All() {
+			for _, t := range e.Tags {
+				if want[t] {
+					sel = append(sel, e)
+					break
+				}
+			}
+		}
+		if len(sel) == 0 {
+			return nil, fmt.Errorf("no experiments carry tags %q", c.tags)
+		}
+		return sel, nil
 	}
-	fmt.Printf("== %s ==\n%s\n", e.name, t)
+	if len(names) == 0 || (len(names) == 1 && names[0] == "all") {
+		return experiments.Tables(), nil
+	}
+	var sel []experiments.Experiment
+	for _, n := range names {
+		e, ok := experiments.Lookup(n)
+		if !ok {
+			return nil, fmt.Errorf("unknown experiment %q\navailable: %s",
+				n, strings.Join(experiments.Names(), " "))
+		}
+		sel = append(sel, e)
+	}
+	return sel, nil
+}
+
+func run(args []string) int {
+	c, names, err := parseArgs(args)
+	if err != nil {
+		return 2
+	}
+	if len(names) == 1 && names[0] == "list" {
+		list(os.Stdout)
+		return 0
+	}
+	sel, err := selection(c, names)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "octl: %v\n", err)
+		return 2
+	}
+	if c.outDir != "" {
+		if err := os.MkdirAll(c.outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "octl: %v\n", err)
+			return 1
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	// Stream results in submission order as they complete: workers
+	// post indices on done, the loop below flushes the ready prefix.
+	outcomes := make([]*runner.Outcome, len(sel))
+	done := make(chan int, len(sel))
+	cfg := runner.Config{
+		Workers: c.workers,
+		Timeout: c.timeout,
+		Retries: c.retries,
+		Options: experiments.Options{Seed: c.seed, DurationS: c.duration},
+		OnDone: func(i int, o runner.Outcome) {
+			outcomes[i] = &o
+			done <- i
+		},
+	}
+	reportCh := make(chan *runner.Report, 1)
+	go func() { reportCh <- runner.Run(ctx, sel, cfg) }()
+
+	failed := 0
+	for next, received := 0, 0; received < len(sel); {
+		<-done
+		received++
+		for next < len(sel) && outcomes[next] != nil {
+			if !emit(c, *outcomes[next]) {
+				failed++
+			}
+			next++
+		}
+	}
+	report := <-reportCh
+	fmt.Fprintf(os.Stderr, "octl: %s\n", report.Summary())
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "octl: %d of %d experiments failed:\n", failed, len(sel))
+		for _, o := range report.Failed() {
+			fmt.Fprintf(os.Stderr, "octl:   %s: %s\n", o.Name, firstLine(o.Err))
+		}
+		return 1
+	}
+	return 0
+}
+
+// emit prints or writes one outcome; it reports success.
+func emit(c cli, o runner.Outcome) bool {
+	if !o.OK() {
+		fmt.Fprintf(os.Stderr, "octl: %s: %s\n", o.Name, firstLine(o.Err))
+		return false
+	}
+	if c.outDir != "" {
+		if err := writeArtifacts(c.outDir, o); err != nil {
+			fmt.Fprintf(os.Stderr, "octl: %s: %v\n", o.Name, err)
+			return false
+		}
+		return true
+	}
+	if c.jsonOut {
+		line, err := json.Marshal(o.Result)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "octl: %s: %v\n", o.Name, err)
+			return false
+		}
+		fmt.Printf("%s\n", line)
+		return true
+	}
+	fmt.Printf("== %s ==\n%s\n", o.Name, o.Result.Text())
+	return true
+}
+
+// writeArtifacts stores <name>.json and <name>.txt under dir.
+func writeArtifacts(dir string, o runner.Outcome) error {
+	data, err := json.Marshal(o.Result)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, o.Name+".json"), append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, o.Name+".txt"), []byte(o.Result.Text()), 0o644)
+}
+
+// list prints the registry: one line per experiment with kind and tags.
+func list(w *os.File) {
+	for _, e := range experiments.All() {
+		fmt.Fprintf(w, "%-16s %-5s %s\n", e.Name, e.Kind, strings.Join(e.Tags, ","))
+	}
+}
+
+// firstLine trims a (possibly multi-line, stack-carrying) error for
+// the failure summary.
+func firstLine(err error) string {
+	if err == nil {
+		return ""
+	}
+	s := err.Error()
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i] + " …"
+	}
+	return s
 }

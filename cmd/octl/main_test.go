@@ -1,19 +1,108 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
 
-func TestRegistryNamesUnique(t *testing.T) {
-	seen := map[string]bool{}
-	for _, e := range all {
-		if e.name == "" {
-			t.Fatal("empty experiment name")
+	"immersionoc/internal/experiments"
+)
+
+// docCommentNames extracts the experiment names advertised in this
+// command's doc comment (the "Paper artifacts:", "Extensions:" and
+// "ASCII figure renderings:" paragraphs of main.go).
+func docCommentNames(t *testing.T) []string {
+	t.Helper()
+	src, err := os.ReadFile("main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	collecting := false
+	for _, line := range strings.Split(string(src), "\n") {
+		if !strings.HasPrefix(line, "//") {
+			break // end of the doc comment
 		}
-		if seen[e.name] {
-			t.Fatalf("duplicate experiment %q", e.name)
+		text := strings.TrimSpace(strings.TrimPrefix(line, "//"))
+		switch {
+		case strings.HasPrefix(text, "Paper artifacts:"),
+			strings.HasPrefix(text, "Extensions:"),
+			strings.HasPrefix(text, "ASCII figure renderings:"):
+			collecting = true
+			text = text[strings.Index(text, ":")+1:]
+		case text == "":
+			collecting = false
 		}
-		seen[e.name] = true
-		if e.run == nil {
-			t.Fatalf("experiment %q has no runner", e.name)
+		if !collecting {
+			continue
+		}
+		for _, tok := range strings.Fields(text) {
+			tok = strings.TrimSuffix(tok, ".")
+			if regexp.MustCompile(`^[a-z][a-z0-9-]*$`).MatchString(tok) {
+				names = append(names, tok)
+			}
+		}
+	}
+	if len(names) < 20 {
+		t.Fatalf("parsed only %d names from the doc comment; parser broken?", len(names))
+	}
+	return names
+}
+
+// TestDocCommentMatchesRegistry keeps the doc comment and the registry
+// in lockstep: every advertised name resolves, and every registered
+// experiment is advertised.
+func TestDocCommentMatchesRegistry(t *testing.T) {
+	advertised := map[string]bool{}
+	for _, n := range docCommentNames(t) {
+		advertised[n] = true
+		if _, ok := experiments.Lookup(n); !ok {
+			t.Errorf("doc comment advertises %q, not in the registry", n)
+		}
+	}
+	for _, n := range experiments.Names() {
+		if !advertised[n] {
+			t.Errorf("registered experiment %q missing from the doc comment", n)
+		}
+	}
+}
+
+// TestDesignRegenerationNamesResolve checks that every `octl <name>`
+// regeneration instruction in DESIGN.md resolves in the registry.
+func TestDesignRegenerationNamesResolve(t *testing.T) {
+	src, err := os.ReadFile("../../DESIGN.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := regexp.MustCompile("`octl ([a-z0-9*/-]+)`")
+	matches := re.FindAllStringSubmatch(string(src), -1)
+	if len(matches) < 20 {
+		t.Fatalf("found only %d `octl …` mentions in DESIGN.md; parser broken?", len(matches))
+	}
+	for _, m := range matches {
+		name := m[1]
+		if name == "list" || name == "all" {
+			continue // subcommands, not experiments
+		}
+		if strings.Contains(name, "*") {
+			// Wildcard family: at least one registered name must match
+			// the prefix.
+			prefix := strings.TrimSuffix(name, "*")
+			found := false
+			for _, n := range experiments.Names() {
+				if strings.HasPrefix(n, prefix) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("DESIGN.md wildcard %q matches no registered experiment", name)
+			}
+			continue
+		}
+		if _, ok := experiments.Lookup(name); !ok {
+			t.Errorf("DESIGN.md regeneration target %q not in the registry", name)
 		}
 	}
 }
@@ -25,57 +114,78 @@ func TestRegistryCoversPaperArtifacts(t *testing.T) {
 		"fig9", "fig10", "fig11", "fig12", "fig13", "fig15", "fig16",
 		"table11", "packing", "buffers", "capacity",
 	}
-	have := map[string]bool{}
-	for _, e := range all {
-		have[e.name] = true
-	}
 	for _, name := range required {
-		if !have[name] {
+		e, ok := experiments.Lookup(name)
+		if !ok {
 			t.Errorf("paper artifact %q missing from the registry", name)
+			continue
+		}
+		if !e.HasTag("paper") {
+			t.Errorf("paper artifact %q not tagged \"paper\" (tags %v)", name, e.Tags)
 		}
 	}
 }
 
-func TestFastExperimentsRun(t *testing.T) {
-	// The model-driven (non-simulation) experiments must all render.
-	fast := map[string]bool{
-		"table1": true, "table2": true, "table3": true, "fig4": true,
-		"table5": true, "power-savings": true, "stability": true,
-		"table6": true, "tco-oversub": true, "fig9": true, "fig10": true,
-		"fig11": true, "wearbudget": true, "cooling": true,
-		"ablation-bec": true, "highperf": true, "tank": true,
+func TestParseArgsInterleavedFlags(t *testing.T) {
+	c, names, err := parseArgs([]string{"all", "-j", "8", "-json"})
+	if err != nil {
+		t.Fatal(err)
 	}
-	for _, e := range all {
-		if !fast[e.name] {
-			continue
-		}
-		tbl, err := e.run()
-		if err != nil {
-			t.Errorf("%s: %v", e.name, err)
-			continue
-		}
-		if tbl == nil || len(tbl.Rows) == 0 {
-			t.Errorf("%s: empty table", e.name)
-		}
+	if c.workers != 8 || !c.jsonOut {
+		t.Fatalf("flags after the subcommand not parsed: %+v", c)
+	}
+	if len(names) != 1 || names[0] != "all" {
+		t.Fatalf("names = %v", names)
 	}
 }
 
-func TestPlotNamesDisjoint(t *testing.T) {
-	names := map[string]bool{}
-	for _, e := range all {
-		names[e.name] = true
+func TestSelection(t *testing.T) {
+	all, err := selection(cli{}, nil)
+	if err != nil {
+		t.Fatal(err)
 	}
-	seen := map[string]bool{}
-	for _, p := range plots {
-		if names[p.name] {
-			t.Errorf("plot %q collides with an experiment name", p.name)
+	explicit, err := selection(cli{}, []string{"all"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) == 0 || len(all) != len(explicit) {
+		t.Fatalf("`octl` selects %d, `octl all` selects %d", len(all), len(explicit))
+	}
+	for _, e := range all {
+		if e.Kind != experiments.KindTable {
+			t.Errorf("`octl all` selected non-table %q", e.Name)
 		}
-		if seen[p.name] {
-			t.Errorf("duplicate plot %q", p.name)
+	}
+
+	named, err := selection(cli{}, []string{"fig9", "table5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(named) != 2 || named[0].Name != "fig9" || named[1].Name != "table5" {
+		t.Fatalf("named selection = %v", named)
+	}
+
+	if _, err := selection(cli{}, []string{"nonesuch"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+
+	tagged, err := selection(cli{tags: "paper"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range tagged {
+		if !e.HasTag("paper") {
+			t.Errorf("-tags paper selected %q (tags %v)", e.Name, e.Tags)
 		}
-		seen[p.name] = true
-		if p.run == nil {
-			t.Errorf("plot %q has no runner", p.name)
-		}
+	}
+	if len(tagged) < 10 {
+		t.Fatalf("-tags paper selected only %d experiments", len(tagged))
+	}
+
+	if _, err := selection(cli{tags: "paper"}, []string{"fig9"}); err == nil {
+		t.Fatal("-tags combined with names accepted")
+	}
+	if _, err := selection(cli{tags: "nonesuch"}, nil); err == nil {
+		t.Fatal("unknown tag accepted")
 	}
 }

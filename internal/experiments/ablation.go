@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"immersionoc/internal/autoscaler"
@@ -23,8 +24,9 @@ type AblationEq1Result struct {
 
 // AblationEq1Data runs both controllers on an oscillating moderate
 // load where intermediate ladder rungs suffice, so the model's
-// minimum-frequency selection can actually save power.
-func AblationEq1Data(seed uint64) (AblationEq1Result, error) {
+// minimum-frequency selection can actually save power. The zero
+// Options reproduces the published run (seed 5).
+func AblationEq1Data(o Options) (AblationEq1Result, error) {
 	phases := []queueing.LoadPhase{
 		{QPS: 1000, DurationS: 240},
 		{QPS: 1700, DurationS: 300},
@@ -34,7 +36,7 @@ func AblationEq1Data(seed uint64) (AblationEq1Result, error) {
 	}
 	mk := func(naive bool) (*autoscaler.Result, error) {
 		cfg := autoscaler.DefaultConfig(autoscaler.OCA, phases)
-		cfg.Seed = seed
+		cfg.Seed = o.SeedOr(5)
 		cfg.InitialVMs = 3
 		cfg.MinVMs = 3
 		cfg.DisableScaleOut = true
@@ -53,8 +55,8 @@ func AblationEq1Data(seed uint64) (AblationEq1Result, error) {
 }
 
 // AblationEq1 renders the Equation 1 ablation.
-func AblationEq1() (*Table, error) {
-	res, err := AblationEq1Data(5)
+func AblationEq1(o Options) (*Table, error) {
+	res, err := AblationEq1Data(o)
 	if err != nil {
 		return nil, err
 	}
@@ -193,8 +195,9 @@ func AblationBursts() *Table {
 }
 
 // PolicyComparisonData runs all five auto-scaler policies (the paper's
-// three plus the predictive extensions) over the Table XI ramp.
-func PolicyComparisonData(seed uint64) ([]*autoscaler.Result, error) {
+// three plus the predictive extensions) over the Table XI ramp. The
+// zero Options reproduces the published run (seed 3).
+func PolicyComparisonData(o Options) ([]*autoscaler.Result, error) {
 	phases := autoscaler.RampPhases(500, 4000, 500, 300)
 	var out []*autoscaler.Result
 	for _, p := range []autoscaler.Policy{
@@ -202,7 +205,7 @@ func PolicyComparisonData(seed uint64) ([]*autoscaler.Result, error) {
 		autoscaler.Predictive, autoscaler.PredictiveOCA,
 	} {
 		cfg := autoscaler.DefaultConfig(p, phases)
-		cfg.Seed = seed
+		cfg.Seed = o.SeedOr(3)
 		r, err := autoscaler.Run(cfg)
 		if err != nil {
 			return nil, err
@@ -213,8 +216,8 @@ func PolicyComparisonData(seed uint64) ([]*autoscaler.Result, error) {
 }
 
 // PolicyComparison renders the five-policy comparison.
-func PolicyComparison() (*Table, error) {
-	results, err := PolicyComparisonData(3)
+func PolicyComparison(o Options) (*Table, error) {
+	results, err := PolicyComparisonData(o)
 	if err != nil {
 		return nil, err
 	}
@@ -236,4 +239,15 @@ func PolicyComparison() (*Table, error) {
 			Pct(r.AvgVMPowerW/base.AvgVMPowerW-1))
 	}
 	return t, nil
+}
+
+func init() {
+	registerTable("ablation-eq1", 220, []string{"ablation", "sim"},
+		func(ctx context.Context, o Options) (*Table, error) { return AblationEq1(o) })
+	registerTable("ablation-bec", 230, []string{"ablation", "fast"},
+		func(ctx context.Context, o Options) (*Table, error) { return AblationBEC() })
+	registerTable("ablation-bursts", 240, []string{"ablation", "sim"},
+		func(ctx context.Context, o Options) (*Table, error) { return AblationBursts(), nil })
+	registerTable("policies", 250, []string{"extension", "sim"},
+		func(ctx context.Context, o Options) (*Table, error) { return PolicyComparison(o) })
 }

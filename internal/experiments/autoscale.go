@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"immersionoc/internal/autoscaler"
@@ -14,13 +15,14 @@ type Fig15Result struct {
 
 // Fig15Data runs the Equation 1 validation: three fixed VMs, the load
 // stepping 1000→2000→500→3000→1000 QPS, frequency control on, versus
-// a baseline that never changes frequency.
-func Fig15Data(seed uint64) (Fig15Result, error) {
+// a baseline that never changes frequency. The zero Options reproduces
+// the published run (seed 3).
+func Fig15Data(o Options) (Fig15Result, error) {
 	phases := autoscaler.ValidationPhases()
 
 	mk := func(policy autoscaler.Policy) autoscaler.Config {
 		cfg := autoscaler.DefaultConfig(policy, phases)
-		cfg.Seed = seed
+		cfg.Seed = o.SeedOr(3)
 		cfg.InitialVMs = 3
 		cfg.MinVMs = 3
 		cfg.DisableScaleOut = true
@@ -38,8 +40,8 @@ func Fig15Data(seed uint64) (Fig15Result, error) {
 }
 
 // Fig15 renders the validation time series at phase boundaries.
-func Fig15() (*Table, error) {
-	res, err := Fig15Data(3)
+func Fig15(o Options) (*Table, error) {
+	res, err := Fig15Data(o)
 	if err != nil {
 		return nil, err
 	}
@@ -72,8 +74,8 @@ type TableXIResult struct {
 }
 
 // TableXIData runs the three auto-scaler policies over the 500→4000
-// QPS ramp.
-func TableXIData(seed uint64) (TableXIResult, error) {
+// QPS ramp. The zero Options reproduces the published run (seed 3).
+func TableXIData(o Options) (TableXIResult, error) {
 	phases := autoscaler.RampPhases(500, 4000, 500, 300)
 	var res TableXIResult
 	for _, pc := range []struct {
@@ -85,7 +87,7 @@ func TableXIData(seed uint64) (TableXIResult, error) {
 		{autoscaler.OCA, &res.OCA},
 	} {
 		cfg := autoscaler.DefaultConfig(pc.policy, phases)
-		cfg.Seed = seed
+		cfg.Seed = o.SeedOr(3)
 		r, err := autoscaler.Run(cfg)
 		if err != nil {
 			return TableXIResult{}, err
@@ -96,8 +98,8 @@ func TableXIData(seed uint64) (TableXIResult, error) {
 }
 
 // TableXI renders the full auto-scaler experiment results.
-func TableXI() (*Table, TableXIResult, error) {
-	res, err := TableXIData(3)
+func TableXI(o Options) (*Table, TableXIResult, error) {
+	res, err := TableXIData(o)
 	if err != nil {
 		return nil, TableXIResult{}, err
 	}
@@ -128,8 +130,8 @@ func TableXI() (*Table, TableXIResult, error) {
 
 // Fig16 renders the utilization traces of the three policies at fixed
 // sampling points (one per minute).
-func Fig16() (*Table, error) {
-	res, err := TableXIData(3)
+func Fig16(o Options) (*Table, error) {
+	res, err := TableXIData(o)
 	if err != nil {
 		return nil, err
 	}
@@ -165,4 +167,16 @@ func Fig16() (*Table, error) {
 		)
 	}
 	return t, nil
+}
+
+func init() {
+	registerTable("fig15", 150, []string{"paper", "sim"},
+		func(ctx context.Context, o Options) (*Table, error) { return Fig15(o) })
+	registerTable("fig16", 160, []string{"paper", "sim"},
+		func(ctx context.Context, o Options) (*Table, error) { return Fig16(o) })
+	registerTable("table11", 170, []string{"paper", "sim"},
+		func(ctx context.Context, o Options) (*Table, error) {
+			t, _, err := TableXI(o)
+			return t, err
+		})
 }

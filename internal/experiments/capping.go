@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"immersionoc/internal/capping"
@@ -121,4 +122,9 @@ func Capping() (*Table, error) {
 			fmt.Sprintf("%.2f GHz / %s", u.FreqGHz, Pct(-u.PerfImpact)))
 	}
 	return t, nil
+}
+
+func init() {
+	registerTable("capping", 210, []string{"extension"},
+		func(ctx context.Context, o Options) (*Table, error) { return Capping() })
 }

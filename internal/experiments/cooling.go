@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"immersionoc/internal/power"
@@ -106,4 +107,9 @@ func CoolingComparison() (*Table, error) {
 			ok)
 	}
 	return t, nil
+}
+
+func init() {
+	registerTable("cooling", 300, []string{"extension", "fast"},
+		func(ctx context.Context, o Options) (*Table, error) { return CoolingComparison() })
 }

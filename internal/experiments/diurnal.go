@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"immersionoc/internal/autoscaler"
@@ -16,13 +17,14 @@ type DiurnalResult struct {
 // day (raised-cosine load, trough 300 QPS, peak 3300 QPS). Diurnal
 // patterns are where the paper expects "scale up, then out" to pay off
 // most: the overclock absorbs the morning ramp and the evening decline
-// without churning VMs.
-func DiurnalData(seed uint64, dayS float64) (DiurnalResult, error) {
-	phases := autoscaler.DiurnalPhases(300, 3300, dayS, 120)
+// without churning VMs. The zero Options reproduces the published run
+// (seed 3, 3600 s day).
+func DiurnalData(o Options) (DiurnalResult, error) {
+	phases := autoscaler.DiurnalPhases(300, 3300, o.DurationOr(3600), 120)
 	var res DiurnalResult
 	for _, p := range []autoscaler.Policy{autoscaler.Baseline, autoscaler.OCE, autoscaler.OCA} {
 		cfg := autoscaler.DefaultConfig(p, phases)
-		cfg.Seed = seed
+		cfg.Seed = o.SeedOr(3)
 		r, err := autoscaler.Run(cfg)
 		if err != nil {
 			return DiurnalResult{}, err
@@ -33,8 +35,8 @@ func DiurnalData(seed uint64, dayS float64) (DiurnalResult, error) {
 }
 
 // Diurnal renders the diurnal-day comparison.
-func Diurnal() (*Table, error) {
-	res, err := DiurnalData(3, 3600)
+func Diurnal(o Options) (*Table, error) {
+	res, err := DiurnalData(o)
 	if err != nil {
 		return nil, err
 	}
@@ -56,4 +58,9 @@ func Diurnal() (*Table, error) {
 			fmt.Sprintf("%d/%d", r.ScaleOuts, r.ScaleIns))
 	}
 	return t, nil
+}
+
+func init() {
+	registerTable("diurnal", 290, []string{"extension", "sim"},
+		func(ctx context.Context, o Options) (*Table, error) { return Diurnal(o) })
 }

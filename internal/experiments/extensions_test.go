@@ -105,7 +105,7 @@ func TestAblationEq1(t *testing.T) {
 	if testing.Short() {
 		t.Skip("Eq1 ablation in -short mode")
 	}
-	res, err := AblationEq1Data(5)
+	res, err := AblationEq1Data(Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +124,7 @@ func TestPolicyComparison(t *testing.T) {
 	if testing.Short() {
 		t.Skip("five-policy comparison in -short mode")
 	}
-	results, err := PolicyComparisonData(3)
+	results, err := PolicyComparisonData(Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +237,7 @@ func TestDiurnal(t *testing.T) {
 	if testing.Short() {
 		t.Skip("diurnal day in -short mode")
 	}
-	res, err := DiurnalData(3, 1800)
+	res, err := DiurnalData(Options{DurationS: 1800})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,7 +251,7 @@ func TestDiurnal(t *testing.T) {
 	if base.EnergyPerReqJ <= 0 {
 		t.Fatal("energy per request not computed")
 	}
-	if _, err := Diurnal(); err != nil {
+	if _, err := Diurnal(Options{}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"immersionoc/internal/freq"
@@ -202,20 +203,43 @@ func runOversub(p Fig12Params, cfg freq.Config, pcores int) Fig12Point {
 	}
 }
 
+// withOptions applies the shared experiment options on top of the
+// calibrated parameters.
+func (p Fig12Params) withOptions(o Options) Fig12Params {
+	p.Seed = o.SeedOr(p.Seed)
+	p.DurationS = o.DurationOr(p.DurationS)
+	return p
+}
+
 // Fig12Data runs the oversubscription sweep.
 func Fig12Data(p Fig12Params) []Fig12Point {
+	out, _ := Fig12DataCtx(context.Background(), p)
+	return out
+}
+
+// Fig12DataCtx runs the oversubscription sweep, checking ctx between
+// points: a cancelled context stops the sweep at the next point
+// boundary and returns the context error.
+func Fig12DataCtx(ctx context.Context, p Fig12Params) ([]Fig12Point, error) {
 	var out []Fig12Point
 	for _, cfg := range []freq.Config{freq.B2, freq.OC3} {
 		for _, pc := range p.PCoreSteps {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
 			out = append(out, runOversub(p, cfg, pc))
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Fig12 renders the oversubscription latency experiment.
 func Fig12() *Table {
-	data := Fig12Data(DefaultFig12Params())
+	return fig12Table(Fig12Data(DefaultFig12Params()))
+}
+
+// fig12Table renders the sweep's points.
+func fig12Table(data []Fig12Point) *Table {
 	t := &Table{
 		Title:  "Figure 12 — Average P95 latency of 4 SQL VMs (16 vcores) vs assigned pcores",
 		Header: []string{"Config", "pcores", "Mean P95 (ms)", "Avg power", "P99 power"},
@@ -239,4 +263,15 @@ func Fig12Find(data []Fig12Point, configName string, pcores int) (Fig12Point, bo
 		}
 	}
 	return Fig12Point{}, false
+}
+
+func init() {
+	registerTable("fig12", 130, []string{"paper", "sim"},
+		func(ctx context.Context, o Options) (*Table, error) {
+			data, err := Fig12DataCtx(ctx, DefaultFig12Params().withOptions(o))
+			if err != nil {
+				return nil, err
+			}
+			return fig12Table(data), nil
+		})
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"immersionoc/internal/freq"
@@ -213,11 +214,29 @@ func runScenario(p Fig13Params, sc Scenario, cfg freq.Config, pcores int) []vmMe
 	return out
 }
 
+// withOptions applies the shared experiment options on top of the
+// calibrated parameters.
+func (p Fig13Params) withOptions(o Options) Fig13Params {
+	p.Seed = o.SeedOr(p.Seed)
+	p.DurationS = o.DurationOr(p.DurationS)
+	return p
+}
+
 // Fig13Data runs all three scenarios under the oversubscribed B2 and
 // OC3 configurations, normalizing against the 20-pcore B2 baseline.
 func Fig13Data(p Fig13Params) []Fig13Cell {
+	cells, _ := Fig13DataCtx(context.Background(), p)
+	return cells
+}
+
+// Fig13DataCtx runs the scenarios, checking ctx between simulation
+// runs; a cancelled context stops at the next scenario boundary.
+func Fig13DataCtx(ctx context.Context, p Fig13Params) ([]Fig13Cell, error) {
 	var cells []Fig13Cell
 	for _, sc := range TableX() {
+		if err := ctx.Err(); err != nil {
+			return cells, err
+		}
 		base := runScenario(p, sc, freq.B2, sc.VCores())
 		for _, run := range []struct {
 			label string
@@ -248,13 +267,17 @@ func Fig13Data(p Fig13Params) []Fig13Cell {
 			}
 		}
 	}
-	return cells
+	return cells, nil
 }
 
 // Fig13 renders the batch + latency-sensitive oversubscription
 // experiment.
 func Fig13() *Table {
-	data := Fig13Data(DefaultFig13Params())
+	return fig13Table(Fig13Data(DefaultFig13Params()))
+}
+
+// fig13Table renders the scenario cells.
+func fig13Table(data []Fig13Cell) *Table {
 	t := &Table{
 		Title:  "Figure 13 — Improvement vs 20-pcore B2 baseline (20 vcores on 16 pcores)",
 		Header: []string{"Scenario", "App", "#", "Config", "Improvement"},
@@ -267,4 +290,15 @@ func Fig13() *Table {
 		t.AddRow(c.Scenario, c.App, fmt.Sprintf("%d", c.Instance), c.Config, Pct(c.Improvement))
 	}
 	return t
+}
+
+func init() {
+	registerTable("fig13", 140, []string{"paper", "sim"},
+		func(ctx context.Context, o Options) (*Table, error) {
+			data, err := Fig13DataCtx(ctx, DefaultFig13Params().withOptions(o))
+			if err != nil {
+				return nil, err
+			}
+			return fig13Table(data), nil
+		})
 }

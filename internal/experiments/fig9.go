@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"immersionoc/internal/freq"
@@ -153,4 +154,13 @@ func Fig11() *Table {
 			fmt.Sprintf("%.0fW", c.AvgPowerW), fmt.Sprintf("%.0fW", c.P99PowerW))
 	}
 	return t
+}
+
+func init() {
+	registerTable("fig9", 100, []string{"paper", "fast"},
+		func(ctx context.Context, o Options) (*Table, error) { return Fig9(), nil })
+	registerTable("fig10", 110, []string{"paper", "fast"},
+		func(ctx context.Context, o Options) (*Table, error) { return Fig10(), nil })
+	registerTable("fig11", 120, []string{"paper", "fast"},
+		func(ctx context.Context, o Options) (*Table, error) { return Fig11(), nil })
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"immersionoc/internal/cluster"
@@ -196,4 +197,13 @@ func CapacityCrisis() *Table {
 	t.AddRow("1:1 (no overclocking)", fmt.Sprintf("%d", res.DeniedBaseline))
 	t.AddRow("overclocking-backed +20%", fmt.Sprintf("%d", res.DeniedOC))
 	return t
+}
+
+func init() {
+	registerTable("packing", 180, []string{"paper", "sim"},
+		func(ctx context.Context, o Options) (*Table, error) { return Packing(), nil })
+	registerTable("buffers", 190, []string{"paper", "sim"},
+		func(ctx context.Context, o Options) (*Table, error) { return Buffers(), nil })
+	registerTable("capacity", 200, []string{"paper", "sim"},
+		func(ctx context.Context, o Options) (*Table, error) { return CapacityCrisis(), nil })
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"immersionoc/internal/dcsim"
@@ -44,4 +45,9 @@ func FleetSim() (*Table, error) {
 			fmt.Sprintf("%.2f×", rep.MeanWearUsed))
 	}
 	return t, nil
+}
+
+func init() {
+	registerTable("fleetsim", 310, []string{"extension", "sim"},
+		func(ctx context.Context, o Options) (*Table, error) { return FleetSim() })
 }

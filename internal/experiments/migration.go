@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"immersionoc/internal/cluster"
@@ -95,4 +96,9 @@ func Migration() (*Table, error) {
 			fmt.Sprintf("%.2f×", s.NeededSpeedup), oc, fmt.Sprintf("%d", s.Moves))
 	}
 	return t, nil
+}
+
+func init() {
+	registerTable("migration", 320, []string{"extension"},
+		func(ctx context.Context, o Options) (*Table, error) { return Migration() })
 }

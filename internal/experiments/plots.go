@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -10,8 +11,8 @@ import (
 
 // PlotFig15 renders the Figure 15 validation run as ASCII charts:
 // utilization (controlled vs baseline) and the frequency fraction.
-func PlotFig15() (string, error) {
-	res, err := Fig15Data(3)
+func PlotFig15(o Options) (string, error) {
+	res, err := Fig15Data(o)
 	if err != nil {
 		return "", err
 	}
@@ -30,8 +31,8 @@ func PlotFig15() (string, error) {
 
 // PlotFig16 renders the Figure 16 utilization and VM-count traces for
 // the three auto-scaler policies.
-func PlotFig16() (string, error) {
-	res, err := TableXIData(3)
+func PlotFig16(o Options) (string, error) {
+	res, err := TableXIData(o)
 	if err != nil {
 		return "", err
 	}
@@ -53,8 +54,8 @@ func PlotFig16() (string, error) {
 
 // PlotFig12 renders the Figure 12 oversubscription sweep as latency
 // bars (log-like compression via labels, linear bars).
-func PlotFig12() (string, error) {
-	data := Fig12Data(DefaultFig12Params())
+func PlotFig12(o Options) (string, error) {
+	data := Fig12Data(DefaultFig12Params().withOptions(o))
 	var labels []string
 	var values []float64
 	for _, d := range data {
@@ -65,8 +66,8 @@ func PlotFig12() (string, error) {
 }
 
 // PlotDiurnal renders the diurnal-day comparison.
-func PlotDiurnal() (string, error) {
-	res, err := DiurnalData(3, 3600)
+func PlotDiurnal(o Options) (string, error) {
+	res, err := DiurnalData(o)
 	if err != nil {
 		return "", err
 	}
@@ -81,4 +82,15 @@ func PlotDiurnal() (string, error) {
 	oca.VMs.Name = "OC-A VMs"
 	b.WriteString(plot.Lines("Diurnal day — deployed VMs", 72, 8, base.VMs, oca.VMs))
 	return b.String(), nil
+}
+
+func init() {
+	registerPlot("plot-fig12", 400, []string{"plot", "sim"},
+		func(ctx context.Context, o Options) (string, error) { return PlotFig12(o) })
+	registerPlot("plot-fig15", 410, []string{"plot", "sim"},
+		func(ctx context.Context, o Options) (string, error) { return PlotFig15(o) })
+	registerPlot("plot-fig16", 420, []string{"plot", "sim"},
+		func(ctx context.Context, o Options) (string, error) { return PlotFig16(o) })
+	registerPlot("plot-diurnal", 430, []string{"plot", "sim"},
+		func(ctx context.Context, o Options) (string, error) { return PlotDiurnal(o) })
 }

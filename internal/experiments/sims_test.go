@@ -198,10 +198,10 @@ func TestFig15AndTableXIRender(t *testing.T) {
 	if testing.Short() {
 		t.Skip("auto-scaler renders in -short mode")
 	}
-	if _, err := Fig15(); err != nil {
+	if _, err := Fig15(Options{}); err != nil {
 		t.Fatal(err)
 	}
-	tbl, res, err := TableXI()
+	tbl, res, err := TableXI(Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

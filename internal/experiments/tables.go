@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"immersionoc/internal/fluids"
@@ -323,4 +324,31 @@ func OversubTCO() (*Table, tco.OversubSavings, tco.OversubSavings, error) {
 	t.AddRow(tco.TwoPhaseOC.String(), Pct(-ocS.VsAir), Pct(-ocS.VsSelf))
 	t.AddRow(tco.TwoPhase.String(), Pct(-nonS.VsAir), Pct(-nonS.VsSelf))
 	return t, ocS, nonS, nil
+}
+
+func init() {
+	registerTable("table1", 10, []string{"paper", "fast"},
+		func(ctx context.Context, o Options) (*Table, error) { return TableI(), nil })
+	registerTable("table2", 20, []string{"paper", "fast"},
+		func(ctx context.Context, o Options) (*Table, error) { return TableII(), nil })
+	registerTable("table3", 30, []string{"paper", "fast"},
+		func(ctx context.Context, o Options) (*Table, error) { return TableIII() })
+	registerTable("fig4", 40, []string{"paper", "fast"},
+		func(ctx context.Context, o Options) (*Table, error) { return Fig4(), nil })
+	registerTable("table5", 50, []string{"paper", "fast"},
+		func(ctx context.Context, o Options) (*Table, error) { return TableV() })
+	registerTable("power-savings", 60, []string{"paper", "fast"},
+		func(ctx context.Context, o Options) (*Table, error) {
+			_, t, err := PowerSavings()
+			return t, err
+		})
+	registerTable("stability", 70, []string{"paper", "fast"},
+		func(ctx context.Context, o Options) (*Table, error) { return StabilityReport(), nil })
+	registerTable("table6", 80, []string{"paper", "fast"},
+		func(ctx context.Context, o Options) (*Table, error) { return TableVI() })
+	registerTable("tco-oversub", 90, []string{"paper", "fast"},
+		func(ctx context.Context, o Options) (*Table, error) {
+			t, _, _, err := OversubTCO()
+			return t, err
+		})
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"immersionoc/internal/fluids"
@@ -95,4 +96,9 @@ func TankEnvelope() (*Table, error) {
 			ok)
 	}
 	return t, nil
+}
+
+func init() {
+	registerTable("tank", 260, []string{"extension", "fast"},
+		func(ctx context.Context, o Options) (*Table, error) { return TankEnvelope() })
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"immersionoc/internal/core"
@@ -145,4 +146,11 @@ func WearBudget() (*Table, error) {
 			fmt.Sprintf("%.0f%%", r.DutyCycle*100))
 	}
 	return t, nil
+}
+
+func init() {
+	registerTable("highperf", 270, []string{"extension", "fast"},
+		func(ctx context.Context, o Options) (*Table, error) { return HighPerf() })
+	registerTable("wearbudget", 280, []string{"extension", "fast"},
+		func(ctx context.Context, o Options) (*Table, error) { return WearBudget() })
 }

@@ -1,0 +1,285 @@
+// Package runner executes registered experiments concurrently through
+// a bounded worker pool. It is the substrate every evaluation entry
+// point fans out through: octl drives it for the CLI, the benchmarks
+// measure it, and future parameter sweeps and calibration searches are
+// expected to submit thousands of experiment evaluations through the
+// same engine.
+//
+// The engine provides, per run:
+//
+//   - bounded parallelism (Config.Workers, default GOMAXPROCS),
+//   - context cancellation (a cancelled context marks the remaining
+//     experiments as failed with the context error and returns
+//     promptly),
+//   - per-experiment timeouts (Config.Timeout),
+//   - panic isolation (a panicking experiment reports an error with
+//     its stack instead of killing the run),
+//   - bounded retries for flaky harnesses (Config.Retries), and
+//   - per-experiment observability: wall time, result row count,
+//     attempt count and pass/fail, aggregated into a Report with
+//     latency percentiles.
+//
+// Outcomes are reported in submission order regardless of completion
+// order, so a parallel run is byte-for-byte comparable with a serial
+// one.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"immersionoc/internal/experiments"
+)
+
+// Config tunes one Run call. The zero value runs with GOMAXPROCS
+// workers, no per-experiment timeout and no retries.
+type Config struct {
+	// Workers bounds the number of experiments executing at once.
+	// Non-positive means runtime.GOMAXPROCS(0).
+	Workers int
+	// Timeout, when positive, bounds each experiment attempt; the
+	// attempt's context is cancelled at the deadline. Experiments honor
+	// cancellation at their internal simulation boundaries.
+	Timeout time.Duration
+	// Retries is the number of times a failing experiment is re-run
+	// before its error is reported. Panics and timeouts count as
+	// failures; context cancellation is never retried.
+	Retries int
+	// Options is passed to every experiment. The zero value reproduces
+	// the published tables.
+	Options experiments.Options
+	// OnDone, when non-nil, is called as each experiment finishes with
+	// its submission index and outcome. It may be called from multiple
+	// worker goroutines concurrently; the callback must be safe for
+	// that.
+	OnDone func(i int, o Outcome)
+}
+
+// Outcome is the observed result of one submitted experiment.
+type Outcome struct {
+	// Name is the experiment name.
+	Name string
+	// Result holds the artifact when Err is nil.
+	Result experiments.Result
+	// Err is the experiment error, the recovered panic, the attempt
+	// timeout, or the run's cancellation error.
+	Err error
+	// Wall is the total wall-clock time spent on the experiment across
+	// all attempts. Zero for experiments skipped by cancellation.
+	Wall time.Duration
+	// Rows is the structured row count of the result (0 for plots and
+	// failures).
+	Rows int
+	// Attempts is the number of times the experiment ran (0 when it
+	// was skipped by cancellation).
+	Attempts int
+	// Panicked reports whether the final attempt ended in a recovered
+	// panic.
+	Panicked bool
+}
+
+// OK reports whether the experiment produced its artifact.
+func (o Outcome) OK() bool { return o.Err == nil }
+
+// Report aggregates one Run call.
+type Report struct {
+	// Outcomes holds one entry per submitted experiment, in submission
+	// order.
+	Outcomes []Outcome
+	// Wall is the wall-clock duration of the whole run.
+	Wall time.Duration
+	// Workers is the resolved worker count the run used.
+	Workers int
+}
+
+// Failed returns the outcomes that did not produce an artifact.
+func (r *Report) Failed() []Outcome {
+	var out []Outcome
+	for _, o := range r.Outcomes {
+		if !o.OK() {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// TotalExperimentTime is the summed per-experiment wall time — the
+// serial cost the worker pool amortized.
+func (r *Report) TotalExperimentTime() time.Duration {
+	var sum time.Duration
+	for _, o := range r.Outcomes {
+		sum += o.Wall
+	}
+	return sum
+}
+
+// Percentile returns the p-quantile (0 ≤ p ≤ 1, nearest-rank) of the
+// per-experiment wall times, or 0 for an empty run.
+func (r *Report) Percentile(p float64) time.Duration {
+	if len(r.Outcomes) == 0 {
+		return 0
+	}
+	walls := make([]time.Duration, len(r.Outcomes))
+	for i, o := range r.Outcomes {
+		walls[i] = o.Wall
+	}
+	sort.Slice(walls, func(i, j int) bool { return walls[i] < walls[j] })
+	idx := int(math.Ceil(p*float64(len(walls)))) - 1
+	if idx >= len(walls) {
+		idx = len(walls) - 1
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	return walls[idx]
+}
+
+// Slowest returns the longest-running outcome, or a zero Outcome for
+// an empty run.
+func (r *Report) Slowest() Outcome {
+	var max Outcome
+	for i, o := range r.Outcomes {
+		if i == 0 || o.Wall > max.Wall {
+			max = o
+		}
+	}
+	return max
+}
+
+// Summary renders the one-line run footer octl prints.
+func (r *Report) Summary() string {
+	ok, retried := 0, 0
+	for _, o := range r.Outcomes {
+		if o.OK() {
+			ok++
+		}
+		if o.Attempts > 1 {
+			retried++
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d experiments in %s (%d workers): %d ok, %d failed",
+		len(r.Outcomes), round(r.Wall), r.Workers, ok, len(r.Outcomes)-ok)
+	if retried > 0 {
+		fmt.Fprintf(&b, ", %d retried", retried)
+	}
+	if len(r.Outcomes) > 0 {
+		slow := r.Slowest()
+		fmt.Fprintf(&b, "; exp wall p50=%s p95=%s max=%s (%s); serial cost %s",
+			round(r.Percentile(0.50)), round(r.Percentile(0.95)),
+			round(slow.Wall), slow.Name, round(r.TotalExperimentTime()))
+	}
+	return b.String()
+}
+
+// round trims a duration for display.
+func round(d time.Duration) time.Duration {
+	switch {
+	case d >= time.Second:
+		return d.Round(10 * time.Millisecond)
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond)
+	}
+	return d
+}
+
+// Run executes the experiments through the worker pool and returns
+// when every submitted experiment has either finished or been skipped
+// by cancellation. Outcomes appear in submission order. Run never
+// panics because of an experiment; it is safe to call concurrently
+// with itself.
+func Run(ctx context.Context, exps []experiments.Experiment, cfg Config) *Report {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(exps) {
+		workers = len(exps)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	report := &Report{Outcomes: make([]Outcome, len(exps)), Workers: workers}
+	start := time.Now()
+
+	jobs := make(chan int, len(exps))
+	for i := range exps {
+		jobs <- i
+	}
+	close(jobs)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				var o Outcome
+				if err := ctx.Err(); err != nil {
+					// The run was cancelled: mark the remaining
+					// experiments without starting them.
+					o = Outcome{Name: exps[i].Name, Err: err}
+				} else {
+					o = runOne(ctx, exps[i], cfg)
+				}
+				report.Outcomes[i] = o
+				if cfg.OnDone != nil {
+					cfg.OnDone(i, o)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	report.Wall = time.Since(start)
+	return report
+}
+
+// runOne executes a single experiment with retries.
+func runOne(ctx context.Context, e experiments.Experiment, cfg Config) Outcome {
+	out := Outcome{Name: e.Name}
+	start := time.Now()
+	for attempt := 0; ; attempt++ {
+		out.Attempts = attempt + 1
+		res, panicked, err := attemptOne(ctx, e, cfg)
+		out.Panicked = panicked
+		out.Err = err
+		if err == nil {
+			out.Result = res
+			out.Rows = res.RowCount()
+			break
+		}
+		if attempt >= cfg.Retries || ctx.Err() != nil {
+			break
+		}
+	}
+	out.Wall = time.Since(start)
+	return out
+}
+
+// attemptOne makes one attempt under the per-attempt timeout,
+// converting a panic into an error carrying the stack.
+func attemptOne(ctx context.Context, e experiments.Experiment, cfg Config) (res experiments.Result, panicked bool, err error) {
+	actx := ctx
+	if cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+		defer cancel()
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			panicked = true
+			err = fmt.Errorf("panic: %v\n%s", p, debug.Stack())
+		}
+	}()
+	res, err = e.Run(actx, cfg.Options)
+	// An experiment that returns success after its deadline passed
+	// raced the timeout; the artifact is still good, keep it.
+	return res, false, err
+}

@@ -1,0 +1,302 @@
+package runner
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"immersionoc/internal/experiments"
+)
+
+// fake builds an unregistered table experiment whose single row is
+// derived from the name, so outcome content is checkable.
+func fake(name string, run func(ctx context.Context, o experiments.Options) (experiments.Result, error)) experiments.Experiment {
+	return experiments.Experiment{Name: name, Kind: experiments.KindTable, Run: run}
+}
+
+func tableFor(name string) experiments.Result {
+	return experiments.Result{
+		Name: name,
+		Kind: experiments.KindTable,
+		Table: &experiments.Table{
+			Title:  "fake " + name,
+			Header: []string{"k", "v"},
+			Rows:   [][]string{{name, "1"}},
+		},
+	}
+}
+
+func okFake(name string) experiments.Experiment {
+	return fake(name, func(ctx context.Context, o experiments.Options) (experiments.Result, error) {
+		return tableFor(name), nil
+	})
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	var exps []experiments.Experiment
+	for i := 0; i < 20; i++ {
+		exps = append(exps, okFake(fmt.Sprintf("exp%02d", i)))
+	}
+	serial := Run(context.Background(), exps, Config{Workers: 1})
+	parallel := Run(context.Background(), exps, Config{Workers: 8})
+	if len(serial.Outcomes) != len(exps) || len(parallel.Outcomes) != len(exps) {
+		t.Fatalf("outcome counts %d / %d", len(serial.Outcomes), len(parallel.Outcomes))
+	}
+	for i := range exps {
+		s, p := serial.Outcomes[i], parallel.Outcomes[i]
+		if s.Name != exps[i].Name || p.Name != exps[i].Name {
+			t.Fatalf("outcome %d out of submission order: %q / %q", i, s.Name, p.Name)
+		}
+		if !s.OK() || !p.OK() {
+			t.Fatalf("outcome %d failed: %v / %v", i, s.Err, p.Err)
+		}
+		if s.Result.Text() != p.Result.Text() {
+			t.Fatalf("outcome %d differs between serial and parallel", i)
+		}
+		if s.Rows != 1 || p.Rows != 1 {
+			t.Fatalf("outcome %d rows %d / %d", i, s.Rows, p.Rows)
+		}
+	}
+}
+
+func TestPanicIsolation(t *testing.T) {
+	exps := []experiments.Experiment{
+		okFake("before"),
+		fake("boom", func(ctx context.Context, o experiments.Options) (experiments.Result, error) {
+			panic("kaboom")
+		}),
+		okFake("after"),
+	}
+	r := Run(context.Background(), exps, Config{Workers: 2})
+	if got := len(r.Failed()); got != 1 {
+		t.Fatalf("%d failures, want 1", got)
+	}
+	boom := r.Outcomes[1]
+	if !boom.Panicked || boom.Err == nil || !strings.Contains(boom.Err.Error(), "kaboom") {
+		t.Fatalf("panic not captured: %+v", boom)
+	}
+	if !r.Outcomes[0].OK() || !r.Outcomes[2].OK() {
+		t.Fatal("panic killed sibling experiments")
+	}
+}
+
+func TestErrorsCollectedNotFatal(t *testing.T) {
+	wantErr := errors.New("no data")
+	exps := []experiments.Experiment{
+		fake("bad", func(ctx context.Context, o experiments.Options) (experiments.Result, error) {
+			return experiments.Result{}, wantErr
+		}),
+		okFake("good"),
+	}
+	r := Run(context.Background(), exps, Config{Workers: 1})
+	if !errors.Is(r.Outcomes[0].Err, wantErr) {
+		t.Fatalf("err = %v", r.Outcomes[0].Err)
+	}
+	if !r.Outcomes[1].OK() {
+		t.Fatal("failure aborted the run")
+	}
+}
+
+func TestCancellationStopsPromptly(t *testing.T) {
+	// One long experiment that honors ctx, plus queued experiments
+	// that must be skipped once the context is cancelled.
+	blocking := fake("long", func(ctx context.Context, o experiments.Options) (experiments.Result, error) {
+		select {
+		case <-ctx.Done():
+			return experiments.Result{}, ctx.Err()
+		case <-time.After(30 * time.Second):
+			return tableFor("long"), nil
+		}
+	})
+	exps := []experiments.Experiment{blocking, okFake("queued1"), okFake("queued2")}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	r := Run(ctx, exps, Config{Workers: 1})
+	if wall := time.Since(start); wall > 5*time.Second {
+		t.Fatalf("cancelled run took %s", wall)
+	}
+	if !errors.Is(r.Outcomes[0].Err, context.Canceled) {
+		t.Fatalf("long experiment err = %v", r.Outcomes[0].Err)
+	}
+	for _, o := range r.Outcomes[1:] {
+		if !errors.Is(o.Err, context.Canceled) {
+			t.Fatalf("queued experiment %q err = %v, want cancellation", o.Name, o.Err)
+		}
+		if o.Attempts != 0 {
+			t.Fatalf("queued experiment %q ran %d times after cancel", o.Name, o.Attempts)
+		}
+	}
+}
+
+func TestPerExperimentTimeout(t *testing.T) {
+	exps := []experiments.Experiment{
+		fake("slow", func(ctx context.Context, o experiments.Options) (experiments.Result, error) {
+			<-ctx.Done()
+			return experiments.Result{}, ctx.Err()
+		}),
+		okFake("fast"),
+	}
+	r := Run(context.Background(), exps, Config{Workers: 2, Timeout: 50 * time.Millisecond})
+	if !errors.Is(r.Outcomes[0].Err, context.DeadlineExceeded) {
+		t.Fatalf("slow err = %v", r.Outcomes[0].Err)
+	}
+	if !r.Outcomes[1].OK() {
+		t.Fatal("timeout leaked into the sibling experiment")
+	}
+}
+
+func TestRetries(t *testing.T) {
+	var calls atomic.Int64
+	flaky := fake("flaky", func(ctx context.Context, o experiments.Options) (experiments.Result, error) {
+		if calls.Add(1) < 3 {
+			return experiments.Result{}, errors.New("transient")
+		}
+		return tableFor("flaky"), nil
+	})
+	r := Run(context.Background(), []experiments.Experiment{flaky}, Config{Retries: 2})
+	o := r.Outcomes[0]
+	if !o.OK() || o.Attempts != 3 {
+		t.Fatalf("outcome %+v, want success on attempt 3", o)
+	}
+
+	calls.Store(0)
+	r = Run(context.Background(), []experiments.Experiment{flaky}, Config{Retries: 1})
+	if o := r.Outcomes[0]; o.OK() || o.Attempts != 2 {
+		t.Fatalf("outcome %+v, want failure after 2 attempts", o)
+	}
+}
+
+func TestOnDoneStreams(t *testing.T) {
+	var exps []experiments.Experiment
+	for i := 0; i < 8; i++ {
+		exps = append(exps, okFake(fmt.Sprintf("exp%d", i)))
+	}
+	done := make(chan int, len(exps))
+	Run(context.Background(), exps, Config{Workers: 4, OnDone: func(i int, o Outcome) {
+		if o.Name != exps[i].Name {
+			t.Errorf("OnDone(%d) got %q", i, o.Name)
+		}
+		done <- i
+	}})
+	if len(done) != len(exps) {
+		t.Fatalf("OnDone fired %d times, want %d", len(done), len(exps))
+	}
+}
+
+func TestReportAggregates(t *testing.T) {
+	r := &Report{Outcomes: []Outcome{
+		{Name: "a", Wall: 1 * time.Second, Attempts: 1},
+		{Name: "b", Wall: 3 * time.Second, Attempts: 1},
+		{Name: "c", Wall: 2 * time.Second, Attempts: 2, Err: errors.New("x")},
+	}, Wall: 3 * time.Second, Workers: 3}
+	if got := r.TotalExperimentTime(); got != 6*time.Second {
+		t.Fatalf("total = %v", got)
+	}
+	if got := r.Slowest(); got.Name != "b" {
+		t.Fatalf("slowest = %q", got.Name)
+	}
+	if got := r.Percentile(1); got != 3*time.Second {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := r.Percentile(0); got != 1*time.Second {
+		t.Fatalf("p0 = %v", got)
+	}
+	s := r.Summary()
+	for _, want := range []string{"3 experiments", "2 ok, 1 failed", "1 retried", "max=3s (b)"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary %q missing %q", s, want)
+		}
+	}
+}
+
+// determinismSet is the registry subset the determinism test runs:
+// every model-driven experiment plus the duration-shortened
+// simulations, so real sims cross the parallel path without the full
+// evaluation cost.
+func determinismSet(t *testing.T) ([]experiments.Experiment, experiments.Options) {
+	set := experiments.WithTag("fast")
+	if len(set) < 10 {
+		t.Fatalf("only %d fast experiments registered", len(set))
+	}
+	if !testing.Short() {
+		for _, name := range []string{"fig12", "fig13", "diurnal"} {
+			e, ok := experiments.Lookup(name)
+			if !ok {
+				t.Fatalf("%s not registered", name)
+			}
+			set = append(set, e)
+		}
+	}
+	return set, experiments.Options{DurationS: 90}
+}
+
+// TestDeterminismAcrossWorkers asserts the acceptance property: the
+// same seed produces byte-identical JSON whether the run is serial or
+// 8-wide.
+func TestDeterminismAcrossWorkers(t *testing.T) {
+	exps, opts := determinismSet(t)
+	marshal := func(r *Report) []string {
+		t.Helper()
+		lines := make([]string, len(r.Outcomes))
+		for i, o := range r.Outcomes {
+			if !o.OK() {
+				t.Fatalf("%s: %v", o.Name, o.Err)
+			}
+			b, err := json.Marshal(o.Result)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lines[i] = string(b)
+		}
+		return lines
+	}
+	serial := marshal(Run(context.Background(), exps, Config{Workers: 1, Options: opts}))
+	parallel := marshal(Run(context.Background(), exps, Config{Workers: 8, Options: opts}))
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Errorf("%s: JSON differs between -j 1 and -j 8:\n  serial:   %s\n  parallel: %s",
+				exps[i].Name, serial[i], parallel[i])
+		}
+	}
+}
+
+// TestRegistryExperimentsCancelPromptly cancels a run over the
+// longest-running sims and requires a prompt return well under the
+// serial cost.
+func TestRegistryExperimentsCancelPromptly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sim cancellation in -short mode")
+	}
+	var exps []experiments.Experiment
+	for _, name := range []string{"fig12", "fig13"} {
+		e, ok := experiments.Lookup(name)
+		if !ok {
+			t.Fatalf("%s not registered", name)
+		}
+		exps = append(exps, e)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	r := Run(ctx, exps, Config{Workers: 1})
+	if wall := time.Since(start); wall > 10*time.Second {
+		t.Fatalf("cancelled sim run took %s", wall)
+	}
+	for _, o := range r.Outcomes {
+		if o.OK() {
+			t.Errorf("%s completed despite cancellation", o.Name)
+		}
+	}
+}
