@@ -18,6 +18,7 @@ import (
 	"immersionoc/internal/dcsim"
 	"immersionoc/internal/experiments"
 	"immersionoc/internal/runner"
+	"immersionoc/internal/telemetry"
 	"immersionoc/internal/vm"
 )
 
@@ -25,6 +26,8 @@ import (
 // experiment runner, serially and with a GOMAXPROCS-wide worker pool.
 // On a multi-core machine the parallel case amortizes the serial sum
 // (the report's "serial cost") down to roughly the slowest experiment.
+// The telemetry-on/telemetry-off pair measures the collection overhead
+// on identical serial runs; the budget is < 2%.
 func BenchmarkRunnerAll(b *testing.B) {
 	exps := experiments.Tables()
 	if len(exps) == 0 {
@@ -33,13 +36,16 @@ func BenchmarkRunnerAll(b *testing.B) {
 	for _, bc := range []struct {
 		name    string
 		workers int
+		metrics *telemetry.Registry
 	}{
-		{"serial", 1},
-		{"parallel", runtime.GOMAXPROCS(0)},
+		{"serial", 1, nil},
+		{"parallel", runtime.GOMAXPROCS(0), nil},
+		{"telemetry-on", 1, telemetry.NewRegistry()},
+		{"telemetry-off", 1, telemetry.Off},
 	} {
 		b.Run(bc.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				r := runner.Run(context.Background(), exps, runner.Config{Workers: bc.workers})
+				r := runner.Run(context.Background(), exps, runner.Config{Workers: bc.workers, Metrics: bc.metrics})
 				if failed := r.Failed(); len(failed) > 0 {
 					b.Fatalf("%s: %v", failed[0].Name, failed[0].Err)
 				}

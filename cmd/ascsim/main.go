@@ -3,12 +3,14 @@
 // summary statistics.
 //
 //	ascsim -policy oca -qps-start 500 -qps-max 4000 -qps-step 500 -phase 300
+//
+// Exit codes follow octl's convention: 0 on success, 1 on a runtime
+// error, 2 on a usage error.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"strings"
 
@@ -16,16 +18,27 @@ import (
 )
 
 func main() {
-	policyName := flag.String("policy", "oca", "auto-scaler policy: baseline, oce, oca")
-	qpsStart := flag.Float64("qps-start", 500, "initial client load (QPS)")
-	qpsMax := flag.Float64("qps-max", 4000, "peak client load (QPS)")
-	qpsStep := flag.Float64("qps-step", 500, "load increment per phase")
-	phase := flag.Float64("phase", 300, "seconds per phase")
-	seed := flag.Uint64("seed", 3, "arrival seed")
-	outThr := flag.Float64("scale-out", 0.50, "scale-out utilization threshold")
-	upThr := flag.Float64("scale-up", 0.40, "scale-up utilization threshold")
-	trace := flag.Bool("trace", true, "print a per-minute trace")
-	flag.Parse()
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("ascsim", flag.ContinueOnError)
+	policyName := fs.String("policy", "oca", "auto-scaler policy: baseline, oce, oca")
+	qpsStart := fs.Float64("qps-start", 500, "initial client load (QPS)")
+	qpsMax := fs.Float64("qps-max", 4000, "peak client load (QPS)")
+	qpsStep := fs.Float64("qps-step", 500, "load increment per phase")
+	phase := fs.Float64("phase", 300, "seconds per phase")
+	seed := fs.Uint64("seed", 3, "arrival seed")
+	outThr := fs.Float64("scale-out", 0.50, "scale-out utilization threshold")
+	upThr := fs.Float64("scale-up", 0.40, "scale-up utilization threshold")
+	trace := fs.Bool("trace", true, "print a per-minute trace")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "ascsim: unexpected argument %q\n", fs.Arg(0))
+		return 2
+	}
 
 	var policy autoscaler.Policy
 	switch strings.ToLower(*policyName) {
@@ -37,7 +50,7 @@ func main() {
 		policy = autoscaler.OCA
 	default:
 		fmt.Fprintf(os.Stderr, "ascsim: unknown policy %q\n", *policyName)
-		os.Exit(2)
+		return 2
 	}
 
 	phases := autoscaler.RampPhases(*qpsStart, *qpsMax, *qpsStep, *phase)
@@ -48,7 +61,8 @@ func main() {
 
 	r, err := autoscaler.Run(cfg)
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(os.Stderr, "ascsim: %v\n", err)
+		return 1
 	}
 
 	fmt.Printf("policy %s over %d phases (%.0f→%.0f QPS)\n\n", r.Policy, len(phases), *qpsStart, *qpsMax)
@@ -70,4 +84,5 @@ func main() {
 	fmt.Printf("power:    %.0f W server average, %.0f W VM-attributed, %.1f mJ/request\n", r.AvgPowerW, r.AvgVMPowerW, r.EnergyPerReqJ*1000)
 	fmt.Printf("actions:  %d scale-outs, %d scale-ins, %d scale-ups, %d scale-downs\n",
 		r.ScaleOuts, r.ScaleIns, r.ScaleUps, r.ScaleDowns)
+	return 0
 }

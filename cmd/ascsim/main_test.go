@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+// TestExitCodes pins the shared CLI convention: 0 on success, 2 on
+// usage errors (bad flags, unknown policies, stray arguments).
+func TestExitCodes(t *testing.T) {
+	args := []string{"-trace=false", "-qps-max", "1000", "-phase", "60"}
+	if code := run(args); code != 0 {
+		t.Fatalf("short run exited %d, want 0", code)
+	}
+	if code := run([]string{"-no-such-flag"}); code != 2 {
+		t.Fatalf("bad flag exited %d, want 2", code)
+	}
+	if code := run([]string{"-policy", "warp-speed"}); code != 2 {
+		t.Fatalf("unknown policy exited %d, want 2", code)
+	}
+	if code := run([]string{"stray-arg"}); code != 2 {
+		t.Fatalf("stray argument exited %d, want 2", code)
+	}
+}

@@ -19,6 +19,8 @@
 //	-retries N      re-run a failing experiment up to N times
 //	-seed N         override every experiment's RNG seed (0 = calibrated)
 //	-duration S     override simulated duration in seconds (0 = calibrated)
+//	-metrics file   write the run's telemetry snapshot as JSON to file
+//	-pprof addr     serve net/http/pprof on addr (e.g. localhost:6060)
 //
 // A failing experiment no longer aborts the run: octl runs everything,
 // prints a failure summary, and exits non-zero at the end. A run
@@ -44,6 +46,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -67,6 +72,8 @@ type cli struct {
 	retries  int
 	seed     uint64
 	duration float64
+	metrics  string
+	pprof    string
 }
 
 // parseArgs accepts flags interleaved with experiment names
@@ -82,6 +89,8 @@ func parseArgs(args []string) (cli, []string, error) {
 	fs.IntVar(&c.retries, "retries", 0, "re-run a failing experiment up to N times")
 	fs.Uint64Var(&c.seed, "seed", 0, "override experiment RNG seeds (0 = calibrated defaults)")
 	fs.Float64Var(&c.duration, "duration", 0, "override simulated duration in seconds (0 = calibrated defaults)")
+	fs.StringVar(&c.metrics, "metrics", "", "write the run's telemetry snapshot as JSON to this file")
+	fs.StringVar(&c.pprof, "pprof", "", "serve net/http/pprof on this address (empty = off)")
 	var names []string
 	rest := args
 	for {
@@ -162,6 +171,18 @@ func run(args []string) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	if c.pprof != "" {
+		ln, err := net.Listen("tcp", c.pprof)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "octl: pprof: %v\n", err)
+			return 1
+		}
+		defer ln.Close()
+		fmt.Fprintf(os.Stderr, "octl: pprof on http://%s/debug/pprof/\n", ln.Addr())
+		// DefaultServeMux carries the net/http/pprof handlers.
+		go http.Serve(ln, nil)
+	}
+
 	// Stream results in submission order as they complete: workers
 	// post indices on done, the loop below flushes the ready prefix.
 	outcomes := make([]*runner.Outcome, len(sel))
@@ -192,6 +213,12 @@ func run(args []string) int {
 	}
 	report := <-reportCh
 	fmt.Fprintf(os.Stderr, "octl: %s\n", report.Summary())
+	if c.metrics != "" {
+		if err := writeMetrics(c.metrics, report); err != nil {
+			fmt.Fprintf(os.Stderr, "octl: metrics: %v\n", err)
+			return 1
+		}
+	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "octl: %d of %d experiments failed:\n", failed, len(sel))
 		for _, o := range report.Failed() {
@@ -226,6 +253,18 @@ func emit(c cli, o runner.Outcome) bool {
 	}
 	fmt.Printf("== %s ==\n%s\n", o.Name, o.Result.Text())
 	return true
+}
+
+// writeMetrics stores the run's telemetry snapshot as indented JSON.
+func writeMetrics(path string, report *runner.Report) error {
+	if report.Telemetry == nil {
+		return fmt.Errorf("run collected no telemetry")
+	}
+	data, err := report.Telemetry.MarshalIndent()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // writeArtifacts stores <name>.json and <name>.txt under dir.

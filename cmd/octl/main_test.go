@@ -1,12 +1,15 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
+	"path/filepath"
 	"regexp"
 	"strings"
 	"testing"
 
 	"immersionoc/internal/experiments"
+	"immersionoc/internal/telemetry"
 )
 
 // docCommentNames extracts the experiment names advertised in this
@@ -187,5 +190,54 @@ func TestSelection(t *testing.T) {
 	}
 	if _, err := selection(cli{tags: "nonesuch"}, nil); err == nil {
 		t.Fatal("unknown tag accepted")
+	}
+}
+
+// TestMetricsFlagWritesSnapshot runs a real (shortened) sim experiment
+// through the CLI entry point with -metrics and asserts the exported
+// JSON carries per-experiment engine telemetry plus the runner scope —
+// the acceptance path for `octl -json -metrics out.json`.
+func TestMetricsFlagWritesSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if code := run([]string{"-json", "-metrics", path, "-duration", "120", "fig15"}); code != 0 {
+		t.Fatalf("run exited %d", code)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("metrics file is not valid JSON: %v", err)
+	}
+	exp, ok := snap.Scopes["fig15"]
+	if !ok {
+		t.Fatalf("no fig15 scope in metrics; scopes: %v", snap.Scopes)
+	}
+	if exp.Counters["requests"] == 0 || exp.Counters["completed"] == 0 {
+		t.Fatalf("fig15 engine counters empty: %v", exp.Counters)
+	}
+	soj, ok := exp.Histograms["sojourn_s"]
+	if !ok || soj.Count == 0 || soj.P95 <= 0 {
+		t.Fatalf("fig15 sojourn histogram missing or empty: %+v", soj)
+	}
+	rn, ok := snap.Scopes["runner"]
+	if !ok || rn.Counters["attempts"] == 0 {
+		t.Fatalf("runner scope missing attempts: %v", rn.Counters)
+	}
+	if _, ok := rn.Histograms["wall_s"]; !ok {
+		t.Fatal("runner wall_s histogram missing")
+	}
+}
+
+// TestUsageErrorsExitTwo pins the CLI error convention shared with
+// tcocalc and ascsim: usage errors exit 2.
+func TestUsageErrorsExitTwo(t *testing.T) {
+	if code := run([]string{"-no-such-flag"}); code != 2 {
+		t.Fatalf("bad flag exited %d, want 2", code)
+	}
+	if code := run([]string{"no-such-experiment"}); code != 2 {
+		t.Fatalf("unknown experiment exited %d, want 2", code)
 	}
 }

@@ -2,23 +2,38 @@
 // scenarios of Table VI at a configurable oversubscription ratio.
 //
 //	tcocalc -oversub 0.10
+//
+// Exit codes follow octl's convention: 0 on success, 1 on a runtime
+// error, 2 on a usage error.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"os"
 
 	"immersionoc/internal/tco"
 )
 
 func main() {
-	oversub := flag.Float64("oversub", 0.10, "physical-core oversubscription ratio")
-	flag.Parse()
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("tcocalc", flag.ContinueOnError)
+	oversub := fs.Float64("oversub", 0.10, "physical-core oversubscription ratio")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "tcocalc: unexpected argument %q\n", fs.Arg(0))
+		return 2
+	}
 
 	m, err := tco.NewDefaultFromTableI()
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(os.Stderr, "tcocalc: %v\n", err)
+		return 1
 	}
 
 	fmt.Printf("capacity expansion from PUE reclaim (%.2f → %.2f): %+.1f%% servers\n\n",
@@ -45,4 +60,5 @@ func main() {
 		fmt.Printf("  %-24s %.3f → %.3f%s\n", s, base, with, note)
 	}
 	fmt.Println("\n(only overclockable 2PIC can absorb the oversubscription without performance loss)")
+	return 0
 }

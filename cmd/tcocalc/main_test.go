@@ -1,0 +1,17 @@
+package main
+
+import "testing"
+
+// TestExitCodes pins the shared CLI convention: 0 on success, 2 on
+// usage errors.
+func TestExitCodes(t *testing.T) {
+	if code := run(nil); code != 0 {
+		t.Fatalf("default run exited %d, want 0", code)
+	}
+	if code := run([]string{"-no-such-flag"}); code != 2 {
+		t.Fatalf("bad flag exited %d, want 2", code)
+	}
+	if code := run([]string{"stray-arg"}); code != 2 {
+		t.Fatalf("stray argument exited %d, want 2", code)
+	}
+}

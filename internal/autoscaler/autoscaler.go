@@ -25,6 +25,7 @@
 package autoscaler
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -34,6 +35,7 @@ import (
 	"immersionoc/internal/queueing"
 	"immersionoc/internal/sim"
 	"immersionoc/internal/stats"
+	"immersionoc/internal/telemetry"
 	"immersionoc/internal/workload"
 )
 
@@ -149,6 +151,11 @@ type Config struct {
 	SampleEveryS float64
 	// PowerModel computes server power for the power accounting.
 	PowerModel power.ServerModel
+	// Tel, when non-nil, receives the run's telemetry: scale-decision
+	// counters (scale_outs/ins/ups/downs), forecast_scaleouts and
+	// mispredictions for the predictive policies, power/frequency
+	// gauges and the queueing engine's request metrics.
+	Tel *telemetry.Scope
 }
 
 // DefaultConfig returns the paper's experimental setup for the given
@@ -235,6 +242,14 @@ type vmState struct {
 
 // Run executes the auto-scaler simulation and returns the result.
 func Run(cfg Config) (*Result, error) {
+	return RunCtx(context.Background(), cfg)
+}
+
+// RunCtx executes the auto-scaler simulation under ctx. Cancellation
+// is honored at the kernel's event-batch boundaries, so a cancelled
+// run returns promptly (well within one decision period of simulated
+// progress) with the context error.
+func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	if err := cfg.App.Validate(); err != nil {
 		return nil, err
 	}
@@ -248,8 +263,21 @@ func Run(cfg Config) (*Result, error) {
 
 	sf := cfg.App.ScalableFraction()
 	eng := queueing.NewEngine(sf)
+	eng.SetTelemetry(cfg.Tel)
 	host := eng.NewHost(cfg.PCores)
 	lb := queueing.NewLoadBalancer(host)
+
+	// Telemetry handles (all nil no-ops when cfg.Tel is nil).
+	mScaleOuts := cfg.Tel.Counter("scale_outs")
+	mScaleIns := cfg.Tel.Counter("scale_ins")
+	mScaleUps := cfg.Tel.Counter("scale_ups")
+	mScaleDowns := cfg.Tel.Counter("scale_downs")
+	mForecastOuts := cfg.Tel.Counter("forecast_scaleouts")
+	mMispredictions := cfg.Tel.Counter("mispredictions")
+	gFreq := cfg.Tel.Gauge("freq_ghz")
+	gVMs := cfg.Tel.Gauge("vms")
+	gPower := cfg.Tel.Gauge("power_w")
+	gPeakPower := cfg.Tel.Gauge("peak_power_w")
 
 	res := &Result{
 		Policy:   cfg.Policy,
@@ -311,10 +339,13 @@ func Run(cfg Config) (*Result, error) {
 		}
 		if f > curFreq {
 			res.ScaleUps++
+			mScaleUps.Inc()
 		} else {
 			res.ScaleDowns++
+			mScaleDowns.Inc()
 		}
 		curFreq = f
+		gFreq.Set(float64(f))
 		sp := speedAt(f)
 		for _, st := range states {
 			st.vm.SetSpeed(sp)
@@ -333,7 +364,12 @@ func Run(cfg Config) (*Result, error) {
 		return c
 	}
 
-	startScaleOut := func(s *sim.Simulation) bool {
+	// forecastPending tracks a scale-out started purely on the
+	// predictive trend trigger; if the long-window utilization never
+	// crosses the scale-out threshold before the VM deploys, that
+	// deployment was a misprediction.
+	forecastPending, forecastVindicated := false, false
+	startScaleOut := func(s *sim.Simulation, forecastOnly bool) bool {
 		if pendingScaleOut || deployed >= cfg.MaxVMs {
 			return false
 		}
@@ -342,7 +378,13 @@ func Run(cfg Config) (*Result, error) {
 		}
 		pendingScaleOut = true
 		res.ScaleOuts++
+		mScaleOuts.Inc()
+		if forecastOnly {
+			mForecastOuts.Inc()
+			forecastPending, forecastVindicated = true, false
+		}
 		deployed++
+		gVMs.Set(float64(deployed))
 		if deployed > res.MaxVMs {
 			res.MaxVMs = deployed
 		}
@@ -351,6 +393,12 @@ func Run(cfg Config) (*Result, error) {
 			addVM(now)
 			pendingScaleOut = false
 			lastScaleOutDone = now
+			if forecastPending {
+				if !forecastVindicated {
+					mMispredictions.Inc()
+				}
+				forecastPending = false
+			}
 			res.VMs.Add(now, float64(deployed))
 			if cfg.Policy == OCE {
 				// Scale-out complete: drop back to baseline.
@@ -370,11 +418,13 @@ func Run(cfg Config) (*Result, error) {
 		}
 		lastScaleIn = now
 		res.ScaleIns++
+		mScaleIns.Inc()
 		victim := states[len(states)-1]
 		states = states[:len(states)-1]
 		victim.vm.SetAccepting(false)
 		host.RemoveVM(victim.vm)
 		deployed--
+		gVMs.Set(float64(deployed))
 		res.VMs.Add(now, float64(deployed))
 	}
 
@@ -434,12 +484,20 @@ func Run(cfg Config) (*Result, error) {
 		total, vmOnly := instantPower(cfg, powerCfg(), states)
 		res.PowerW.Add(now, total)
 		res.VMPowerW.Add(now, vmOnly)
+		gPower.Set(total)
+		gPeakPower.SetMax(total)
+
+		// A pending forecast-triggered scale-out is vindicated the
+		// moment the reactive trigger would also have fired.
+		if forecastPending && uLong > cfg.ScaleOutThr {
+			forecastVindicated = true
+		}
 
 		switch cfg.Policy {
 		case Baseline:
 			if !cfg.DisableScaleOut {
 				if uLong > cfg.ScaleOutThr {
-					startScaleOut(s)
+					startScaleOut(s, false)
 				} else if uLong < cfg.ScaleInThr {
 					scaleIn(now)
 				}
@@ -449,7 +507,7 @@ func Run(cfg Config) (*Result, error) {
 				if uLong > cfg.ScaleOutThr {
 					// Overclock for the duration of the scale-out to
 					// hide the VM-creation latency.
-					if startScaleOut(s) {
+					if startScaleOut(s, false) {
 						setFreq(cfg.MaxGHz)
 					}
 				} else if uLong < cfg.ScaleInThr {
@@ -485,12 +543,13 @@ func Run(cfg Config) (*Result, error) {
 				// threshold — or, for the predictive variant, when
 				// the trend forecasts that happening within the
 				// deployment latency.
-				trigger := uLong > cfg.ScaleOutThr
+				reactive := uLong > cfg.ScaleOutThr
+				trigger := reactive
 				if cfg.Policy == PredictiveOCA {
 					trigger = trigger || shortWin.Forecast(cfg.ForecastHorizonS) > cfg.ScaleOutThr
 				}
 				if trigger && curFreq >= cfg.MaxGHz-1e-9 {
-					startScaleOut(s)
+					startScaleOut(s, !reactive)
 				} else if uLong < cfg.ScaleInThr {
 					scaleIn(now)
 				}
@@ -502,7 +561,7 @@ func Run(cfg Config) (*Result, error) {
 				// deployment latency.
 				forecast := shortWin.Forecast(cfg.ForecastHorizonS)
 				if uLong > cfg.ScaleOutThr || forecast > cfg.ScaleOutThr {
-					startScaleOut(s)
+					startScaleOut(s, uLong <= cfg.ScaleOutThr)
 				} else if uLong < cfg.ScaleInThr && shortWin.Slope() <= 0 {
 					scaleIn(now)
 				}
@@ -510,7 +569,9 @@ func Run(cfg Config) (*Result, error) {
 		}
 	})
 
-	eng.Sim.RunUntil(sim.Time(duration))
+	if err := eng.Sim.RunUntilCtx(ctx, sim.Time(duration)); err != nil {
+		return nil, err
+	}
 
 	res.P95LatencyS = eng.AllLatency.P95()
 	res.AvgLatencyS = eng.AllLatency.Mean()

@@ -13,6 +13,7 @@
 package dcsim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -23,6 +24,7 @@ import (
 	"immersionoc/internal/power"
 	"immersionoc/internal/reliability"
 	"immersionoc/internal/stats"
+	"immersionoc/internal/telemetry"
 	"immersionoc/internal/thermal"
 	"immersionoc/internal/vm"
 )
@@ -46,6 +48,11 @@ type Config struct {
 	// demand exceeds half its cores will contend during bursts —
 	// that is the regime overclocking absorbs (Figure 12).
 	OverclockThreshold float64
+	// Tel, when non-nil, receives the run's telemetry: the control
+	// step counter, row power / bath temperature gauges with running
+	// peaks, and counters for rejections, cap events and cancelled
+	// overclocks.
+	Tel *telemetry.Scope
 }
 
 // DefaultConfig is a 3-tank row under moderate load.
@@ -116,6 +123,14 @@ type serverState struct {
 
 // Run executes the fleet simulation.
 func Run(cfg Config) (*Report, error) {
+	return RunCtx(context.Background(), cfg)
+}
+
+// RunCtx executes the fleet simulation under ctx, checking for
+// cancellation at every control-step boundary: a cancelled run
+// returns the context error within one StepS of simulated progress
+// instead of completing the trace.
+func RunCtx(ctx context.Context, cfg Config) (*Report, error) {
 	if cfg.Servers <= 0 || cfg.ServersPerTank <= 0 {
 		return nil, errors.New("dcsim: need positive fleet and tank sizes")
 	}
@@ -153,6 +168,19 @@ func Run(cfg Config) (*Report, error) {
 		Density:     stats.NewSeries("density"),
 	}
 
+	// Telemetry handles (nil no-ops when cfg.Tel is nil).
+	mSteps := cfg.Tel.Counter("steps")
+	mRejected := cfg.Tel.Counter("rejected")
+	mCapEvents := cfg.Tel.Counter("cap_events")
+	mCancelledOC := cfg.Tel.Counter("cancelled_overclocks")
+	gPower := cfg.Tel.Gauge("row_power_w")
+	gPeakPower := cfg.Tel.Gauge("peak_row_power_w")
+	gBath := cfg.Tel.Gauge("bath_c")
+	gPeakBath := cfg.Tel.Gauge("peak_bath_c")
+	gTj := cfg.Tel.Gauge("tj_c")
+	gPeakTj := cfg.Tel.Gauge("peak_tj_c")
+	gOverclocked := cfg.Tel.Gauge("overclocked")
+
 	// serverDemand returns expected concurrent core demand.
 	serverDemand := func(s *cluster.Server) float64 {
 		var d float64
@@ -164,6 +192,12 @@ func Run(cfg Config) (*Report, error) {
 
 	ei := 0
 	for t := 0.0; t < cfg.Trace.DurationS; t += cfg.StepS {
+		// Cancellation checkpoint: one step of the control loop is the
+		// simulation's natural boundary.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		mSteps.Inc()
 		// Replay trace events due this step.
 		for ei < len(events) && events[ei].TimeS <= t {
 			ev := events[ei]
@@ -171,6 +205,7 @@ func Run(cfg Config) (*Report, error) {
 			if ev.Arrival {
 				if _, err := cl.Place(ev.VM); err != nil {
 					rep.Rejected++
+					mRejected.Inc()
 				}
 			} else {
 				_ = cl.Remove(ev.VM) // not placed → ignore
@@ -238,11 +273,13 @@ func Run(cfg Config) (*Report, error) {
 		}
 		if cfg.FeederBudgetW > 0 && rowPower() > cfg.FeederBudgetW {
 			rep.CapEvents++
+			mCapEvents.Inc()
 			for i := len(requests) - 1; i >= 0 && rowPower() > cfg.FeederBudgetW; i-- {
 				if requests[i].st.oc {
 					requests[i].st.oc = false
 					granted--
 					rep.CancelledOverclocks++
+					mCancelledOC.Inc()
 				}
 			}
 		}
@@ -291,10 +328,24 @@ func Run(cfg Config) (*Report, error) {
 			rep.PeakOverclocked = granted
 		}
 		rep.OverclockServerHours += float64(granted) * hours
-		rep.PowerW.Add(t, rowPower())
+		p := rowPower()
+		rep.PowerW.Add(t, p)
 		rep.BathC.Add(t, maxBath)
 		rep.Overclocked.Add(t, float64(granted))
 		rep.Density.Add(t, density)
+		gPower.Set(p)
+		gPeakPower.SetMax(p)
+		gBath.Set(maxBath)
+		gPeakBath.SetMax(maxBath)
+		// Junction temperature rides the bath: +24 °C for overclocked
+		// silicon, +16 °C nominal (the wear model's conditions).
+		tj := maxBath + 16
+		if granted > 0 {
+			tj = maxBath + 24
+		}
+		gTj.Set(tj)
+		gPeakTj.SetMax(tj)
+		gOverclocked.Set(float64(granted))
 	}
 
 	// Fleet wear relative to the pro-rata schedule.

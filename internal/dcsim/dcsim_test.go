@@ -1,8 +1,11 @@
 package dcsim
 
 import (
+	"context"
+	"errors"
 	"testing"
 
+	"immersionoc/internal/telemetry"
 	"immersionoc/internal/thermal"
 	"immersionoc/internal/vm"
 )
@@ -128,5 +131,60 @@ func TestTraceReplayConsistency(t *testing.T) {
 	last := rep.Density.Values[len(rep.Density.Values)-1]
 	if last > rep.PeakDensity {
 		t.Fatal("density bookkeeping inconsistent")
+	}
+}
+
+// stepCountingCtx reports itself cancelled after its Err method has
+// been consulted limit times — a deterministic stand-in for "the user
+// hit ^C while step N was executing".
+type stepCountingCtx struct {
+	context.Context
+	calls, limit int
+}
+
+func (c *stepCountingCtx) Err() error {
+	c.calls++
+	if c.calls > c.limit {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestRunCtxPreCancelled asserts a cancelled context stops the run
+// before the first control step executes.
+func TestRunCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	reg := telemetry.NewRegistry()
+	cfg := smallConfig()
+	cfg.Tel = reg.Scope("fleet")
+	if _, err := RunCtx(ctx, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunCtx = %v, want context.Canceled", err)
+	}
+	if steps := reg.Scope("fleet").Counter("steps").Value(); steps != 0 {
+		t.Fatalf("%d control steps ran after cancellation", steps)
+	}
+}
+
+// TestRunCtxStopsWithinOneStep pins the cancellation promise: once
+// the context reports cancelled, at most the in-flight control step
+// finishes — the simulation does not run to the end of the trace.
+func TestRunCtxStopsWithinOneStep(t *testing.T) {
+	const limit = 5
+	reg := telemetry.NewRegistry()
+	cfg := smallConfig()
+	cfg.Tel = reg.Scope("fleet")
+	ctx := &stepCountingCtx{Context: context.Background(), limit: limit}
+	if _, err := RunCtx(ctx, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunCtx = %v, want context.Canceled", err)
+	}
+	steps := reg.Scope("fleet").Counter("steps").Value()
+	if steps > limit {
+		t.Fatalf("%d control steps ran, want ≤ %d (cancellation checked each step boundary)", steps, limit)
+	}
+	// The trace would run far longer than limit steps; make sure the
+	// cancellation actually cut it short rather than the config.
+	if total := cfg.Trace.DurationS / cfg.StepS; float64(steps) >= total {
+		t.Fatalf("cancellation never cut the run short (%d of %.0f steps)", steps, total)
 	}
 }

@@ -27,6 +27,13 @@ type AblationEq1Result struct {
 // minimum-frequency selection can actually save power. The zero
 // Options reproduces the published run (seed 5).
 func AblationEq1Data(o Options) (AblationEq1Result, error) {
+	return AblationEq1DataCtx(context.Background(), o)
+}
+
+// AblationEq1DataCtx is AblationEq1Data honoring ctx: a cancelled
+// context stops the in-flight controller simulation at the kernel's
+// next event batch.
+func AblationEq1DataCtx(ctx context.Context, o Options) (AblationEq1Result, error) {
 	phases := []queueing.LoadPhase{
 		{QPS: 1000, DurationS: 240},
 		{QPS: 1700, DurationS: 300},
@@ -41,7 +48,8 @@ func AblationEq1Data(o Options) (AblationEq1Result, error) {
 		cfg.MinVMs = 3
 		cfg.DisableScaleOut = true
 		cfg.NaiveScaleUp = naive
-		return autoscaler.Run(cfg)
+		cfg.Tel = o.Tel
+		return autoscaler.RunCtx(ctx, cfg)
 	}
 	model, err := mk(false)
 	if err != nil {
@@ -60,6 +68,11 @@ func AblationEq1(o Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	return ablationEq1Table(res), nil
+}
+
+// ablationEq1Table renders the two controllers.
+func ablationEq1Table(res AblationEq1Result) *Table {
 	t := &Table{
 		Title:  "Ablation — Equation 1 model vs naive jump-to-max scale-up (3 VMs, oscillating load)",
 		Header: []string{"Controller", "P95 latency", "Avg VM power", "Scale-ups"},
@@ -77,7 +90,7 @@ func AblationEq1(o Options) (*Table, error) {
 	t.Notes = append(t.Notes, fmt.Sprintf("model saves %.1f%% VM power at %.1f%% P95 cost",
 		(1-res.Model.AvgVMPowerW/res.Naive.AvgVMPowerW)*100,
 		(res.Model.P95LatencyS/res.Naive.P95LatencyS-1)*100))
-	return t, nil
+	return t
 }
 
 // BECAblationRow captures one coating configuration.
@@ -160,13 +173,28 @@ type AblationBurstsResult struct {
 // AblationBurstsData runs the 12-pcore B2 oversubscription point with
 // shared and per-VM burst schedules.
 func AblationBurstsData() AblationBurstsResult {
+	res, _ := AblationBurstsDataCtx(context.Background(), Options{})
+	return res
+}
+
+// AblationBurstsDataCtx is AblationBurstsData honoring ctx and
+// Options: a cancelled context stops the in-flight oversubscription
+// run at the kernel's next event batch.
+func AblationBurstsDataCtx(ctx context.Context, o Options) (AblationBurstsResult, error) {
 	p := DefaultFig12Params()
 	p.DurationS = 300
 	p.PCoreSteps = []int{12}
+	p = p.withOptions(o)
 
-	corr := Fig12Data(p)
+	corr, err := Fig12DataCtx(ctx, p)
+	if err != nil {
+		return AblationBurstsResult{}, err
+	}
 	p.IndependentBursts = true
-	ind := Fig12Data(p)
+	ind, err := Fig12DataCtx(ctx, p)
+	if err != nil {
+		return AblationBurstsResult{}, err
+	}
 
 	c, _ := Fig12Find(corr, "B2", 12)
 	i, _ := Fig12Find(ind, "B2", 12)
@@ -174,12 +202,16 @@ func AblationBurstsData() AblationBurstsResult {
 	if i.MeanP95MS > 0 {
 		res.Penalty = c.MeanP95MS / i.MeanP95MS
 	}
-	return res
+	return res, nil
 }
 
 // AblationBursts renders the burst-correlation ablation.
 func AblationBursts() *Table {
-	res := AblationBurstsData()
+	return ablationBurstsTable(AblationBurstsData())
+}
+
+// ablationBurstsTable renders the correlation comparison.
+func ablationBurstsTable(res AblationBurstsResult) *Table {
 	t := &Table{
 		Title:  "Ablation — burst correlation across co-located VMs (B2, 12 pcores, 16 vcores)",
 		Header: []string{"Burst schedules", "Mean P95"},
@@ -198,6 +230,13 @@ func AblationBursts() *Table {
 // three plus the predictive extensions) over the Table XI ramp. The
 // zero Options reproduces the published run (seed 3).
 func PolicyComparisonData(o Options) ([]*autoscaler.Result, error) {
+	return PolicyComparisonDataCtx(context.Background(), o)
+}
+
+// PolicyComparisonDataCtx is PolicyComparisonData honoring ctx: a
+// cancelled context stops the in-flight policy simulation at the
+// kernel's next event batch.
+func PolicyComparisonDataCtx(ctx context.Context, o Options) ([]*autoscaler.Result, error) {
 	phases := autoscaler.RampPhases(500, 4000, 500, 300)
 	var out []*autoscaler.Result
 	for _, p := range []autoscaler.Policy{
@@ -206,7 +245,8 @@ func PolicyComparisonData(o Options) ([]*autoscaler.Result, error) {
 	} {
 		cfg := autoscaler.DefaultConfig(p, phases)
 		cfg.Seed = o.SeedOr(3)
-		r, err := autoscaler.Run(cfg)
+		cfg.Tel = o.Tel
+		r, err := autoscaler.RunCtx(ctx, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -221,6 +261,11 @@ func PolicyComparison(o Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	return policyComparisonTable(results), nil
+}
+
+// policyComparisonTable renders the five policies.
+func policyComparisonTable(results []*autoscaler.Result) *Table {
 	base := results[0]
 	t := &Table{
 		Title:  "Extension — auto-scaler policy space (paper's three + predictive variants)",
@@ -238,16 +283,34 @@ func PolicyComparison(o Options) (*Table, error) {
 			F(r.VMHours, 2),
 			Pct(r.AvgVMPowerW/base.AvgVMPowerW-1))
 	}
-	return t, nil
+	return t
 }
 
 func init() {
 	registerTable("ablation-eq1", 220, []string{"ablation", "sim"},
-		func(ctx context.Context, o Options) (*Table, error) { return AblationEq1(o) })
+		func(ctx context.Context, o Options) (*Table, error) {
+			res, err := AblationEq1DataCtx(ctx, o)
+			if err != nil {
+				return nil, err
+			}
+			return ablationEq1Table(res), nil
+		})
 	registerTable("ablation-bec", 230, []string{"ablation", "fast"},
 		func(ctx context.Context, o Options) (*Table, error) { return AblationBEC() })
 	registerTable("ablation-bursts", 240, []string{"ablation", "sim"},
-		func(ctx context.Context, o Options) (*Table, error) { return AblationBursts(), nil })
+		func(ctx context.Context, o Options) (*Table, error) {
+			res, err := AblationBurstsDataCtx(ctx, o)
+			if err != nil {
+				return nil, err
+			}
+			return ablationBurstsTable(res), nil
+		})
 	registerTable("policies", 250, []string{"extension", "sim"},
-		func(ctx context.Context, o Options) (*Table, error) { return PolicyComparison(o) })
+		func(ctx context.Context, o Options) (*Table, error) {
+			results, err := PolicyComparisonDataCtx(ctx, o)
+			if err != nil {
+				return nil, err
+			}
+			return policyComparisonTable(results), nil
+		})
 }

@@ -18,6 +18,12 @@ type Fig15Result struct {
 // a baseline that never changes frequency. The zero Options reproduces
 // the published run (seed 3).
 func Fig15Data(o Options) (Fig15Result, error) {
+	return Fig15DataCtx(context.Background(), o)
+}
+
+// Fig15DataCtx is Fig15Data honoring ctx: a cancelled context stops
+// the in-flight simulation at the kernel's next event batch.
+func Fig15DataCtx(ctx context.Context, o Options) (Fig15Result, error) {
 	phases := autoscaler.ValidationPhases()
 
 	mk := func(policy autoscaler.Policy) autoscaler.Config {
@@ -26,13 +32,14 @@ func Fig15Data(o Options) (Fig15Result, error) {
 		cfg.InitialVMs = 3
 		cfg.MinVMs = 3
 		cfg.DisableScaleOut = true
+		cfg.Tel = o.Tel
 		return cfg
 	}
-	withModel, err := autoscaler.Run(mk(autoscaler.OCA))
+	withModel, err := autoscaler.RunCtx(ctx, mk(autoscaler.OCA))
 	if err != nil {
 		return Fig15Result{}, err
 	}
-	baseline, err := autoscaler.Run(mk(autoscaler.Baseline))
+	baseline, err := autoscaler.RunCtx(ctx, mk(autoscaler.Baseline))
 	if err != nil {
 		return Fig15Result{}, err
 	}
@@ -45,6 +52,11 @@ func Fig15(o Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	return fig15Table(res), nil
+}
+
+// fig15Table renders the validation run.
+func fig15Table(res Fig15Result) *Table {
 	t := &Table{
 		Title:  "Figure 15 — Model validation: utilization and frequency under load steps (3 VMs)",
 		Header: []string{"t (s)", "QPS", "Util (model)", "Freq (% of range)", "Util (baseline)"},
@@ -65,7 +77,7 @@ func Fig15(o Options) (*Table, error) {
 			F(res.Baseline.Util.At(mid), 3),
 		)
 	}
-	return t, nil
+	return t
 }
 
 // TableXIResult is the full auto-scaler comparison.
@@ -76,6 +88,13 @@ type TableXIResult struct {
 // TableXIData runs the three auto-scaler policies over the 500→4000
 // QPS ramp. The zero Options reproduces the published run (seed 3).
 func TableXIData(o Options) (TableXIResult, error) {
+	return TableXIDataCtx(context.Background(), o)
+}
+
+// TableXIDataCtx is TableXIData honoring ctx: a cancelled context
+// stops the in-flight policy simulation at the kernel's next event
+// batch instead of finishing the ramp.
+func TableXIDataCtx(ctx context.Context, o Options) (TableXIResult, error) {
 	phases := autoscaler.RampPhases(500, 4000, 500, 300)
 	var res TableXIResult
 	for _, pc := range []struct {
@@ -88,7 +107,8 @@ func TableXIData(o Options) (TableXIResult, error) {
 	} {
 		cfg := autoscaler.DefaultConfig(pc.policy, phases)
 		cfg.Seed = o.SeedOr(3)
-		r, err := autoscaler.Run(cfg)
+		cfg.Tel = o.Tel
+		r, err := autoscaler.RunCtx(ctx, cfg)
 		if err != nil {
 			return TableXIResult{}, err
 		}
@@ -103,6 +123,11 @@ func TableXI(o Options) (*Table, TableXIResult, error) {
 	if err != nil {
 		return nil, TableXIResult{}, err
 	}
+	return tableXITable(res), res, nil
+}
+
+// tableXITable renders the policy comparison.
+func tableXITable(res TableXIResult) *Table {
 	t := &Table{
 		Title:  "Table XI — Full auto-scaler experiment (ramp 500→4000 QPS)",
 		Header: []string{"Config", "Norm P95 Lat", "Norm Avg Lat", "Max VMs", "VM×hours", "VM power vs base"},
@@ -125,7 +150,7 @@ func TableXI(o Options) (*Table, TableXIResult, error) {
 	row(res.Baseline)
 	row(res.OCE)
 	row(res.OCA)
-	return t, res, nil
+	return t
 }
 
 // Fig16 renders the utilization traces of the three policies at fixed
@@ -135,6 +160,11 @@ func Fig16(o Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	return fig16Table(res), nil
+}
+
+// fig16Table renders the per-minute utilization traces.
+func fig16Table(res TableXIResult) *Table {
 	t := &Table{
 		Title:  "Figure 16 — Utilization over time: Baseline vs OC-E vs OC-A",
 		Header: []string{"t (s)", "QPS", "Baseline util", "OC-E util", "OC-A util", "Base VMs", "OC-E VMs", "OC-A VMs"},
@@ -166,17 +196,32 @@ func Fig16(o Options) (*Table, error) {
 			fmt.Sprintf("%.0f", res.OCA.VMs.At(ts)),
 		)
 	}
-	return t, nil
+	return t
 }
 
 func init() {
 	registerTable("fig15", 150, []string{"paper", "sim"},
-		func(ctx context.Context, o Options) (*Table, error) { return Fig15(o) })
+		func(ctx context.Context, o Options) (*Table, error) {
+			res, err := Fig15DataCtx(ctx, o)
+			if err != nil {
+				return nil, err
+			}
+			return fig15Table(res), nil
+		})
 	registerTable("fig16", 160, []string{"paper", "sim"},
-		func(ctx context.Context, o Options) (*Table, error) { return Fig16(o) })
+		func(ctx context.Context, o Options) (*Table, error) {
+			res, err := TableXIDataCtx(ctx, o)
+			if err != nil {
+				return nil, err
+			}
+			return fig16Table(res), nil
+		})
 	registerTable("table11", 170, []string{"paper", "sim"},
 		func(ctx context.Context, o Options) (*Table, error) {
-			t, _, err := TableXI(o)
-			return t, err
+			res, err := TableXIDataCtx(ctx, o)
+			if err != nil {
+				return nil, err
+			}
+			return tableXITable(res), nil
 		})
 }

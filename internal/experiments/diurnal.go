@@ -20,12 +20,20 @@ type DiurnalResult struct {
 // without churning VMs. The zero Options reproduces the published run
 // (seed 3, 3600 s day).
 func DiurnalData(o Options) (DiurnalResult, error) {
+	return DiurnalDataCtx(context.Background(), o)
+}
+
+// DiurnalDataCtx is DiurnalData honoring ctx: a cancelled context
+// stops the in-flight policy simulation at the kernel's next event
+// batch instead of finishing the simulated day.
+func DiurnalDataCtx(ctx context.Context, o Options) (DiurnalResult, error) {
 	phases := autoscaler.DiurnalPhases(300, 3300, o.DurationOr(3600), 120)
 	var res DiurnalResult
 	for _, p := range []autoscaler.Policy{autoscaler.Baseline, autoscaler.OCE, autoscaler.OCA} {
 		cfg := autoscaler.DefaultConfig(p, phases)
 		cfg.Seed = o.SeedOr(3)
-		r, err := autoscaler.Run(cfg)
+		cfg.Tel = o.Tel
+		r, err := autoscaler.RunCtx(ctx, cfg)
 		if err != nil {
 			return DiurnalResult{}, err
 		}
@@ -40,6 +48,11 @@ func Diurnal(o Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	return diurnalTable(res), nil
+}
+
+// diurnalTable renders the policy rows.
+func diurnalTable(res DiurnalResult) *Table {
 	base := res.Results[0]
 	t := &Table{
 		Title:  "Extension — compressed diurnal day (300→3300→300 QPS raised cosine over 1 h)",
@@ -57,10 +70,16 @@ func Diurnal(o Options) (*Table, error) {
 			fmt.Sprintf("%.1f mJ", r.EnergyPerReqJ*1000),
 			fmt.Sprintf("%d/%d", r.ScaleOuts, r.ScaleIns))
 	}
-	return t, nil
+	return t
 }
 
 func init() {
 	registerTable("diurnal", 290, []string{"extension", "sim"},
-		func(ctx context.Context, o Options) (*Table, error) { return Diurnal(o) })
+		func(ctx context.Context, o Options) (*Table, error) {
+			res, err := DiurnalDataCtx(ctx, o)
+			if err != nil {
+				return nil, err
+			}
+			return diurnalTable(res), nil
+		})
 }

@@ -10,6 +10,7 @@ import (
 	"immersionoc/internal/rng"
 	"immersionoc/internal/sim"
 	"immersionoc/internal/stats"
+	"immersionoc/internal/telemetry"
 	"immersionoc/internal/workload"
 )
 
@@ -122,6 +123,9 @@ type Fig12Params struct {
 	// of the shared (correlated) one. Used by the ablation showing
 	// that correlated bursts are what makes oversubscription hurt.
 	IndependentBursts bool
+	// Tel is the telemetry scope the sweep's engines publish into
+	// (nil disables collection).
+	Tel *telemetry.Scope
 }
 
 // DefaultFig12Params reproduces the paper's setup: 4 SQL VMs of 4
@@ -145,11 +149,14 @@ func DefaultFig12Params() Fig12Params {
 }
 
 // runOversub simulates the SQL VMs on pcores physical cores under cfg
-// and returns mean P95 latency plus power statistics.
-func runOversub(p Fig12Params, cfg freq.Config, pcores int) Fig12Point {
+// and returns mean P95 latency plus power statistics. A cancelled ctx
+// stops the simulation at the kernel's next event batch and returns
+// the context error.
+func runOversub(ctx context.Context, p Fig12Params, cfg freq.Config, pcores int) (Fig12Point, error) {
 	app := workload.SQL
 	speed := 1 / app.ServiceTimeRatio(cfg)
 	eng := queueing.NewEngine(app.ScalableFraction())
+	eng.SetTelemetry(p.Tel)
 	host := eng.NewHost(pcores)
 	service := queueing.LogNormalService(p.ServiceMeanS, p.ServiceCV)
 
@@ -188,7 +195,9 @@ func runOversub(p Fig12Params, cfg freq.Config, pcores int) Fig12Point {
 		powerDig.Add(power.Tank1Server.Power(cfg, utilSum, pcores))
 	})
 
-	eng.Sim.RunUntil(sim.Time(p.DurationS))
+	if err := eng.Sim.RunUntilCtx(ctx, sim.Time(p.DurationS)); err != nil {
+		return Fig12Point{}, err
+	}
 
 	var p95Sum float64
 	for _, v := range vms {
@@ -200,7 +209,7 @@ func runOversub(p Fig12Params, cfg freq.Config, pcores int) Fig12Point {
 		MeanP95MS: p95Sum / float64(len(vms)) * 1000,
 		AvgPowerW: powerDig.Mean(),
 		P99PowerW: powerDig.P99(),
-	}
+	}, nil
 }
 
 // withOptions applies the shared experiment options on top of the
@@ -208,6 +217,7 @@ func runOversub(p Fig12Params, cfg freq.Config, pcores int) Fig12Point {
 func (p Fig12Params) withOptions(o Options) Fig12Params {
 	p.Seed = o.SeedOr(p.Seed)
 	p.DurationS = o.DurationOr(p.DurationS)
+	p.Tel = o.Tel
 	return p
 }
 
@@ -217,17 +227,19 @@ func Fig12Data(p Fig12Params) []Fig12Point {
 	return out
 }
 
-// Fig12DataCtx runs the oversubscription sweep, checking ctx between
-// points: a cancelled context stops the sweep at the next point
-// boundary and returns the context error.
+// Fig12DataCtx runs the oversubscription sweep. Cancellation is
+// honored both between points and inside each point's simulation (the
+// kernel checks ctx every event batch), so a cancelled sweep returns
+// promptly instead of finishing the in-flight run.
 func Fig12DataCtx(ctx context.Context, p Fig12Params) ([]Fig12Point, error) {
 	var out []Fig12Point
 	for _, cfg := range []freq.Config{freq.B2, freq.OC3} {
 		for _, pc := range p.PCoreSteps {
-			if err := ctx.Err(); err != nil {
+			pt, err := runOversub(ctx, p, cfg, pc)
+			if err != nil {
 				return out, err
 			}
-			out = append(out, runOversub(p, cfg, pc))
+			out = append(out, pt)
 		}
 	}
 	return out, nil

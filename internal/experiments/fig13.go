@@ -8,6 +8,7 @@ import (
 	"immersionoc/internal/queueing"
 	"immersionoc/internal/rng"
 	"immersionoc/internal/sim"
+	"immersionoc/internal/telemetry"
 	"immersionoc/internal/workload"
 )
 
@@ -65,6 +66,9 @@ type Fig13Params struct {
 	// BatchTaskS is the per-task demand of the closed-loop batch
 	// (BI, TeraSort) runners.
 	BatchTaskS float64
+	// Tel is the telemetry scope the scenario engines publish into
+	// (nil disables collection).
+	Tel *telemetry.Scope
 }
 
 // DefaultFig13Params mirrors the Table X setup.
@@ -99,9 +103,11 @@ type vmMetrics struct {
 }
 
 // runScenario simulates one scenario on pcores under cfg and returns
-// per-VM raw metrics in deterministic order.
-func runScenario(p Fig13Params, sc Scenario, cfg freq.Config, pcores int) []vmMetrics {
+// per-VM raw metrics in deterministic order. A cancelled ctx stops
+// the simulation at the kernel's next event batch.
+func runScenario(ctx context.Context, p Fig13Params, sc Scenario, cfg freq.Config, pcores int) ([]vmMetrics, error) {
 	eng := queueing.NewEngine(workload.SQL.ScalableFraction())
+	eng.SetTelemetry(p.Tel)
 	host := eng.NewHost(pcores)
 
 	type tracked struct {
@@ -198,7 +204,9 @@ func runScenario(p Fig13Params, sc Scenario, cfg freq.Config, pcores int) []vmMe
 		}
 	})
 
-	eng.Sim.RunUntil(sim.Time(p.DurationS))
+	if err := eng.Sim.RunUntilCtx(ctx, sim.Time(p.DurationS)); err != nil {
+		return nil, err
+	}
 
 	span := p.DurationS - p.WarmupS
 	var out []vmMetrics
@@ -211,7 +219,7 @@ func runScenario(p Fig13Params, sc Scenario, cfg freq.Config, pcores int) []vmMe
 		}
 		out = append(out, m)
 	}
-	return out
+	return out, nil
 }
 
 // withOptions applies the shared experiment options on top of the
@@ -219,6 +227,7 @@ func runScenario(p Fig13Params, sc Scenario, cfg freq.Config, pcores int) []vmMe
 func (p Fig13Params) withOptions(o Options) Fig13Params {
 	p.Seed = o.SeedOr(p.Seed)
 	p.DurationS = o.DurationOr(p.DurationS)
+	p.Tel = o.Tel
 	return p
 }
 
@@ -229,15 +238,16 @@ func Fig13Data(p Fig13Params) []Fig13Cell {
 	return cells
 }
 
-// Fig13DataCtx runs the scenarios, checking ctx between simulation
-// runs; a cancelled context stops at the next scenario boundary.
+// Fig13DataCtx runs the scenarios. Cancellation is honored both
+// between runs and inside each run's simulation (the kernel checks
+// ctx every event batch), so a cancelled experiment returns promptly.
 func Fig13DataCtx(ctx context.Context, p Fig13Params) ([]Fig13Cell, error) {
 	var cells []Fig13Cell
 	for _, sc := range TableX() {
-		if err := ctx.Err(); err != nil {
+		base, err := runScenario(ctx, p, sc, freq.B2, sc.VCores())
+		if err != nil {
 			return cells, err
 		}
-		base := runScenario(p, sc, freq.B2, sc.VCores())
 		for _, run := range []struct {
 			label string
 			cfg   freq.Config
@@ -245,7 +255,10 @@ func Fig13DataCtx(ctx context.Context, p Fig13Params) ([]Fig13Cell, error) {
 			{"B2-oversub", freq.B2},
 			{"OC3-oversub", freq.OC3},
 		} {
-			got := runScenario(p, sc, run.cfg, p.PCores)
+			got, err := runScenario(ctx, p, sc, run.cfg, p.PCores)
+			if err != nil {
+				return cells, err
+			}
 			appCount := map[string]int{}
 			for i := range got {
 				var imp float64

@@ -11,6 +11,13 @@ import (
 // overclock decisions, tank thermals, feeder capping and wear — over a
 // two-day trace, at two load levels.
 func FleetSim() (*Table, error) {
+	return FleetSimCtx(context.Background(), Options{})
+}
+
+// FleetSimCtx is FleetSim honoring ctx and Options: a cancelled
+// context stops the in-flight fleet simulation at its next control
+// step, and the engines publish telemetry into o.Tel.
+func FleetSimCtx(ctx context.Context, o Options) (*Table, error) {
 	t := &Table{
 		Title:  "Integration — full-stack fleet simulation (3 tanks × 12 blades, 2-day trace)",
 		Header: []string{"Load", "Peak density", "Rejected", "Peak OC", "OC srv-hours", "Max bath", "Cap events", "Wear vs schedule"},
@@ -31,7 +38,9 @@ func FleetSim() (*Table, error) {
 		cfg := dcsim.DefaultConfig()
 		cfg.Trace.ArrivalRatePerS = load.rate
 		cfg.Trace.MeanLifetimeS = load.life
-		rep, err := dcsim.Run(cfg)
+		cfg.Trace.Seed = o.SeedOr(cfg.Trace.Seed)
+		cfg.Tel = o.Tel
+		rep, err := dcsim.RunCtx(ctx, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -49,5 +58,5 @@ func FleetSim() (*Table, error) {
 
 func init() {
 	registerTable("fleetsim", 310, []string{"extension", "sim"},
-		func(ctx context.Context, o Options) (*Table, error) { return FleetSim() })
+		func(ctx context.Context, o Options) (*Table, error) { return FleetSimCtx(ctx, o) })
 }

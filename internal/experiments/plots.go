@@ -11,8 +11,8 @@ import (
 
 // PlotFig15 renders the Figure 15 validation run as ASCII charts:
 // utilization (controlled vs baseline) and the frequency fraction.
-func PlotFig15(o Options) (string, error) {
-	res, err := Fig15Data(o)
+func PlotFig15(ctx context.Context, o Options) (string, error) {
+	res, err := Fig15DataCtx(ctx, o)
 	if err != nil {
 		return "", err
 	}
@@ -31,8 +31,8 @@ func PlotFig15(o Options) (string, error) {
 
 // PlotFig16 renders the Figure 16 utilization and VM-count traces for
 // the three auto-scaler policies.
-func PlotFig16(o Options) (string, error) {
-	res, err := TableXIData(o)
+func PlotFig16(ctx context.Context, o Options) (string, error) {
+	res, err := TableXIDataCtx(ctx, o)
 	if err != nil {
 		return "", err
 	}
@@ -54,8 +54,11 @@ func PlotFig16(o Options) (string, error) {
 
 // PlotFig12 renders the Figure 12 oversubscription sweep as latency
 // bars (log-like compression via labels, linear bars).
-func PlotFig12(o Options) (string, error) {
-	data := Fig12Data(DefaultFig12Params().withOptions(o))
+func PlotFig12(ctx context.Context, o Options) (string, error) {
+	data, err := Fig12DataCtx(ctx, DefaultFig12Params().withOptions(o))
+	if err != nil {
+		return "", err
+	}
 	var labels []string
 	var values []float64
 	for _, d := range data {
@@ -66,8 +69,8 @@ func PlotFig12(o Options) (string, error) {
 }
 
 // PlotDiurnal renders the diurnal-day comparison.
-func PlotDiurnal(o Options) (string, error) {
-	res, err := DiurnalData(o)
+func PlotDiurnal(ctx context.Context, o Options) (string, error) {
+	res, err := DiurnalDataCtx(ctx, o)
 	if err != nil {
 		return "", err
 	}
@@ -86,11 +89,11 @@ func PlotDiurnal(o Options) (string, error) {
 
 func init() {
 	registerPlot("plot-fig12", 400, []string{"plot", "sim"},
-		func(ctx context.Context, o Options) (string, error) { return PlotFig12(o) })
+		func(ctx context.Context, o Options) (string, error) { return PlotFig12(ctx, o) })
 	registerPlot("plot-fig15", 410, []string{"plot", "sim"},
-		func(ctx context.Context, o Options) (string, error) { return PlotFig15(o) })
+		func(ctx context.Context, o Options) (string, error) { return PlotFig15(ctx, o) })
 	registerPlot("plot-fig16", 420, []string{"plot", "sim"},
-		func(ctx context.Context, o Options) (string, error) { return PlotFig16(o) })
+		func(ctx context.Context, o Options) (string, error) { return PlotFig16(ctx, o) })
 	registerPlot("plot-diurnal", 430, []string{"plot", "sim"},
-		func(ctx context.Context, o Options) (string, error) { return PlotDiurnal(o) })
+		func(ctx context.Context, o Options) (string, error) { return PlotDiurnal(ctx, o) })
 }

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"immersionoc/internal/telemetry"
 )
 
 // Kind classifies an experiment's output: a formatted table or a
@@ -38,6 +40,12 @@ type Options struct {
 	// DurationS overrides the simulated duration in seconds, for the
 	// experiments that have one, when positive.
 	DurationS float64
+	// Tel is the per-run telemetry scope the harness publishes its
+	// engine metrics into (the runner keys it by experiment name).
+	// Nil — the zero value — disables collection; every telemetry
+	// operation through a nil scope is a no-op, so harnesses pass it
+	// down unconditionally.
+	Tel *telemetry.Scope
 }
 
 // SeedOr returns the option seed, or def when unset.

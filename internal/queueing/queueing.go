@@ -18,6 +18,7 @@ import (
 	"immersionoc/internal/rng"
 	"immersionoc/internal/sim"
 	"immersionoc/internal/stats"
+	"immersionoc/internal/telemetry"
 )
 
 // Request is one client request flowing through the system.
@@ -100,6 +101,11 @@ type VM struct {
 	// Latency collects per-request sojourn times for completed
 	// requests routed to this VM.
 	Latency *stats.Digest
+
+	// util is the per-VM utilization snapshot gauge (nil = telemetry
+	// off); account refreshes it as a side effect of its existing
+	// busy-fraction computation.
+	util *telemetry.Gauge
 }
 
 // Engine owns the simulation and all hosts/VMs.
@@ -115,6 +121,60 @@ type Engine struct {
 	AllLatency *stats.Digest
 	// OnComplete, when non-nil, observes each completed request.
 	OnComplete func(*Request, *VM)
+
+	// Telemetry. The per-request signals (arrivals, completions,
+	// sojourn) accumulate in goroutine-local tallies — the engine runs
+	// entirely on the kernel goroutine — and flush to the shared scope
+	// at the kernel's batch boundaries, so the per-request cost is a
+	// plain increment, not an atomic op. The shared handles are nil
+	// no-ops when telemetry is off.
+	tel          *telemetry.Scope
+	mArrivals    *telemetry.Counter
+	mCompleted   *telemetry.Counter
+	locArrivals  uint64
+	locCompleted uint64
+	sojourn      *telemetry.HistAccum
+	flusherSet   bool
+}
+
+// SetTelemetry publishes the engine's signals into scope: a "requests"
+// arrival counter, a "completed" counter, a "sojourn_s" latency
+// histogram, per-VM "util.<name>" utilization snapshot gauges and the
+// kernel's "events" counter. A nil scope (telemetry off) detaches.
+// Call it before the run; VMs created afterwards join automatically.
+// The per-request metrics are batched and become visible in the scope
+// when the kernel's run loop returns control (RunUntil/RunUntilCtx).
+func (e *Engine) SetTelemetry(scope *telemetry.Scope) {
+	e.flushTelemetry() // drain pending tallies into the old scope
+	e.tel = scope
+	e.mArrivals = scope.Counter("requests")
+	e.mCompleted = scope.Counter("completed")
+	e.sojourn = scope.Histogram("sojourn_s", telemetry.LatencyBuckets).Accum()
+	e.Sim.SetTelemetry(scope)
+	if !e.flusherSet {
+		e.flusherSet = true
+		e.Sim.OnFlush(e.flushTelemetry)
+	}
+	for _, h := range e.hosts {
+		for _, v := range h.vms {
+			v.util = scope.Gauge("util." + v.Name)
+		}
+	}
+}
+
+// flushTelemetry publishes the local per-request tallies. Runs at the
+// kernel's flush boundaries; with telemetry off the handles are nil
+// no-ops and the tallies are simply discarded.
+func (e *Engine) flushTelemetry() {
+	if e.locArrivals > 0 {
+		e.mArrivals.Add(e.locArrivals)
+		e.locArrivals = 0
+	}
+	if e.locCompleted > 0 {
+		e.mCompleted.Add(e.locCompleted)
+		e.locCompleted = 0
+	}
+	e.sojourn.Flush()
 }
 
 // NewEngine creates an engine on a fresh simulation.
@@ -155,6 +215,9 @@ func (h *Host) NewVM(name string, vcores int, speed float64) *VM {
 		Latency:   stats.NewDigest(),
 	}
 	vm.lastAccount = float64(h.eng.Sim.Now())
+	if h.eng.tel != nil {
+		vm.util = h.eng.tel.Gauge("util." + vm.Name)
+	}
 	h.vms = append(h.vms, vm)
 	return vm
 }
@@ -224,6 +287,9 @@ func (v *VM) account(now float64) {
 		}
 		v.busyIntegral += busy * dt
 		v.scaledBusyIntegral += busy * dt * v.host.eng.ScalableFraction
+		// Per-VM utilization snapshot: one atomic store, already on the
+		// accounting path (no-op when telemetry is off).
+		v.util.Set(busy / float64(v.VCores))
 	}
 	v.lastAccount = now
 }
@@ -251,6 +317,7 @@ func (v *VM) BusyIntegral(now float64) float64 {
 func (v *VM) Submit(demand float64) *Request {
 	now := float64(v.host.eng.Sim.Now())
 	r := &Request{ArrivalS: now, DemandS: demand, StartS: -1, DoneS: -1}
+	v.host.eng.locArrivals++
 	v.queue = append(v.queue, r)
 	v.host.dispatch(v)
 	return r
@@ -340,6 +407,8 @@ func (h *Host) complete(j *job) {
 	j.req.DoneS = now
 	j.vm.Latency.Add(j.req.Sojourn())
 	h.eng.AllLatency.Add(j.req.Sojourn())
+	h.eng.sojourn.Observe(j.req.Sojourn())
+	h.eng.locCompleted++
 	h.eng.Completed++
 	if h.eng.OnComplete != nil {
 		h.eng.OnComplete(j.req, j.vm)

@@ -6,6 +6,7 @@ import (
 
 	"immersionoc/internal/rng"
 	"immersionoc/internal/sim"
+	"immersionoc/internal/telemetry"
 )
 
 // runMM1 simulates an M/M/1 queue and returns the mean sojourn time.
@@ -310,6 +311,48 @@ func TestEngineScalableFractionInAccounting(t *testing.T) {
 	integ := vm.BusyIntegral(1)
 	if math.Abs(integ-1) > 1e-9 {
 		t.Fatalf("busy integral %v, want 1", integ)
+	}
+}
+
+func TestTelemetryFlushedAtRunExit(t *testing.T) {
+	// The per-request tallies batch locally and must land in the scope
+	// exactly once the kernel's run loop returns — this is the contract
+	// the runner's end-of-run snapshot depends on.
+	eng := NewEngine(1.0)
+	reg := telemetry.NewRegistry()
+	scope := reg.Scope("mm1")
+	eng.SetTelemetry(scope)
+	host := eng.NewHost(1)
+	vm := host.NewVM("srv", 1, 1.0)
+	r := rng.New(7)
+	submitted := 0
+	var arrive func(s *sim.Simulation)
+	arrive = func(s *sim.Simulation) {
+		if float64(s.Now()) >= 50 {
+			return
+		}
+		vm.Submit(r.Exp(100))
+		submitted++
+		s.After(r.Exp(60), arrive)
+	}
+	eng.Sim.Schedule(0, arrive)
+	eng.Sim.Run()
+
+	if got := scope.Counter("requests").Value(); got != uint64(submitted) {
+		t.Fatalf("requests counter = %d, want %d", got, submitted)
+	}
+	if got := scope.Counter("completed").Value(); got != eng.Completed {
+		t.Fatalf("completed counter = %d, want %d", got, eng.Completed)
+	}
+	h := scope.Histogram("sojourn_s", telemetry.LatencyBuckets)
+	if h.Count() != eng.Completed {
+		t.Fatalf("sojourn count = %d, want %d", h.Count(), eng.Completed)
+	}
+	if math.Abs(h.Sum()-eng.AllLatency.Sum()) > 1e-9 {
+		t.Fatalf("sojourn sum = %v, digest sum = %v", h.Sum(), eng.AllLatency.Sum())
+	}
+	if got := scope.Gauge("util.srv").Value(); got < 0 || got > 1 {
+		t.Fatalf("util gauge = %v, want within [0,1]", got)
 	}
 }
 

@@ -10,14 +10,19 @@
 //   - bounded parallelism (Config.Workers, default GOMAXPROCS),
 //   - context cancellation (a cancelled context marks the remaining
 //     experiments as failed with the context error and returns
-//     promptly),
+//     promptly; running experiments honor cancellation at their
+//     internal simulation boundaries — the kernel's event batches and
+//     the fleet simulation's control steps — so a cancelled or
+//     timed-out simulation stops mid-run instead of completing),
 //   - per-experiment timeouts (Config.Timeout),
 //   - panic isolation (a panicking experiment reports an error with
 //     its stack instead of killing the run),
 //   - bounded retries for flaky harnesses (Config.Retries), and
 //   - per-experiment observability: wall time, result row count,
 //     attempt count and pass/fail, aggregated into a Report with
-//     latency percentiles.
+//     latency percentiles and a telemetry snapshot (Config.Metrics)
+//     carrying each experiment's engine metrics under a scope named
+//     after it.
 //
 // Outcomes are reported in submission order regardless of completion
 // order, so a parallel run is byte-for-byte comparable with a serial
@@ -36,6 +41,7 @@ import (
 	"time"
 
 	"immersionoc/internal/experiments"
+	"immersionoc/internal/telemetry"
 )
 
 // Config tunes one Run call. The zero value runs with GOMAXPROCS
@@ -60,6 +66,14 @@ type Config struct {
 	// worker goroutines concurrently; the callback must be safe for
 	// that.
 	OnDone func(i int, o Outcome)
+	// Metrics selects the telemetry registry for the run. Nil (the
+	// zero value) gives the run a fresh registry so concurrent Run
+	// calls do not mix; pass telemetry.Default to publish into the
+	// process-wide registry, or telemetry.Off to disable collection.
+	// Each experiment's harness metrics land under a scope named
+	// after the experiment; the runner's own counters land under
+	// "runner".
+	Metrics *telemetry.Registry
 }
 
 // Outcome is the observed result of one submitted experiment.
@@ -97,6 +111,16 @@ type Report struct {
 	Wall time.Duration
 	// Workers is the resolved worker count the run used.
 	Workers int
+	// Telemetry is the run's metrics snapshot: one scope per
+	// experiment (engine counters, latency histograms, power/thermal
+	// gauges) plus the runner's own "runner" scope. Nil when the run
+	// used telemetry.Off.
+	Telemetry *telemetry.Snapshot
+
+	// sortedWalls caches the sorted per-experiment wall times for
+	// Percentile; computed once on first use.
+	sortOnce    sync.Once
+	sortedWalls []time.Duration
 }
 
 // Failed returns the outcomes that did not produce an artifact.
@@ -121,16 +145,23 @@ func (r *Report) TotalExperimentTime() time.Duration {
 }
 
 // Percentile returns the p-quantile (0 ≤ p ≤ 1, nearest-rank) of the
-// per-experiment wall times, or 0 for an empty run.
+// per-experiment wall times, or 0 for an empty run. The sorted wall
+// times are computed once on first call and cached — Summary alone
+// asks for two percentiles — so call it only after the run's outcomes
+// are final.
 func (r *Report) Percentile(p float64) time.Duration {
 	if len(r.Outcomes) == 0 {
 		return 0
 	}
-	walls := make([]time.Duration, len(r.Outcomes))
-	for i, o := range r.Outcomes {
-		walls[i] = o.Wall
-	}
-	sort.Slice(walls, func(i, j int) bool { return walls[i] < walls[j] })
+	r.sortOnce.Do(func() {
+		walls := make([]time.Duration, len(r.Outcomes))
+		for i, o := range r.Outcomes {
+			walls[i] = o.Wall
+		}
+		sort.Slice(walls, func(i, j int) bool { return walls[i] < walls[j] })
+		r.sortedWalls = walls
+	})
+	walls := r.sortedWalls
 	idx := int(math.Ceil(p*float64(len(walls)))) - 1
 	if idx >= len(walls) {
 		idx = len(walls) - 1
@@ -209,6 +240,19 @@ func Run(ctx context.Context, exps []experiments.Experiment, cfg Config) *Report
 	report := &Report{Outcomes: make([]Outcome, len(exps)), Workers: workers}
 	start := time.Now()
 
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	rm := runMetrics{
+		attempts: reg.Scope("runner").Counter("attempts"),
+		retries:  reg.Scope("runner").Counter("retries"),
+		panics:   reg.Scope("runner").Counter("panics"),
+		failures: reg.Scope("runner").Counter("failures"),
+		skipped:  reg.Scope("runner").Counter("skipped"),
+		wall:     reg.Scope("runner").Histogram("wall_s", telemetry.WallBuckets),
+	}
+
 	jobs := make(chan int, len(exps))
 	for i := range exps {
 		jobs <- i
@@ -226,8 +270,9 @@ func Run(ctx context.Context, exps []experiments.Experiment, cfg Config) *Report
 					// The run was cancelled: mark the remaining
 					// experiments without starting them.
 					o = Outcome{Name: exps[i].Name, Err: err}
+					rm.skipped.Inc()
 				} else {
-					o = runOne(ctx, exps[i], cfg)
+					o = runOne(ctx, exps[i], cfg, reg, rm)
 				}
 				report.Outcomes[i] = o
 				if cfg.OnDone != nil {
@@ -238,18 +283,36 @@ func Run(ctx context.Context, exps []experiments.Experiment, cfg Config) *Report
 	}
 	wg.Wait()
 	report.Wall = time.Since(start)
+	report.Telemetry = reg.Snapshot()
 	return report
 }
 
-// runOne executes a single experiment with retries.
-func runOne(ctx context.Context, e experiments.Experiment, cfg Config) Outcome {
+// runMetrics holds the runner's own telemetry handles (all nil no-ops
+// when collection is off).
+type runMetrics struct {
+	attempts, retries, panics, failures, skipped *telemetry.Counter
+	wall                                         *telemetry.Histogram
+}
+
+// runOne executes a single experiment with retries. The experiment's
+// harness publishes its engine metrics into a scope keyed by the
+// experiment name.
+func runOne(ctx context.Context, e experiments.Experiment, cfg Config, reg *telemetry.Registry, rm runMetrics) Outcome {
 	out := Outcome{Name: e.Name}
+	cfg.Options.Tel = reg.Scope(e.Name)
 	start := time.Now()
 	for attempt := 0; ; attempt++ {
 		out.Attempts = attempt + 1
+		rm.attempts.Inc()
+		if attempt > 0 {
+			rm.retries.Inc()
+		}
 		res, panicked, err := attemptOne(ctx, e, cfg)
 		out.Panicked = panicked
 		out.Err = err
+		if panicked {
+			rm.panics.Inc()
+		}
 		if err == nil {
 			out.Result = res
 			out.Rows = res.RowCount()
@@ -259,7 +322,11 @@ func runOne(ctx context.Context, e experiments.Experiment, cfg Config) Outcome {
 			break
 		}
 	}
+	if out.Err != nil {
+		rm.failures.Inc()
+	}
 	out.Wall = time.Since(start)
+	rm.wall.Observe(out.Wall.Seconds())
 	return out
 }
 

@@ -6,11 +6,13 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"immersionoc/internal/experiments"
+	"immersionoc/internal/telemetry"
 )
 
 // fake builds an unregistered table experiment whose single row is
@@ -298,5 +300,162 @@ func TestRegistryExperimentsCancelPromptly(t *testing.T) {
 		if o.OK() {
 			t.Errorf("%s completed despite cancellation", o.Name)
 		}
+	}
+}
+
+// TestPercentileEdgeCases pins the boundary behavior of the cached
+// percentile: empty runs, single-outcome runs, and repeat calls (the
+// sort happens once and must keep answering consistently).
+func TestPercentileEdgeCases(t *testing.T) {
+	empty := &Report{}
+	for _, p := range []float64{0, 0.5, 1} {
+		if got := empty.Percentile(p); got != 0 {
+			t.Fatalf("empty Percentile(%v) = %v, want 0", p, got)
+		}
+	}
+	single := &Report{Outcomes: []Outcome{{Name: "only", Wall: 7 * time.Second}}}
+	for _, p := range []float64{0, 0.5, 1} {
+		if got := single.Percentile(p); got != 7*time.Second {
+			t.Fatalf("single Percentile(%v) = %v, want 7s", p, got)
+		}
+	}
+	r := &Report{Outcomes: []Outcome{
+		{Wall: 3 * time.Second}, {Wall: 1 * time.Second}, {Wall: 2 * time.Second},
+	}}
+	if got := r.Percentile(0); got != 1*time.Second {
+		t.Fatalf("p0 = %v, want 1s", got)
+	}
+	if got := r.Percentile(1); got != 3*time.Second {
+		t.Fatalf("p1 = %v, want 3s", got)
+	}
+	// Repeat calls hit the cached sort and must agree.
+	if a, b := r.Percentile(0.5), r.Percentile(0.5); a != b || a != 2*time.Second {
+		t.Fatalf("repeat p50 = %v / %v, want 2s", a, b)
+	}
+}
+
+// TestReportTelemetry asserts the run's snapshot carries both the
+// experiment's own metrics (scoped by name) and the runner's counters.
+func TestReportTelemetry(t *testing.T) {
+	exps := []experiments.Experiment{
+		fake("writer", func(ctx context.Context, o experiments.Options) (experiments.Result, error) {
+			o.Tel.Counter("work").Add(3)
+			o.Tel.Gauge("depth").Set(2.5)
+			o.Tel.Histogram("lat_s", telemetry.LatencyBuckets).Observe(0.004)
+			return tableFor("writer"), nil
+		}),
+		fake("flaky", func(ctx context.Context, o experiments.Options) (experiments.Result, error) {
+			return experiments.Result{}, errors.New("transient")
+		}),
+	}
+	r := Run(context.Background(), exps, Config{Workers: 2, Retries: 1})
+	if r.Telemetry == nil {
+		t.Fatal("report carries no telemetry snapshot")
+	}
+	w, ok := r.Telemetry.Scopes["writer"]
+	if !ok {
+		t.Fatalf("no scope for experiment; scopes = %v", r.Telemetry.Scopes)
+	}
+	if w.Counters["work"] != 3 || w.Gauges["depth"] != 2.5 {
+		t.Fatalf("writer metrics = %+v", w)
+	}
+	if h := w.Histograms["lat_s"]; h.Count != 1 || h.Sum != 0.004 {
+		t.Fatalf("writer histogram = %+v", h)
+	}
+	rn, ok := r.Telemetry.Scopes["runner"]
+	if !ok {
+		t.Fatal("no runner scope")
+	}
+	// writer ran once, flaky ran twice (one retry) and failed.
+	if rn.Counters["attempts"] != 3 || rn.Counters["retries"] != 1 || rn.Counters["failures"] != 1 {
+		t.Fatalf("runner counters = %v", rn.Counters)
+	}
+	if h := rn.Histograms["wall_s"]; h.Count != 2 {
+		t.Fatalf("wall histogram count = %d, want 2", h.Count)
+	}
+}
+
+// TestTelemetryOff asserts telemetry.Off disables collection end to
+// end: no snapshot, and the no-op scope handed to experiments is safe.
+func TestTelemetryOff(t *testing.T) {
+	exps := []experiments.Experiment{
+		fake("quiet", func(ctx context.Context, o experiments.Options) (experiments.Result, error) {
+			o.Tel.Counter("work").Inc() // no-op, must not panic
+			return tableFor("quiet"), nil
+		}),
+	}
+	r := Run(context.Background(), exps, Config{Metrics: telemetry.Off})
+	if !r.Outcomes[0].OK() {
+		t.Fatalf("run failed: %v", r.Outcomes[0].Err)
+	}
+	if r.Telemetry != nil {
+		t.Fatalf("telemetry.Off still produced a snapshot: %+v", r.Telemetry)
+	}
+}
+
+// TestConcurrentOnDoneAndTelemetry exercises the advertised
+// concurrency contract under the race detector: ≥8 workers, OnDone
+// firing from many goroutines, and every experiment hammering the
+// same telemetry scope (they share a name, hence a scope).
+func TestConcurrentOnDoneAndTelemetry(t *testing.T) {
+	const n = 64
+	exps := make([]experiments.Experiment, n)
+	for i := range exps {
+		exps[i] = fake("shared", func(ctx context.Context, o experiments.Options) (experiments.Result, error) {
+			for j := 0; j < 200; j++ {
+				o.Tel.Counter("hits").Inc()
+				o.Tel.Gauge("level").SetMax(float64(j))
+				o.Tel.Histogram("lat_s", telemetry.LatencyBuckets).Observe(float64(j) / 1e4)
+			}
+			return tableFor("shared"), nil
+		})
+	}
+	var mu sync.Mutex
+	seen := 0
+	r := Run(context.Background(), exps, Config{Workers: 8, OnDone: func(i int, o Outcome) {
+		mu.Lock()
+		seen++
+		mu.Unlock()
+	}})
+	if seen != n {
+		t.Fatalf("OnDone fired %d times, want %d", seen, n)
+	}
+	sc := r.Telemetry.Scopes["shared"]
+	if sc.Counters["hits"] != n*200 {
+		t.Fatalf("hits = %d, want %d", sc.Counters["hits"], n*200)
+	}
+	if got := r.Telemetry.Scopes["shared"].Histograms["lat_s"].Count; got != n*200 {
+		t.Fatalf("histogram count = %d, want %d", got, n*200)
+	}
+}
+
+// TestCancellationPromise is the regression test for the package-doc
+// promise: a cancelled context stops a *running* simulation at its
+// internal boundaries — the experiment returns the context error long
+// before its simulated hour completes.
+func TestCancellationPromise(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sim cancellation in -short mode")
+	}
+	e, ok := experiments.Lookup("diurnal")
+	if !ok {
+		t.Fatal("diurnal not registered")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	r := Run(ctx, []experiments.Experiment{e}, Config{Workers: 1})
+	if wall := time.Since(start); wall > 10*time.Second {
+		t.Fatalf("cancelled diurnal run took %s", wall)
+	}
+	o := r.Outcomes[0]
+	if o.Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (cancellation is never retried)", o.Attempts)
+	}
+	if !errors.Is(o.Err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled from inside the simulation", o.Err)
 	}
 }

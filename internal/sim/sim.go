@@ -9,9 +9,12 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 	"time"
+
+	"immersionoc/internal/telemetry"
 )
 
 // Time is a virtual timestamp measured in seconds from simulation start.
@@ -80,6 +83,28 @@ type Simulation struct {
 	seq     uint64
 	stopped bool
 	fired   uint64
+	// events is the telemetry counter RunUntil flushes fired-event
+	// batches into (nil = telemetry off).
+	events *telemetry.Counter
+	// flushers run whenever a RunUntil/RunUntilCtx call returns,
+	// including on cancellation (see OnFlush).
+	flushers []func()
+}
+
+// OnFlush registers fn to run every time a RunUntil/RunUntilCtx call
+// returns — normal completion, Stop, and cancellation alike. Engines
+// that batch telemetry in goroutine-local accumulators (see
+// telemetry.HistAccum) register their flush here so shared metrics
+// are complete whenever the kernel hands control back.
+func (s *Simulation) OnFlush(fn func()) {
+	s.flushers = append(s.flushers, fn)
+}
+
+// SetTelemetry points the kernel's event counter at scope's "events"
+// counter. RunUntil flushes in batches of ctxCheckEvery so the hot
+// loop stays one local increment per event. A nil scope detaches.
+func (s *Simulation) SetTelemetry(scope *telemetry.Scope) {
+	s.events = scope.Counter("events")
 }
 
 // New returns an empty simulation with the clock at zero.
@@ -124,13 +149,53 @@ func (s *Simulation) Run() {
 	s.RunUntil(Time(math.Inf(1)))
 }
 
+// ctxCheckEvery is how many fired events pass between context checks
+// in RunUntilCtx — frequent enough that cancellation lands within
+// microseconds of wall time, rare enough that the check (one atomic
+// load inside ctx.Err) is invisible in profiles. It doubles as the
+// telemetry flush batch size.
+const ctxCheckEvery = 256
+
 // RunUntil executes events with timestamps <= end, then sets the clock
 // to end (if end is finite and beyond the last event). Returns the
 // number of events fired during this call.
 func (s *Simulation) RunUntil(end Time) uint64 {
+	n, _ := s.runUntil(nil, end)
+	return n
+}
+
+// RunUntilCtx executes like RunUntil but polls ctx every ctxCheckEvery
+// events and stops the loop as soon as cancellation is observed,
+// returning the context error. This is the cancellation checkpoint
+// every simulation-backed experiment harness runs through: a cancelled
+// run stops mid-simulation instead of burning CPU to completion.
+func (s *Simulation) RunUntilCtx(ctx context.Context, end Time) error {
+	_, err := s.runUntil(ctx, end)
+	return err
+}
+
+func (s *Simulation) runUntil(ctx context.Context, end Time) (uint64, error) {
 	start := s.fired
 	s.stopped = false
+	var batch uint64
+	flush := func() {
+		s.events.Add(batch)
+		batch = 0
+		for _, fn := range s.flushers {
+			fn()
+		}
+	}
 	for len(s.queue) > 0 && !s.stopped {
+		if batch >= ctxCheckEvery {
+			s.events.Add(batch)
+			batch = 0
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					flush()
+					return s.fired - start, err
+				}
+			}
+		}
 		next := s.queue[0]
 		if next.at > end {
 			break
@@ -141,12 +206,19 @@ func (s *Simulation) RunUntil(end Time) uint64 {
 		}
 		s.now = next.at
 		s.fired++
+		batch++
 		next.fn(s)
+	}
+	flush()
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return s.fired - start, err
+		}
 	}
 	if !math.IsInf(float64(end), 1) && end > s.now {
 		s.now = end
 	}
-	return s.fired - start
+	return s.fired - start, nil
 }
 
 // Step executes exactly one pending event (skipping cancelled ones) and

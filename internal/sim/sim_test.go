@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"math"
 	"sort"
 	"testing"
@@ -226,5 +228,83 @@ func TestPropertyCausality(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunUntilCtxCompletesWithNil(t *testing.T) {
+	s := New()
+	fired := 0
+	s.Schedule(1, func(*Simulation) { fired++ })
+	s.Schedule(2, func(*Simulation) { fired++ })
+	if err := s.RunUntilCtx(context.Background(), 10); err != nil {
+		t.Fatalf("RunUntilCtx = %v", err)
+	}
+	if fired != 2 || s.Now() != 10 {
+		t.Fatalf("fired %d events, now %v", fired, s.Now())
+	}
+}
+
+// TestRunUntilCtxStopsWithinBatch drives a self-rescheduling event
+// stream that would otherwise fire a billion events and cancels after
+// ten; the kernel must stop within one ctx-check batch instead of
+// draining the simulation.
+func TestRunUntilCtxStopsWithinBatch(t *testing.T) {
+	s := New()
+	ctx, cancel := context.WithCancel(context.Background())
+	fired := 0
+	var tick func(sm *Simulation)
+	tick = func(sm *Simulation) {
+		fired++
+		if fired == 10 {
+			cancel()
+		}
+		sm.After(1, tick)
+	}
+	s.After(1, tick)
+	err := s.RunUntilCtx(ctx, Time(1e9))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunUntilCtx = %v, want context.Canceled", err)
+	}
+	if fired > 10+ctxCheckEvery {
+		t.Fatalf("%d events fired after cancellation (batch is %d)", fired-10, ctxCheckEvery)
+	}
+}
+
+// TestOnFlush pins the contract engines batching telemetry rely on:
+// registered flushers run every time the run loop returns, on normal
+// completion and on cancellation alike.
+func TestOnFlush(t *testing.T) {
+	s := New()
+	flushes := 0
+	s.OnFlush(func() { flushes++ })
+
+	s.Schedule(1, func(*Simulation) {})
+	s.Run()
+	if flushes != 1 {
+		t.Fatalf("flushes = %d after Run, want 1", flushes)
+	}
+
+	s.Schedule(2, func(*Simulation) {})
+	if err := s.RunUntilCtx(context.Background(), 10); err != nil {
+		t.Fatalf("RunUntilCtx = %v", err)
+	}
+	if flushes != 2 {
+		t.Fatalf("flushes = %d after RunUntilCtx, want 2", flushes)
+	}
+
+	// Cancelled mid-run: the flush must still happen so partial
+	// telemetry batches are published before the early return.
+	ctx, cancel := context.WithCancel(context.Background())
+	var tick func(sm *Simulation)
+	tick = func(sm *Simulation) {
+		cancel()
+		sm.After(1, tick)
+	}
+	s.After(1, tick)
+	if err := s.RunUntilCtx(ctx, Time(1e9)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunUntilCtx = %v, want context.Canceled", err)
+	}
+	if flushes != 3 {
+		t.Fatalf("flushes = %d after cancelled run, want 3", flushes)
 	}
 }
