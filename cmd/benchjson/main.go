@@ -1,0 +1,136 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// JSON document mapping benchmark → metrics (ns/op, allocs/op, B/op and
+// any custom b.ReportMetric units). It seeds the repository's perf
+// trajectory: `make bench` pipes the full sweep through it to produce
+// BENCH_<n>.json, optionally embedding a checked-in pre-change baseline
+// for before/after comparison.
+//
+// Usage:
+//
+//	go test -bench=. -benchtime=1x -benchmem ./... | benchjson -baseline bench_baseline.json -out BENCH_3.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// modulePrefix is stripped from package paths so keys read
+// "internal/sim:BenchmarkKernel/retime" rather than repeating the
+// module name in every entry.
+const modulePrefix = "immersionoc/"
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("out", "", "write the JSON document to this file instead of stdout")
+	baseline := fs.String("baseline", "", "JSON file embedded verbatim under \"baseline\" (pre-change reference numbers)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	benches, err := parseBench(stdin)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: reading bench output: %v\n", err)
+		return 1
+	}
+	if len(benches) == 0 {
+		fmt.Fprintln(stderr, "benchjson: no benchmark lines found on stdin")
+		return 1
+	}
+	doc := map[string]any{"benchmarks": benches}
+	if *baseline != "" {
+		raw, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchjson: %v\n", err)
+			return 1
+		}
+		var base any
+		if err := json.Unmarshal(raw, &base); err != nil {
+			fmt.Fprintf(stderr, "benchjson: parsing baseline %s: %v\n", *baseline, err)
+			return 1
+		}
+		doc["baseline"] = base
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		_, err = stdout.Write(buf)
+	} else {
+		err = os.WriteFile(*out, buf, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// parseBench extracts benchmark result lines. `go test` interleaves
+// per-package headers (goos/goarch/pkg/cpu) with result lines of the
+// form "BenchmarkName[-procs]  iters  value unit  value unit ...";
+// the current "pkg:" header qualifies the benchmark name so the same
+// benchmark in two packages cannot collide.
+func parseBench(r io.Reader) (map[string]map[string]float64, error) {
+	res := map[string]map[string]float64{}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg:"); ok {
+			pkg = strings.TrimPrefix(strings.TrimSpace(rest), modulePrefix)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 4 {
+			continue
+		}
+		metrics := map[string]float64{}
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				continue
+			}
+			metrics[f[i+1]] = v
+		}
+		if len(metrics) == 0 {
+			continue
+		}
+		name := trimProcsSuffix(f[0])
+		if pkg != "" {
+			name = pkg + ":" + name
+		}
+		res[name] = metrics
+	}
+	return res, sc.Err()
+}
+
+// trimProcsSuffix drops the trailing "-<GOMAXPROCS>" go test appends on
+// multi-proc runs, but leaves hyphenated benchmark names alone.
+func trimProcsSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

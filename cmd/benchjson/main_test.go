@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: immersionoc/internal/sim
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkKernel/schedule-fire         	 1000000	        25.83 ns/op	       0 B/op	       0 allocs/op
+BenchmarkKernel/retime-8              	 1000000	        40.10 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	immersionoc/internal/sim	0.240s
+pkg: immersionoc/internal/queueing
+BenchmarkOversubscribed 	       5	   9597124 ns/op	     19093 requests/op	 1794128 B/op	   19304 allocs/op
+PASS
+ok  	immersionoc/internal/queueing	0.064s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(got), got)
+	}
+	k := got["internal/sim:BenchmarkKernel/schedule-fire"]
+	if k == nil || k["ns/op"] != 25.83 || k["allocs/op"] != 0 {
+		t.Fatalf("schedule-fire metrics wrong: %v", k)
+	}
+	// The -8 procs suffix is stripped; the hyphen in "schedule-fire" is not.
+	if _, ok := got["internal/sim:BenchmarkKernel/retime"]; !ok {
+		t.Fatalf("procs suffix not stripped: %v", got)
+	}
+	q := got["internal/queueing:BenchmarkOversubscribed"]
+	if q == nil || q["allocs/op"] != 19304 || q["requests/op"] != 19093 {
+		t.Fatalf("oversubscribed metrics wrong: %v", q)
+	}
+}
+
+func TestRunWritesJSONWithBaseline(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	if err := os.WriteFile(base, []byte(`{"benchmarks":{"internal/queueing:BenchmarkOversubscribed":{"allocs/op":236954}}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "BENCH.json")
+	var stderr bytes.Buffer
+	code := run([]string{"-baseline", base, "-out", out}, strings.NewReader(sampleBench), new(bytes.Buffer), &stderr)
+	if code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, stderr.String())
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+		Baseline   struct {
+			Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+		} `json:"baseline"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	after := doc.Benchmarks["internal/queueing:BenchmarkOversubscribed"]["allocs/op"]
+	before := doc.Baseline.Benchmarks["internal/queueing:BenchmarkOversubscribed"]["allocs/op"]
+	if after != 19304 || before != 236954 {
+		t.Fatalf("before/after pair wrong: before=%v after=%v", before, after)
+	}
+	if before/after < 5 {
+		t.Fatalf("recorded improvement %.1f×, acceptance floor is 5×", before/after)
+	}
+}
+
+func TestRunFailsOnEmptyInput(t *testing.T) {
+	var stderr bytes.Buffer
+	if code := run(nil, strings.NewReader("no benchmarks here\n"), new(bytes.Buffer), &stderr); code != 1 {
+		t.Fatalf("run on empty input = %d, want 1", code)
+	}
+}

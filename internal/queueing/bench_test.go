@@ -1,0 +1,73 @@
+package queueing
+
+import (
+	"testing"
+
+	"immersionoc/internal/rng"
+	"immersionoc/internal/sim"
+)
+
+// runOversubscribed simulates a Figure 12-shaped host: four SQL-like
+// VMs of four vcores whose 16 runnable vcores share 12 physical cores,
+// driven by correlated on-off bursts, with periodic frequency changes
+// like the auto-scaler issues. Both the processor-sharing transitions
+// (runnable count crossing PCores) and the SetSpeed churn retime every
+// in-flight job, so this is the worst case for the dispatch/reschedule
+// hot path.
+func runOversubscribed(durationS float64) *Engine {
+	eng := NewEngine(0.85)
+	host := eng.NewHost(12)
+	r := rng.New(17)
+	service := LogNormalService(0.008, 1.2)
+	for i := 0; i < 4; i++ {
+		vm := host.NewVM("sql", 4, 1.0)
+		var arrive func(*sim.Simulation)
+		arrive = func(s *sim.Simulation) {
+			now := float64(s.Now())
+			if now >= durationS {
+				return
+			}
+			// Correlated bursts: 3 s at 410 QPS, 3 s at 40 QPS.
+			qps := 410.0
+			if int(now/3)%2 == 1 {
+				qps = 40
+			}
+			vm.Submit(service(r))
+			s.After(r.Exp(qps), arrive)
+		}
+		eng.Sim.After(r.Exp(100), arrive)
+	}
+	// Frequency churn: flip every VM between B2 and OC-like speed twice
+	// a second, forcing a host-wide retiming of all in-flight jobs.
+	eng.Sim.NewTicker(0.25, 0.5, func(s *sim.Simulation, t sim.Time) {
+		if float64(t) >= durationS {
+			return
+		}
+		sp := 1.0
+		if int(float64(t)*2)%2 == 0 {
+			sp = 1.22
+		}
+		for _, v := range host.VMs() {
+			v.SetSpeed(sp)
+		}
+	})
+	eng.Sim.RunUntil(sim.Time(durationS * 1.2)) // run past the end to drain
+	return eng
+}
+
+// BenchmarkOversubscribed measures one full oversubscribed scenario
+// (~18k requests) per op. allocs/op is the acceptance metric for the
+// allocation-free hot path: the request path must not allocate events,
+// jobs or closures in steady state.
+func BenchmarkOversubscribed(b *testing.B) {
+	b.ReportAllocs()
+	var completed uint64
+	for i := 0; i < b.N; i++ {
+		eng := runOversubscribed(20)
+		completed = eng.Completed
+		if completed == 0 {
+			b.Fatal("benchmark scenario completed no requests")
+		}
+	}
+	b.ReportMetric(float64(completed), "requests/op")
+}

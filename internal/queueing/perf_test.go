@@ -1,0 +1,160 @@
+package queueing
+
+import "testing"
+
+// TestRemoveVMPrunesAfterDrain pins the fix for the dead-VM leak: a VM
+// removed while busy stays scheduled until its in-flight work drains,
+// then disappears from the host's VM list so load balancers stop
+// scanning it.
+func TestRemoveVMPrunesAfterDrain(t *testing.T) {
+	eng := NewEngine(1.0)
+	host := eng.NewHost(4)
+	keep := host.NewVM("keep", 1, 1.0)
+	vm := host.NewVM("gone", 1, 1.0)
+	req := vm.Submit(1)
+	vm.Submit(1) // queued behind it — the VM must drain both
+	host.RemoveVM(vm)
+	if len(host.VMs()) != 2 {
+		t.Fatalf("busy VM pruned early: %d VMs", len(host.VMs()))
+	}
+	eng.Sim.Run()
+	if req.DoneS != 1 {
+		t.Fatalf("in-flight work lost on removal: done at %v", req.DoneS)
+	}
+	if eng.Completed != 2 {
+		t.Fatalf("completed %d, want 2 (queued work must drain too)", eng.Completed)
+	}
+	if len(host.VMs()) != 1 || host.VMs()[0] != keep {
+		t.Fatalf("drained VM not pruned: %v", host.VMs())
+	}
+	lb := NewLoadBalancer(host)
+	if got := lb.Pick(); got != keep {
+		t.Fatalf("balancer picked %v, want the surviving VM", got)
+	}
+}
+
+func TestRemoveVMIdlePrunesImmediately(t *testing.T) {
+	eng := NewEngine(1.0)
+	host := eng.NewHost(4)
+	vm := host.NewVM("v", 1, 1.0)
+	host.RemoveVM(vm)
+	if len(host.VMs()) != 0 {
+		t.Fatalf("idle VM not pruned immediately: %d VMs", len(host.VMs()))
+	}
+	host.RemoveVM(vm) // double removal is a no-op
+	if len(host.VMs()) != 0 {
+		t.Fatal("double RemoveVM corrupted the VM list")
+	}
+}
+
+// TestSteadyStateRequestPathAllocs pins the allocation budget of the
+// warm request path. The only per-request allocation left is the
+// Request struct itself, which is handed to the caller and cannot be
+// pooled; events, jobs, completion closures and the FIFO ring are all
+// recycled. Budget is 1.5×requests to absorb amortized digest growth.
+func TestSteadyStateRequestPathAllocs(t *testing.T) {
+	eng := NewEngine(1.0)
+	host := eng.NewHost(3)
+	a := host.NewVM("a", 2, 1.0)
+	b := host.NewVM("b", 2, 1.3)
+	const perRun = 100
+	run := func() {
+		for i := 0; i < perRun/2; i++ {
+			a.Submit(0.01)
+			b.Submit(0.013)
+		}
+		eng.Sim.Run()
+		a.Latency.Reset()
+		b.Latency.Reset()
+		eng.AllLatency.Reset()
+	}
+	run() // warm the free-lists, ring buffers and digest capacity
+	avg := testing.AllocsPerRun(50, run)
+	if avg > perRun*1.5 {
+		t.Fatalf("steady-state request path: %.1f allocs per %d requests (%.2f/req), want ≤ 1.5/req",
+			avg, perRun, avg/perRun)
+	}
+}
+
+// TestSetSpeedChurnDeterminism reruns an oversubscribed scenario with
+// heavy retiming churn and requires bit-identical aggregates — the
+// in-place retime path must preserve the kernel's determinism.
+func TestSetSpeedChurnDeterminism(t *testing.T) {
+	run := func() (uint64, float64) {
+		eng := runOversubscribed(5)
+		return eng.Completed, eng.AllLatency.Sum()
+	}
+	c1, s1 := run()
+	c2, s2 := run()
+	if c1 != c2 || s1 != s2 {
+		t.Fatalf("churn scenario not deterministic: (%d, %v) vs (%d, %v)", c1, s1, c2, s2)
+	}
+	if c1 == 0 {
+		t.Fatal("scenario completed no requests")
+	}
+}
+
+// TestQPSAtCursor exercises the incremental phase cursor: monotone
+// queries, exact boundaries, zero-duration phases, and backward jumps
+// (binary-search fallback).
+func TestQPSAtCursor(t *testing.T) {
+	eng := NewEngine(1.0)
+	host := eng.NewHost(4)
+	host.NewVM("v", 1, 1.0)
+	lb := NewLoadBalancer(host)
+	gen := NewGenerator(eng, lb, 1, DeterministicService(0.001), []LoadPhase{
+		{QPS: 100, DurationS: 10},
+		{QPS: 300, DurationS: 0}, // zero-duration phase is skipped
+		{QPS: 200, DurationS: 10},
+	})
+	cases := []struct {
+		t    float64
+		want float64
+	}{
+		{0, 100}, {5, 100}, {9.999, 100},
+		{10, 200}, // boundary belongs to the next phase
+		{15, 200}, {19.999, 200},
+		{20, 0}, {35, 0}, // past the schedule
+		{5, 100},  // backward jump
+		{-1, 100}, // before the schedule start behaves like phase 0
+		{12, 200},
+	}
+	for _, c := range cases {
+		if got := gen.QPSAt(c.t); got != c.want {
+			t.Fatalf("QPSAt(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	if gen.TotalDuration() != 20 {
+		t.Fatalf("TotalDuration = %v, want 20", gen.TotalDuration())
+	}
+}
+
+// TestGeneratorManyPhasesMatchesScan cross-checks the cursor against a
+// reference linear scan over a long random-ish schedule.
+func TestGeneratorManyPhasesMatchesScan(t *testing.T) {
+	eng := NewEngine(1.0)
+	host := eng.NewHost(4)
+	host.NewVM("v", 1, 1.0)
+	lb := NewLoadBalancer(host)
+	var phases []LoadPhase
+	for i := 0; i < 500; i++ {
+		phases = append(phases, LoadPhase{QPS: float64(i % 7), DurationS: 0.1 + float64(i%5)*0.3})
+	}
+	gen := NewGenerator(eng, lb, 1, DeterministicService(0.001), phases)
+	scan := func(t float64) float64 {
+		var off float64
+		for _, p := range phases {
+			if t < off+p.DurationS {
+				return p.QPS
+			}
+			off += p.DurationS
+		}
+		return 0
+	}
+	for i := 0; i < 4000; i++ {
+		q := float64(i) * 0.11
+		if got, want := gen.QPSAt(q), scan(q); got != want {
+			t.Fatalf("QPSAt(%v) = %v, scan says %v", q, got, want)
+		}
+	}
+}

@@ -14,6 +14,7 @@ package queueing
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"immersionoc/internal/rng"
 	"immersionoc/internal/sim"
@@ -37,7 +38,11 @@ type Request struct {
 // Sojourn returns the end-to-end latency.
 func (r *Request) Sojourn() float64 { return r.DoneS - r.ArrivalS }
 
-// job is an in-service request on a vcore.
+// job is an in-service request on a vcore. Job structs are pooled on
+// the engine (see Engine.newJob): a completed job is recycled for the
+// next dispatch, and its completion closure is bound to the struct
+// exactly once, surviving recycling, so the steady-state request path
+// allocates neither jobs nor closures.
 type job struct {
 	req       *Request
 	vm        *VM
@@ -45,6 +50,43 @@ type job struct {
 	rate      float64 // current execution rate (reference-speed seconds per second)
 	updated   float64 // virtual time remaining was last advanced
 	done      *sim.Event
+	// fire is the bound completion callback passed to the kernel; it
+	// routes through vm, so a recycled job migrates hosts correctly.
+	fire func(*sim.Simulation)
+	// idx is the job's position in host.jobs (swap-removal index).
+	idx int
+}
+
+// reqRing is a FIFO of queued requests backed by a growable circular
+// buffer, so steady-state push/pop never allocates. (The previous
+// queue = queue[1:] idiom kept the consumed prefix live and forced a
+// fresh backing array every time append outran the leaked capacity.)
+type reqRing struct {
+	buf  []*Request
+	head int
+	n    int
+}
+
+func (q *reqRing) len() int { return q.n }
+
+func (q *reqRing) push(r *Request) {
+	if q.n == len(q.buf) {
+		buf := make([]*Request, max(4, 2*len(q.buf)))
+		for i := 0; i < q.n; i++ {
+			buf[i] = q.buf[(q.head+i)%len(q.buf)]
+		}
+		q.buf, q.head = buf, 0
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = r
+	q.n++
+}
+
+func (q *reqRing) pop() *Request {
+	r := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return r
 }
 
 // Host is a physical server whose PCores are shared by the vcores of
@@ -54,8 +96,12 @@ type Host struct {
 	// PCores is the number of physical cores available to VMs.
 	PCores int
 	vms    []*VM
-	jobs   map[*job]struct{}
-	eng    *Engine
+	// jobs holds the in-service vcores in dispatch order (swap-removed
+	// on completion). A slice instead of a map keeps reschedule's
+	// iteration — and therefore event sequence assignment — fully
+	// deterministic run-to-run.
+	jobs []*job
+	eng  *Engine
 	// curShare caches the processor-sharing slice so uncontended
 	// transitions avoid a global reschedule.
 	curShare float64
@@ -87,9 +133,12 @@ type VM struct {
 	// accepting reports whether the load balancer may route new
 	// requests here.
 	accepting bool
+	// removed marks a VM detached via RemoveVM; it is pruned from the
+	// host's VM list as soon as its in-flight work drains.
+	removed bool
 
-	queue   []*Request
-	running map[*job]struct{}
+	queue   reqRing
+	running int // in-service request count
 
 	// busyIntegral accumulates Σ(runnable vcores)·dt for utilization.
 	busyIntegral float64
@@ -135,6 +184,33 @@ type Engine struct {
 	locCompleted uint64
 	sojourn      *telemetry.HistAccum
 	flusherSet   bool
+
+	// freeJobs recycles completed job structs (see job).
+	freeJobs []*job
+}
+
+// newJob returns a pooled job, allocating the struct and its bound
+// completion closure only on first use.
+func (e *Engine) newJob() *job {
+	if n := len(e.freeJobs); n > 0 {
+		j := e.freeJobs[n-1]
+		e.freeJobs[n-1] = nil
+		e.freeJobs = e.freeJobs[:n-1]
+		return j
+	}
+	j := &job{}
+	j.fire = func(*sim.Simulation) { j.vm.host.complete(j) }
+	return j
+}
+
+// freeJob recycles a completed job. Pointer fields are dropped so the
+// request and VM can be collected independently of the pool.
+func (e *Engine) freeJob(j *job) {
+	j.req = nil
+	j.vm = nil
+	j.done = nil
+	j.idx = -1
+	e.freeJobs = append(e.freeJobs, j)
 }
 
 // SetTelemetry publishes the engine's signals into scope: a "requests"
@@ -191,7 +267,7 @@ func (e *Engine) NewHost(pcores int) *Host {
 	if pcores <= 0 {
 		panic("queueing: host needs at least one pcore")
 	}
-	h := &Host{PCores: pcores, jobs: make(map[*job]struct{}), eng: e, curShare: 1}
+	h := &Host{PCores: pcores, eng: e, curShare: 1}
 	e.hosts = append(e.hosts, h)
 	return h
 }
@@ -211,7 +287,6 @@ func (h *Host) NewVM(name string, vcores int, speed float64) *VM {
 		host:      h,
 		speed:     speed,
 		accepting: true,
-		running:   make(map[*job]struct{}),
 		Latency:   stats.NewDigest(),
 	}
 	vm.lastAccount = float64(h.eng.Sim.Now())
@@ -226,14 +301,23 @@ func (h *Host) NewVM(name string, vcores int, speed float64) *VM {
 func (h *Host) VMs() []*VM { return h.vms }
 
 // RemoveVM detaches a VM from the host's scheduling (it finishes its
-// in-flight work first; new arrivals must not be routed to it).
+// in-flight work first; new arrivals must not be routed to it). An
+// idle VM is pruned from the host's VM list immediately; a busy one is
+// pruned as soon as its last in-flight request drains, so long
+// auto-scaling runs do not leave load balancers scanning dead VMs.
 func (h *Host) RemoveVM(vm *VM) {
 	vm.accepting = false
+	vm.removed = true
+	if vm.running == 0 && vm.queue.len() == 0 {
+		h.pruneVM(vm)
+	}
+}
+
+// pruneVM drops vm from the host's VM list (no-op if already gone).
+func (h *Host) pruneVM(vm *VM) {
 	for i, v := range h.vms {
 		if v == vm {
-			if len(vm.running) == 0 && len(vm.queue) == 0 {
-				h.vms = append(h.vms[:i], h.vms[i+1:]...)
-			}
+			h.vms = append(h.vms[:i], h.vms[i+1:]...)
 			return
 		}
 	}
@@ -272,16 +356,16 @@ func (v *VM) Concurrency() int {
 }
 
 // QueueLen returns the number of waiting (not yet served) requests.
-func (v *VM) QueueLen() int { return len(v.queue) }
+func (v *VM) QueueLen() int { return v.queue.len() }
 
 // InService returns the number of requests currently being served.
-func (v *VM) InService() int { return len(v.running) }
+func (v *VM) InService() int { return v.running }
 
 // account integrates busy-vcore time up to now.
 func (v *VM) account(now float64) {
 	dt := now - v.lastAccount
 	if dt > 0 {
-		busy := float64(len(v.running)) + v.UtilQueueWeight*float64(len(v.queue))
+		busy := float64(v.running) + v.UtilQueueWeight*float64(v.queue.len())
 		if busy > float64(v.VCores) {
 			busy = float64(v.VCores)
 		}
@@ -318,40 +402,59 @@ func (v *VM) Submit(demand float64) *Request {
 	now := float64(v.host.eng.Sim.Now())
 	r := &Request{ArrivalS: now, DemandS: demand, StartS: -1, DoneS: -1}
 	v.host.eng.locArrivals++
-	v.queue = append(v.queue, r)
+	v.queue.push(r)
 	v.host.dispatch(v)
 	return r
 }
 
-// dispatch starts queued requests on free vcores of vm.
+// dispatch starts queued requests on free vcores of vm. The clock and
+// concurrency limit are loaded once for the whole batch; started jobs
+// occupy the tail of h.jobs, so no per-dispatch scratch slice is
+// needed.
 func (h *Host) dispatch(vm *VM) {
-	var started []*job
-	for len(vm.queue) > 0 && len(vm.running) < vm.Concurrency() {
-		req := vm.queue[0]
-		vm.queue = vm.queue[1:]
-		now := float64(h.eng.Sim.Now())
-		vm.account(now)
-		req.StartS = now
-		j := &job{req: req, vm: vm, remaining: req.DemandS, updated: now}
-		vm.running[j] = struct{}{}
-		h.jobs[j] = struct{}{}
-		started = append(started, j)
-	}
-	if len(started) == 0 {
+	conc := vm.Concurrency()
+	if vm.queue.len() == 0 || vm.running >= conc {
 		return
+	}
+	now := float64(h.eng.Sim.Now())
+	nBefore := len(h.jobs)
+	for vm.queue.len() > 0 && vm.running < conc {
+		req := vm.queue.pop()
+		if len(h.jobs) == nBefore {
+			// Integrate utilization after the first pop — the exact
+			// point the pre-pooling engine accounted at, which matters
+			// for queue-weighted busy time (UtilQueueWeight).
+			vm.account(now)
+		}
+		req.StartS = now
+		j := h.eng.newJob()
+		j.req, j.vm, j.remaining, j.rate, j.updated = req, vm, req.DemandS, 0, now
+		j.idx = len(h.jobs)
+		h.jobs = append(h.jobs, j)
+		vm.running++
 	}
 	if h.share() != h.curShare {
 		// Adding runnable vcores changed everyone's slice.
 		h.reschedule()
 		return
 	}
-	for _, j := range started {
-		h.arm(j)
+	for _, j := range h.jobs[nBefore:] {
+		h.retime(j, now)
 	}
 }
 
 // runnable returns the number of in-service vcores on the host.
 func (h *Host) runnable() int { return len(h.jobs) }
+
+// removeJob swap-removes j from the host's in-service list.
+func (h *Host) removeJob(j *job) {
+	last := len(h.jobs) - 1
+	moved := h.jobs[last]
+	h.jobs[j.idx] = moved
+	moved.idx = j.idx
+	h.jobs[last] = nil
+	h.jobs = h.jobs[:last]
+}
 
 // share returns the processor-sharing slice each runnable vcore gets.
 func (h *Host) share() float64 {
@@ -362,31 +465,35 @@ func (h *Host) share() float64 {
 	return float64(h.PCores) / float64(n)
 }
 
-// arm sets a job's rate from the current share and schedules its
-// completion.
-func (h *Host) arm(j *job) {
-	if j.done != nil {
-		j.done.Cancel()
-		j.done = nil
-	}
+// retime sets a job's rate from the current share and (re)schedules
+// its completion. A pending completion event is retimed in place
+// (heap sift via its tracked index, sequence bumped), which is
+// ordering-equivalent to the cancel-then-reschedule it replaces but
+// allocation-free and tombstone-free.
+func (h *Host) retime(j *job, now float64) {
 	j.rate = j.vm.speed * h.curShare
 	if j.rate <= 0 {
+		if j.done != nil {
+			j.done.Cancel()
+			j.done = nil
+		}
 		return
 	}
-	eta := j.remaining / j.rate
-	jj := j
-	j.done = h.eng.Sim.After(eta, func(s *sim.Simulation) {
-		h.complete(jj)
-	})
+	at := sim.Time(now) + sim.Time(j.remaining/j.rate)
+	if j.done != nil {
+		h.eng.Sim.Reschedule(j.done, at)
+	} else {
+		j.done = h.eng.Sim.Schedule(at, j.fire)
+	}
 }
 
 // reschedule advances all jobs to now at their old rates, recomputes
-// the share, and re-arms every completion event. Needed only when the
-// processor-sharing slice or a VM speed changes.
+// the share, and retimes every completion event in place. Needed only
+// when the processor-sharing slice or a VM speed changes.
 func (h *Host) reschedule() {
 	now := float64(h.eng.Sim.Now())
 	h.curShare = h.share()
-	for j := range h.jobs {
+	for _, j := range h.jobs {
 		if dt := now - j.updated; dt > 0 {
 			j.remaining -= dt * j.rate
 			if j.remaining < 0 {
@@ -394,26 +501,34 @@ func (h *Host) reschedule() {
 			}
 		}
 		j.updated = now
-		h.arm(j)
+		h.retime(j, now)
 	}
 }
 
-// complete finishes a job, records latency, and dispatches queued work.
+// complete finishes a job, records latency, recycles the job struct,
+// and dispatches queued work.
 func (h *Host) complete(j *job) {
 	now := float64(h.eng.Sim.Now())
-	j.vm.account(now)
-	delete(h.jobs, j)
-	delete(j.vm.running, j)
-	j.req.DoneS = now
-	j.vm.Latency.Add(j.req.Sojourn())
-	h.eng.AllLatency.Add(j.req.Sojourn())
-	h.eng.sojourn.Observe(j.req.Sojourn())
+	vm, req := j.vm, j.req
+	vm.account(now)
+	h.removeJob(j)
+	vm.running--
+	// The completion event that invoked us has fired; the kernel
+	// recycles it, so drop the handle before pooling the job.
+	h.eng.freeJob(j)
+	req.DoneS = now
+	vm.Latency.Add(req.Sojourn())
+	h.eng.AllLatency.Add(req.Sojourn())
+	h.eng.sojourn.Observe(req.Sojourn())
 	h.eng.locCompleted++
 	h.eng.Completed++
 	if h.eng.OnComplete != nil {
-		h.eng.OnComplete(j.req, j.vm)
+		h.eng.OnComplete(req, vm)
 	}
-	h.dispatch(j.vm)
+	if vm.removed && vm.running == 0 && vm.queue.len() == 0 {
+		h.pruneVM(vm)
+	}
+	h.dispatch(vm)
 	if h.share() != h.curShare {
 		h.reschedule()
 	}
@@ -498,6 +613,12 @@ type Generator struct {
 	rand    *rng.Source
 	service ServiceSampler
 	phases  []LoadPhase
+	// bounds[i] is the cumulative end time of phases[i], precomputed
+	// so phase lookup is an incremental cursor instead of an
+	// O(phases) scan per arrival.
+	bounds []float64
+	// cursor indexes the phase the last queried time fell in.
+	cursor int
 	// Dropped counts arrivals with no accepting VM.
 	Dropped uint64
 	// LeastLoaded selects balancer policy.
@@ -506,28 +627,46 @@ type Generator struct {
 
 // NewGenerator creates a load generator.
 func NewGenerator(e *Engine, lb *LoadBalancer, seed uint64, service ServiceSampler, phases []LoadPhase) *Generator {
-	return &Generator{eng: e, lb: lb, rand: rng.New(seed), service: service, phases: phases}
+	bounds := make([]float64, len(phases))
+	var off float64
+	for i, p := range phases {
+		off += p.DurationS
+		bounds[i] = off
+	}
+	return &Generator{eng: e, lb: lb, rand: rng.New(seed), service: service, phases: phases, bounds: bounds}
 }
 
 // TotalDuration returns the summed phase durations.
 func (g *Generator) TotalDuration() float64 {
-	var d float64
-	for _, p := range g.phases {
-		d += p.DurationS
+	if len(g.bounds) == 0 {
+		return 0
 	}
-	return d
+	return g.bounds[len(g.bounds)-1]
 }
 
-// QPSAt returns the scheduled arrival rate at time t.
-func (g *Generator) QPSAt(t float64) float64 {
-	var off float64
-	for _, p := range g.phases {
-		if t < off+p.DurationS {
-			return p.QPS
-		}
-		off += p.DurationS
+// seek positions the cursor on the first phase whose end boundary
+// exceeds t. The generator's arrival process queries monotonically
+// increasing times, so the common case is zero or one cursor step;
+// a backwards query (e.g. a forecaster probing the past) falls back
+// to binary search.
+func (g *Generator) seek(t float64) {
+	if g.cursor > 0 && t < g.bounds[g.cursor-1] {
+		g.cursor = sort.Search(len(g.bounds), func(i int) bool { return g.bounds[i] > t })
+		return
 	}
-	return 0
+	for g.cursor < len(g.bounds) && t >= g.bounds[g.cursor] {
+		g.cursor++
+	}
+}
+
+// QPSAt returns the scheduled arrival rate at time t. Lookup is
+// amortized O(1) for non-decreasing t and O(log phases) otherwise.
+func (g *Generator) QPSAt(t float64) float64 {
+	g.seek(t)
+	if g.cursor >= len(g.phases) {
+		return 0
+	}
+	return g.phases[g.cursor].QPS
 }
 
 // Start schedules the arrival process beginning at the current
@@ -539,14 +678,10 @@ func (g *Generator) Start() {
 		t := float64(s.Now()) - start
 		qps := g.QPSAt(t)
 		if qps <= 0 {
-			// Schedule a probe at the next phase boundary, if any.
-			var off float64
-			for _, p := range g.phases {
-				off += p.DurationS
-				if t < off {
-					s.Schedule(sim.Time(start+off), arrive)
-					return
-				}
+			// Schedule a probe at the next phase boundary, if any
+			// (QPSAt left the cursor on the phase containing t).
+			if g.cursor < len(g.bounds) {
+				s.Schedule(sim.Time(start+g.bounds[g.cursor]), arrive)
 			}
 			return
 		}
@@ -568,5 +703,5 @@ func (g *Generator) Start() {
 
 // String implements fmt.Stringer for diagnostics.
 func (v *VM) String() string {
-	return fmt.Sprintf("vm %s (%d vcores, speed %.3f, q=%d run=%d)", v.Name, v.VCores, v.speed, len(v.queue), len(v.running))
+	return fmt.Sprintf("vm %s (%d vcores, speed %.3f, q=%d run=%d)", v.Name, v.VCores, v.speed, v.queue.len(), v.running)
 }

@@ -28,6 +28,14 @@ func Seconds(d time.Duration) Duration { return d.Seconds() }
 
 // Event is a scheduled callback. The callback receives the simulation so
 // it can schedule follow-up events.
+//
+// Recycling contract: once an event has fired (or a cancelled event has
+// been drained from the queue) the kernel recycles the struct through a
+// free-list, and a later Schedule call may hand the same pointer out
+// again for an unrelated event. A holder must therefore drop its
+// reference when the event fires or after cancelling it; calling Cancel
+// through a pointer retained past that moment could cancel whatever
+// event the struct was reused for.
 type Event struct {
 	at   Time
 	seq  uint64
@@ -39,12 +47,19 @@ type Event struct {
 // At reports the virtual time the event is scheduled for.
 func (e *Event) At() Time { return e.at }
 
-// Cancel prevents a pending event from firing. Cancelling an event that
-// already fired (or was already cancelled) is a no-op.
+// Cancel prevents a pending event from firing. The dead event stays in
+// the queue until the run loop drains past it (lazy deletion), at which
+// point the struct is recycled. Cancelling an event that already fired
+// is safe only while the pointer is still current — see the recycling
+// contract on Event.
 func (e *Event) Cancel() { e.dead = true }
 
 // Cancelled reports whether Cancel was called on the event.
 func (e *Event) Cancelled() bool { return e.dead }
+
+// Queued reports whether the event is still in the pending queue
+// (i.e. it has neither fired nor been drained after cancellation).
+func (e *Event) Queued() bool { return e.idx >= 0 }
 
 type eventQueue []*Event
 
@@ -89,6 +104,32 @@ type Simulation struct {
 	// flushers run whenever a RunUntil/RunUntilCtx call returns,
 	// including on cancellation (see OnFlush).
 	flushers []func()
+	// free recycles fired and drained-cancelled Event structs. The
+	// kernel is single-goroutine, so a plain slice stack suffices; its
+	// high-water mark is the peak number of simultaneously queued
+	// events, not the event count of the run.
+	free []*Event
+}
+
+// alloc returns an Event from the free-list, or a fresh one.
+func (s *Simulation) alloc(at Time, fn func(*Simulation)) *Event {
+	if n := len(s.free); n > 0 {
+		e := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		e.at, e.seq, e.fn, e.idx, e.dead = at, s.seq, fn, -1, false
+		return e
+	}
+	return &Event{at: at, seq: s.seq, fn: fn, idx: -1}
+}
+
+// release recycles an event that left the queue. The callback reference
+// is dropped immediately so captured state can be collected; dead is
+// deliberately kept so Cancelled() stays truthful on a drained event
+// until the struct is reused (alloc resets it).
+func (s *Simulation) release(e *Event) {
+	e.fn = nil
+	s.free = append(s.free, e)
 }
 
 // OnFlush registers fn to run every time a RunUntil/RunUntilCtx call
@@ -130,10 +171,38 @@ func (s *Simulation) Schedule(at Time, fn func(*Simulation)) *Event {
 	if at < s.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, s.now))
 	}
-	e := &Event{at: at, seq: s.seq, fn: fn, idx: -1}
+	e := s.alloc(at, fn)
 	s.seq++
 	heap.Push(&s.queue, e)
 	return e
+}
+
+// Reschedule moves a pending event to a new time in place: the queued
+// struct is retimed and sift-fixed at its tracked heap index, with no
+// allocation and no dead tombstone left behind. The event's insertion
+// sequence is bumped exactly as if it had been cancelled and scheduled
+// anew, so tie-breaking against other events at the same timestamp is
+// byte-for-byte identical to the cancel-then-reschedule idiom it
+// replaces. Retiming an event that is not currently queued (it fired,
+// was drained, or belongs to another simulation) or that has been
+// cancelled indicates a logic error in the model and panics.
+func (s *Simulation) Reschedule(e *Event, at Time) {
+	if math.IsNaN(float64(at)) {
+		panic("sim: reschedule at NaN time")
+	}
+	if at < s.now {
+		panic(fmt.Sprintf("sim: reschedule at %v before now %v", at, s.now))
+	}
+	if e.idx < 0 || e.idx >= len(s.queue) || s.queue[e.idx] != e {
+		panic("sim: reschedule of an event that is not queued")
+	}
+	if e.dead {
+		panic("sim: reschedule of a cancelled event")
+	}
+	e.at = at
+	e.seq = s.seq
+	s.seq++
+	heap.Fix(&s.queue, e.idx)
 }
 
 // After queues fn to run d seconds after the current time.
@@ -202,12 +271,14 @@ func (s *Simulation) runUntil(ctx context.Context, end Time) (uint64, error) {
 		}
 		heap.Pop(&s.queue)
 		if next.dead {
+			s.release(next)
 			continue
 		}
 		s.now = next.at
 		s.fired++
 		batch++
 		next.fn(s)
+		s.release(next)
 	}
 	flush()
 	if ctx != nil {
@@ -227,11 +298,13 @@ func (s *Simulation) Step() bool {
 	for len(s.queue) > 0 {
 		e := heap.Pop(&s.queue).(*Event)
 		if e.dead {
+			s.release(e)
 			continue
 		}
 		s.now = e.at
 		s.fired++
 		e.fn(s)
+		s.release(e)
 		return true
 	}
 	return false
@@ -260,16 +333,21 @@ func (s *Simulation) NewTicker(start Time, period Duration, fn func(*Simulation,
 		t.fn(sm, sm.Now())
 		if !t.done {
 			t.ev = sm.After(t.period, tick)
+		} else {
+			// The just-fired event is about to be recycled; drop the
+			// reference so a late Stop cannot cancel its successor.
+			t.ev = nil
 		}
 	}
 	t.ev = s.Schedule(start, tick)
 	return t
 }
 
-// Stop cancels future ticks.
+// Stop cancels future ticks. Safe to call more than once.
 func (t *Ticker) Stop() {
 	t.done = true
 	if t.ev != nil {
 		t.ev.Cancel()
+		t.ev = nil
 	}
 }
