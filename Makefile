@@ -22,22 +22,24 @@ race:
 verify:
 	$(GO) vet ./... && $(GO) build ./... && $(GO) test -race ./...
 
-# Full benchmark sweep (kernel, queueing hot path, and every figure /
-# table regeneration), one iteration each with allocation stats, parsed
-# into BENCH_3.json (benchmark -> ns/op, allocs/op, B/op, custom
-# metrics) with the checked-in pre-change baseline embedded alongside.
+# Full benchmark sweep (kernel, queueing hot path, fleet control loop,
+# and every figure / table regeneration), one iteration each with
+# allocation stats, parsed into BENCH_4.json (benchmark -> ns/op,
+# allocs/op, B/op, custom metrics) with the checked-in pre-change
+# baseline embedded alongside.
 # Takes ~10 minutes: BenchmarkRunnerAll replays the evaluation 4 times.
 bench:
 	$(GO) test -bench=. -benchtime=1x -benchmem -run='^$$' ./... \
-		| $(GO) run ./cmd/benchjson -baseline bench_baseline.json -out BENCH_3.json
-	@cat BENCH_3.json
+		| $(GO) run ./cmd/benchjson -baseline bench_baseline.json -out BENCH_4.json
+	@cat BENCH_4.json
 
-# CI bench smoke: one iteration of the kernel and oversubscription
-# hot-path benchmarks, piped through benchjson so benchmark and tooling
-# rot fail fast.
+# CI bench smoke: one iteration of the kernel, oversubscription and
+# fleet-simulation hot-path benchmarks, piped through benchjson so
+# benchmark and tooling rot fail fast.
 bench-smoke:
-	$(GO) test -bench='BenchmarkKernel|BenchmarkOversubscribed' -benchtime=1x -benchmem -run='^$$' \
-		./internal/sim/ ./internal/queueing/ | $(GO) run ./cmd/benchjson
+	$(GO) test -bench='BenchmarkKernel|BenchmarkOversubscribed|BenchmarkFleetSim$$' \
+		-benchtime=1x -benchmem -run='^$$' \
+		./internal/sim/ ./internal/queueing/ . | $(GO) run ./cmd/benchjson
 
 # Serial-vs-parallel wall clock of the full evaluation.
 bench-runner:

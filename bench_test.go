@@ -428,3 +428,28 @@ func BenchmarkFleetSim(b *testing.B) {
 	}
 	b.ReportMetric(ocHours, "OC-server-hours")
 }
+
+// BenchmarkFleetScale is the production-scale point of the fleet
+// control plane: 1,000 servers across 84 tanks replaying a ~10,000-VM
+// day-long trace under a row feeder budget. It exists to keep the
+// dcsim control step O(changed state) — at this size any per-step
+// full-fleet recompute (demand, row power, hazard rates) dominates the
+// run and shows up here first.
+func BenchmarkFleetScale(b *testing.B) {
+	cfg := dcsim.DefaultConfig()
+	cfg.Servers = 1000
+	cfg.ServersPerTank = 12
+	cfg.FeederBudgetW = 347000
+	cfg.Trace.DurationS = 24 * 3600
+	cfg.Trace.ArrivalRatePerS = 10000.0 / (24 * 3600)
+	cfg.Trace.MeanLifetimeS = 10 * 3600
+	var ocHours float64
+	for i := 0; i < b.N; i++ {
+		rep, err := dcsim.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ocHours = rep.OverclockServerHours
+	}
+	b.ReportMetric(ocHours, "OC-server-hours")
+}

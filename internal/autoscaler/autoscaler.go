@@ -279,14 +279,29 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	gPower := cfg.Tel.Gauge("power_w")
 	gPeakPower := cfg.Tel.Gauge("peak_power_w")
 
+	// The load schedule pins the run's sample counts up front: one
+	// series point per decision period and roughly QPS×duration
+	// latency samples. Sizing the buffers here keeps the million-
+	// sample digests from doubling their way up during the run.
+	var totalS, totalReq float64
+	for _, ph := range cfg.Phases {
+		totalS += ph.DurationS
+		totalReq += ph.QPS * ph.DurationS
+	}
+	nPoints := 0
+	if cfg.DecisionPeriodS > 0 {
+		nPoints = int(totalS/cfg.DecisionPeriodS) + 2
+	}
+	eng.AllLatency.Reserve(int(totalReq) + 1024)
+
 	res := &Result{
 		Policy:   cfg.Policy,
-		Util:     stats.NewSeries("utilization"),
-		FreqFrac: stats.NewSeries("freq-fraction"),
-		FreqGHz:  stats.NewSeries("freq-ghz"),
-		VMs:      stats.NewSeries("vms"),
-		PowerW:   stats.NewSeries("power"),
-		VMPowerW: stats.NewSeries("vm-power"),
+		Util:     stats.NewSeriesCap("utilization", nPoints),
+		FreqFrac: stats.NewSeriesCap("freq-fraction", nPoints),
+		FreqGHz:  stats.NewSeriesCap("freq-ghz", nPoints),
+		VMs:      stats.NewSeriesCap("vms", nPoints),
+		PowerW:   stats.NewSeriesCap("power", nPoints),
+		VMPowerW: stats.NewSeriesCap("vm-power", nPoints),
 	}
 
 	// speedAt converts a core frequency into the engine's execution
@@ -303,6 +318,11 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	addVM := func(now float64) *vmState {
 		vmSeq++
 		v := host.NewVM(fmt.Sprintf("vm%d", vmSeq), cfg.App.Cores, speedAt(curFreq))
+		if cfg.DisableScaleOut {
+			// Fixed fleet: the balancer spreads the load evenly, so
+			// each VM's latency digest can be sized to its share.
+			v.Latency.Reserve(int(totalReq)/cfg.InitialVMs + 1024)
+		}
 		v.Workers = cfg.AppWorkers
 		v.UtilQueueWeight = cfg.AppUtilQueueWeight
 		st := &vmState{

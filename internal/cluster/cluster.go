@@ -40,9 +40,18 @@ type Server struct {
 	// Failed marks servers lost to an infrastructure failure.
 	Failed bool
 
-	vms       map[int]*vm.VM
+	// vms holds the placed VMs sorted by ascending ID. A sorted slice
+	// instead of a map keeps iteration order deterministic without a
+	// per-read sort-and-copy, which is what lets fleet control loops
+	// walk allocations allocation-free.
+	vms       []*vm.VM
 	vcoresUse int
 	memUse    float64
+	// expDemand is the expected concurrent core demand
+	// Σ vcores·AvgUtil over the placed VMs, maintained incrementally
+	// on placement changes so control planes read it as a field
+	// instead of re-summing the allocation list every step.
+	expDemand float64
 }
 
 // VCoresUsed returns allocated vcores.
@@ -57,18 +66,57 @@ func (s *Server) VMs() int { return len(s.vms) }
 // Oversubscribed reports whether allocated vcores exceed pcores.
 func (s *Server) Oversubscribed() bool { return s.vcoresUse > s.Spec.PCores }
 
-// VMsList returns the server's placed VMs in ascending ID order.
+// ExpectedDemand returns the server's expected concurrent core demand
+// (Σ vcores·AvgUtil over its placed VMs). The value is maintained
+// incrementally by Place/Remove/failure/migration paths, so reading it
+// is O(1); drained servers reset it exactly to zero.
+func (s *Server) ExpectedDemand() float64 { return s.expDemand }
+
+// VMsList returns a copy of the server's placed VMs in ascending ID
+// order. Hot loops that only need to walk the allocations should use
+// ForEachVM, which does not allocate.
 func (s *Server) VMsList() []*vm.VM {
-	ids := make([]int, 0, len(s.vms))
-	for id := range s.vms {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	out := make([]*vm.VM, len(ids))
-	for i, id := range ids {
-		out[i] = s.vms[id]
-	}
+	out := make([]*vm.VM, len(s.vms))
+	copy(out, s.vms)
 	return out
+}
+
+// ForEachVM calls f for each placed VM in ascending ID order without
+// allocating. f must not place or remove VMs on this server.
+func (s *Server) ForEachVM(f func(*vm.VM)) {
+	for _, v := range s.vms {
+		f(v)
+	}
+}
+
+// attach inserts v keeping s.vms sorted by ID and updates the
+// incremental resource accounting.
+func (s *Server) attach(v *vm.VM) {
+	i := sort.Search(len(s.vms), func(i int) bool { return s.vms[i].ID >= v.ID })
+	s.vms = append(s.vms, nil)
+	copy(s.vms[i+1:], s.vms[i:])
+	s.vms[i] = v
+	s.vcoresUse += v.Type.VCores
+	s.memUse += v.Type.MemoryGB
+	s.expDemand += float64(v.Type.VCores) * v.AvgUtil
+}
+
+// detach removes v (present by contract) and updates the incremental
+// accounting. A fully drained server resets its expected demand to an
+// exact zero so floating-point residue cannot accumulate across
+// place/remove cycles.
+func (s *Server) detach(v *vm.VM) {
+	i := sort.Search(len(s.vms), func(i int) bool { return s.vms[i].ID >= v.ID })
+	copy(s.vms[i:], s.vms[i+1:])
+	s.vms[len(s.vms)-1] = nil
+	s.vms = s.vms[:len(s.vms)-1]
+	s.vcoresUse -= v.Type.VCores
+	s.memUse -= v.Type.MemoryGB
+	if len(s.vms) == 0 {
+		s.expDemand = 0
+	} else {
+		s.expDemand -= float64(v.Type.VCores) * v.AvgUtil
+	}
 }
 
 // Policy controls placement behaviour.
@@ -99,7 +147,7 @@ func New(spec ServerSpec, policy Policy, n int) *Cluster {
 	c := &Cluster{Spec: spec, Policy: policy, placed: make(map[int]*Server)}
 	reserve := int(float64(n) * policy.BufferFraction)
 	for i := 0; i < n; i++ {
-		s := &Server{ID: i, Spec: spec, vms: make(map[int]*vm.VM)}
+		s := &Server{ID: i, Spec: spec}
 		if i >= n-reserve {
 			s.Reserved = true
 		}
@@ -183,9 +231,7 @@ func (c *Cluster) place(v *vm.VM, useReserved bool) (*Server, error) {
 		c.Rejected++
 		return nil, fmt.Errorf("cluster: no server fits VM %d (%d vcores, %.0f GB)", v.ID, v.Type.VCores, v.Type.MemoryGB)
 	}
-	best.vms[v.ID] = v
-	best.vcoresUse += v.Type.VCores
-	best.memUse += v.Type.MemoryGB
+	best.attach(v)
 	c.placed[v.ID] = best
 	return best, nil
 }
@@ -196,10 +242,8 @@ func (c *Cluster) Remove(v *vm.VM) error {
 	if !ok {
 		return errors.New("cluster: VM not placed")
 	}
-	delete(s.vms, v.ID)
+	s.detach(v)
 	delete(c.placed, v.ID)
-	s.vcoresUse -= v.Type.VCores
-	s.memUse -= v.Type.MemoryGB
 	return nil
 }
 
@@ -268,19 +312,17 @@ func (c *Cluster) FailServers(n int) []*vm.VM {
 	var displaced []*vm.VM
 	for _, s := range candidates[:n] {
 		s.Failed = true
-		ids := make([]int, 0, len(s.vms))
-		for id := range s.vms {
-			ids = append(ids, id)
-		}
-		sort.Ints(ids)
-		for _, id := range ids {
-			v := s.vms[id]
+		for _, v := range s.vms {
 			displaced = append(displaced, v)
-			delete(s.vms, id)
-			delete(c.placed, id)
-			s.vcoresUse -= v.Type.VCores
-			s.memUse -= v.Type.MemoryGB
+			delete(c.placed, v.ID)
 		}
+		for i := range s.vms {
+			s.vms[i] = nil
+		}
+		s.vms = s.vms[:0]
+		s.vcoresUse = 0
+		s.memUse = 0
+		s.expDemand = 0
 	}
 	return displaced
 }
@@ -401,12 +443,8 @@ func (c *Cluster) ApplyMigrations(plan []Migration) int {
 			m.To.memUse+m.VM.Type.MemoryGB > m.To.Spec.MemoryGB {
 			continue
 		}
-		delete(m.From.vms, m.VM.ID)
-		m.From.vcoresUse -= m.VM.Type.VCores
-		m.From.memUse -= m.VM.Type.MemoryGB
-		m.To.vms[m.VM.ID] = m.VM
-		m.To.vcoresUse += m.VM.Type.VCores
-		m.To.memUse += m.VM.Type.MemoryGB
+		m.From.detach(m.VM)
+		m.To.attach(m.VM)
 		c.placed[m.VM.ID] = m.To
 		done++
 	}
@@ -424,10 +462,7 @@ func (c *Cluster) InterferenceRisk() int {
 		if s.Failed || !s.Oversubscribed() {
 			continue
 		}
-		var demand float64
-		for _, v := range s.vms {
-			demand += float64(v.Type.VCores) * v.AvgUtil
-		}
+		demand := s.ExpectedDemand()
 		capacity := float64(s.Spec.PCores)
 		if s.Spec.Overclockable {
 			capacity *= s.Spec.OCSpeedup

@@ -10,6 +10,14 @@
 // operator would run before turning the paper's techniques on in
 // production: the same models that reproduce the paper's tables, now
 // interacting.
+//
+// The control loop is engineered to cost O(changed state) per step
+// rather than O(fleet size × placed VMs): per-server expected demand
+// is maintained incrementally by the cluster, per-server power is
+// cached and folded into a running row-power sum by deltas, hazard
+// rates come from a fleet-shared quantized cache, and all per-step
+// scratch lives in a reusable step context. See DESIGN.md ("Fleet
+// control-plane performance") for the invariants.
 package dcsim
 
 import (
@@ -113,12 +121,109 @@ type Report struct {
 	InterferenceAtRisk int
 }
 
+// Per-server heat-model constants: idle floor and the demand-scaled
+// span up to the nominal/overclocked envelope.
+const (
+	idleHeatW      = 200.0
+	nominalHeatW   = 658.0
+	overclockHeatW = 858.0
+	nominalTjRiseC = 16.0
+	ocTjRiseC      = 24.0
+)
+
 type serverState struct {
 	srv   *cluster.Server
 	tank  int
 	oc    bool
 	wear  *reliability.WearMeter
 	hours float64
+
+	// Loop invariants, hoisted so the hot path reads fields instead
+	// of re-deriving them every step.
+	pcores    float64 // float64(srv.Spec.PCores)
+	ocCap     float64 // pcores × OCSpeedup (interference-at-risk bound)
+	thrDemand float64 // OverclockThreshold × pcores (overclock request bound)
+
+	// Power cache. powerNomW/powerOCW hold the blade's power at the
+	// nominal (B2) and overclocked (OC1) configurations for the
+	// demand/vcores pair they were computed at; they are refreshed
+	// only when the cluster's incremental state for this server
+	// changes, and the row-power running sum is updated by the delta.
+	lastDemand float64
+	lastVCores int
+	powerNomW  float64
+	powerOCW   float64
+}
+
+// current returns the cached power at the server's current clock.
+func (st *serverState) current() float64 {
+	if st.oc {
+		return st.powerOCW
+	}
+	return st.powerNomW
+}
+
+// ocReq is one server's overclock request for the step, keyed by how
+// pressured it is (expected demand per pcore).
+type ocReq struct {
+	st   *serverState
+	need float64
+}
+
+// ocSorter orders requests most-pressured first (ties by server ID).
+// It is a pointer receiver so the one interface conversion in the run
+// happens once, not per step.
+type ocSorter struct{ reqs []ocReq }
+
+func (s *ocSorter) Len() int      { return len(s.reqs) }
+func (s *ocSorter) Swap(i, j int) { s.reqs[i], s.reqs[j] = s.reqs[j], s.reqs[i] }
+func (s *ocSorter) Less(i, j int) bool {
+	if s.reqs[i].need != s.reqs[j].need {
+		return s.reqs[i].need > s.reqs[j].need
+	}
+	return s.reqs[i].st.srv.ID < s.reqs[j].st.srv.ID
+}
+
+// stepContext holds every piece of per-step scratch the control loop
+// needs, allocated once per run and reused across steps, plus the
+// incrementally maintained row-power sum.
+type stepContext struct {
+	sorter     ocSorter  // overclock requests + reusable sort adapter
+	heat       []float64 // per-tank heat input, reset each step
+	ocPerTank  []int     // per-tank granted overclocks, reset each step
+	tankBudget []int     // per-tank condenser budgets (loop-invariant)
+	// rowPowerW is Σ current per-server power, updated by deltas when
+	// a server's demand/allocation changes or its clock toggles.
+	rowPowerW float64
+}
+
+// refreshPower re-derives the cached nominal/overclocked power for a
+// server whose cluster state changed and folds the delta into the
+// row-power running sum.
+func (sc *stepContext) refreshPower(st *serverState) {
+	d, vc := st.srv.ExpectedDemand(), st.srv.VCoresUsed()
+	if d == st.lastDemand && vc == st.lastVCores {
+		return
+	}
+	old := st.current()
+	st.lastDemand, st.lastVCores = d, vc
+	st.powerNomW = BladeServer.Power(freq.B2, d, vc)
+	st.powerOCW = BladeServer.Power(freq.OC1, d, vc)
+	sc.rowPowerW += st.current() - old
+}
+
+// setOC toggles a server's clock and folds the power delta into the
+// row sum.
+func (sc *stepContext) setOC(st *serverState, oc bool) {
+	if st.oc == oc {
+		return
+	}
+	st.oc = oc
+	if oc {
+		sc.rowPowerW += st.powerOCW - st.powerNomW
+	} else {
+		sc.rowPowerW += st.powerNomW - st.powerOCW
+	}
 }
 
 // Run executes the fleet simulation.
@@ -151,21 +256,32 @@ func RunCtx(ctx context.Context, cfg Config) (*Report, error) {
 		}
 	}
 
+	// The fleet shares one quantized hazard cache: within a step all
+	// servers of a tank accrue wear at one of two conditions (nominal
+	// or overclocked at the tank's bath), so the Arrhenius and
+	// Coffin–Manson evaluations amortize across the row.
+	hazards := reliability.NewHazardCache(reliability.Composite5nm)
 	states := make([]*serverState, cfg.Servers)
 	for i, s := range cl.Servers() {
+		w := reliability.NewWearMeter(reliability.Composite5nm, reliability.ServiceLifeYears)
+		w.SetHazardCache(hazards)
 		states[i] = &serverState{
-			srv:  s,
-			tank: i / cfg.ServersPerTank,
-			wear: reliability.NewWearMeter(reliability.Composite5nm, reliability.ServiceLifeYears),
+			srv:       s,
+			tank:      i / cfg.ServersPerTank,
+			wear:      w,
+			pcores:    float64(s.Spec.PCores),
+			ocCap:     float64(s.Spec.PCores) * s.Spec.OCSpeedup,
+			thrDemand: cfg.OverclockThreshold * float64(s.Spec.PCores),
 		}
 	}
 
 	events := vm.Events(vm.Generate(cfg.Trace))
+	nSteps := int(math.Ceil(cfg.Trace.DurationS/cfg.StepS)) + 1
 	rep := &Report{
-		PowerW:      stats.NewSeries("row-power"),
-		BathC:       stats.NewSeries("max-bath"),
-		Overclocked: stats.NewSeries("overclocked"),
-		Density:     stats.NewSeries("density"),
+		PowerW:      stats.NewSeriesCap("row-power", nSteps),
+		BathC:       stats.NewSeriesCap("max-bath", nSteps),
+		Overclocked: stats.NewSeriesCap("overclocked", nSteps),
+		Density:     stats.NewSeriesCap("density", nSteps),
 	}
 
 	// Telemetry handles (nil no-ops when cfg.Tel is nil).
@@ -181,13 +297,26 @@ func RunCtx(ctx context.Context, cfg Config) (*Report, error) {
 	gPeakTj := cfg.Tel.Gauge("peak_tj_c")
 	gOverclocked := cfg.Tel.Gauge("overclocked")
 
-	// serverDemand returns expected concurrent core demand.
-	serverDemand := func(s *cluster.Server) float64 {
-		var d float64
-		for _, v := range s.VMsList() {
-			d += float64(v.Type.VCores) * v.AvgUtil
+	// Step context: per-step scratch allocated once, the per-tank
+	// condenser budgets computed once (they depend only on tank
+	// geometry, not tank state), and the row-power running sum seeded
+	// from the idle fleet.
+	sc := &stepContext{
+		heat:       make([]float64, nTanks),
+		ocPerTank:  make([]int, nTanks),
+		tankBudget: make([]int, nTanks),
+	}
+	for i, tk := range tanks {
+		n := cfg.ServersPerTank
+		if rem := cfg.Servers - i*cfg.ServersPerTank; rem < n {
+			n = rem
 		}
-		return d
+		sc.tankBudget[i] = tk.OverclockBudget(n, nominalHeatW, overclockHeatW)
+	}
+	for _, st := range states {
+		st.powerNomW = BladeServer.Power(freq.B2, 0, 0)
+		st.powerOCW = BladeServer.Power(freq.OC1, 0, 0)
+		sc.rowPowerW += st.powerNomW
 	}
 
 	ei := 0
@@ -198,7 +327,9 @@ func RunCtx(ctx context.Context, cfg Config) (*Report, error) {
 			return nil, err
 		}
 		mSteps.Inc()
-		// Replay trace events due this step.
+		// Replay trace events due this step. The cluster maintains
+		// per-server expected demand incrementally, so the step's cost
+		// below tracks the number of servers these events touched.
 		for ei < len(events) && events[ei].TimeS <= t {
 			ev := events[ei]
 			ei++
@@ -214,69 +345,48 @@ func RunCtx(ctx context.Context, cfg Config) (*Report, error) {
 
 		// Overclock decisions: servers whose expected demand exceeds
 		// the threshold request an overclock; others run nominal.
-		type ocReq struct {
-			st   *serverState
-			need float64
-		}
-		var requests []ocReq
+		// Power caches refresh only for servers whose allocations
+		// changed since the last step.
+		sc.sorter.reqs = sc.sorter.reqs[:0]
 		for _, st := range states {
-			st.oc = false
-			d := serverDemand(st.srv)
-			pc := float64(st.srv.Spec.PCores)
-			if d > cfg.OverclockThreshold*pc {
-				requests = append(requests, ocReq{st: st, need: d / pc})
+			sc.refreshPower(st)
+			sc.setOC(st, false)
+			d := st.lastDemand
+			if d > st.thrDemand {
+				sc.sorter.reqs = append(sc.sorter.reqs, ocReq{st: st, need: d / st.pcores})
 			}
-			if d > pc*st.srv.Spec.OCSpeedup {
+			if d > st.ocCap {
 				rep.InterferenceAtRisk++
 			}
 		}
 		// Most-pressured servers get their overclock first.
-		sort.Slice(requests, func(i, j int) bool {
-			if requests[i].need != requests[j].need {
-				return requests[i].need > requests[j].need
-			}
-			return requests[i].st.srv.ID < requests[j].st.srv.ID
-		})
+		sort.Sort(&sc.sorter)
 
 		// Tank admission: each tank honours its condenser budget.
-		ocPerTank := make([]int, nTanks)
-		tankBudget := make([]int, nTanks)
-		for i, tk := range tanks {
-			n := cfg.ServersPerTank
-			if rem := cfg.Servers - i*cfg.ServersPerTank; rem < n {
-				n = rem
-			}
-			tankBudget[i] = tk.OverclockBudget(n, 658, 858)
+		for i := range sc.ocPerTank {
+			sc.ocPerTank[i] = 0
 		}
 		granted := 0
-		for _, r := range requests {
-			if ocPerTank[r.st.tank] < tankBudget[r.st.tank] {
-				r.st.oc = true
-				ocPerTank[r.st.tank]++
+		for _, r := range sc.sorter.reqs {
+			if sc.ocPerTank[r.st.tank] < sc.tankBudget[r.st.tank] {
+				sc.setOC(r.st, true)
+				sc.ocPerTank[r.st.tank]++
 				granted++
 			}
 		}
 
 		// Feeder budget: cancel the least-pressured overclocks until
 		// the row fits (priority capping at the granularity of whole
-		// overclock grants).
-		rowPower := func() float64 {
-			var p float64
-			for _, st := range states {
-				cfgF := freq.B2
-				if st.oc {
-					cfgF = freq.OC1
-				}
-				p += BladeServer.Power(cfgF, serverDemand(st.srv), st.srv.VCoresUsed())
-			}
-			return p
-		}
-		if cfg.FeederBudgetW > 0 && rowPower() > cfg.FeederBudgetW {
+		// overclock grants). The running row-power sum makes this loop
+		// O(cancellations) instead of a full fleet recompute per
+		// iteration.
+		if cfg.FeederBudgetW > 0 && sc.rowPowerW > cfg.FeederBudgetW {
 			rep.CapEvents++
 			mCapEvents.Inc()
-			for i := len(requests) - 1; i >= 0 && rowPower() > cfg.FeederBudgetW; i-- {
-				if requests[i].st.oc {
-					requests[i].st.oc = false
+			reqs := sc.sorter.reqs
+			for i := len(reqs) - 1; i >= 0 && sc.rowPowerW > cfg.FeederBudgetW; i-- {
+				if reqs[i].st.oc {
+					sc.setOC(reqs[i].st, false)
 					granted--
 					rep.CancelledOverclocks++
 					mCancelledOC.Inc()
@@ -284,20 +394,22 @@ func RunCtx(ctx context.Context, cfg Config) (*Report, error) {
 			}
 		}
 
-		// Thermals: integrate each tank's heat.
-		heat := make([]float64, nTanks)
+		// Thermals: integrate each tank's heat. Idle servers scale
+		// down — power follows demand.
+		for i := range sc.heat {
+			sc.heat[i] = 0
+		}
 		for _, st := range states {
-			w := 658.0
+			w := nominalHeatW
 			if st.oc {
-				w = 858.0
+				w = overclockHeatW
 			}
-			// Scale idle servers down: power follows demand.
-			util := math.Min(1, serverDemand(st.srv)/float64(st.srv.Spec.PCores))
-			heat[st.tank] += 200 + (w-200)*util
+			util := math.Min(1, st.lastDemand/st.pcores)
+			sc.heat[st.tank] += idleHeatW + (w-idleHeatW)*util
 		}
 		maxBath := 0.0
 		for i, tk := range tanks {
-			b := tk.Step(cfg.StepS, heat[i])
+			b := tk.Step(cfg.StepS, sc.heat[i])
 			if b > maxBath {
 				maxBath = b
 			}
@@ -306,15 +418,16 @@ func RunCtx(ctx context.Context, cfg Config) (*Report, error) {
 			rep.MaxBathC = maxBath
 		}
 
-		// Wear accrual.
+		// Wear accrual: two conditions per tank (nominal/overclocked
+		// at the tank's bath), served by the shared hazard cache.
 		hours := cfg.StepS / 3600
 		for _, st := range states {
 			bath := tanks[st.tank].BathC()
-			cond := reliability.Condition{VoltageV: power.NominalVoltage, TjMaxC: bath + 16, TjMinC: bath}
+			cond := reliability.Condition{VoltageV: power.NominalVoltage, TjMaxC: bath + nominalTjRiseC, TjMinC: bath}
 			if st.oc {
-				cond = reliability.Condition{VoltageV: power.OverclockedVoltage, TjMaxC: bath + 24, TjMinC: bath}
+				cond = reliability.Condition{VoltageV: power.OverclockedVoltage, TjMaxC: bath + ocTjRiseC, TjMinC: bath}
 			}
-			util := math.Min(1, serverDemand(st.srv)/float64(st.srv.Spec.PCores))
+			util := math.Min(1, st.lastDemand/st.pcores)
 			st.wear.Accrue(cond, hours, util)
 			st.hours += hours
 		}
@@ -328,7 +441,7 @@ func RunCtx(ctx context.Context, cfg Config) (*Report, error) {
 			rep.PeakOverclocked = granted
 		}
 		rep.OverclockServerHours += float64(granted) * hours
-		p := rowPower()
+		p := sc.rowPowerW
 		rep.PowerW.Add(t, p)
 		rep.BathC.Add(t, maxBath)
 		rep.Overclocked.Add(t, float64(granted))
@@ -339,9 +452,9 @@ func RunCtx(ctx context.Context, cfg Config) (*Report, error) {
 		gPeakBath.SetMax(maxBath)
 		// Junction temperature rides the bath: +24 °C for overclocked
 		// silicon, +16 °C nominal (the wear model's conditions).
-		tj := maxBath + 16
+		tj := maxBath + nominalTjRiseC
 		if granted > 0 {
-			tj = maxBath + 24
+			tj = maxBath + ocTjRiseC
 		}
 		gTj.Set(tj)
 		gPeakTj.SetMax(tj)

@@ -1,0 +1,151 @@
+package dcsim
+
+// Tests pinning the O(changed state) control loop to the behaviour of
+// the original recompute-everything implementation: golden reports
+// captured from the pre-optimization tip, and a randomized equivalence
+// check of the incremental row-power sum against a naive fleet sweep.
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"immersionoc/internal/cluster"
+	"immersionoc/internal/freq"
+	"immersionoc/internal/rng"
+	"immersionoc/internal/vm"
+)
+
+// Golden report strings captured from the pre-optimization
+// implementation (full per-step recompute). The incremental control
+// loop must reproduce them verbatim — including the capped scenario,
+// whose 117 cap events / 1910 cancellations exercise the delta-updated
+// feeder path against thresholds the old code evaluated with fresh
+// fleet sums.
+func TestGoldenReports(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  func() Config
+		want string
+	}{
+		{
+			name: "small",
+			cfg:  smallConfig,
+			want: "peak density 0.441, rejected 0, peak OC 8, OC server-hours 45.2, max bath 50.0°C, cap events 0 (0 cancelled), wear rate 0.11× schedule",
+		},
+		{
+			name: "capped",
+			cfg: func() Config {
+				cfg := DefaultConfig()
+				cfg.Trace.DurationS = 12 * 3600
+				cfg.Trace.ArrivalRatePerS = 0.05
+				cfg.Trace.MeanLifetimeS = 20 * 3600
+				cfg.FeederBudgetW = 11200
+				return cfg
+			},
+			want: "peak density 1.250, rejected 933, peak OC 16, OC server-hours 49.7, max bath 50.0°C, cap events 117 (1910 cancelled), wear rate 0.26× schedule",
+		},
+		{
+			name: "bench",
+			cfg: func() Config {
+				cfg := DefaultConfig()
+				cfg.Trace.DurationS = 24 * 3600
+				return cfg
+			},
+			want: "peak density 0.470, rejected 0, peak OC 9, OC server-hours 115.0, max bath 50.0°C, cap events 0 (0 cancelled), wear rate 0.14× schedule",
+		},
+		{
+			name: "scale",
+			cfg: func() Config {
+				cfg := DefaultConfig()
+				cfg.Servers = 1000
+				cfg.ServersPerTank = 12
+				cfg.FeederBudgetW = 347000
+				cfg.Trace.DurationS = 24 * 3600
+				cfg.Trace.ArrivalRatePerS = 10000.0 / (24 * 3600)
+				cfg.Trace.MeanLifetimeS = 10 * 3600
+				return cfg
+			},
+			want: "peak density 0.204, rejected 0, peak OC 84, OC server-hours 1375.3, max bath 50.0°C, cap events 0 (0 cancelled), wear rate 0.06× schedule",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep, err := Run(tc.cfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := rep.String(); got != tc.want {
+				t.Errorf("report drifted from pre-optimization golden\n got: %s\nwant: %s", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestRowPowerIncrementalMatchesRecompute drives the step context's
+// delta-maintained row-power sum through randomized place / remove /
+// overclock-toggle sequences and checks it against a naive full-fleet
+// recompute after every operation.
+func TestRowPowerIncrementalMatchesRecompute(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		cl := cluster.New(cluster.TwoSocketBlade, cluster.Policy{CPUOversubRatio: 0.5}, 8)
+		servers := cl.Servers()
+		states := make([]*serverState, len(servers))
+		sc := &stepContext{}
+		for i, s := range servers {
+			states[i] = &serverState{srv: s, pcores: float64(s.Spec.PCores)}
+			states[i].powerNomW = BladeServer.Power(freq.B2, 0, 0)
+			states[i].powerOCW = BladeServer.Power(freq.OC1, 0, 0)
+			sc.rowPowerW += states[i].powerNomW
+		}
+		var placed []*vm.VM
+		nextID := 1
+		for op := 0; op < 200; op++ {
+			switch r.Intn(3) {
+			case 0: // place
+				v := &vm.VM{
+					ID:      nextID,
+					Type:    vm.Type{Name: "q", VCores: 1 + r.Intn(8), MemoryGB: 4},
+					AvgUtil: 0.05 + 0.9*r.Float64(),
+				}
+				nextID++
+				if _, err := cl.Place(v); err == nil {
+					placed = append(placed, v)
+				}
+			case 1: // remove
+				if len(placed) > 0 {
+					i := r.Intn(len(placed))
+					if err := cl.Remove(placed[i]); err != nil {
+						return false
+					}
+					placed[i] = placed[len(placed)-1]
+					placed = placed[:len(placed)-1]
+				}
+			case 2: // overclock toggle
+				st := states[r.Intn(len(states))]
+				sc.refreshPower(st)
+				sc.setOC(st, !st.oc)
+			}
+			for _, st := range states {
+				sc.refreshPower(st)
+			}
+			var naive float64
+			for _, st := range states {
+				cfgF := freq.B2
+				if st.oc {
+					cfgF = freq.OC1
+				}
+				naive += BladeServer.Power(cfgF, st.srv.ExpectedDemand(), st.srv.VCoresUsed())
+			}
+			if math.Abs(sc.rowPowerW-naive) > 1e-6*math.Max(1, math.Abs(naive)) {
+				t.Logf("seed %d op %d: incremental %v vs naive %v", seed, op, sc.rowPowerW, naive)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

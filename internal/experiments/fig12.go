@@ -160,10 +160,18 @@ func runOversub(ctx context.Context, p Fig12Params, cfg freq.Config, pcores int)
 	host := eng.NewHost(pcores)
 	service := queueing.LogNormalService(p.ServiceMeanS, p.ServiceCV)
 
+	// Sample counts are known up front: ~AvgQPS×duration requests per
+	// VM (bursts redistribute arrivals, they don't change the mean)
+	// and one power sample per second. Reserving here keeps the
+	// latency digests from growing by doubling mid-run.
+	perVM := int(p.Load.AvgQPS*p.DurationS) + 1024
+	eng.AllLatency.Reserve(perVM * p.VMs)
+
 	burst := p.Load.Schedule(p.Seed*977, p.DurationS)
 	vms := make([]*queueing.VM, p.VMs)
 	for i := range vms {
 		vms[i] = host.NewVM(fmt.Sprintf("sql%d", i), app.Cores, speed)
+		vms[i].Latency.Reserve(perVM)
 		sched := burst
 		if p.IndependentBursts {
 			sched = p.Load.Schedule(p.Seed*977+uint64(i)*7919, p.DurationS)
@@ -172,6 +180,7 @@ func runOversub(ctx context.Context, p Fig12Params, cfg freq.Config, pcores int)
 	}
 
 	powerDig := stats.NewDigest()
+	powerDig.Reserve(int(p.DurationS) + 2)
 	warmupDone := false
 	eng.Sim.NewTicker(1, 1, func(s *sim.Simulation, t sim.Time) {
 		now := float64(t)

@@ -1,0 +1,109 @@
+package reliability
+
+// Accuracy contract of the quantized hazard cache: exact on grid
+// nodes, within 1e-9 relative error between them, and wear accounting
+// through a cached meter indistinguishable (at that tolerance) from
+// the exact-model path.
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// exactRates mirrors the split the cache serves: utilization-scaled
+// hazard (oxide + electromigration) and cycling hazard.
+func exactRates(m LifetimeModel, c Condition) (float64, float64) {
+	return m.OxideHazardRate(c) + m.EMHazardRate(c), m.CyclingHazardRate(c)
+}
+
+func TestHazardCacheExactOnGridNodes(t *testing.T) {
+	m := Composite5nm
+	hc := NewHazardCache(m)
+	// Any TjMax/TjMin that is an integer multiple of the grid step
+	// (1/8192 °C — in particular every value with a short binary
+	// fraction, like 41.25) must be served exactly, bit for bit.
+	for _, c := range []Condition{
+		{VoltageV: 0.90, TjMaxC: 66, TjMinC: 50},
+		{VoltageV: 1.05, TjMaxC: 74, TjMinC: 50},
+		{VoltageV: 0.95, TjMaxC: 85.5, TjMinC: 41.25},
+		{VoltageV: 1.00, TjMaxC: 90 + 3.0/8192, TjMinC: 50 + 1.0/8192},
+	} {
+		us, cyc := hc.Rates(c)
+		wantUS, wantCyc := exactRates(m, c)
+		if us != wantUS || cyc != wantCyc {
+			t.Errorf("condition %+v: cache (%v, %v) != exact (%v, %v)", c, us, cyc, wantUS, wantCyc)
+		}
+	}
+}
+
+func TestHazardCacheToleranceWithinBucket(t *testing.T) {
+	m := Composite5nm
+	hc := NewHazardCache(m)
+	f := func(seed int64) bool {
+		// Spread arbitrary conditions across the operating range,
+		// deliberately off-grid.
+		u := math.Abs(math.Sin(float64(seed)))
+		v := 0.80 + 0.30*u
+		tjMax := 35 + 75*math.Abs(math.Sin(float64(seed)*1.7))
+		dt := 4 + 60*math.Abs(math.Sin(float64(seed)*2.3))
+		c := Condition{VoltageV: v, TjMaxC: tjMax, TjMinC: tjMax - dt}
+		us, cyc := hc.Rates(c)
+		wantUS, wantCyc := exactRates(m, c)
+		if relErr(us, wantUS) > 1e-9 {
+			t.Logf("util-scaled hazard at %+v: rel err %v", c, relErr(us, wantUS))
+			return false
+		}
+		if relErr(cyc, wantCyc) > 1e-9 {
+			t.Logf("cycling hazard at %+v: rel err %v", c, relErr(cyc, wantCyc))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWearMeterCachedMatchesExact(t *testing.T) {
+	m := Composite5nm
+	cached := NewWearMeter(m, ServiceLifeYears)
+	cached.SetHazardCache(NewHazardCache(m))
+	exact := NewWearMeter(m, ServiceLifeYears)
+	conds := []Condition{
+		{VoltageV: 0.90, TjMaxC: 66.113, TjMinC: 50.004},
+		{VoltageV: 1.05, TjMaxC: 74.77, TjMinC: 50.004},
+		{VoltageV: 0.90, TjMaxC: 60.25, TjMinC: 48},
+	}
+	for i := 0; i < 3000; i++ {
+		c := conds[i%len(conds)]
+		u := float64(i%11) / 10
+		cached.Accrue(c, 1.0/12, u)
+		exact.Accrue(c, 1.0/12, u)
+	}
+	if relErr(cached.Used(), exact.Used()) > 1e-9 {
+		t.Fatalf("cached wear %v vs exact %v (rel err %v)", cached.Used(), exact.Used(), relErr(cached.Used(), exact.Used()))
+	}
+	if cached.Hours() != exact.Hours() {
+		t.Fatalf("hours diverged: %v vs %v", cached.Hours(), exact.Hours())
+	}
+}
+
+func TestSetHazardCacheRejectsForeignModel(t *testing.T) {
+	other := Composite5nm
+	other.OxideHazard *= 2
+	w := NewWearMeter(Composite5nm, ServiceLifeYears)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("attaching a cache built for a different model should panic")
+		}
+	}()
+	w.SetHazardCache(NewHazardCache(other))
+}

@@ -206,6 +206,128 @@ func (m LifetimeModel) MaxVoltageForLifetime(targetYears, lo, hi, tjMaxC, tjMinC
 	return lo, nil
 }
 
+// DefaultHazardGridC is the HazardCache quantization step in °C. At
+// 1/8192 °C the linear interpolation between grid nodes is within
+// 1e-9 relative error of the exact hazard throughout the operating
+// range (the steepest log-derivative of the cached curves is the
+// electromigration Arrhenius term, ~0.08 / °C, and the Coffin–Manson
+// curvature at small ΔTj), and exact on the nodes themselves.
+const DefaultHazardGridC = 1.0 / 8192
+
+// hazardNode keys the utilization-scaled hazard grid: supply voltage
+// plus the quantized TjMax grid index.
+type hazardNode struct {
+	v float64
+	i int64
+}
+
+// hazardMemo is one entry of the cache's exact-condition fast path.
+type hazardMemo struct {
+	cond        Condition
+	ok          bool
+	util, cycle float64
+}
+
+// HazardCache memoizes a LifetimeModel's hazard rates on a quantized
+// temperature grid so fleet-scale wear accounting amortizes the
+// Arrhenius / Coffin–Manson exponentials across components sharing
+// operating conditions. Two curves are cached independently: the
+// utilization-scaled hazard (gate oxide + electromigration, a function
+// of voltage and TjMax) and the cycling hazard (a function of ΔTj
+// alone). Queries linearly interpolate between adjacent grid nodes —
+// exact when the temperature lands on a node, within ~1e-9 relative
+// error elsewhere — and a two-entry exact-condition memo in front of
+// the grid makes repeated fleet sweeps over a handful of distinct
+// conditions (per-tank bath × nominal/overclocked) nearly free.
+//
+// A HazardCache is not safe for concurrent use.
+type HazardCache struct {
+	model   LifetimeModel
+	invStep float64
+	util    map[hazardNode]float64
+	cycle   map[int64]float64
+	memo    [2]hazardMemo
+}
+
+// NewHazardCache returns a cache over m with the default grid step.
+func NewHazardCache(m LifetimeModel) *HazardCache {
+	return &HazardCache{
+		model:   m,
+		invStep: 1 / DefaultHazardGridC,
+		util:    make(map[hazardNode]float64),
+		cycle:   make(map[int64]float64),
+	}
+}
+
+// maxHazardEntries bounds the node maps; a sweep over wildly varying
+// conditions resets them rather than growing without limit.
+const maxHazardEntries = 1 << 20
+
+// utilNode returns the utilization-scaled hazard at grid node i for
+// voltage v, computing and caching it on first use.
+func (hc *HazardCache) utilNode(v float64, i int64) float64 {
+	key := hazardNode{v: v, i: i}
+	if h, ok := hc.util[key]; ok {
+		return h
+	}
+	c := Condition{VoltageV: v, TjMaxC: float64(i) / hc.invStep}
+	h := hc.model.OxideHazardRate(c) + hc.model.EMHazardRate(c)
+	if len(hc.util) >= maxHazardEntries {
+		hc.util = make(map[hazardNode]float64)
+	}
+	hc.util[key] = h
+	return h
+}
+
+// cycleNode returns the cycling hazard at ΔTj grid node i.
+func (hc *HazardCache) cycleNode(i int64) float64 {
+	if h, ok := hc.cycle[i]; ok {
+		return h
+	}
+	dt := float64(i) / hc.invStep
+	h := hc.model.CyclingHazard * math.Pow(dt/hc.model.RefDeltaTC, hc.model.CyclingExp)
+	if len(hc.cycle) >= maxHazardEntries {
+		hc.cycle = make(map[int64]float64)
+	}
+	hc.cycle[i] = h
+	return h
+}
+
+// lerp interpolates a grid curve at scaled coordinate t (already
+// multiplied by invStep), using node lookups from f. Node-exact when t
+// is integral.
+func lerp(t float64, f func(int64) float64) float64 {
+	i := int64(math.Floor(t))
+	lo := f(i)
+	frac := t - float64(i)
+	if frac == 0 {
+		return lo
+	}
+	return lo + frac*(f(i+1)-lo)
+}
+
+// Rates returns the condition's utilization-scaled hazard (oxide +
+// electromigration) and cycling hazard in 1/years, interpolated on the
+// quantized grid.
+func (hc *HazardCache) Rates(c Condition) (utilScaled, cycling float64) {
+	if c == hc.memo[0].cond && hc.memo[0].ok {
+		return hc.memo[0].util, hc.memo[0].cycle
+	}
+	if c == hc.memo[1].cond && hc.memo[1].ok {
+		hc.memo[0], hc.memo[1] = hc.memo[1], hc.memo[0]
+		return hc.memo[0].util, hc.memo[0].cycle
+	}
+	utilScaled = lerp(c.TjMaxC*hc.invStep, func(i int64) float64 {
+		return hc.utilNode(c.VoltageV, i)
+	})
+	if dt := c.DeltaT(); dt > 0 {
+		cycling = lerp(dt*hc.invStep, hc.cycleNode)
+	}
+	hc.memo[1] = hc.memo[0]
+	hc.memo[0] = hazardMemo{cond: c, ok: true, util: utilScaled, cycle: cycling}
+	return utilScaled, cycling
+}
+
 // WearMeter tracks accumulated wear of one component against its
 // lifetime budget. Wear accrues as hazard × time; a component that has
 // run cooler or at lower utilization than worst-case accumulates
@@ -215,6 +337,9 @@ type WearMeter struct {
 	budget float64 // hazard-years allowed over the service life
 	wear   float64 // hazard-years accumulated
 	hours  float64 // wall hours accumulated
+	// cache, when set, supplies quantized hazard rates shared across a
+	// fleet of meters (see HazardCache).
+	cache *HazardCache
 }
 
 // NewWearMeter returns a meter budgeted for serviceYears at the
@@ -227,16 +352,34 @@ func NewWearMeter(m LifetimeModel, serviceYears float64) *WearMeter {
 	}
 }
 
+// SetHazardCache attaches a shared quantized hazard cache (nil
+// detaches; Accrue then evaluates the model exactly). The cache must
+// have been built over this meter's lifetime model.
+func (w *WearMeter) SetHazardCache(hc *HazardCache) {
+	if hc != nil && hc.model != w.model {
+		panic("reliability: hazard cache built for a different lifetime model")
+	}
+	w.cache = hc
+}
+
 // Accrue records hours of operation at condition c scaled by
 // utilization (idle time wears mostly through cycling; we scale the
 // voltage/temperature processes by utilization and keep cycling whole).
+// With a hazard cache attached the rates come from the quantized grid
+// (≤ ~1e-9 relative error); otherwise they are evaluated exactly.
 func (w *WearMeter) Accrue(c Condition, hours, utilization float64) {
 	if hours < 0 {
 		panic("reliability: negative hours")
 	}
 	u := math.Max(0, math.Min(1, utilization))
 	years := hours / (24 * 365)
-	h := (w.model.OxideHazardRate(c)+w.model.EMHazardRate(c))*u + w.model.CyclingHazardRate(c)
+	var h float64
+	if w.cache != nil {
+		us, cyc := w.cache.Rates(c)
+		h = us*u + cyc
+	} else {
+		h = (w.model.OxideHazardRate(c)+w.model.EMHazardRate(c))*u + w.model.CyclingHazardRate(c)
+	}
 	w.wear += h * years
 	w.hours += hours
 }

@@ -24,6 +24,19 @@ type Digest struct {
 // NewDigest returns an empty digest.
 func NewDigest() *Digest { return &Digest{} }
 
+// Reserve grows the digest's sample buffer to hold at least n samples
+// without further reallocation. Harnesses that replay the same
+// simulation several times (replications, ablation arms) call it with
+// the expected request count so the million-sample latency buffers are
+// sized once instead of doubling their way up every run.
+func (d *Digest) Reserve(n int) {
+	if n > cap(d.samples) {
+		buf := make([]float64, len(d.samples), n)
+		copy(buf, d.samples)
+		d.samples = buf
+	}
+}
+
 // Add records one sample.
 func (d *Digest) Add(v float64) {
 	d.samples = append(d.samples, v)
@@ -222,6 +235,21 @@ type Series struct {
 
 // NewSeries returns an empty named series.
 func NewSeries(name string) *Series { return &Series{Name: name} }
+
+// NewSeriesCap returns an empty named series with room for n points,
+// for recorders that know the sample count up front (e.g. a control
+// loop appending once per step over a fixed horizon) and want the
+// appends to stop growing the backing arrays mid-run.
+func NewSeriesCap(name string, n int) *Series {
+	if n < 0 {
+		n = 0
+	}
+	return &Series{
+		Name:   name,
+		Times:  make([]float64, 0, n),
+		Values: make([]float64, 0, n),
+	}
+}
 
 // Add appends a point.
 func (s *Series) Add(t, v float64) {
