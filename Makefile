@@ -24,14 +24,14 @@ verify:
 
 # Full benchmark sweep (kernel, queueing hot path, fleet control loop,
 # and every figure / table regeneration), one iteration each with
-# allocation stats, parsed into BENCH_4.json (benchmark -> ns/op,
+# allocation stats, parsed into BENCH_5.json (benchmark -> ns/op,
 # allocs/op, B/op, custom metrics) with the checked-in pre-change
 # baseline embedded alongside.
 # Takes ~10 minutes: BenchmarkRunnerAll replays the evaluation 4 times.
 bench:
 	$(GO) test -bench=. -benchtime=1x -benchmem -run='^$$' ./... \
-		| $(GO) run ./cmd/benchjson -baseline bench_baseline.json -out BENCH_4.json
-	@cat BENCH_4.json
+		| $(GO) run ./cmd/benchjson -baseline bench_baseline.json -out BENCH_5.json
+	@cat BENCH_5.json
 
 # CI bench smoke: one iteration of the kernel, oversubscription and
 # fleet-simulation hot-path benchmarks, piped through benchjson so

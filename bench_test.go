@@ -197,6 +197,40 @@ func BenchmarkFig12(b *testing.B) {
 	b.ReportMetric(ratio, "OC3@12/B2@16-P95")
 }
 
+// BenchmarkSweepFig12 measures the intra-experiment sweep engine on
+// the Figure 12 grid (10 cells at 120 simulated seconds): the serial
+// case is the workers≤1 fast path — the plain loop the sweep replaced,
+// whose cost must stay within noise of the pre-sweep code — and the
+// parallel case fans the cells out GOMAXPROCS-wide under the shared
+// budget. On a multi-core machine the parallel case approaches
+// serial/cores; on a 1-CPU container the two are equal.
+func BenchmarkSweepFig12(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", runtime.GOMAXPROCS(0)},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			p := experiments.DefaultFig12Params()
+			p.DurationS = 120
+			p.Workers = bc.workers
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				data, err := experiments.Fig12DataCtx(context.Background(), p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b16, _ := experiments.Fig12Find(data, "B2", 16)
+				o12, _ := experiments.Fig12Find(data, "OC3", 12)
+				ratio = o12.MeanP95MS / b16.MeanP95MS
+			}
+			b.ReportMetric(ratio, "OC3@12/B2@16-P95")
+		})
+	}
+}
+
 func BenchmarkFig13(b *testing.B) {
 	p := experiments.DefaultFig13Params()
 	p.DurationS = 120

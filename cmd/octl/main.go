@@ -11,7 +11,11 @@
 //
 // Flags (accepted before or after experiment names):
 //
-//	-j N            worker count (default GOMAXPROCS)
+//	-j N            worker budget (default GOMAXPROCS): bounds the
+//	                experiments in flight AND the simulation cells each
+//	                experiment's internal sweeps fan out, all drawing
+//	                from one shared process-wide budget — output is
+//	                byte-identical at any N
 //	-tags a,b       run the experiments carrying any of the tags
 //	-json           emit NDJSON results on stdout instead of tables
 //	-out dir        write one <name>.json + <name>.txt per experiment
@@ -81,7 +85,7 @@ type cli struct {
 func parseArgs(args []string) (cli, []string, error) {
 	var c cli
 	fs := flag.NewFlagSet("octl", flag.ContinueOnError)
-	fs.IntVar(&c.workers, "j", 0, "worker count (0 = GOMAXPROCS)")
+	fs.IntVar(&c.workers, "j", 0, "shared worker budget for experiments and their internal sweeps (0 = GOMAXPROCS)")
 	fs.StringVar(&c.tags, "tags", "", "comma-separated tags to select experiments by")
 	fs.BoolVar(&c.jsonOut, "json", false, "emit NDJSON results on stdout")
 	fs.StringVar(&c.outDir, "out", "", "write per-experiment .json and .txt files to this directory")

@@ -8,6 +8,7 @@ import (
 	"immersionoc/internal/power"
 	"immersionoc/internal/queueing"
 	"immersionoc/internal/reliability"
+	"immersionoc/internal/sweep"
 	"immersionoc/internal/thermal"
 )
 
@@ -32,7 +33,8 @@ func AblationEq1Data(o Options) (AblationEq1Result, error) {
 
 // AblationEq1DataCtx is AblationEq1Data honoring ctx: a cancelled
 // context stops the in-flight controller simulation at the kernel's
-// next event batch.
+// next event batch. The two controller runs are independent, so they
+// fan out through sweep.Map under o.Workers.
 func AblationEq1DataCtx(ctx context.Context, o Options) (AblationEq1Result, error) {
 	phases := []queueing.LoadPhase{
 		{QPS: 1000, DurationS: 240},
@@ -41,25 +43,25 @@ func AblationEq1DataCtx(ctx context.Context, o Options) (AblationEq1Result, erro
 		{QPS: 1800, DurationS: 300},
 		{QPS: 1000, DurationS: 240},
 	}
-	mk := func(naive bool) (*autoscaler.Result, error) {
-		cfg := autoscaler.DefaultConfig(autoscaler.OCA, phases)
-		cfg.Seed = o.SeedOr(5)
-		cfg.InitialVMs = 3
-		cfg.MinVMs = 3
-		cfg.DisableScaleOut = true
-		cfg.NaiveScaleUp = naive
-		cfg.Tel = o.Tel
-		return autoscaler.RunCtx(ctx, cfg)
-	}
-	model, err := mk(false)
+	variants := []struct {
+		name  string
+		naive bool
+	}{{"model", false}, {"naive", true}}
+	results, err := sweep.Map(ctx, len(variants), sweep.Options{Workers: o.Workers, Tel: o.Tel},
+		func(ctx context.Context, i int) (*autoscaler.Result, error) {
+			cfg := autoscaler.DefaultConfig(autoscaler.OCA, phases)
+			cfg.Seed = o.SeedOr(5)
+			cfg.InitialVMs = 3
+			cfg.MinVMs = 3
+			cfg.DisableScaleOut = true
+			cfg.NaiveScaleUp = variants[i].naive
+			cfg.Tel = o.Tel.Child(variants[i].name)
+			return autoscaler.RunCtx(ctx, cfg)
+		})
 	if err != nil {
 		return AblationEq1Result{}, err
 	}
-	naive, err := mk(true)
-	if err != nil {
-		return AblationEq1Result{}, err
-	}
-	return AblationEq1Result{Model: model, Naive: naive}, nil
+	return AblationEq1Result{Model: results[0], Naive: results[1]}, nil
 }
 
 // AblationEq1 renders the Equation 1 ablation.
@@ -179,25 +181,34 @@ func AblationBurstsData() AblationBurstsResult {
 
 // AblationBurstsDataCtx is AblationBurstsData honoring ctx and
 // Options: a cancelled context stops the in-flight oversubscription
-// run at the kernel's next event batch.
+// run at the kernel's next event batch. The correlated and
+// independent variants fan out through sweep.Map; each variant is
+// itself a Fig12 sweep, exercising nested fan-out under the shared
+// worker budget (the outer cells lend their slots while blocked on
+// the inner grids).
 func AblationBurstsDataCtx(ctx context.Context, o Options) (AblationBurstsResult, error) {
-	p := DefaultFig12Params()
-	p.DurationS = 300
-	p.PCoreSteps = []int{12}
-	p = p.withOptions(o)
+	base := DefaultFig12Params()
+	base.DurationS = 300
+	base.PCoreSteps = []int{12}
+	base = base.withOptions(o)
 
-	corr, err := Fig12DataCtx(ctx, p)
+	variants := []struct {
+		name        string
+		independent bool
+	}{{"correlated", false}, {"independent", true}}
+	grids, err := sweep.Map(ctx, len(variants), sweep.Options{Workers: base.Workers, Tel: base.Tel},
+		func(ctx context.Context, i int) ([]Fig12Point, error) {
+			p := base
+			p.IndependentBursts = variants[i].independent
+			p.Tel = base.Tel.Child(variants[i].name)
+			return Fig12DataCtx(ctx, p)
+		})
 	if err != nil {
 		return AblationBurstsResult{}, err
 	}
-	p.IndependentBursts = true
-	ind, err := Fig12DataCtx(ctx, p)
-	if err != nil {
-		return AblationBurstsResult{}, err
-	}
 
-	c, _ := Fig12Find(corr, "B2", 12)
-	i, _ := Fig12Find(ind, "B2", 12)
+	c, _ := Fig12Find(grids[0], "B2", 12)
+	i, _ := Fig12Find(grids[1], "B2", 12)
 	res := AblationBurstsResult{CorrelatedP95MS: c.MeanP95MS, IndependentP95MS: i.MeanP95MS}
 	if i.MeanP95MS > 0 {
 		res.Penalty = c.MeanP95MS / i.MeanP95MS
@@ -235,24 +246,22 @@ func PolicyComparisonData(o Options) ([]*autoscaler.Result, error) {
 
 // PolicyComparisonDataCtx is PolicyComparisonData honoring ctx: a
 // cancelled context stops the in-flight policy simulation at the
-// kernel's next event batch.
+// kernel's next event batch. The five policy runs share only the
+// read-only ramp phases, so they fan out through sweep.Map under
+// o.Workers.
 func PolicyComparisonDataCtx(ctx context.Context, o Options) ([]*autoscaler.Result, error) {
 	phases := autoscaler.RampPhases(500, 4000, 500, 300)
-	var out []*autoscaler.Result
-	for _, p := range []autoscaler.Policy{
+	policies := []autoscaler.Policy{
 		autoscaler.Baseline, autoscaler.OCE, autoscaler.OCA,
 		autoscaler.Predictive, autoscaler.PredictiveOCA,
-	} {
-		cfg := autoscaler.DefaultConfig(p, phases)
-		cfg.Seed = o.SeedOr(3)
-		cfg.Tel = o.Tel
-		r, err := autoscaler.RunCtx(ctx, cfg)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
 	}
-	return out, nil
+	return sweep.Map(ctx, len(policies), sweep.Options{Workers: o.Workers, Tel: o.Tel},
+		func(ctx context.Context, i int) (*autoscaler.Result, error) {
+			cfg := autoscaler.DefaultConfig(policies[i], phases)
+			cfg.Seed = o.SeedOr(3)
+			cfg.Tel = o.Tel.Child(policies[i].String())
+			return autoscaler.RunCtx(ctx, cfg)
+		})
 }
 
 // PolicyComparison renders the five-policy comparison.

@@ -6,6 +6,7 @@ import (
 
 	"immersionoc/internal/power"
 	"immersionoc/internal/reliability"
+	"immersionoc/internal/sweep"
 	"immersionoc/internal/thermal"
 )
 
@@ -45,42 +46,56 @@ func CoolingOptions() []struct {
 // paper's argument that liquid cooling — and 2PIC in particular —
 // unlocks sustained overclocking.
 func CoolingComparisonData() ([]CoolingRow, error) {
-	var rows []CoolingRow
-	for _, c := range CoolingOptions() {
-		nom, err := c.Model.JunctionTemp(power.NominalSocketW)
-		if err != nil {
-			return nil, err
-		}
-		oc, err := c.Model.JunctionTemp(power.OverclockedSocketW)
-		if err != nil {
-			return nil, err
-		}
-		nominal := reliability.Condition{VoltageV: power.NominalVoltage, TjMaxC: nom, TjMinC: c.Model.IdleTemp()}
-		ocCond := reliability.Condition{VoltageV: power.OverclockedVoltage, TjMaxC: oc, TjMinC: c.Model.IdleTemp()}
-		life, err := reliability.Composite5nm.Lifetime(ocCond)
-		if err != nil {
-			return nil, err
-		}
-		duty, err := reliability.Composite5nm.MaxOCDutyCycle(nominal, ocCond, reliability.ServiceLifeYears)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, CoolingRow{
-			Tech:          c.Name,
-			TjNominalC:    nom,
-			TjOverclockC:  oc,
-			OCLifetime:    life,
-			OCDutyCycle:   duty,
-			SustainedOCOK: life >= reliability.ServiceLifeYears,
+	return CoolingComparisonDataCtx(context.Background(), Options{})
+}
+
+// CoolingComparisonDataCtx is CoolingComparisonData with the
+// technology rows fanned out through sweep.Map under o.Workers: each
+// cell evaluates one cooling model, so row order is the CoolingOptions
+// order regardless of worker count.
+func CoolingComparisonDataCtx(ctx context.Context, o Options) ([]CoolingRow, error) {
+	opts := CoolingOptions()
+	return sweep.Map(ctx, len(opts), sweep.Options{Workers: o.Workers, Tel: o.Tel},
+		func(ctx context.Context, i int) (CoolingRow, error) {
+			c := opts[i]
+			nom, err := c.Model.JunctionTemp(power.NominalSocketW)
+			if err != nil {
+				return CoolingRow{}, err
+			}
+			oc, err := c.Model.JunctionTemp(power.OverclockedSocketW)
+			if err != nil {
+				return CoolingRow{}, err
+			}
+			nominal := reliability.Condition{VoltageV: power.NominalVoltage, TjMaxC: nom, TjMinC: c.Model.IdleTemp()}
+			ocCond := reliability.Condition{VoltageV: power.OverclockedVoltage, TjMaxC: oc, TjMinC: c.Model.IdleTemp()}
+			life, err := reliability.Composite5nm.Lifetime(ocCond)
+			if err != nil {
+				return CoolingRow{}, err
+			}
+			duty, err := reliability.Composite5nm.MaxOCDutyCycle(nominal, ocCond, reliability.ServiceLifeYears)
+			if err != nil {
+				return CoolingRow{}, err
+			}
+			return CoolingRow{
+				Tech:          c.Name,
+				TjNominalC:    nom,
+				TjOverclockC:  oc,
+				OCLifetime:    life,
+				OCDutyCycle:   duty,
+				SustainedOCOK: life >= reliability.ServiceLifeYears,
+			}, nil
 		})
-	}
-	return rows, nil
 }
 
 // CoolingComparison renders the §II technology comparison for
 // overclocking.
 func CoolingComparison() (*Table, error) {
-	rows, err := CoolingComparisonData()
+	return coolingComparisonCtx(context.Background(), Options{})
+}
+
+// coolingComparisonCtx renders the comparison from a sweep run.
+func coolingComparisonCtx(ctx context.Context, o Options) (*Table, error) {
+	rows, err := CoolingComparisonDataCtx(ctx, o)
 	if err != nil {
 		return nil, err
 	}
@@ -111,5 +126,5 @@ func CoolingComparison() (*Table, error) {
 
 func init() {
 	registerTable("cooling", 300, []string{"extension", "fast"},
-		func(ctx context.Context, o Options) (*Table, error) { return CoolingComparison() })
+		func(ctx context.Context, o Options) (*Table, error) { return coolingComparisonCtx(ctx, o) })
 }

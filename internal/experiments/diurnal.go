@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"immersionoc/internal/autoscaler"
+	"immersionoc/internal/sweep"
 )
 
 // DiurnalResult compares auto-scaler policies over a compressed
@@ -25,21 +26,24 @@ func DiurnalData(o Options) (DiurnalResult, error) {
 
 // DiurnalDataCtx is DiurnalData honoring ctx: a cancelled context
 // stops the in-flight policy simulation at the kernel's next event
-// batch instead of finishing the simulated day.
+// batch instead of finishing the simulated day. The three policy runs
+// share only the read-only diurnal phase list, so they fan out
+// through sweep.Map under o.Workers, each publishing telemetry into a
+// per-policy child scope.
 func DiurnalDataCtx(ctx context.Context, o Options) (DiurnalResult, error) {
 	phases := autoscaler.DiurnalPhases(300, 3300, o.DurationOr(3600), 120)
-	var res DiurnalResult
-	for _, p := range []autoscaler.Policy{autoscaler.Baseline, autoscaler.OCE, autoscaler.OCA} {
-		cfg := autoscaler.DefaultConfig(p, phases)
-		cfg.Seed = o.SeedOr(3)
-		cfg.Tel = o.Tel
-		r, err := autoscaler.RunCtx(ctx, cfg)
-		if err != nil {
-			return DiurnalResult{}, err
-		}
-		res.Results = append(res.Results, r)
+	policies := []autoscaler.Policy{autoscaler.Baseline, autoscaler.OCE, autoscaler.OCA}
+	results, err := sweep.Map(ctx, len(policies), sweep.Options{Workers: o.Workers, Tel: o.Tel},
+		func(ctx context.Context, i int) (*autoscaler.Result, error) {
+			cfg := autoscaler.DefaultConfig(policies[i], phases)
+			cfg.Seed = o.SeedOr(3)
+			cfg.Tel = o.Tel.Child(policies[i].String())
+			return autoscaler.RunCtx(ctx, cfg)
+		})
+	if err != nil {
+		return DiurnalResult{}, err
 	}
-	return res, nil
+	return DiurnalResult{Results: results}, nil
 }
 
 // Diurnal renders the diurnal-day comparison.

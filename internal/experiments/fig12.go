@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"immersionoc/internal/freq"
 	"immersionoc/internal/power"
@@ -10,6 +11,7 @@ import (
 	"immersionoc/internal/rng"
 	"immersionoc/internal/sim"
 	"immersionoc/internal/stats"
+	"immersionoc/internal/sweep"
 	"immersionoc/internal/telemetry"
 	"immersionoc/internal/workload"
 )
@@ -64,27 +66,67 @@ func (b BurstyLoad) Schedule(seed uint64, duration float64) []queueing.LoadPhase
 	return phases
 }
 
+// phaseSchedule is an expanded burst schedule shared read-only across
+// sweep cells and VM drivers: the phases plus their precomputed
+// cumulative end times, built once per grid instead of once per cell.
+type phaseSchedule struct {
+	phases []queueing.LoadPhase
+	// ends[i] is the cumulative end time of phases[i], accumulated in
+	// phase order (the same float additions the serial scan made, so
+	// boundary comparisons are bit-identical).
+	ends     []float64
+	duration float64
+}
+
+// newPhaseSchedule precomputes the cumulative phase bounds.
+func newPhaseSchedule(phases []queueing.LoadPhase, duration float64) *phaseSchedule {
+	ends := make([]float64, len(phases))
+	off := 0.0
+	for i, p := range phases {
+		off += p.DurationS
+		ends[i] = off
+	}
+	return &phaseSchedule{phases: phases, ends: ends, duration: duration}
+}
+
+// phaseCursor is one driver's incremental position in a shared
+// phaseSchedule — the same idiom as queueing.Generator's QPSAt
+// cursor. Each VM driver queries monotonically increasing times, so
+// lookup is amortized O(1); a backwards query falls back to binary
+// search.
+type phaseCursor struct {
+	s   *phaseSchedule
+	idx int
+}
+
+// at returns the scheduled rate at time t and the end of the phase t
+// falls in (or the schedule duration when t is past the last phase).
+func (c *phaseCursor) at(t float64) (qps, phaseEnd float64) {
+	if c.idx > 0 && t < c.s.ends[c.idx-1] {
+		c.idx = sort.Search(len(c.s.ends), func(i int) bool { return t < c.s.ends[i] })
+	}
+	for c.idx < len(c.s.ends) && t >= c.s.ends[c.idx] {
+		c.idx++
+	}
+	if c.idx >= len(c.s.phases) {
+		return 0, c.s.duration
+	}
+	return c.s.phases[c.idx].QPS, c.s.ends[c.idx]
+}
+
 // drivePhases schedules a Poisson arrival process for one VM following
 // the given piecewise-constant schedule.
-func drivePhases(eng *queueing.Engine, vm *queueing.VM, seed uint64, service queueing.ServiceSampler, phases []queueing.LoadPhase, duration float64) {
+func drivePhases(eng *queueing.Engine, vm *queueing.VM, seed uint64, service queueing.ServiceSampler, sched *phaseSchedule) {
 	r := rng.New(seed)
-	qpsAt := func(t float64) (float64, float64) {
-		off := 0.0
-		for _, p := range phases {
-			if t < off+p.DurationS {
-				return p.QPS, off + p.DurationS
-			}
-			off += p.DurationS
-		}
-		return 0, duration
-	}
+	cur := phaseCursor{s: sched}
+	duration := sched.duration
 	var arrive func(s *sim.Simulation)
 	arrive = func(s *sim.Simulation) {
 		now := float64(s.Now())
 		if now >= duration {
 			return
 		}
-		rate, phaseEnd := qpsAt(now)
+		rate, phaseEnd := cur.at(now)
 		if rate <= 0 {
 			if phaseEnd > now && phaseEnd < duration {
 				s.Schedule(sim.Time(phaseEnd), arrive)
@@ -124,8 +166,11 @@ type Fig12Params struct {
 	// that correlated bursts are what makes oversubscription hurt.
 	IndependentBursts bool
 	// Tel is the telemetry scope the sweep's engines publish into
-	// (nil disables collection).
+	// (nil disables collection). Each grid cell lands in a child
+	// scope named <config>-<pcores>p.
 	Tel *telemetry.Scope
+	// Workers bounds the sweep's parallel cells (≤ 1 = serial).
+	Workers int
 }
 
 // DefaultFig12Params reproduces the paper's setup: 4 SQL VMs of 4
@@ -148,11 +193,44 @@ func DefaultFig12Params() Fig12Params {
 	}
 }
 
+// fig12Schedules holds the burst schedules every grid cell shares:
+// expanded once per sweep (not once per cell) and read immutably by
+// each cell's VM drivers. perVM is nil unless IndependentBursts.
+type fig12Schedules struct {
+	shared *phaseSchedule
+	perVM  []*phaseSchedule
+}
+
+// expandSchedules builds the grid's burst schedules from the
+// calibrated load. The seeds match the original per-cell expansion,
+// so hoisting changes no arrival times.
+func expandSchedules(p Fig12Params) fig12Schedules {
+	s := fig12Schedules{
+		shared: newPhaseSchedule(p.Load.Schedule(p.Seed*977, p.DurationS), p.DurationS),
+	}
+	if p.IndependentBursts {
+		s.perVM = make([]*phaseSchedule, p.VMs)
+		for i := range s.perVM {
+			s.perVM[i] = newPhaseSchedule(p.Load.Schedule(p.Seed*977+uint64(i)*7919, p.DurationS), p.DurationS)
+		}
+	}
+	return s
+}
+
+// vmSchedule returns VM i's schedule: the shared correlated one, or
+// its private one under IndependentBursts.
+func (s fig12Schedules) vmSchedule(i int) *phaseSchedule {
+	if s.perVM != nil {
+		return s.perVM[i]
+	}
+	return s.shared
+}
+
 // runOversub simulates the SQL VMs on pcores physical cores under cfg
 // and returns mean P95 latency plus power statistics. A cancelled ctx
 // stops the simulation at the kernel's next event batch and returns
 // the context error.
-func runOversub(ctx context.Context, p Fig12Params, cfg freq.Config, pcores int) (Fig12Point, error) {
+func runOversub(ctx context.Context, p Fig12Params, cfg freq.Config, pcores int, scheds fig12Schedules) (Fig12Point, error) {
 	app := workload.SQL
 	speed := 1 / app.ServiceTimeRatio(cfg)
 	eng := queueing.NewEngine(app.ScalableFraction())
@@ -167,16 +245,11 @@ func runOversub(ctx context.Context, p Fig12Params, cfg freq.Config, pcores int)
 	perVM := int(p.Load.AvgQPS*p.DurationS) + 1024
 	eng.AllLatency.Reserve(perVM * p.VMs)
 
-	burst := p.Load.Schedule(p.Seed*977, p.DurationS)
 	vms := make([]*queueing.VM, p.VMs)
 	for i := range vms {
 		vms[i] = host.NewVM(fmt.Sprintf("sql%d", i), app.Cores, speed)
 		vms[i].Latency.Reserve(perVM)
-		sched := burst
-		if p.IndependentBursts {
-			sched = p.Load.Schedule(p.Seed*977+uint64(i)*7919, p.DurationS)
-		}
-		drivePhases(eng, vms[i], p.Seed+uint64(i)*101, service, sched, p.DurationS)
+		drivePhases(eng, vms[i], p.Seed+uint64(i)*101, service, scheds.vmSchedule(i))
 	}
 
 	powerDig := stats.NewDigest()
@@ -227,6 +300,7 @@ func (p Fig12Params) withOptions(o Options) Fig12Params {
 	p.Seed = o.SeedOr(p.Seed)
 	p.DurationS = o.DurationOr(p.DurationS)
 	p.Tel = o.Tel
+	p.Workers = o.Workers
 	return p
 }
 
@@ -236,22 +310,33 @@ func Fig12Data(p Fig12Params) []Fig12Point {
 	return out
 }
 
-// Fig12DataCtx runs the oversubscription sweep. Cancellation is
-// honored both between points and inside each point's simulation (the
-// kernel checks ctx every event batch), so a cancelled sweep returns
-// promptly instead of finishing the in-flight run.
+// Fig12DataCtx runs the oversubscription sweep. The grid's cells —
+// (config, pcores) pairs — are independent simulations sharing only
+// the read-only burst schedules, so they fan out through sweep.Map
+// under p.Workers; results come back in grid order regardless of the
+// worker count. Cancellation is honored both between points and inside
+// each point's simulation (the kernel checks ctx every event batch),
+// so a cancelled sweep returns promptly instead of finishing the
+// in-flight run.
 func Fig12DataCtx(ctx context.Context, p Fig12Params) ([]Fig12Point, error) {
-	var out []Fig12Point
+	type cell struct {
+		cfg    freq.Config
+		pcores int
+	}
+	var cells []cell
 	for _, cfg := range []freq.Config{freq.B2, freq.OC3} {
 		for _, pc := range p.PCoreSteps {
-			pt, err := runOversub(ctx, p, cfg, pc)
-			if err != nil {
-				return out, err
-			}
-			out = append(out, pt)
+			cells = append(cells, cell{cfg, pc})
 		}
 	}
-	return out, nil
+	scheds := expandSchedules(p)
+	return sweep.Map(ctx, len(cells), sweep.Options{Workers: p.Workers, Tel: p.Tel},
+		func(ctx context.Context, i int) (Fig12Point, error) {
+			c := cells[i]
+			cp := p
+			cp.Tel = p.Tel.Child(fmt.Sprintf("%s-%dp", c.cfg.Name, c.pcores))
+			return runOversub(ctx, cp, c.cfg, c.pcores, scheds)
+		})
 }
 
 // Fig12 renders the oversubscription latency experiment.

@@ -8,6 +8,7 @@ import (
 	"immersionoc/internal/queueing"
 	"immersionoc/internal/rng"
 	"immersionoc/internal/sim"
+	"immersionoc/internal/sweep"
 	"immersionoc/internal/telemetry"
 	"immersionoc/internal/workload"
 )
@@ -67,8 +68,11 @@ type Fig13Params struct {
 	// (BI, TeraSort) runners.
 	BatchTaskS float64
 	// Tel is the telemetry scope the scenario engines publish into
-	// (nil disables collection).
+	// (nil disables collection). Each scenario run lands in a child
+	// scope named <scenario>/<config>.
 	Tel *telemetry.Scope
+	// Workers bounds the sweep's parallel scenario runs (≤ 1 = serial).
+	Workers int
 }
 
 // DefaultFig13Params mirrors the Table X setup.
@@ -105,7 +109,7 @@ type vmMetrics struct {
 // runScenario simulates one scenario on pcores under cfg and returns
 // per-VM raw metrics in deterministic order. A cancelled ctx stops
 // the simulation at the kernel's next event batch.
-func runScenario(ctx context.Context, p Fig13Params, sc Scenario, cfg freq.Config, pcores int) ([]vmMetrics, error) {
+func runScenario(ctx context.Context, p Fig13Params, sc Scenario, cfg freq.Config, pcores int, burst *phaseSchedule) ([]vmMetrics, error) {
 	eng := queueing.NewEngine(workload.SQL.ScalableFraction())
 	eng.SetTelemetry(p.Tel)
 	host := eng.NewHost(pcores)
@@ -125,12 +129,12 @@ func runScenario(ctx context.Context, p Fig13Params, sc Scenario, cfg freq.Confi
 	speedFor := func(app workload.Profile) float64 { return 1 / app.ServiceTimeRatio(cfg) }
 
 	// SQL: open-loop bursty arrivals, P95 metric. The burst schedule
-	// is shared across SQL instances (correlated load).
-	burst := p.SQLLoad.Schedule(p.Seed*977, p.DurationS)
+	// is shared across SQL instances (correlated load) — and across
+	// every scenario run, so the caller expands it once.
 	for i := 0; i < sc.SQL; i++ {
 		app := workload.SQL
 		v := host.NewVM(fmt.Sprintf("sql%d", i), app.Cores, speedFor(app))
-		drivePhases(eng, v, nextSeed(), queueing.LogNormalService(p.SQLServiceMeanS, p.SQLServiceCV), burst, p.DurationS)
+		drivePhases(eng, v, nextSeed(), queueing.LogNormalService(p.SQLServiceMeanS, p.SQLServiceCV), burst)
 		vmsT = append(vmsT, tracked{app: app.Name, vm: v})
 	}
 	// BI and TeraSort: closed-loop batch runners, one task per vcore.
@@ -228,6 +232,7 @@ func (p Fig13Params) withOptions(o Options) Fig13Params {
 	p.Seed = o.SeedOr(p.Seed)
 	p.DurationS = o.DurationOr(p.DurationS)
 	p.Tel = o.Tel
+	p.Workers = o.Workers
 	return p
 }
 
@@ -238,27 +243,45 @@ func Fig13Data(p Fig13Params) []Fig13Cell {
 	return cells
 }
 
-// Fig13DataCtx runs the scenarios. Cancellation is honored both
-// between runs and inside each run's simulation (the kernel checks
-// ctx every event batch), so a cancelled experiment returns promptly.
+// Fig13DataCtx runs the scenarios. All nine simulations — three
+// scenarios, each at the 20-pcore B2 baseline plus the two
+// oversubscribed configs — are independent, so they fan out through
+// sweep.Map under p.Workers; the improvement normalization happens
+// afterwards on the index-ordered metrics, preserving the serial
+// output exactly. Cancellation is honored both between runs and
+// inside each run's simulation (the kernel checks ctx every event
+// batch), so a cancelled experiment returns promptly.
 func Fig13DataCtx(ctx context.Context, p Fig13Params) ([]Fig13Cell, error) {
-	var cells []Fig13Cell
+	type run struct {
+		sc     Scenario
+		label  string
+		cfg    freq.Config
+		pcores int
+	}
+	var runs []run
 	for _, sc := range TableX() {
-		base, err := runScenario(ctx, p, sc, freq.B2, sc.VCores())
-		if err != nil {
-			return cells, err
-		}
-		for _, run := range []struct {
-			label string
-			cfg   freq.Config
-		}{
-			{"B2-oversub", freq.B2},
-			{"OC3-oversub", freq.OC3},
-		} {
-			got, err := runScenario(ctx, p, sc, run.cfg, p.PCores)
-			if err != nil {
-				return cells, err
-			}
+		runs = append(runs,
+			run{sc, "baseline", freq.B2, sc.VCores()},
+			run{sc, "B2-oversub", freq.B2, p.PCores},
+			run{sc, "OC3-oversub", freq.OC3, p.PCores})
+	}
+	burst := newPhaseSchedule(p.SQLLoad.Schedule(p.Seed*977, p.DurationS), p.DurationS)
+	metrics, err := sweep.Map(ctx, len(runs), sweep.Options{Workers: p.Workers, Tel: p.Tel},
+		func(ctx context.Context, i int) ([]vmMetrics, error) {
+			r := runs[i]
+			cp := p
+			cp.Tel = p.Tel.Child(fmt.Sprintf("%s/%s", r.sc.Name, r.label))
+			return runScenario(ctx, cp, r.sc, r.cfg, r.pcores, burst)
+		})
+	if err != nil {
+		return nil, err
+	}
+	var cells []Fig13Cell
+	for s, sc := range TableX() {
+		base := metrics[s*3]
+		for o := 1; o <= 2; o++ {
+			got := metrics[s*3+o]
+			label := runs[s*3+o].label
 			appCount := map[string]int{}
 			for i := range got {
 				var imp float64
@@ -274,7 +297,7 @@ func Fig13DataCtx(ctx context.Context, p Fig13Params) ([]Fig13Cell, error) {
 					Scenario:    sc.Name,
 					App:         got[i].app,
 					Instance:    appCount[got[i].app],
-					Config:      run.label,
+					Config:      label,
 					Improvement: imp,
 				})
 			}

@@ -6,6 +6,7 @@ import (
 
 	"immersionoc/internal/freq"
 	"immersionoc/internal/power"
+	"immersionoc/internal/sweep"
 	"immersionoc/internal/workload"
 )
 
@@ -31,25 +32,55 @@ func Fig9Configs() []freq.Config {
 // Fig9Data evaluates the high-performance-VM experiment: each Table IX
 // cloud application run alone under B2, OC1, OC2 and OC3.
 func Fig9Data() []Fig9Cell {
-	var cells []Fig9Cell
-	for _, app := range workload.Figure9Apps() {
-		for _, cfg := range Fig9Configs() {
-			avg, p99 := app.ServerPower(power.Tank1Server, cfg)
-			cells = append(cells, Fig9Cell{
-				App:         app.Name,
-				Config:      cfg.Name,
-				MetricRatio: app.MetricRatio(cfg),
-				Improvement: app.Improvement(cfg),
-				AvgPowerW:   avg,
-				P99PowerW:   p99,
-			})
-		}
-	}
+	cells, _ := Fig9DataCtx(context.Background(), Options{})
 	return cells
+}
+
+// Fig9DataCtx is Fig9Data with the application rows fanned out
+// through sweep.Map under o.Workers: each cell evaluates one
+// application across all four configurations, so row order is the
+// application order regardless of worker count.
+func Fig9DataCtx(ctx context.Context, o Options) ([]Fig9Cell, error) {
+	apps := workload.Figure9Apps()
+	rows, err := sweep.Map(ctx, len(apps), sweep.Options{Workers: o.Workers, Tel: o.Tel},
+		func(ctx context.Context, i int) ([]Fig9Cell, error) {
+			app := apps[i]
+			var cells []Fig9Cell
+			for _, cfg := range Fig9Configs() {
+				avg, p99 := app.ServerPower(power.Tank1Server, cfg)
+				cells = append(cells, Fig9Cell{
+					App:         app.Name,
+					Config:      cfg.Name,
+					MetricRatio: app.MetricRatio(cfg),
+					Improvement: app.Improvement(cfg),
+					AvgPowerW:   avg,
+					P99PowerW:   p99,
+				})
+			}
+			return cells, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	var cells []Fig9Cell
+	for _, r := range rows {
+		cells = append(cells, r...)
+	}
+	return cells, nil
 }
 
 // Fig9 renders the Figure 9 reproduction.
 func Fig9() *Table {
+	t, _ := fig9TableCtx(context.Background(), Options{})
+	return t
+}
+
+// fig9TableCtx renders the Figure 9 reproduction from a sweep run.
+func fig9TableCtx(ctx context.Context, o Options) (*Table, error) {
+	data, err := Fig9DataCtx(ctx, o)
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		Title:  "Figure 9 — Normalized metric and server power per application and configuration",
 		Header: []string{"App", "Config", "Norm metric", "Improvement", "Avg power", "P99 power"},
@@ -58,11 +89,11 @@ func Fig9() *Table {
 			"OC2 accelerates Pmbench/DiskSpeed; OC3 helps memory-bound SQL most; BI gains only from OC1",
 		},
 	}
-	for _, c := range Fig9Data() {
+	for _, c := range data {
 		t.AddRow(c.App, c.Config, F(c.MetricRatio, 3), Pct(c.Improvement),
 			fmt.Sprintf("%.0fW", c.AvgPowerW), fmt.Sprintf("%.0fW", c.P99PowerW))
 	}
-	return t
+	return t, nil
 }
 
 // Fig10Cell is one (kernel, configuration) STREAM measurement.
@@ -158,7 +189,7 @@ func Fig11() *Table {
 
 func init() {
 	registerTable("fig9", 100, []string{"paper", "fast"},
-		func(ctx context.Context, o Options) (*Table, error) { return Fig9(), nil })
+		func(ctx context.Context, o Options) (*Table, error) { return fig9TableCtx(ctx, o) })
 	registerTable("fig10", 110, []string{"paper", "fast"},
 		func(ctx context.Context, o Options) (*Table, error) { return Fig10(), nil })
 	registerTable("fig11", 120, []string{"paper", "fast"},

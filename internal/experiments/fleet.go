@@ -5,8 +5,31 @@ import (
 	"fmt"
 
 	"immersionoc/internal/cluster"
+	"immersionoc/internal/sweep"
 	"immersionoc/internal/vm"
 )
+
+// packOutcome is one fleet's trace replay: peak density, rejected
+// arrivals, and the post-replay interference count (only meaningful
+// for oversubscribed fleets).
+type packOutcome struct {
+	peak   float64
+	rej    int
+	atRisk int
+}
+
+// packFleets replays the same generated trace through independent
+// fleets, fanning the replays out through sweep.Map under o.Workers.
+// The VM slice is shared read-only: PackTrace mutates only its own
+// cluster's placement state.
+func packFleets(ctx context.Context, o Options, vms []*vm.VM, mk func(i int) *cluster.Cluster) ([]packOutcome, error) {
+	return sweep.Map(ctx, 2, sweep.Options{Workers: o.Workers, Tel: o.Tel},
+		func(ctx context.Context, i int) (packOutcome, error) {
+			c := mk(i)
+			peak, rej := c.PackTrace(vms)
+			return packOutcome{peak: peak, rej: rej, atRisk: c.InterferenceRisk()}, nil
+		})
+}
 
 // PackingResult compares packing density with and without
 // overclocking-backed oversubscription.
@@ -22,35 +45,55 @@ type PackingResult struct {
 // air-cooled fleet (1:1 vcore:pcore) and a 2PIC fleet allowed 20% CPU
 // oversubscription backed by overclocking (§V "Dense VM packing").
 func PackingData(servers int, trace vm.TraceConfig, oversub float64) PackingResult {
+	res, _ := PackingDataCtx(context.Background(), Options{}, servers, trace, oversub)
+	return res
+}
+
+// PackingDataCtx is PackingData with the two fleet replays fanned out
+// through sweep.Map under o.Workers; both replay the same generated
+// trace, so the result is worker-count-independent.
+func PackingDataCtx(ctx context.Context, o Options, servers int, trace vm.TraceConfig, oversub float64) (PackingResult, error) {
 	vms := vm.Generate(trace)
-
-	base := cluster.New(cluster.AirBlade, cluster.Policy{}, servers)
-	basePeak, baseRej := base.PackTrace(vms)
-
-	over := cluster.New(cluster.TwoSocketBlade, cluster.Policy{CPUOversubRatio: oversub}, servers)
-	overPeak, overRej := over.PackTrace(vms)
-
+	outs, err := packFleets(ctx, o, vms, func(i int) *cluster.Cluster {
+		if i == 0 {
+			return cluster.New(cluster.AirBlade, cluster.Policy{}, servers)
+		}
+		return cluster.New(cluster.TwoSocketBlade, cluster.Policy{CPUOversubRatio: oversub}, servers)
+	})
+	if err != nil {
+		return PackingResult{}, err
+	}
+	base, over := outs[0], outs[1]
 	gain := 0.0
-	if basePeak > 0 {
-		gain = overPeak/basePeak - 1
+	if base.peak > 0 {
+		gain = over.peak/base.peak - 1
 	}
 	return PackingResult{
-		BaselineDensity:  basePeak,
-		OversubDensity:   overPeak,
-		BaselineRejected: baseRej,
-		OversubRejected:  overRej,
+		BaselineDensity:  base.peak,
+		OversubDensity:   over.peak,
+		BaselineRejected: base.rej,
+		OversubRejected:  over.rej,
 		DensityGain:      gain,
-		AtRisk:           over.InterferenceRisk(),
-	}
+		AtRisk:           over.atRisk,
+	}, nil
 }
 
 // Packing renders the packing-density experiment.
 func Packing() *Table {
+	t, _ := packingCtx(context.Background(), Options{})
+	return t
+}
+
+// packingCtx renders the packing-density experiment from a sweep run.
+func packingCtx(ctx context.Context, o Options) (*Table, error) {
 	trace := vm.DefaultTrace
 	// Sized so steady demand hovers around the air fleet's 1:1
 	// capacity: the oversubscribed fleet absorbs the overflow.
 	trace.ArrivalRatePerS = 0.012
-	res := PackingData(24, trace, 0.25)
+	res, err := PackingDataCtx(ctx, o, 24, trace, 0.25)
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		Title:  "§V — VM packing density via overclocking-backed oversubscription (24 servers)",
 		Header: []string{"Fleet", "Peak density (vcores/pcore)", "Rejected arrivals"},
@@ -60,7 +103,7 @@ func Packing() *Table {
 	t.AddRow("2PIC + 25% oversub", F(res.OversubDensity, 3), fmt.Sprintf("%d", res.OversubRejected))
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("density gain %+.1f%%; oversubscribed servers exceeding even overclocked capacity: %d", res.DensityGain*100, res.AtRisk))
-	return t
+	return t, nil
 }
 
 // BufferResult compares static failover buffers with
@@ -155,6 +198,13 @@ type CapacityCrisisResult struct {
 // fleet's 1:1 capacity (the red gap of Figure 7) through a baseline and
 // an overclocking-backed fleet, counting denied VM requests.
 func CapacityCrisisData(servers int, trace vm.TraceConfig) CapacityCrisisResult {
+	res, _ := CapacityCrisisDataCtx(context.Background(), Options{}, servers, trace)
+	return res
+}
+
+// CapacityCrisisDataCtx is CapacityCrisisData with the two fleet
+// replays fanned out through sweep.Map under o.Workers.
+func CapacityCrisisDataCtx(ctx context.Context, o Options, servers int, trace vm.TraceConfig) (CapacityCrisisResult, error) {
 	vms := vm.Generate(trace)
 	peak := 0
 	cur := 0
@@ -169,26 +219,41 @@ func CapacityCrisisData(servers int, trace vm.TraceConfig) CapacityCrisisResult 
 		}
 	}
 
-	base := cluster.New(cluster.TwoSocketBlade, cluster.Policy{}, servers)
-	oc := cluster.New(cluster.TwoSocketBlade, cluster.Policy{CPUOversubRatio: 0.20}, servers)
 	res := CapacityCrisisResult{DemandVCores: peak, SupplyPCores: servers * cluster.TwoSocketBlade.PCores}
-	baseDensity, deniedB := base.PackTrace(vms)
-	ocDensity, deniedOC := oc.PackTrace(vms)
-	res.DeniedBaseline = deniedB
-	res.DeniedOC = deniedOC
-	res.ServedBaseline = int(baseDensity * float64(res.SupplyPCores))
-	res.ServedOC = int(ocDensity * float64(res.SupplyPCores))
-	return res
+	outs, err := packFleets(ctx, o, vms, func(i int) *cluster.Cluster {
+		if i == 0 {
+			return cluster.New(cluster.TwoSocketBlade, cluster.Policy{}, servers)
+		}
+		return cluster.New(cluster.TwoSocketBlade, cluster.Policy{CPUOversubRatio: 0.20}, servers)
+	})
+	if err != nil {
+		return CapacityCrisisResult{}, err
+	}
+	res.DeniedBaseline = outs[0].rej
+	res.DeniedOC = outs[1].rej
+	res.ServedBaseline = int(outs[0].peak * float64(res.SupplyPCores))
+	res.ServedOC = int(outs[1].peak * float64(res.SupplyPCores))
+	return res, nil
 }
 
 // CapacityCrisis renders the capacity-crisis experiment.
 func CapacityCrisis() *Table {
+	t, _ := capacityCrisisCtx(context.Background(), Options{})
+	return t
+}
+
+// capacityCrisisCtx renders the capacity-crisis experiment from a
+// sweep run.
+func capacityCrisisCtx(ctx context.Context, o Options) (*Table, error) {
 	trace := vm.DefaultTrace
 	trace.Seed = 99
 	trace.ArrivalRatePerS = 0.012
 	trace.DurationS = 2 * 24 * 3600
 	trace.MeanLifetimeS = 24 * 3600
-	res := CapacityCrisisData(16, trace)
+	res, err := CapacityCrisisDataCtx(ctx, o, 16, trace)
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		Title:  "Figure 7 — Capacity crisis mitigation (demand beyond supply)",
 		Header: []string{"Fleet", "VM requests denied"},
@@ -196,14 +261,14 @@ func CapacityCrisis() *Table {
 	}
 	t.AddRow("1:1 (no overclocking)", fmt.Sprintf("%d", res.DeniedBaseline))
 	t.AddRow("overclocking-backed +20%", fmt.Sprintf("%d", res.DeniedOC))
-	return t
+	return t, nil
 }
 
 func init() {
 	registerTable("packing", 180, []string{"paper", "sim"},
-		func(ctx context.Context, o Options) (*Table, error) { return Packing(), nil })
+		func(ctx context.Context, o Options) (*Table, error) { return packingCtx(ctx, o) })
 	registerTable("buffers", 190, []string{"paper", "sim"},
 		func(ctx context.Context, o Options) (*Table, error) { return Buffers(), nil })
 	registerTable("capacity", 200, []string{"paper", "sim"},
-		func(ctx context.Context, o Options) (*Table, error) { return CapacityCrisis(), nil })
+		func(ctx context.Context, o Options) (*Table, error) { return capacityCrisisCtx(ctx, o) })
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"immersionoc/internal/dcsim"
+	"immersionoc/internal/sweep"
 )
 
 // FleetSim runs the full-stack integration simulation — placement,
@@ -16,7 +17,9 @@ func FleetSim() (*Table, error) {
 
 // FleetSimCtx is FleetSim honoring ctx and Options: a cancelled
 // context stops the in-flight fleet simulation at its next control
-// step, and the engines publish telemetry into o.Tel.
+// step. The two load levels are independent runs, so they fan out
+// through sweep.Map under o.Workers, each publishing telemetry into a
+// per-load child scope of o.Tel.
 func FleetSimCtx(ctx context.Context, o Options) (*Table, error) {
 	t := &Table{
 		Title:  "Integration — full-stack fleet simulation (3 tanks × 12 blades, 2-day trace)",
@@ -27,24 +30,28 @@ func FleetSimCtx(ctx context.Context, o Options) (*Table, error) {
 			"cancels overclocks it cannot power, and every hour lands on the wear budget",
 		},
 	}
-	for _, load := range []struct {
+	loads := []struct {
 		name string
 		rate float64
 		life float64
 	}{
 		{"moderate", 0.010, 10 * 3600},
 		{"heavy", 0.035, 20 * 3600},
-	} {
-		cfg := dcsim.DefaultConfig()
-		cfg.Trace.ArrivalRatePerS = load.rate
-		cfg.Trace.MeanLifetimeS = load.life
-		cfg.Trace.Seed = o.SeedOr(cfg.Trace.Seed)
-		cfg.Tel = o.Tel
-		rep, err := dcsim.RunCtx(ctx, cfg)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(load.name,
+	}
+	reports, err := sweep.Map(ctx, len(loads), sweep.Options{Workers: o.Workers, Tel: o.Tel},
+		func(ctx context.Context, i int) (*dcsim.Report, error) {
+			cfg := dcsim.DefaultConfig()
+			cfg.Trace.ArrivalRatePerS = loads[i].rate
+			cfg.Trace.MeanLifetimeS = loads[i].life
+			cfg.Trace.Seed = o.SeedOr(cfg.Trace.Seed)
+			cfg.Tel = o.Tel.Child(loads[i].name)
+			return dcsim.RunCtx(ctx, cfg)
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, rep := range reports {
+		t.AddRow(loads[i].name,
 			F(rep.PeakDensity, 3),
 			fmt.Sprintf("%d", rep.Rejected),
 			fmt.Sprintf("%d", rep.PeakOverclocked),

@@ -40,6 +40,13 @@ type Options struct {
 	// DurationS overrides the simulated duration in seconds, for the
 	// experiments that have one, when positive.
 	DurationS float64
+	// Workers bounds the intra-experiment sweep parallelism: the
+	// harnesses whose grids fan out through sweep.Map run at most this
+	// many cells at once, drawing slots from the runner's shared
+	// worker budget. ≤ 1 — including the zero value — keeps every
+	// sweep serial, reproducing the original loops exactly; the
+	// runner threads the resolved octl -j value here.
+	Workers int
 	// Tel is the per-run telemetry scope the harness publishes its
 	// engine metrics into (the runner keys it by experiment name).
 	// Nil — the zero value — disables collection; every telemetry

@@ -27,6 +27,15 @@
 // Outcomes are reported in submission order regardless of completion
 // order, so a parallel run is byte-for-byte comparable with a serial
 // one.
+//
+// Worker slots are tokens in a budget shared with internal/sweep
+// (sweep.Shared unless Config.Budget overrides it): each worker holds
+// a token while its experiment runs, and an experiment that fans its
+// own grid out through sweep.Map lends that token to its cells while
+// the worker blocks on them. The requested worker count therefore
+// bounds total live parallelism — experiments plus sweep cells — and
+// the resolved count is threaded into experiments.Options.Workers so
+// `octl -j` reaches inside each experiment's grid loops.
 package runner
 
 import (
@@ -41,6 +50,7 @@ import (
 	"time"
 
 	"immersionoc/internal/experiments"
+	"immersionoc/internal/sweep"
 	"immersionoc/internal/telemetry"
 )
 
@@ -74,6 +84,15 @@ type Config struct {
 	// after the experiment; the runner's own counters land under
 	// "runner".
 	Metrics *telemetry.Registry
+	// Budget is the worker-token pool shared between the runner and
+	// the intra-experiment sweeps. Nil uses sweep.Shared, the
+	// process-wide budget. Each worker holds a token while its
+	// experiment runs and lends it to the experiment's sweep cells
+	// while blocked on them, so experiments × cells never exceed the
+	// budget's capacity. The budget is grown to the requested worker
+	// count, never shrunk, so the runner's own parallelism is never
+	// throttled below Workers.
+	Budget *sweep.Budget
 }
 
 // Outcome is the observed result of one submitted experiment.
@@ -227,15 +246,31 @@ func round(d time.Duration) time.Duration {
 // panics because of an experiment; it is safe to call concurrently
 // with itself.
 func Run(ctx context.Context, exps []experiments.Experiment, cfg Config) *Report {
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	requested := cfg.Workers
+	if requested <= 0 {
+		requested = runtime.GOMAXPROCS(0)
 	}
+	if requested < 1 {
+		requested = 1
+	}
+	// The pool never needs more workers than experiments, but the
+	// requested width still reaches inside each experiment: a lone
+	// `octl fig12 -j 8` runs one experiment whose sweep fans its grid
+	// out 8-wide.
+	workers := requested
 	if workers > len(exps) {
 		workers = len(exps)
 	}
 	if workers < 1 {
 		workers = 1
+	}
+	budget := cfg.Budget
+	if budget == nil {
+		budget = sweep.Shared
+	}
+	budget.Grow(requested)
+	if cfg.Options.Workers == 0 {
+		cfg.Options.Workers = requested
 	}
 	report := &Report{Outcomes: make([]Outcome, len(exps)), Workers: workers}
 	start := time.Now()
@@ -266,13 +301,18 @@ func Run(ctx context.Context, exps []experiments.Experiment, cfg Config) *Report
 			defer wg.Done()
 			for i := range jobs {
 				var o Outcome
-				if err := ctx.Err(); err != nil {
+				if lease, err := acquireSlot(ctx, budget); err != nil {
 					// The run was cancelled: mark the remaining
 					// experiments without starting them.
 					o = Outcome{Name: exps[i].Name, Err: err}
 					rm.skipped.Inc()
 				} else {
-					o = runOne(ctx, exps[i], cfg, reg, rm)
+					// The experiment runs holding a budget token; its
+					// context carries the lease so a sweep inside can
+					// lend the slot to its cells while this worker
+					// blocks on them.
+					o = runOne(sweep.Attach(ctx, lease), exps[i], cfg, reg, rm)
+					lease.Release()
 				}
 				report.Outcomes[i] = o
 				if cfg.OnDone != nil {
@@ -285,6 +325,16 @@ func Run(ctx context.Context, exps []experiments.Experiment, cfg Config) *Report
 	report.Wall = time.Since(start)
 	report.Telemetry = reg.Snapshot()
 	return report
+}
+
+// acquireSlot takes a budget token, refusing outright when the run is
+// already cancelled (a free token must not resurrect a skipped
+// experiment).
+func acquireSlot(ctx context.Context, b *sweep.Budget) (*sweep.Lease, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return b.Acquire(ctx)
 }
 
 // runMetrics holds the runner's own telemetry handles (all nil no-ops

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"immersionoc/internal/experiments"
+	"immersionoc/internal/sweep"
 	"immersionoc/internal/telemetry"
 )
 
@@ -222,15 +223,19 @@ func TestReportAggregates(t *testing.T) {
 
 // determinismSet is the registry subset the determinism test runs:
 // every model-driven experiment plus the duration-shortened
-// simulations, so real sims cross the parallel path without the full
-// evaluation cost.
+// simulations — including every sweep-enabled harness, so the
+// intra-experiment fan-out crosses the parallel path — without the
+// full evaluation cost.
 func determinismSet(t *testing.T) ([]experiments.Experiment, experiments.Options) {
 	set := experiments.WithTag("fast")
 	if len(set) < 10 {
 		t.Fatalf("only %d fast experiments registered", len(set))
 	}
 	if !testing.Short() {
-		for _, name := range []string{"fig12", "fig13", "diurnal"} {
+		for _, name := range []string{
+			"fig12", "fig13", "diurnal", "policies",
+			"ablation-eq1", "ablation-bursts", "fleetsim", "packing", "capacity",
+		} {
 			e, ok := experiments.Lookup(name)
 			if !ok {
 				t.Fatalf("%s not registered", name)
@@ -457,5 +462,86 @@ func TestCancellationPromise(t *testing.T) {
 	}
 	if !errors.Is(o.Err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled from inside the simulation", o.Err)
+	}
+}
+
+// TestSharedBudgetNeverExceeded is the runner↔sweep semaphore
+// contract: experiments and the sweep cells they fan out draw from one
+// budget, so total live parallelism never exceeds its capacity — a
+// worker blocked on its experiment's sweep lends the cells its own
+// token rather than holding it idle.
+func TestSharedBudgetNeverExceeded(t *testing.T) {
+	const capTokens = 3
+	budget := sweep.NewBudget(capTokens)
+	var running, peak atomic.Int64
+	enter := func() {
+		n := running.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+	}
+	var exps []experiments.Experiment
+	for i := 0; i < 6; i++ {
+		exps = append(exps, fake(fmt.Sprintf("sweeper%d", i),
+			func(ctx context.Context, o experiments.Options) (experiments.Result, error) {
+				enter()
+				time.Sleep(2 * time.Millisecond)
+				running.Add(-1)
+				// Fan out like a converted harness: the worker's token is
+				// lent to these cells while the experiment blocks here.
+				_, err := sweep.Map(ctx, 5, sweep.Options{Workers: o.Workers},
+					func(ctx context.Context, j int) (int, error) {
+						enter()
+						time.Sleep(time.Millisecond)
+						running.Add(-1)
+						return j, nil
+					})
+				if err != nil {
+					return experiments.Result{}, err
+				}
+				enter()
+				running.Add(-1)
+				return tableFor("sweeper"), nil
+			}))
+	}
+	r := Run(context.Background(), exps, Config{Workers: capTokens, Budget: budget})
+	for _, o := range r.Outcomes {
+		if !o.OK() {
+			t.Fatalf("%s: %v", o.Name, o.Err)
+		}
+	}
+	if p := peak.Load(); p > capTokens {
+		t.Fatalf("peak live parallelism %d exceeds the shared budget's %d tokens", p, capTokens)
+	}
+	if u := budget.Used(); u != 0 {
+		t.Fatalf("budget leaks %d tokens after the run", u)
+	}
+	if c := budget.Cap(); c != capTokens {
+		t.Fatalf("budget cap changed to %d", c)
+	}
+}
+
+// TestWorkersReachSweeps: the requested -j width is threaded into
+// experiments.Options even when the pool itself is capped at the
+// experiment count, so a lone experiment still sweeps wide.
+func TestWorkersReachSweeps(t *testing.T) {
+	var seen atomic.Int64
+	e := fake("lone", func(ctx context.Context, o experiments.Options) (experiments.Result, error) {
+		seen.Store(int64(o.Workers))
+		return tableFor("lone"), nil
+	})
+	Run(context.Background(), []experiments.Experiment{e}, Config{Workers: 8, Budget: sweep.NewBudget(8)})
+	if got := seen.Load(); got != 8 {
+		t.Fatalf("Options.Workers = %d inside the experiment, want the requested 8", got)
+	}
+
+	// An explicit Options.Workers is left alone.
+	Run(context.Background(), []experiments.Experiment{e},
+		Config{Workers: 8, Budget: sweep.NewBudget(8), Options: experiments.Options{Workers: 2}})
+	if got := seen.Load(); got != 2 {
+		t.Fatalf("Options.Workers = %d, want the explicit 2", got)
 	}
 }

@@ -77,7 +77,7 @@ func (r *Registry) Scope(name string) *Scope {
 		if r.scopes == nil {
 			r.scopes = make(map[string]*Scope)
 		}
-		s = &Scope{name: name}
+		s = &Scope{name: name, reg: r}
 		r.scopes[name] = s
 	}
 	return s
@@ -99,10 +99,12 @@ func (r *Registry) ScopeNames() []string {
 }
 
 // Scope is one named group of metrics — in this repository, one scope
-// per experiment run plus one for the runner itself. Metric handles
-// are created on first use and live for the scope's lifetime.
+// per experiment run plus one for the runner itself, with per-cell
+// child scopes underneath the experiments that sweep a grid. Metric
+// handles are created on first use and live for the scope's lifetime.
 type Scope struct {
 	name       string
+	reg        *Registry
 	mu         sync.RWMutex
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
@@ -115,6 +117,18 @@ func (s *Scope) Name() string {
 		return ""
 	}
 	return s.name
+}
+
+// Child returns the scope named "<parent>/<suffix>" in the same
+// registry, creating it on first use. Sweeping experiments give each
+// grid cell its own child scope so last-write metrics (gauges) stay
+// deterministic under parallel cells instead of racing on completion
+// order. A nil scope returns nil.
+func (s *Scope) Child(suffix string) *Scope {
+	if s == nil {
+		return nil
+	}
+	return s.reg.Scope(s.name + "/" + suffix)
 }
 
 // Counter returns the named counter, creating it on first use. Nil

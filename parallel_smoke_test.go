@@ -1,0 +1,56 @@
+// Parallel smoke: the end-to-end assertion that the worker budget
+// actually buys wall-clock time on a multi-core host. Opt-in via
+// RUNNER_PARALLEL_SMOKE=1 because the development container has one
+// CPU, where serial and parallel coincide; CI's multicore leg runs it
+// at GOMAXPROCS=4.
+package immersionoc_test
+
+import (
+	"context"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"immersionoc/internal/experiments"
+	"immersionoc/internal/runner"
+)
+
+// TestRunnerParallelSmoke replays the duration-shortened evaluation
+// serially and GOMAXPROCS-wide and requires the parallel run to be no
+// slower than the serial one — the sweeps' fan-out plus the shared
+// budget must never cost wall-clock time. On ≥4 cores a healthy run
+// shows well over 2x; the hard gate stays at parity so a loaded CI
+// host cannot flake the build.
+func TestRunnerParallelSmoke(t *testing.T) {
+	if os.Getenv("RUNNER_PARALLEL_SMOKE") == "" {
+		t.Skip("set RUNNER_PARALLEL_SMOKE=1 to run (needs a multi-core host)")
+	}
+	cores := runtime.GOMAXPROCS(0)
+	if cores < 2 {
+		t.Skipf("GOMAXPROCS=%d: parallel speedup not observable", cores)
+	}
+	exps := experiments.Tables()
+	if len(exps) == 0 {
+		t.Fatal("empty registry")
+	}
+	opts := experiments.Options{DurationS: 120}
+	run := func(workers int) time.Duration {
+		start := time.Now()
+		r := runner.Run(context.Background(), exps, runner.Config{Workers: workers, Options: opts})
+		if failed := r.Failed(); len(failed) > 0 {
+			t.Fatalf("%s: %v", failed[0].Name, failed[0].Err)
+		}
+		return time.Since(start)
+	}
+	run(1) // warm caches so the serial measurement is not paying first-run costs
+	serial := run(1)
+	parallel := run(cores)
+	t.Logf("serial %s, parallel(%d) %s — %.2fx speedup",
+		serial.Round(time.Millisecond), cores, parallel.Round(time.Millisecond),
+		float64(serial)/float64(parallel))
+	// 5% grace absorbs scheduler jitter on a shared runner.
+	if parallel > serial+serial/20 {
+		t.Fatalf("parallel run (%s) slower than serial (%s)", parallel, serial)
+	}
+}
