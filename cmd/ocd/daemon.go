@@ -1,0 +1,406 @@
+package main
+
+// The daemon wraps a stepwise dcsim.Sim behind the typed v1 API. One
+// mutex serializes every simulation touch — the Sim is engineered for
+// a single control loop, and an HTTP handler is just another entrant
+// into that loop. Decisions go through the Sim's placement.Decider, so
+// an answer served here is the same answer the batch evaluation would
+// compute.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"immersionoc/internal/api"
+	"immersionoc/internal/dcsim"
+	"immersionoc/internal/placement"
+	"immersionoc/internal/telemetry"
+	"immersionoc/internal/vm"
+)
+
+const (
+	modeStepped = "stepped"
+	modeScaled  = "scaled"
+)
+
+// maxStepsPerCall bounds one /v1/step request so a typo cannot hold
+// the simulation lock for minutes.
+const maxStepsPerCall = 100000
+
+type daemon struct {
+	mu   sync.Mutex
+	sim  *dcsim.Sim
+	vms  map[int]*vm.VM // placed VMs by ID, for Remove
+	mode string
+	reg  *telemetry.Registry
+
+	grants, denies *telemetry.Counter
+	requests       *telemetry.Counter
+}
+
+func newDaemon(cfg dcsim.Config, mode string, reg *telemetry.Registry) (*daemon, error) {
+	sim, err := dcsim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ocd := reg.Scope("ocd")
+	return &daemon{
+		sim:      sim,
+		vms:      make(map[int]*vm.VM),
+		mode:     mode,
+		reg:      reg,
+		grants:   ocd.Counter("overclock_grants"),
+		denies:   ocd.Counter("overclock_denies"),
+		requests: ocd.Counter("http_requests"),
+	}, nil
+}
+
+// runScaled drives the control loop from the wall clock: every
+// StepS/scale wall seconds, one simulated step.
+func (d *daemon) runScaled(ctx context.Context, scale float64) {
+	interval := time.Duration(d.sim.StepS() / scale * float64(time.Second))
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			d.mu.Lock()
+			d.sim.Step()
+			d.mu.Unlock()
+		}
+	}
+}
+
+// apiError carries an HTTP status with a message for ErrorResponse.
+type apiError struct {
+	code int
+	msg  string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func errf(code int, format string, a ...any) error {
+	return &apiError{code: code, msg: fmt.Sprintf(format, a...)}
+}
+
+// post wires a typed request handler: decode JSON, check the version
+// tag, run fn under the daemon lock, encode the response (or an
+// ErrorResponse with the apiError's status).
+func post[Req any, Resp any](d *daemon, vers func(Req) string, fn func(Req) (Resp, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		d.requests.Inc()
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		var req Req
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+			return
+		}
+		if v := vers(req); v != "" && v != api.Version {
+			writeError(w, http.StatusBadRequest, "unsupported version "+v)
+			return
+		}
+		d.mu.Lock()
+		resp, err := fn(req)
+		d.mu.Unlock()
+		if err != nil {
+			code := http.StatusInternalServerError
+			if ae, ok := err.(*apiError); ok {
+				code = ae.code
+			}
+			writeError(w, code, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, api.ErrorResponse{Vers: api.Version, Error: msg})
+}
+
+// vmFromSpec reconstructs the simulator's VM from its wire form. The
+// placement models read only size, class and the utilization
+// statistics, all of which survive the JSON round trip bit-exactly, so
+// an API-driven arrival is indistinguishable from a trace-replayed one.
+func vmFromSpec(s api.VMSpec) (*vm.VM, error) {
+	if s.VCores <= 0 || s.MemoryGB <= 0 {
+		return nil, errf(http.StatusBadRequest, "vm %d: need positive vcores and memory", s.ID)
+	}
+	var class vm.Class
+	switch s.Class {
+	case "", "regular":
+		class = vm.Regular
+	case "high-perf":
+		class = vm.HighPerf
+	case "harvest":
+		class = vm.Harvest
+	default:
+		return nil, errf(http.StatusBadRequest, "vm %d: unknown class %q", s.ID, s.Class)
+	}
+	return &vm.VM{
+		ID:               s.ID,
+		Type:             vm.Type{Name: fmt.Sprintf("v%d", s.VCores), VCores: s.VCores, MemoryGB: s.MemoryGB},
+		Class:            class,
+		AvgUtil:          s.AvgUtil,
+		ScalableFraction: s.ScalableFraction,
+	}, nil
+}
+
+func (d *daemon) serverRef(i int) api.ServerRef {
+	info := d.sim.Server(i)
+	return api.ServerRef{Index: info.Index, ID: info.ID, Tank: info.Tank}
+}
+
+// filter answers "which servers can take this VM" with per-server
+// machine-readable rejection reasons.
+func (d *daemon) filter(req api.FilterRequest) (api.FilterResponse, error) {
+	v, err := vmFromSpec(req.VM)
+	if err != nil {
+		return api.FilterResponse{}, err
+	}
+	cl := d.sim.Cluster()
+	servers := cl.Servers()
+	resp := api.FilterResponse{Vers: api.Version}
+	for i, srv := range servers {
+		ref := d.serverRef(i)
+		reason := cl.Explain(srv, v)
+		if reason == "" && v.Class == vm.HighPerf &&
+			d.sim.TankOverclocked(ref.Tank) >= d.sim.TankBudget(ref.Tank) {
+			// A guaranteed-overclock VM needs condenser headroom in the
+			// tank, not just core headroom on the server.
+			reason = "thermal"
+		}
+		if reason == "" {
+			resp.Eligible = append(resp.Eligible, ref)
+		} else {
+			resp.Failed = append(resp.Failed, api.FilterFailure{Server: ref, Reason: reason})
+		}
+	}
+	return resp, nil
+}
+
+// prioritize scores candidates 0–100: packing headroom after placement
+// blended with remaining wear credit (a server with slack in both can
+// absorb bursts by overclocking instead of degrading).
+func (d *daemon) prioritize(req api.PrioritizeRequest) (api.PrioritizeResponse, error) {
+	v, err := vmFromSpec(req.VM)
+	if err != nil {
+		return api.PrioritizeResponse{}, err
+	}
+	pol := d.sim.Cluster().Policy
+	resp := api.PrioritizeResponse{Vers: api.Version}
+	for _, i := range req.Servers {
+		if i < 0 || i >= d.sim.ServerCount() {
+			return api.PrioritizeResponse{}, errf(http.StatusBadRequest, "server %d out of range", i)
+		}
+		info := d.sim.Server(i)
+		capV := float64(info.PCores)
+		if pol.CPUOversubRatio > 0 && info.Overclockable {
+			capV = math.Floor(capV * (1 + pol.CPUOversubRatio))
+		}
+		headroom := (capV - float64(info.VCoresUsed) - float64(v.Type.VCores)) / capV
+		headroom = math.Max(0, math.Min(1, headroom))
+		credit := 1.0
+		if info.WearProRata > 0 {
+			credit = math.Max(0, math.Min(1, 1-info.WearUsed/info.WearProRata))
+		}
+		resp.Scores = append(resp.Scores, api.HostScore{
+			Server: api.ServerRef{Index: info.Index, ID: info.ID, Tank: info.Tank},
+			Score:  100 * (0.6*headroom + 0.4*credit),
+		})
+	}
+	sort.SliceStable(resp.Scores, func(a, b int) bool {
+		if resp.Scores[a].Score != resp.Scores[b].Score {
+			return resp.Scores[a].Score > resp.Scores[b].Score
+		}
+		return resp.Scores[a].Server.Index < resp.Scores[b].Server.Index
+	})
+	return resp, nil
+}
+
+// place binds a VM through the cluster packer with trace-identical
+// rejection accounting.
+func (d *daemon) place(req api.PlaceRequest) (api.PlaceResponse, error) {
+	v, err := vmFromSpec(req.VM)
+	if err != nil {
+		return api.PlaceResponse{}, err
+	}
+	if _, dup := d.vms[v.ID]; dup {
+		return api.PlaceResponse{}, errf(http.StatusConflict, "vm %d already placed", v.ID)
+	}
+	srv, err := d.sim.Place(v)
+	if err != nil {
+		return api.PlaceResponse{Vers: api.Version, Placed: false, Error: err.Error()}, nil
+	}
+	d.vms[v.ID] = v
+	ref := d.serverRef(srv.ID)
+	return api.PlaceResponse{Vers: api.Version, Placed: true, Server: &ref}, nil
+}
+
+// remove releases a VM; departures of VMs that were rejected at
+// arrival are no-ops, matching trace replay.
+func (d *daemon) remove(req api.RemoveRequest) (api.RemoveResponse, error) {
+	v, ok := d.vms[req.ID]
+	if !ok {
+		return api.RemoveResponse{Vers: api.Version, Removed: false}, nil
+	}
+	d.sim.Remove(v)
+	delete(d.vms, req.ID)
+	return api.RemoveResponse{Vers: api.Version, Removed: true}, nil
+}
+
+// overclock evaluates a grant (or applies a cancel) through the Sim's
+// decider, so an API grant obeys exactly the governor's admission
+// rules: Equation 1 threshold, tank condenser budget, wear-risk
+// budget, feeder cap.
+func (d *daemon) overclock(req api.OverclockGrantRequest) (api.OverclockDecision, error) {
+	if req.Server < 0 || req.Server >= d.sim.ServerCount() {
+		return api.OverclockDecision{}, errf(http.StatusBadRequest, "server %d out of range", req.Server)
+	}
+	if req.Cancel {
+		d.sim.SetOverclock(req.Server, false)
+		return api.OverclockDecision{
+			Vers: api.Version, Granted: false, Reason: "cancelled",
+			RowPowerW: d.sim.RowPowerW(),
+		}, nil
+	}
+	info := d.sim.Server(req.Server)
+	if info.Overclocked {
+		return api.OverclockDecision{
+			Vers: api.Version, Granted: true, Reason: string(placement.ReasonGranted),
+			RowPowerW: d.sim.RowPowerW(),
+		}, nil
+	}
+	dec := d.sim.Decider().Evaluate(placement.GrantQuery{
+		Overclockable:   info.Overclockable,
+		DemandCores:     info.DemandCores,
+		PCores:          float64(info.PCores),
+		TankOverclocked: d.sim.TankOverclocked(info.Tank),
+		TankBudget:      d.sim.TankBudget(info.Tank),
+		WearUsed:        info.WearUsed,
+		WearProRata:     info.WearProRata,
+		RowPowerW:       d.sim.RowPowerW(),
+		OverclockDeltaW: info.PowerOCW - info.PowerNomW,
+	})
+	if dec.Allow {
+		d.sim.SetOverclock(req.Server, true)
+		d.grants.Inc()
+	} else {
+		d.denies.Inc()
+	}
+	return api.OverclockDecision{
+		Vers: api.Version, Granted: dec.Allow, Reason: string(dec.Reason),
+		RowPowerW: d.sim.RowPowerW(),
+	}, nil
+}
+
+// step advances the simulation deterministically (stepped mode only).
+func (d *daemon) step(req api.StepRequest) (api.StepResponse, error) {
+	if d.mode != modeStepped {
+		return api.StepResponse{}, errf(http.StatusConflict, "time is %s; POST /v1/step needs -mode stepped", d.mode)
+	}
+	n := req.Steps
+	if n <= 0 {
+		n = 1
+	}
+	if n > maxStepsPerCall {
+		return api.StepResponse{}, errf(http.StatusBadRequest, "steps %d exceeds the per-call cap %d", n, maxStepsPerCall)
+	}
+	for i := 0; i < n; i++ {
+		d.sim.Step()
+	}
+	return api.StepResponse{Vers: api.Version, SimTimeS: d.sim.Now(), StepsRun: n}, nil
+}
+
+// status snapshots the fleet KPIs (cumulative counts from the run's
+// report plus live row/thermal state).
+func (d *daemon) status() api.FleetStatus {
+	rep := d.sim.Report()
+	oc := 0
+	maxBath := 0.0
+	for i := 0; i < d.sim.TankCount(); i++ {
+		oc += d.sim.TankOverclocked(i)
+		if b := d.sim.TankBathC(i); b > maxBath {
+			maxBath = b
+		}
+	}
+	return api.FleetStatus{
+		Vers:                 api.Version,
+		SimTimeS:             d.sim.Now(),
+		StepS:                d.sim.StepS(),
+		Mode:                 d.mode,
+		Servers:              d.sim.ServerCount(),
+		Tanks:                d.sim.TankCount(),
+		PlacedVMs:            len(d.vms),
+		Density:              d.sim.Cluster().Stats().Density,
+		Rejected:             rep.Rejected,
+		RowPowerW:            d.sim.RowPowerW(),
+		MaxBathC:             rep.MaxBathC,
+		Overclocked:          oc,
+		Grants:               rep.TotalGrants,
+		Cancelled:            rep.CancelledOverclocks,
+		CapEvents:            rep.CapEvents,
+		OverclockServerHours: rep.OverclockServerHours,
+		MeanWearUsed:         rep.MeanWearUsed,
+	}
+}
+
+// finalReport renders the closing fleet report for the shutdown log.
+func (d *daemon) finalReport() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.sim.Report().String()
+}
+
+// handler builds the daemon's route table.
+func (d *daemon) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/filter", post(d, func(r api.FilterRequest) string { return r.Vers }, d.filter))
+	mux.HandleFunc("/v1/prioritize", post(d, func(r api.PrioritizeRequest) string { return r.Vers }, d.prioritize))
+	mux.HandleFunc("/v1/place", post(d, func(r api.PlaceRequest) string { return r.Vers }, d.place))
+	mux.HandleFunc("/v1/remove", post(d, func(r api.RemoveRequest) string { return r.Vers }, d.remove))
+	mux.HandleFunc("/v1/overclock", post(d, func(r api.OverclockGrantRequest) string { return r.Vers }, d.overclock))
+	mux.HandleFunc("/v1/step", post(d, func(r api.StepRequest) string { return r.Vers }, d.step))
+	mux.HandleFunc("/v1/status", func(w http.ResponseWriter, r *http.Request) {
+		d.requests.Inc()
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		d.mu.Lock()
+		st := d.status()
+		d.mu.Unlock()
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		d.requests.Inc()
+		snap := d.reg.Snapshot()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = snap.WritePrometheus(w, "ocd")
+	})
+	return mux
+}

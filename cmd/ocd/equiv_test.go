@@ -1,0 +1,149 @@
+package main
+
+// The batch-equivalence test: the same diurnal workload driven two
+// ways — replayed inside dcsim.Run (the paper's evaluation path) and
+// pushed VM by VM through the daemon's HTTP API in stepped time — must
+// land on bit-identical KPIs. This is the contract that makes the
+// daemon trustworthy: an operator experimenting against the API sees
+// exactly the economics the batch evaluation promised.
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"immersionoc/internal/api"
+	"immersionoc/internal/dcsim"
+	"immersionoc/internal/telemetry"
+	"immersionoc/internal/vm"
+)
+
+// equivFleet is sized so the diurnal peak forces real decisions:
+// grants every step, feeder cap events at the crest.
+func equivFleet() dcsim.Config {
+	cfg := dcsim.DefaultConfig()
+	cfg.Servers = 12
+	cfg.ServersPerTank = 4
+	cfg.FeederBudgetW = 3900
+	cfg.Trace = vm.TraceConfig{
+		Seed:             7,
+		ArrivalRatePerS:  0.06,
+		DurationS:        24 * 3600,
+		MeanLifetimeS:    3 * 3600,
+		HighPerfFraction: 0.05,
+	}
+	return cfg
+}
+
+// diurnalEvents builds the workload: arrivals thinned to a raised-
+// cosine day (trough 20% of peak).
+func diurnalEvents(cfg dcsim.Config) []vm.Event {
+	return vm.Events(vm.GenerateDiurnal(vm.DiurnalConfig{
+		TraceConfig:    cfg.Trace,
+		TroughFraction: 0.2,
+		PeriodS:        cfg.Trace.DurationS,
+	}))
+}
+
+func specFromVM(v *vm.VM) api.VMSpec {
+	return api.VMSpec{
+		ID:               v.ID,
+		VCores:           v.Type.VCores,
+		MemoryGB:         v.Type.MemoryGB,
+		Class:            v.Class.String(),
+		AvgUtil:          v.AvgUtil,
+		ScalableFraction: v.ScalableFraction,
+	}
+}
+
+func TestHTTPSteppedMatchesBatch(t *testing.T) {
+	cfg := equivFleet()
+	events := diurnalEvents(cfg)
+	if len(events) < 500 {
+		t.Fatalf("diurnal trace too small to exercise anything: %d events", len(events))
+	}
+
+	// Batch run: the trace replayed inside the control loop.
+	batchCfg := cfg
+	batchCfg.Events = events
+	batch, err := dcsim.Run(batchCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.TotalGrants == 0 || batch.CancelledOverclocks == 0 ||
+		batch.CapEvents == 0 || batch.Rejected == 0 {
+		t.Fatalf("workload must exercise every decision path (grants %d, cancelled %d, caps %d, rejected %d); equivalence would be vacuous",
+			batch.TotalGrants, batch.CancelledOverclocks, batch.CapEvents, batch.Rejected)
+	}
+
+	// Daemon run: an open-loop fleet, the same events pushed over HTTP
+	// with the same timing discipline the batch loop uses — everything
+	// due at or before t lands before the step at t.
+	daemonCfg := cfg
+	daemonCfg.Events = []vm.Event{}
+	reg := telemetry.NewRegistry()
+	daemonCfg.Tel = reg.Scope("dcsim")
+	d, err := newDaemon(daemonCfg, modeStepped, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(d.handler())
+	defer ts.Close()
+	c := api.NewClient(ts.URL)
+	ctx := context.Background()
+
+	simT := 0.0
+	ei := 0
+	for simT < cfg.Trace.DurationS {
+		for ei < len(events) && events[ei].TimeS <= simT {
+			ev := events[ei]
+			ei++
+			if ev.Arrival {
+				if _, err := c.Place(ctx, api.PlaceRequest{VM: specFromVM(ev.VM)}); err != nil {
+					t.Fatalf("place VM %d: %v", ev.VM.ID, err)
+				}
+			} else {
+				if _, err := c.Remove(ctx, api.RemoveRequest{ID: ev.VM.ID}); err != nil {
+					t.Fatalf("remove VM %d: %v", ev.VM.ID, err)
+				}
+			}
+		}
+		sr, err := c.Step(ctx, api.StepRequest{Steps: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		simT = sr.SimTimeS
+	}
+
+	st, err := c.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Bit-exact equality on every cumulative KPI: both paths ran the
+	// same float operations in the same order, and the VM statistics
+	// survive the JSON round trip losslessly.
+	if st.Rejected != batch.Rejected {
+		t.Errorf("rejected: http %d, batch %d", st.Rejected, batch.Rejected)
+	}
+	if st.Grants != batch.TotalGrants {
+		t.Errorf("grants: http %d, batch %d", st.Grants, batch.TotalGrants)
+	}
+	if st.Cancelled != batch.CancelledOverclocks {
+		t.Errorf("cancelled: http %d, batch %d", st.Cancelled, batch.CancelledOverclocks)
+	}
+	if st.CapEvents != batch.CapEvents {
+		t.Errorf("cap events: http %d, batch %d", st.CapEvents, batch.CapEvents)
+	}
+	if st.OverclockServerHours != batch.OverclockServerHours {
+		t.Errorf("OC server-hours: http %v, batch %v", st.OverclockServerHours, batch.OverclockServerHours)
+	}
+	if st.MaxBathC != batch.MaxBathC {
+		t.Errorf("max bath: http %v, batch %v", st.MaxBathC, batch.MaxBathC)
+	}
+	if st.MeanWearUsed != batch.MeanWearUsed {
+		t.Errorf("mean wear: http %v, batch %v", st.MeanWearUsed, batch.MeanWearUsed)
+	}
+	t.Logf("equivalent: grants %d, cancelled %d, cap events %d, OC server-hours %.2f, rejected %d",
+		st.Grants, st.Cancelled, st.CapEvents, st.OverclockServerHours, st.Rejected)
+}

@@ -1,0 +1,143 @@
+package main
+
+// TestOCDSmoke is the end-to-end daemon check CI runs as its ocd leg:
+// build the real binary, start it on an ephemeral port, drive one
+// filter → grant → step → status cycle through the typed client, then
+// SIGTERM it and require a clean exit (drain + final telemetry flush)
+// within five seconds.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"immersionoc/internal/api"
+	"immersionoc/internal/telemetry"
+)
+
+var apiLine = regexp.MustCompile(`ocd: api on (http://[^\s]+:\d+)/v1`)
+
+func TestOCDSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "ocd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	metricsPath := filepath.Join(dir, "final.json")
+	cmd := exec.Command(bin, "-listen", "127.0.0.1:0", "-mode", "stepped", "-metrics", metricsPath)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The daemon logs its resolved ephemeral address; scrape it.
+	sc := bufio.NewScanner(stderr)
+	baseURL := ""
+	var tail strings.Builder
+	for sc.Scan() {
+		line := sc.Text()
+		tail.WriteString(line + "\n")
+		if m := apiLine.FindStringSubmatch(line); m != nil {
+			baseURL = m[1]
+			break
+		}
+	}
+	if baseURL == "" {
+		t.Fatalf("no resolved listen address in stderr:\n%s", tail.String())
+	}
+	// Keep draining stderr so the daemon never blocks on the pipe.
+	done := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			tail.WriteString(sc.Text() + "\n")
+		}
+		done <- tail.String()
+	}()
+
+	c := api.NewClient(baseURL)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := c.Healthz(ctx); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+
+	// One full control cycle: place load, filter, request a grant,
+	// advance time, read status.
+	hot := api.VMSpec{ID: 1, VCores: 16, MemoryGB: 64, AvgUtil: 0.9, ScalableFraction: 0.5}
+	if _, err := c.Place(ctx, api.PlaceRequest{VM: hot}); err != nil {
+		t.Fatalf("place: %v", err)
+	}
+	hot2 := hot
+	hot2.ID = 2
+	pr, err := c.Place(ctx, api.PlaceRequest{VM: hot2})
+	if err != nil || !pr.Placed {
+		t.Fatalf("place 2: %+v, %v", pr, err)
+	}
+	fr, err := c.Filter(ctx, api.FilterRequest{VM: api.VMSpec{ID: 3, VCores: 2, MemoryGB: 8, AvgUtil: 0.3}})
+	if err != nil || len(fr.Eligible) == 0 {
+		t.Fatalf("filter: %+v, %v", fr, err)
+	}
+	od, err := c.Overclock(ctx, api.OverclockGrantRequest{Server: pr.Server.Index})
+	if err != nil || !od.Granted {
+		t.Fatalf("overclock: %+v, %v", od, err)
+	}
+	sr, err := c.Step(ctx, api.StepRequest{Steps: 2})
+	if err != nil || sr.StepsRun != 2 {
+		t.Fatalf("step: %+v, %v", sr, err)
+	}
+	st, err := c.Status(ctx)
+	if err != nil || st.Grants == 0 || st.PlacedVMs != 2 {
+		t.Fatalf("status: %+v, %v", st, err)
+	}
+	if text, err := c.Metrics(ctx); err != nil || !strings.Contains(text, "ocd_row_power_w") {
+		t.Fatalf("metrics: %v", err)
+	}
+
+	// SIGTERM: drain and exit 0 within 5 s, with the final telemetry
+	// snapshot flushed to -metrics. Stderr must hit EOF before Wait —
+	// Wait closes the pipe and would race the drain goroutine.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	var stderrText string
+	select {
+	case stderrText = <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not exit within 5s of SIGTERM")
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("daemon exited uncleanly: %v\n%s", err, stderrText)
+	}
+
+	data, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatalf("final telemetry flush missing: %v", err)
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("final telemetry not valid JSON: %v", err)
+	}
+	if snap.Scopes["dcsim"].Counters["steps"] != 2 {
+		t.Fatalf("final snapshot wrong step count: %v", snap.Scopes["dcsim"].Counters)
+	}
+	if !strings.Contains(stderrText, "ocd: final:") {
+		t.Fatalf("no final report logged:\n%s", stderrText)
+	}
+}

@@ -50,15 +50,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"net"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"strings"
-	"time"
 
+	"immersionoc/internal/cli"
 	"immersionoc/internal/experiments"
 	"immersionoc/internal/runner"
 )
@@ -67,51 +64,33 @@ func main() {
 	os.Exit(run(os.Args[1:]))
 }
 
-type cli struct {
-	workers  int
+type options struct {
+	cli.Common // -j, -seed, -timeout, -metrics, -pprof
+
 	tags     string
 	jsonOut  bool
 	outDir   string
-	timeout  time.Duration
 	retries  int
-	seed     uint64
 	duration float64
-	metrics  string
-	pprof    string
 }
 
 // parseArgs accepts flags interleaved with experiment names
 // (`octl all -j 8` and `octl -j 8 all` both work).
-func parseArgs(args []string) (cli, []string, error) {
-	var c cli
+func parseArgs(args []string) (options, []string, error) {
+	var c options
 	fs := flag.NewFlagSet("octl", flag.ContinueOnError)
-	fs.IntVar(&c.workers, "j", 0, "shared worker budget for experiments and their internal sweeps (0 = GOMAXPROCS)")
+	c.Register(fs)
 	fs.StringVar(&c.tags, "tags", "", "comma-separated tags to select experiments by")
 	fs.BoolVar(&c.jsonOut, "json", false, "emit NDJSON results on stdout")
 	fs.StringVar(&c.outDir, "out", "", "write per-experiment .json and .txt files to this directory")
-	fs.DurationVar(&c.timeout, "timeout", 0, "per-experiment timeout (0 = none)")
 	fs.IntVar(&c.retries, "retries", 0, "re-run a failing experiment up to N times")
-	fs.Uint64Var(&c.seed, "seed", 0, "override experiment RNG seeds (0 = calibrated defaults)")
 	fs.Float64Var(&c.duration, "duration", 0, "override simulated duration in seconds (0 = calibrated defaults)")
-	fs.StringVar(&c.metrics, "metrics", "", "write the run's telemetry snapshot as JSON to this file")
-	fs.StringVar(&c.pprof, "pprof", "", "serve net/http/pprof on this address (empty = off)")
-	var names []string
-	rest := args
-	for {
-		if err := fs.Parse(rest); err != nil {
-			return c, nil, err
-		}
-		rest = fs.Args()
-		if len(rest) == 0 {
-			return c, names, nil
-		}
-		names = append(names, rest[0])
-		rest = rest[1:]
-	}
+	names, err := cli.ParseInterleaved(fs, args)
+	return c, names, err
 }
 
 // selection resolves the command line into an ordered experiment list.
-func selection(c cli, names []string) ([]experiments.Experiment, error) {
+func selection(c options, names []string) ([]experiments.Experiment, error) {
 	if c.tags != "" {
 		if len(names) > 0 {
 			return nil, fmt.Errorf("use either -tags or experiment names, not both")
@@ -175,16 +154,13 @@ func run(args []string) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	if c.pprof != "" {
-		ln, err := net.Listen("tcp", c.pprof)
+	if c.Pprof != "" {
+		ln, err := cli.ServePprof("octl", c.Pprof, os.Stderr)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "octl: pprof: %v\n", err)
+			fmt.Fprintf(os.Stderr, "octl: %v\n", err)
 			return 1
 		}
 		defer ln.Close()
-		fmt.Fprintf(os.Stderr, "octl: pprof on http://%s/debug/pprof/\n", ln.Addr())
-		// DefaultServeMux carries the net/http/pprof handlers.
-		go http.Serve(ln, nil)
 	}
 
 	// Stream results in submission order as they complete: workers
@@ -192,10 +168,10 @@ func run(args []string) int {
 	outcomes := make([]*runner.Outcome, len(sel))
 	done := make(chan int, len(sel))
 	cfg := runner.Config{
-		Workers: c.workers,
-		Timeout: c.timeout,
+		Workers: c.Workers,
+		Timeout: c.Timeout,
 		Retries: c.retries,
-		Options: experiments.Options{Seed: c.seed, DurationS: c.duration},
+		Options: experiments.Options{Seed: c.Seed, DurationS: c.duration},
 		OnDone: func(i int, o runner.Outcome) {
 			outcomes[i] = &o
 			done <- i
@@ -217,8 +193,8 @@ func run(args []string) int {
 	}
 	report := <-reportCh
 	fmt.Fprintf(os.Stderr, "octl: %s\n", report.Summary())
-	if c.metrics != "" {
-		if err := writeMetrics(c.metrics, report); err != nil {
+	if c.Metrics != "" {
+		if err := writeMetrics(c.Metrics, report); err != nil {
 			fmt.Fprintf(os.Stderr, "octl: metrics: %v\n", err)
 			return 1
 		}
@@ -234,7 +210,7 @@ func run(args []string) int {
 }
 
 // emit prints or writes one outcome; it reports success.
-func emit(c cli, o runner.Outcome) bool {
+func emit(c options, o runner.Outcome) bool {
 	if !o.OK() {
 		fmt.Fprintf(os.Stderr, "octl: %s: %s\n", o.Name, firstLine(o.Err))
 		return false

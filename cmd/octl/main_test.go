@@ -134,7 +134,7 @@ func TestParseArgsInterleavedFlags(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if c.workers != 8 || !c.jsonOut {
+	if c.Workers != 8 || !c.jsonOut {
 		t.Fatalf("flags after the subcommand not parsed: %+v", c)
 	}
 	if len(names) != 1 || names[0] != "all" {
@@ -143,11 +143,11 @@ func TestParseArgsInterleavedFlags(t *testing.T) {
 }
 
 func TestSelection(t *testing.T) {
-	all, err := selection(cli{}, nil)
+	all, err := selection(options{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	explicit, err := selection(cli{}, []string{"all"})
+	explicit, err := selection(options{}, []string{"all"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +160,7 @@ func TestSelection(t *testing.T) {
 		}
 	}
 
-	named, err := selection(cli{}, []string{"fig9", "table5"})
+	named, err := selection(options{}, []string{"fig9", "table5"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,11 +168,11 @@ func TestSelection(t *testing.T) {
 		t.Fatalf("named selection = %v", named)
 	}
 
-	if _, err := selection(cli{}, []string{"nonesuch"}); err == nil {
+	if _, err := selection(options{}, []string{"nonesuch"}); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 
-	tagged, err := selection(cli{tags: "paper"}, nil)
+	tagged, err := selection(options{tags: "paper"}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,10 +185,10 @@ func TestSelection(t *testing.T) {
 		t.Fatalf("-tags paper selected only %d experiments", len(tagged))
 	}
 
-	if _, err := selection(cli{tags: "paper"}, []string{"fig9"}); err == nil {
+	if _, err := selection(options{tags: "paper"}, []string{"fig9"}); err == nil {
 		t.Fatal("-tags combined with names accepted")
 	}
-	if _, err := selection(cli{tags: "nonesuch"}, nil); err == nil {
+	if _, err := selection(options{tags: "nonesuch"}, nil); err == nil {
 		t.Fatal("unknown tag accepted")
 	}
 }

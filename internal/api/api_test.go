@@ -1,0 +1,128 @@
+package api
+
+import (
+	"encoding/json"
+	"reflect"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wireStructs is one fully populated instance of every exported API
+// struct — the round-trip and convention tests enumerate it, so a new
+// struct must be added here to land.
+func wireStructs() []any {
+	ref := ServerRef{Index: 3, ID: 3, Tank: 1}
+	return []any{
+		VMSpec{ID: 9, VCores: 4, MemoryGB: 16, Class: "high-perf", AvgUtil: 0.4, ScalableFraction: 0.6},
+		FilterRequest{Vers: Version, VM: VMSpec{ID: 1, VCores: 2, MemoryGB: 8, AvgUtil: 0.3}},
+		FilterResponse{Vers: Version, Eligible: []ServerRef{ref}, Failed: []FilterFailure{{Server: ServerRef{Index: 4, ID: 4, Tank: 1}, Reason: "memory"}}},
+		FilterFailure{Server: ref, Reason: "thermal"},
+		ServerRef{Index: 1, ID: 1, Tank: 0},
+		PrioritizeRequest{Vers: Version, VM: VMSpec{ID: 2, VCores: 8, MemoryGB: 32, AvgUtil: 0.5}, Servers: []int{0, 1, 2}},
+		PrioritizeResponse{Vers: Version, Scores: []HostScore{{Server: ref, Score: 87.5}}},
+		HostScore{Server: ref, Score: 12.25},
+		PlaceRequest{Vers: Version, VM: VMSpec{ID: 3, VCores: 2, MemoryGB: 8, AvgUtil: 0.2}},
+		PlaceResponse{Vers: Version, Placed: true, Server: &ref},
+		RemoveRequest{Vers: Version, ID: 3},
+		RemoveResponse{Vers: Version, Removed: true},
+		OverclockGrantRequest{Vers: Version, Server: 5, Cancel: true},
+		OverclockDecision{Vers: Version, Granted: true, Reason: "granted", RowPowerW: 11234.5},
+		StepRequest{Vers: Version, Steps: 12},
+		StepResponse{Vers: Version, SimTimeS: 3600, StepsRun: 12},
+		FleetStatus{
+			Vers: Version, SimTimeS: 300, StepS: 300, Mode: "stepped",
+			Servers: 36, Tanks: 3, PlacedVMs: 100, Density: 0.7, Rejected: 2,
+			RowPowerW: 12000.5, MaxBathC: 49.9, Overclocked: 4,
+			Grants: 40, Cancelled: 3, CapEvents: 1, OverclockServerHours: 3.25,
+			MeanWearUsed: 0.2,
+		},
+		ErrorResponse{Vers: Version, Error: "boom"},
+	}
+}
+
+// TestRoundTripEveryStruct pins marshal → unmarshal → DeepEqual for
+// every exported wire struct: the JSON form loses nothing.
+func TestRoundTripEveryStruct(t *testing.T) {
+	for _, in := range wireStructs() {
+		name := reflect.TypeOf(in).Name()
+		data, err := json.Marshal(in)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", name, err)
+		}
+		out := reflect.New(reflect.TypeOf(in))
+		if err := json.Unmarshal(data, out.Interface()); err != nil {
+			t.Fatalf("%s: unmarshal: %v", name, err)
+		}
+		if got := out.Elem().Interface(); !reflect.DeepEqual(got, in) {
+			t.Errorf("%s: round trip lost data:\n in: %+v\nout: %+v\nwire: %s", name, in, got, data)
+		}
+	}
+}
+
+// TestEveryExportedStructCovered keeps wireStructs honest: reflection
+// over the package's exported struct types must find no type missing
+// from the round-trip list.
+func TestEveryExportedStructCovered(t *testing.T) {
+	covered := map[string]bool{}
+	for _, in := range wireStructs() {
+		covered[reflect.TypeOf(in).Name()] = true
+	}
+	// The package's struct types, enumerated by hand because reflect
+	// cannot list a package's types: keep in sync with api.go (the
+	// compiler flags removals, this test flags additions via review of
+	// api.go — and the Client, which is not a wire struct, is exempt).
+	for _, name := range []string{
+		"VMSpec", "FilterRequest", "FilterResponse", "FilterFailure",
+		"ServerRef", "PrioritizeRequest", "PrioritizeResponse",
+		"HostScore", "PlaceRequest", "PlaceResponse", "RemoveRequest",
+		"RemoveResponse", "OverclockGrantRequest", "OverclockDecision",
+		"StepRequest", "StepResponse", "FleetStatus", "ErrorResponse",
+	} {
+		if !covered[name] {
+			t.Errorf("wire struct %s missing from the round-trip list", name)
+		}
+	}
+}
+
+var snakeCase = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// TestWireConvention enforces the shared wire format: every JSON tag
+// is snake_case, and every top-level request/response carries the
+// version field.
+func TestWireConvention(t *testing.T) {
+	topLevel := map[string]bool{
+		"FilterRequest": true, "FilterResponse": true,
+		"PrioritizeRequest": true, "PrioritizeResponse": true,
+		"PlaceRequest": true, "PlaceResponse": true,
+		"RemoveRequest": true, "RemoveResponse": true,
+		"OverclockGrantRequest": true, "OverclockDecision": true,
+		"StepRequest": true, "StepResponse": true,
+		"FleetStatus": true, "ErrorResponse": true,
+	}
+	for _, in := range wireStructs() {
+		typ := reflect.TypeOf(in)
+		hasVersion := false
+		for i := 0; i < typ.NumField(); i++ {
+			f := typ.Field(i)
+			tag := f.Tag.Get("json")
+			if tag == "" {
+				t.Errorf("%s.%s: missing json tag", typ.Name(), f.Name)
+				continue
+			}
+			name := strings.Split(tag, ",")[0]
+			if name == "-" {
+				continue
+			}
+			if !snakeCase.MatchString(name) {
+				t.Errorf("%s.%s: json tag %q is not snake_case", typ.Name(), f.Name, name)
+			}
+			if name == "version" {
+				hasVersion = true
+			}
+		}
+		if topLevel[typ.Name()] && !hasVersion {
+			t.Errorf("%s: top-level wire struct without a version field", typ.Name())
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package cli
+
+import (
+	"flag"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseInterleaved(t *testing.T) {
+	var c Common
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	c.Register(fs)
+	ops, err := ParseInterleaved(fs, []string{"alpha", "-j", "8", "beta", "-seed", "42", "gamma"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"alpha", "beta", "gamma"}; strings.Join(ops, " ") != strings.Join(want, " ") {
+		t.Errorf("operands = %v, want %v", ops, want)
+	}
+	if c.Workers != 8 || c.Seed != 42 {
+		t.Errorf("flags not bound: %+v", c)
+	}
+}
+
+func TestCommonRegistersSharedFlags(t *testing.T) {
+	var c Common
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	c.Register(fs)
+	for _, name := range []string{"j", "seed", "timeout", "metrics", "pprof"} {
+		if fs.Lookup(name) == nil {
+			t.Errorf("shared flag -%s not registered", name)
+		}
+	}
+	if err := fs.Parse([]string{"-timeout", "90s", "-metrics", "m.json", "-pprof", ":0"}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Timeout != 90*time.Second || c.Metrics != "m.json" || c.Pprof != ":0" {
+		t.Errorf("flags not bound: %+v", c)
+	}
+}
+
+var listenLine = regexp.MustCompile(`^testprog: api on http://([^\s]+:\d+)/v1\n$`)
+
+// TestListenResolvesEphemeralPort binds ":0" and checks the logged
+// line carries the real port, not ":0".
+func TestListenResolvesEphemeralPort(t *testing.T) {
+	var log strings.Builder
+	ln, err := Listen("testprog", "api", "127.0.0.1:0", "/v1", &log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	m := listenLine.FindStringSubmatch(log.String())
+	if m == nil {
+		t.Fatalf("log line %q does not match %v", log.String(), listenLine)
+	}
+	if m[1] != ln.Addr().String() {
+		t.Errorf("logged %q, listener bound %q", m[1], ln.Addr())
+	}
+	if strings.HasSuffix(m[1], ":0") {
+		t.Errorf("logged address %q still has the unresolved port", m[1])
+	}
+}
+
+// TestServePprof serves the pprof index from an ephemeral port.
+func TestServePprof(t *testing.T) {
+	var log strings.Builder
+	ln, err := ServePprof("testprog", "127.0.0.1:0", &log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	resp, err := http.Get("http://" + ln.Addr().String() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof index: HTTP %d", resp.StatusCode)
+	}
+	if !strings.Contains(log.String(), "pprof on http://") {
+		t.Errorf("missing resolved-address log line: %q", log.String())
+	}
+}
+
+func TestServePprofOff(t *testing.T) {
+	ln, err := ServePprof("testprog", "", nil)
+	if ln != nil || err != nil {
+		t.Fatalf("empty addr must be off, got ln=%v err=%v", ln, err)
+	}
+}

@@ -182,29 +182,39 @@ func (c *Cluster) vcoreCap(s *Server) int {
 
 // fits reports whether v fits on s under the policy.
 func (c *Cluster) fits(s *Server, v *vm.VM, useReserved bool) bool {
-	if s.Failed {
-		return false
-	}
-	if s.Reserved && !useReserved {
-		return false
+	return c.explain(s, v, useReserved) == ""
+}
+
+// Explain reports why v cannot be placed on s under the policy, as the
+// machine-readable reason the control-plane filter API serves:
+// "failed" (failed or reserved hardware), "memory", "capacity" (the
+// vcore cap), or "class" (a high-performance VM without guaranteed
+// overclock headroom). An empty reason means v fits.
+func (c *Cluster) Explain(s *Server, v *vm.VM) string {
+	return c.explain(s, v, false)
+}
+
+func (c *Cluster) explain(s *Server, v *vm.VM, useReserved bool) string {
+	if s.Failed || (s.Reserved && !useReserved) {
+		return "failed"
 	}
 	if s.memUse+v.Type.MemoryGB > s.Spec.MemoryGB {
-		return false
+		return "memory"
 	}
 	if s.vcoresUse+v.Type.VCores > c.vcoreCap(s) {
-		return false
+		return "capacity"
 	}
 	// High-performance VMs need overclocking headroom guaranteed:
 	// only non-oversubscribed overclockable servers qualify.
 	if v.Class == vm.HighPerf {
 		if !s.Spec.Overclockable {
-			return false
+			return "class"
 		}
 		if s.vcoresUse+v.Type.VCores > s.Spec.PCores {
-			return false
+			return "class"
 		}
 	}
-	return true
+	return ""
 }
 
 // Place assigns v to a server using best-fit on remaining vcores

@@ -1,0 +1,102 @@
+package dcsim
+
+// Control-plane accessors: the read and actuation surface the ocd
+// daemon serves its placement/overclock API from. Everything here
+// operates on the same incremental state the step loop maintains, so
+// an API-served answer between steps is consistent with what the next
+// Step will compute.
+
+import "immersionoc/internal/reliability"
+
+// ServerInfo is a read-only snapshot of one server's control state.
+type ServerInfo struct {
+	// Index is the dense fleet index (Sim.SetOverclock's handle).
+	Index int
+	// ID is the cluster server ID.
+	ID int
+	// Tank is the server's immersion tank index.
+	Tank int
+	// Overclockable reports hardware overclock capability.
+	Overclockable bool
+	// Overclocked reports the server's current clock configuration.
+	Overclocked bool
+	// PCores is the physical core count; VCoresUsed the allocated
+	// virtual cores; VMs the placed VM count.
+	PCores, VCoresUsed, VMs int
+	// MemoryGB / MemoryUsedGB are total and allocated memory.
+	MemoryGB, MemoryUsedGB float64
+	// DemandCores is the expected concurrent core demand
+	// (Σ vcores·AvgUtil over placed VMs).
+	DemandCores float64
+	// PowerNomW / PowerOCW are the blade's power at the nominal and
+	// overclocked configurations for the current demand.
+	PowerNomW, PowerOCW float64
+	// WearUsed is the consumed fraction of the lifetime wear budget;
+	// WearProRata the fraction a server wearing exactly on schedule
+	// would have consumed by now.
+	WearUsed, WearProRata float64
+}
+
+// ServerCount returns the fleet size.
+func (s *Sim) ServerCount() int { return len(s.states) }
+
+// Server snapshots server i's control state, refreshing its power
+// cache so the numbers reflect the cluster's current allocations (the
+// refresh folds any delta into the row-power sum, exactly as the step
+// loop would).
+func (s *Sim) Server(i int) ServerInfo {
+	st := s.states[i]
+	s.sc.refreshPower(st)
+	return ServerInfo{
+		Index:         i,
+		ID:            st.srv.ID,
+		Tank:          st.tank,
+		Overclockable: st.srv.Spec.Overclockable,
+		Overclocked:   st.oc,
+		PCores:        st.srv.Spec.PCores,
+		VCoresUsed:    st.srv.VCoresUsed(),
+		VMs:           st.srv.VMs(),
+		MemoryGB:      st.srv.Spec.MemoryGB,
+		MemoryUsedGB:  st.srv.MemoryUsed(),
+		DemandCores:   st.lastDemand,
+		PowerNomW:     st.powerNomW,
+		PowerOCW:      st.powerOCW,
+		WearUsed:      st.wear.Used(),
+		WearProRata:   st.hours / (reliability.ServiceLifeYears * 24 * 365),
+	}
+}
+
+// SetOverclock toggles server i's clock configuration, folding the
+// power delta into the row sum. A grant made between steps holds until
+// the next Step re-decides the whole fleet.
+func (s *Sim) SetOverclock(i int, oc bool) {
+	st := s.states[i]
+	s.sc.refreshPower(st)
+	s.sc.setOC(st, oc)
+}
+
+// RowPowerW returns the row's current total power draw.
+func (s *Sim) RowPowerW() float64 { return s.sc.rowPowerW }
+
+// TankCount returns the number of immersion tanks.
+func (s *Sim) TankCount() int { return len(s.tanks) }
+
+// TankBathC returns tank i's current bath temperature.
+func (s *Sim) TankBathC(i int) float64 { return s.tanks[i].BathC() }
+
+// TankBudget returns tank i's condenser overclock budget.
+func (s *Sim) TankBudget(i int) int { return s.sc.tankBudget[i] }
+
+// TankOverclocked counts the servers currently overclocked in tank i.
+func (s *Sim) TankOverclocked(i int) int {
+	n := 0
+	for _, st := range s.states {
+		if st.tank == i && st.oc {
+			n++
+		}
+	}
+	return n
+}
+
+// StepS returns the control-loop period in seconds.
+func (s *Sim) StepS() float64 { return s.cfg.StepS }

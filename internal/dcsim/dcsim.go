@@ -11,6 +11,16 @@
 // production: the same models that reproduce the paper's tables, now
 // interacting.
 //
+// The simulation is exposed two ways. Run/RunCtx execute a closed
+// trace-driven batch run (the paper's evaluation). Sim is the same
+// machine opened up step by step: New builds the fleet, Step advances
+// one control period, and Place/Remove/SetOverclock let an external
+// control plane — the ocd daemon — drive arrivals and overclock grants
+// between steps. Both paths share one policy implementation: the grant
+// / tank-admission / feeder-capping decisions are delegated to a
+// placement.Decider (the paper's governor by default), so API-served
+// decisions and batch KPIs cannot fork.
+//
 // The control loop is engineered to cost O(changed state) per step
 // rather than O(fleet size × placed VMs): per-server expected demand
 // is maintained incrementally by the cluster, per-server power is
@@ -25,10 +35,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 
 	"immersionoc/internal/cluster"
 	"immersionoc/internal/freq"
+	"immersionoc/internal/placement"
 	"immersionoc/internal/power"
 	"immersionoc/internal/reliability"
 	"immersionoc/internal/stats"
@@ -46,8 +56,14 @@ type Config struct {
 	OversubRatio float64
 	// FeederBudgetW is the row's power-delivery limit (0 = no limit).
 	FeederBudgetW float64
-	// Trace generates the VM workload.
+	// Trace generates the VM workload; its DurationS is the run
+	// horizon even when Events overrides the generated trace.
 	Trace vm.TraceConfig
+	// Events, when non-nil, replaces the trace generated from Trace —
+	// a prebuilt arrival/departure stream (vm.Events order), or an
+	// empty non-nil slice for an open-loop run driven entirely through
+	// Sim.Place/Remove (the daemon path).
+	Events []vm.Event
 	// StepS is the control-loop period in trace seconds.
 	StepS float64
 	// OverclockThreshold is the expected-demand/pcores ratio above
@@ -56,6 +72,10 @@ type Config struct {
 	// demand exceeds half its cores will contend during bursts —
 	// that is the regime overclocking absorbs (Figure 12).
 	OverclockThreshold float64
+	// Decider, when non-nil, replaces the built-in governor policy.
+	// The default is a placement.Governor configured from this Config
+	// (Equation 1 threshold, per-tank condenser budgets, feeder cap).
+	Decider placement.Decider
 	// Tel, when non-nil, receives the run's telemetry: the control
 	// step counter, row power / bath temperature gauges with running
 	// peaks, and counters for rejections, cap events and cancelled
@@ -102,6 +122,9 @@ type Report struct {
 	MaxBathC float64
 	// PeakOverclocked is the most servers overclocked at once.
 	PeakOverclocked int
+	// TotalGrants sums the per-step surviving overclock grants — the
+	// cumulative grant count the control-plane equivalence checks pin.
+	TotalGrants int
 	// OverclockServerHours integrates overclocked servers over time.
 	OverclockServerHours float64
 	// CapEvents counts steps where the feeder budget forced
@@ -140,9 +163,8 @@ type serverState struct {
 
 	// Loop invariants, hoisted so the hot path reads fields instead
 	// of re-deriving them every step.
-	pcores    float64 // float64(srv.Spec.PCores)
-	ocCap     float64 // pcores × OCSpeedup (interference-at-risk bound)
-	thrDemand float64 // OverclockThreshold × pcores (overclock request bound)
+	pcores float64 // float64(srv.Spec.PCores)
+	ocCap  float64 // pcores × OCSpeedup (interference-at-risk bound)
 
 	// Power cache. powerNomW/powerOCW hold the blade's power at the
 	// nominal (B2) and overclocked (OC1) configurations for the
@@ -163,39 +185,23 @@ func (st *serverState) current() float64 {
 	return st.powerNomW
 }
 
-// ocReq is one server's overclock request for the step, keyed by how
-// pressured it is (expected demand per pcore).
-type ocReq struct {
-	st   *serverState
-	need float64
-}
-
-// ocSorter orders requests most-pressured first (ties by server ID).
-// It is a pointer receiver so the one interface conversion in the run
-// happens once, not per step.
-type ocSorter struct{ reqs []ocReq }
-
-func (s *ocSorter) Len() int      { return len(s.reqs) }
-func (s *ocSorter) Swap(i, j int) { s.reqs[i], s.reqs[j] = s.reqs[j], s.reqs[i] }
-func (s *ocSorter) Less(i, j int) bool {
-	if s.reqs[i].need != s.reqs[j].need {
-		return s.reqs[i].need > s.reqs[j].need
-	}
-	return s.reqs[i].st.srv.ID < s.reqs[j].st.srv.ID
-}
-
 // stepContext holds every piece of per-step scratch the control loop
 // needs, allocated once per run and reused across steps, plus the
-// incrementally maintained row-power sum.
+// incrementally maintained row-power sum. It is the placement.Actuator
+// the decider toggles grants through: SetOverclock folds the clock
+// change into the running sum, so the decider's feeder loop reads
+// RowPowerW instead of recomputing the fleet.
 type stepContext struct {
-	sorter     ocSorter  // overclock requests + reusable sort adapter
-	heat       []float64 // per-tank heat input, reset each step
-	ocPerTank  []int     // per-tank granted overclocks, reset each step
-	tankBudget []int     // per-tank condenser budgets (loop-invariant)
+	states []*serverState
+	heat   []float64 // per-tank heat input, reset each step
+	// tankBudget holds the per-tank condenser budgets (loop-invariant).
+	tankBudget []int
 	// rowPowerW is Σ current per-server power, updated by deltas when
 	// a server's demand/allocation changes or its clock toggles.
 	rowPowerW float64
 }
+
+var _ placement.Actuator = (*stepContext)(nil)
 
 // refreshPower re-derives the cached nominal/overclocked power for a
 // server whose cluster state changed and folds the delta into the
@@ -226,16 +232,46 @@ func (sc *stepContext) setOC(st *serverState, oc bool) {
 	}
 }
 
-// Run executes the fleet simulation.
-func Run(cfg Config) (*Report, error) {
-	return RunCtx(context.Background(), cfg)
+// SetOverclock implements placement.Actuator.
+func (sc *stepContext) SetOverclock(index int, oc bool) {
+	sc.setOC(sc.states[index], oc)
 }
 
-// RunCtx executes the fleet simulation under ctx, checking for
-// cancellation at every control-step boundary: a cancelled run
-// returns the context error within one StepS of simulated progress
-// instead of completing the trace.
-func RunCtx(ctx context.Context, cfg Config) (*Report, error) {
+// RowPowerW implements placement.Actuator.
+func (sc *stepContext) RowPowerW() float64 { return sc.rowPowerW }
+
+// simMetrics are the telemetry handles, hoisted out of the step loop
+// (nil no-ops when the config carries no scope).
+type simMetrics struct {
+	steps, rejected, capEvents, cancelledOC      *telemetry.Counter
+	power, peakPower, bath, peakBath, tj, peakTj *telemetry.Gauge
+	overclocked                                  *telemetry.Gauge
+}
+
+// Sim is the fleet simulation opened up for stepwise control. New
+// builds the fleet at time zero; Step advances one control period
+// (trace replay where the config carries events, overclock decisions,
+// thermal integration, wear accrual, KPI capture). Between steps an
+// external control plane may Place and Remove VMs and toggle overclock
+// grants — the next Step folds those changes in through the same
+// incremental accounting the batch path uses. Sim is not safe for
+// concurrent use; the daemon serializes access.
+type Sim struct {
+	cfg    Config
+	cl     *cluster.Cluster
+	tanks  []*thermal.Tank
+	states []*serverState
+	sc     *stepContext
+	dec    placement.Decider
+	rep    *Report
+	events []vm.Event
+	ei     int
+	t      float64
+	m      simMetrics
+}
+
+// New validates cfg and builds the fleet at simulated time zero.
+func New(cfg Config) (*Sim, error) {
 	if cfg.Servers <= 0 || cfg.ServersPerTank <= 0 {
 		return nil, errors.New("dcsim: need positive fleet and tank sizes")
 	}
@@ -266,16 +302,18 @@ func RunCtx(ctx context.Context, cfg Config) (*Report, error) {
 		w := reliability.NewWearMeter(reliability.Composite5nm, reliability.ServiceLifeYears)
 		w.SetHazardCache(hazards)
 		states[i] = &serverState{
-			srv:       s,
-			tank:      i / cfg.ServersPerTank,
-			wear:      w,
-			pcores:    float64(s.Spec.PCores),
-			ocCap:     float64(s.Spec.PCores) * s.Spec.OCSpeedup,
-			thrDemand: cfg.OverclockThreshold * float64(s.Spec.PCores),
+			srv:    s,
+			tank:   i / cfg.ServersPerTank,
+			wear:   w,
+			pcores: float64(s.Spec.PCores),
+			ocCap:  float64(s.Spec.PCores) * s.Spec.OCSpeedup,
 		}
 	}
 
-	events := vm.Events(vm.Generate(cfg.Trace))
+	events := cfg.Events
+	if events == nil {
+		events = vm.Events(vm.Generate(cfg.Trace))
+	}
 	nSteps := int(math.Ceil(cfg.Trace.DurationS/cfg.StepS)) + 1
 	rep := &Report{
 		PowerW:      stats.NewSeriesCap("row-power", nSteps),
@@ -284,26 +322,13 @@ func RunCtx(ctx context.Context, cfg Config) (*Report, error) {
 		Density:     stats.NewSeriesCap("density", nSteps),
 	}
 
-	// Telemetry handles (nil no-ops when cfg.Tel is nil).
-	mSteps := cfg.Tel.Counter("steps")
-	mRejected := cfg.Tel.Counter("rejected")
-	mCapEvents := cfg.Tel.Counter("cap_events")
-	mCancelledOC := cfg.Tel.Counter("cancelled_overclocks")
-	gPower := cfg.Tel.Gauge("row_power_w")
-	gPeakPower := cfg.Tel.Gauge("peak_row_power_w")
-	gBath := cfg.Tel.Gauge("bath_c")
-	gPeakBath := cfg.Tel.Gauge("peak_bath_c")
-	gTj := cfg.Tel.Gauge("tj_c")
-	gPeakTj := cfg.Tel.Gauge("peak_tj_c")
-	gOverclocked := cfg.Tel.Gauge("overclocked")
-
 	// Step context: per-step scratch allocated once, the per-tank
 	// condenser budgets computed once (they depend only on tank
 	// geometry, not tank state), and the row-power running sum seeded
 	// from the idle fleet.
 	sc := &stepContext{
+		states:     states,
 		heat:       make([]float64, nTanks),
-		ocPerTank:  make([]int, nTanks),
 		tankBudget: make([]int, nTanks),
 	}
 	for i, tk := range tanks {
@@ -319,151 +344,195 @@ func RunCtx(ctx context.Context, cfg Config) (*Report, error) {
 		sc.rowPowerW += st.powerNomW
 	}
 
-	ei := 0
-	for t := 0.0; t < cfg.Trace.DurationS; t += cfg.StepS {
-		// Cancellation checkpoint: one step of the control loop is the
-		// simulation's natural boundary.
-		if err := ctx.Err(); err != nil {
-			return nil, err
+	dec := cfg.Decider
+	if dec == nil {
+		dec = &placement.Governor{
+			Thresh:        cfg.OverclockThreshold,
+			TankBudget:    sc.tankBudget,
+			FeederBudgetW: cfg.FeederBudgetW,
 		}
-		mSteps.Inc()
-		// Replay trace events due this step. The cluster maintains
-		// per-server expected demand incrementally, so the step's cost
-		// below tracks the number of servers these events touched.
-		for ei < len(events) && events[ei].TimeS <= t {
-			ev := events[ei]
-			ei++
-			if ev.Arrival {
-				if _, err := cl.Place(ev.VM); err != nil {
-					rep.Rejected++
-					mRejected.Inc()
-				}
-			} else {
-				_ = cl.Remove(ev.VM) // not placed → ignore
-			}
-		}
-
-		// Overclock decisions: servers whose expected demand exceeds
-		// the threshold request an overclock; others run nominal.
-		// Power caches refresh only for servers whose allocations
-		// changed since the last step.
-		sc.sorter.reqs = sc.sorter.reqs[:0]
-		for _, st := range states {
-			sc.refreshPower(st)
-			sc.setOC(st, false)
-			d := st.lastDemand
-			if d > st.thrDemand {
-				sc.sorter.reqs = append(sc.sorter.reqs, ocReq{st: st, need: d / st.pcores})
-			}
-			if d > st.ocCap {
-				rep.InterferenceAtRisk++
-			}
-		}
-		// Most-pressured servers get their overclock first.
-		sort.Sort(&sc.sorter)
-
-		// Tank admission: each tank honours its condenser budget.
-		for i := range sc.ocPerTank {
-			sc.ocPerTank[i] = 0
-		}
-		granted := 0
-		for _, r := range sc.sorter.reqs {
-			if sc.ocPerTank[r.st.tank] < sc.tankBudget[r.st.tank] {
-				sc.setOC(r.st, true)
-				sc.ocPerTank[r.st.tank]++
-				granted++
-			}
-		}
-
-		// Feeder budget: cancel the least-pressured overclocks until
-		// the row fits (priority capping at the granularity of whole
-		// overclock grants). The running row-power sum makes this loop
-		// O(cancellations) instead of a full fleet recompute per
-		// iteration.
-		if cfg.FeederBudgetW > 0 && sc.rowPowerW > cfg.FeederBudgetW {
-			rep.CapEvents++
-			mCapEvents.Inc()
-			reqs := sc.sorter.reqs
-			for i := len(reqs) - 1; i >= 0 && sc.rowPowerW > cfg.FeederBudgetW; i-- {
-				if reqs[i].st.oc {
-					sc.setOC(reqs[i].st, false)
-					granted--
-					rep.CancelledOverclocks++
-					mCancelledOC.Inc()
-				}
-			}
-		}
-
-		// Thermals: integrate each tank's heat. Idle servers scale
-		// down — power follows demand.
-		for i := range sc.heat {
-			sc.heat[i] = 0
-		}
-		for _, st := range states {
-			w := nominalHeatW
-			if st.oc {
-				w = overclockHeatW
-			}
-			util := math.Min(1, st.lastDemand/st.pcores)
-			sc.heat[st.tank] += idleHeatW + (w-idleHeatW)*util
-		}
-		maxBath := 0.0
-		for i, tk := range tanks {
-			b := tk.Step(cfg.StepS, sc.heat[i])
-			if b > maxBath {
-				maxBath = b
-			}
-		}
-		if maxBath > rep.MaxBathC {
-			rep.MaxBathC = maxBath
-		}
-
-		// Wear accrual: two conditions per tank (nominal/overclocked
-		// at the tank's bath), served by the shared hazard cache.
-		hours := cfg.StepS / 3600
-		for _, st := range states {
-			bath := tanks[st.tank].BathC()
-			cond := reliability.Condition{VoltageV: power.NominalVoltage, TjMaxC: bath + nominalTjRiseC, TjMinC: bath}
-			if st.oc {
-				cond = reliability.Condition{VoltageV: power.OverclockedVoltage, TjMaxC: bath + ocTjRiseC, TjMinC: bath}
-			}
-			util := math.Min(1, st.lastDemand/st.pcores)
-			st.wear.Accrue(cond, hours, util)
-			st.hours += hours
-		}
-
-		// KPIs.
-		density := cl.Stats().Density
-		if density > rep.PeakDensity {
-			rep.PeakDensity = density
-		}
-		if granted > rep.PeakOverclocked {
-			rep.PeakOverclocked = granted
-		}
-		rep.OverclockServerHours += float64(granted) * hours
-		p := sc.rowPowerW
-		rep.PowerW.Add(t, p)
-		rep.BathC.Add(t, maxBath)
-		rep.Overclocked.Add(t, float64(granted))
-		rep.Density.Add(t, density)
-		gPower.Set(p)
-		gPeakPower.SetMax(p)
-		gBath.Set(maxBath)
-		gPeakBath.SetMax(maxBath)
-		// Junction temperature rides the bath: +24 °C for overclocked
-		// silicon, +16 °C nominal (the wear model's conditions).
-		tj := maxBath + nominalTjRiseC
-		if granted > 0 {
-			tj = maxBath + ocTjRiseC
-		}
-		gTj.Set(tj)
-		gPeakTj.SetMax(tj)
-		gOverclocked.Set(float64(granted))
 	}
 
-	// Fleet wear relative to the pro-rata schedule.
+	return &Sim{
+		cfg:    cfg,
+		cl:     cl,
+		tanks:  tanks,
+		states: states,
+		sc:     sc,
+		dec:    dec,
+		rep:    rep,
+		events: events,
+		m: simMetrics{
+			steps:       cfg.Tel.Counter("steps"),
+			rejected:    cfg.Tel.Counter("rejected"),
+			capEvents:   cfg.Tel.Counter("cap_events"),
+			cancelledOC: cfg.Tel.Counter("cancelled_overclocks"),
+			power:       cfg.Tel.Gauge("row_power_w"),
+			peakPower:   cfg.Tel.Gauge("peak_row_power_w"),
+			bath:        cfg.Tel.Gauge("bath_c"),
+			peakBath:    cfg.Tel.Gauge("peak_bath_c"),
+			tj:          cfg.Tel.Gauge("tj_c"),
+			peakTj:      cfg.Tel.Gauge("peak_tj_c"),
+			overclocked: cfg.Tel.Gauge("overclocked"),
+		},
+	}, nil
+}
+
+// Now returns the current simulated time in seconds.
+func (s *Sim) Now() float64 { return s.t }
+
+// Done reports whether the run has reached the configured horizon.
+// The daemon may keep stepping past it; the batch path stops here.
+func (s *Sim) Done() bool { return s.t >= s.cfg.Trace.DurationS }
+
+// Cluster exposes the fleet's placement state.
+func (s *Sim) Cluster() *cluster.Cluster { return s.cl }
+
+// Decider returns the policy deciding overclock grants.
+func (s *Sim) Decider() placement.Decider { return s.dec }
+
+// Place routes a VM arrival through the cluster placer with the same
+// rejection accounting the trace-replay path uses.
+func (s *Sim) Place(v *vm.VM) (*cluster.Server, error) {
+	srv, err := s.cl.Place(v)
+	if err != nil {
+		s.rep.Rejected++
+		s.m.rejected.Inc()
+	}
+	return srv, err
+}
+
+// Remove releases a VM placed earlier. Departures of VMs that were
+// rejected at arrival are ignored, matching trace replay.
+func (s *Sim) Remove(v *vm.VM) { _ = s.cl.Remove(v) }
+
+// Step executes one control step at the current simulated time, then
+// advances the clock by the configured period.
+func (s *Sim) Step() {
+	cfg := &s.cfg
+	sc := s.sc
+	rep := s.rep
+	t := s.t
+	s.m.steps.Inc()
+
+	// Replay trace events due this step. The cluster maintains
+	// per-server expected demand incrementally, so the step's cost
+	// below tracks the number of servers these events touched.
+	for s.ei < len(s.events) && s.events[s.ei].TimeS <= t {
+		ev := s.events[s.ei]
+		s.ei++
+		if ev.Arrival {
+			_, _ = s.Place(ev.VM)
+		} else {
+			s.Remove(ev.VM) // not placed → ignore
+		}
+	}
+
+	// Overclock decisions: every server returns to nominal, then the
+	// decider grants the step's overclocks (Equation 1 threshold, tank
+	// admission, feeder capping — see internal/placement). Power
+	// caches refresh only for servers whose allocations changed since
+	// the last step.
+	s.dec.Begin(len(s.tanks))
+	for i, st := range s.states {
+		sc.refreshPower(st)
+		sc.setOC(st, false)
+		d := st.lastDemand
+		s.dec.Offer(placement.Candidate{
+			Index:       i,
+			ID:          st.srv.ID,
+			Tank:        st.tank,
+			DemandCores: d,
+			PCores:      st.pcores,
+		})
+		if d > st.ocCap {
+			rep.InterferenceAtRisk++
+		}
+	}
+	out := s.dec.Decide(sc)
+	granted := out.Granted
+	if out.Capped {
+		rep.CapEvents++
+		s.m.capEvents.Inc()
+	}
+	rep.CancelledOverclocks += out.Cancelled
+	s.m.cancelledOC.Add(uint64(out.Cancelled))
+
+	// Thermals: integrate each tank's heat. Idle servers scale
+	// down — power follows demand.
+	for i := range sc.heat {
+		sc.heat[i] = 0
+	}
+	for _, st := range s.states {
+		w := nominalHeatW
+		if st.oc {
+			w = overclockHeatW
+		}
+		util := math.Min(1, st.lastDemand/st.pcores)
+		sc.heat[st.tank] += idleHeatW + (w-idleHeatW)*util
+	}
+	maxBath := 0.0
+	for i, tk := range s.tanks {
+		b := tk.Step(cfg.StepS, sc.heat[i])
+		if b > maxBath {
+			maxBath = b
+		}
+	}
+	if maxBath > rep.MaxBathC {
+		rep.MaxBathC = maxBath
+	}
+
+	// Wear accrual: two conditions per tank (nominal/overclocked
+	// at the tank's bath), served by the shared hazard cache.
+	hours := cfg.StepS / 3600
+	for _, st := range s.states {
+		bath := s.tanks[st.tank].BathC()
+		cond := reliability.Condition{VoltageV: power.NominalVoltage, TjMaxC: bath + nominalTjRiseC, TjMinC: bath}
+		if st.oc {
+			cond = reliability.Condition{VoltageV: power.OverclockedVoltage, TjMaxC: bath + ocTjRiseC, TjMinC: bath}
+		}
+		util := math.Min(1, st.lastDemand/st.pcores)
+		st.wear.Accrue(cond, hours, util)
+		st.hours += hours
+	}
+
+	// KPIs.
+	density := s.cl.Stats().Density
+	if density > rep.PeakDensity {
+		rep.PeakDensity = density
+	}
+	if granted > rep.PeakOverclocked {
+		rep.PeakOverclocked = granted
+	}
+	rep.TotalGrants += granted
+	rep.OverclockServerHours += float64(granted) * hours
+	p := sc.rowPowerW
+	rep.PowerW.Add(t, p)
+	rep.BathC.Add(t, maxBath)
+	rep.Overclocked.Add(t, float64(granted))
+	rep.Density.Add(t, density)
+	s.m.power.Set(p)
+	s.m.peakPower.SetMax(p)
+	s.m.bath.Set(maxBath)
+	s.m.peakBath.SetMax(maxBath)
+	// Junction temperature rides the bath: +24 °C for overclocked
+	// silicon, +16 °C nominal (the wear model's conditions).
+	tj := maxBath + nominalTjRiseC
+	if granted > 0 {
+		tj = maxBath + ocTjRiseC
+	}
+	s.m.tj.Set(tj)
+	s.m.peakTj.SetMax(tj)
+	s.m.overclocked.Set(float64(granted))
+
+	s.t = t + cfg.StepS
+}
+
+// Report returns the run's KPIs with the fleet-average wear rate
+// refreshed to the current step.
+func (s *Sim) Report() *Report {
 	var wearSum float64
-	for _, st := range states {
+	for _, st := range s.states {
 		if st.hours > 0 {
 			proRata := st.hours / (reliability.ServiceLifeYears * 24 * 365)
 			if proRata > 0 {
@@ -471,8 +540,33 @@ func RunCtx(ctx context.Context, cfg Config) (*Report, error) {
 			}
 		}
 	}
-	rep.MeanWearUsed = wearSum / float64(len(states))
-	return rep, nil
+	s.rep.MeanWearUsed = wearSum / float64(len(s.states))
+	return s.rep
+}
+
+// Run executes the fleet simulation.
+func Run(cfg Config) (*Report, error) {
+	return RunCtx(context.Background(), cfg)
+}
+
+// RunCtx executes the fleet simulation under ctx, checking for
+// cancellation at every control-step boundary: a cancelled run
+// returns the context error within one StepS of simulated progress
+// instead of completing the trace.
+func RunCtx(ctx context.Context, cfg Config) (*Report, error) {
+	sim, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for !sim.Done() {
+		// Cancellation checkpoint: one step of the control loop is the
+		// simulation's natural boundary.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		sim.Step()
+	}
+	return sim.Report(), nil
 }
 
 // String summarizes a report.

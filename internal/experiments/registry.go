@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 
+	"immersionoc/internal/api"
 	"immersionoc/internal/telemetry"
 )
 
@@ -31,28 +32,32 @@ func (k Kind) String() string {
 
 // Options carries the run-time knobs shared by every experiment. The
 // zero value means "use the experiment's calibrated defaults", so new
-// knobs can be added without breaking call sites.
+// knobs can be added without breaking call sites. The JSON form
+// follows the control-plane wire convention (internal/api): snake_case
+// names, omitempty, so option sets serialize the same way API
+// requests do.
 type Options struct {
 	// Seed overrides the experiment's default RNG seed when non-zero.
 	// Zero keeps the calibrated per-experiment seed, so the zero value
 	// reproduces the published tables exactly.
-	Seed uint64
+	Seed uint64 `json:"seed,omitempty"`
 	// DurationS overrides the simulated duration in seconds, for the
 	// experiments that have one, when positive.
-	DurationS float64
+	DurationS float64 `json:"duration_s,omitempty"`
 	// Workers bounds the intra-experiment sweep parallelism: the
 	// harnesses whose grids fan out through sweep.Map run at most this
 	// many cells at once, drawing slots from the runner's shared
 	// worker budget. ≤ 1 — including the zero value — keeps every
 	// sweep serial, reproducing the original loops exactly; the
 	// runner threads the resolved octl -j value here.
-	Workers int
+	Workers int `json:"workers,omitempty"`
 	// Tel is the per-run telemetry scope the harness publishes its
 	// engine metrics into (the runner keys it by experiment name).
 	// Nil — the zero value — disables collection; every telemetry
 	// operation through a nil scope is a no-op, so harnesses pass it
-	// down unconditionally.
-	Tel *telemetry.Scope
+	// down unconditionally. Telemetry is process state, not a wire
+	// field.
+	Tel *telemetry.Scope `json:"-"`
 }
 
 // SeedOr returns the option seed, or def when unset.
@@ -105,8 +110,10 @@ func (r Result) RowCount() int {
 }
 
 // resultJSON is the stable wire form of a Result. Field order is the
-// JSON schema documented in the README.
+// JSON schema documented in the README; the version tag and naming
+// follow the control-plane wire convention (internal/api).
 type resultJSON struct {
+	Vers   string     `json:"version,omitempty"`
 	Name   string     `json:"name"`
 	Kind   string     `json:"kind"`
 	Tags   []string   `json:"tags,omitempty"`
@@ -120,7 +127,7 @@ type resultJSON struct {
 // MarshalJSON emits the structured form: table results carry
 // title/header/rows/notes, plot results carry the rendered text.
 func (r Result) MarshalJSON() ([]byte, error) {
-	j := resultJSON{Name: r.Name, Kind: r.Kind.String(), Tags: r.Tags}
+	j := resultJSON{Vers: api.Version, Name: r.Name, Kind: r.Kind.String(), Tags: r.Tags}
 	if r.Table != nil {
 		j.Title = r.Table.Title
 		j.Header = r.Table.Header

@@ -1,0 +1,130 @@
+package experiments
+
+// The experiments package and the control-plane API share one wire
+// convention: snake_case names, omitempty on optional fields, and a
+// version tag on every envelope. These tests pin the JSON forms so a
+// drift in either direction breaks loudly.
+
+import (
+	"encoding/json"
+	"reflect"
+	"regexp"
+	"strings"
+	"testing"
+
+	"immersionoc/internal/api"
+	"immersionoc/internal/telemetry"
+)
+
+func TestOptionsWireForm(t *testing.T) {
+	// Zero options serialize to the empty object: every knob is
+	// optional on the wire, matching the "zero value means defaults"
+	// contract in Go.
+	b, err := json.Marshal(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "{}" {
+		t.Fatalf("zero Options = %s, want {}", b)
+	}
+
+	// Full options use the API's snake_case names; the telemetry scope
+	// is process state and never crosses the wire.
+	reg := telemetry.NewRegistry()
+	o := Options{Seed: 42, DurationS: 3600, Workers: 4, Tel: reg.Scope("x")}
+	b, err = json.Marshal(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"seed":42,"duration_s":3600,"workers":4}`
+	if string(b) != want {
+		t.Fatalf("Options wire form = %s, want %s", b, want)
+	}
+
+	// And the form round-trips (minus the excluded scope).
+	var back Options
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	o.Tel = nil
+	if back != o {
+		t.Fatalf("round trip = %+v, want %+v", back, o)
+	}
+}
+
+func TestResultWireForm(t *testing.T) {
+	r := Result{
+		Name: "table5",
+		Kind: KindTable,
+		Tags: []string{"paper"},
+		Table: &Table{
+			Title:  "Example",
+			Header: []string{"a", "b"},
+			Rows:   [][]string{{"1", "2"}},
+			Notes:  []string{"note"},
+		},
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"version":"` + api.Version + `","name":"table5","kind":"table","tags":["paper"],` +
+		`"title":"Example","header":["a","b"],"rows":[["1","2"]],"notes":["note"]}`
+	if string(b) != want {
+		t.Fatalf("Result wire form:\n got %s\nwant %s", b, want)
+	}
+
+	plot := Result{Name: "fig9", Kind: KindPlot, Plot: "art"}
+	b, err = json.Marshal(plot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = `{"version":"` + api.Version + `","name":"fig9","kind":"plot","text":"art"}`
+	if string(b) != want {
+		t.Fatalf("plot wire form:\n got %s\nwant %s", b, want)
+	}
+}
+
+// TestWireConventionEverywhere walks every exported struct in the wire
+// surface — all of internal/api plus the experiments envelope — and
+// checks each exported field carries an explicit JSON tag in
+// snake_case (or is explicitly excluded with "-").
+func TestWireConventionEverywhere(t *testing.T) {
+	snake := regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+	check := func(typ reflect.Type) {
+		t.Helper()
+		for i := 0; i < typ.NumField(); i++ {
+			f := typ.Field(i)
+			if !f.IsExported() {
+				continue
+			}
+			if f.Anonymous && f.Tag.Get("json") == "" {
+				continue // embedded structs flatten; their fields are checked directly
+			}
+			tag := f.Tag.Get("json")
+			if tag == "" {
+				t.Errorf("%s.%s: missing json tag", typ.Name(), f.Name)
+				continue
+			}
+			name := strings.Split(tag, ",")[0]
+			if name == "-" {
+				continue
+			}
+			if !snake.MatchString(name) {
+				t.Errorf("%s.%s: json name %q is not snake_case", typ.Name(), f.Name, name)
+			}
+		}
+	}
+
+	for _, v := range []any{
+		api.VMSpec{}, api.ServerRef{}, api.FilterRequest{}, api.FilterResponse{},
+		api.FilterFailure{}, api.PrioritizeRequest{}, api.PrioritizeResponse{},
+		api.HostScore{}, api.PlaceRequest{}, api.PlaceResponse{},
+		api.RemoveRequest{}, api.RemoveResponse{}, api.OverclockGrantRequest{},
+		api.OverclockDecision{}, api.StepRequest{}, api.StepResponse{},
+		api.FleetStatus{}, api.ErrorResponse{},
+		Options{}, resultJSON{},
+	} {
+		check(reflect.TypeOf(v))
+	}
+}

@@ -1,0 +1,286 @@
+// Package placement is the single home of the overclock-grant policy:
+// which servers may run hot, in what order contended servers are
+// granted their overclock, and which grants are revoked when the
+// tank's condenser or the row's feeder runs out of budget.
+//
+// The policy used to live inline in the dcsim control loop. Extracting
+// it behind the Decider interface lets two very different callers share
+// one implementation with zero forked logic: the batch fleet simulator
+// (internal/dcsim) drives it once per control step over the whole
+// fleet, and the ocd control-plane daemon drives the same code both per
+// step and per API request — a grant decision served over HTTP is
+// computed by exactly the machinery that decides grants in the paper's
+// offline evaluation, so the daemon's answers and the batch KPIs cannot
+// drift apart.
+//
+// The per-step protocol is Begin → Offer(candidate)* → Decide:
+//
+//   - Begin resets the step's scratch (no allocation after the first
+//     step — the fleet control loop stays O(changed state));
+//   - Offer applies the paper's Equation 1 demand threshold and
+//     registers servers that want an overclock;
+//   - Decide sorts candidates most-pressured first, grants within each
+//     tank's condenser budget, then revokes the least-pressured grants
+//     until the row fits its feeder budget, actuating through the
+//     caller's Actuator so the caller's power accounting stays
+//     incremental.
+//
+// Evaluate answers a single "may this server overclock right now?"
+// query with a machine-readable reason (the control-plane API's
+// grant/deny contract): Equation 1 threshold, tank condenser budget,
+// wear-risk budget, or feeder cap.
+package placement
+
+import "sort"
+
+// Candidate is one server's per-step overclock request: the stable
+// index the Actuator understands, the server ID used for deterministic
+// tie-breaking, its tank, and the demand/capacity pair the threshold
+// and ordering are computed from.
+type Candidate struct {
+	// Index is the caller's dense server index, echoed back through
+	// Actuator.SetOverclock.
+	Index int
+	// ID is the server's fleet ID (orders ties deterministically).
+	ID int
+	// Tank is the server's immersion tank index.
+	Tank int
+	// DemandCores is the server's expected concurrent core demand
+	// (Σ vcores·AvgUtil of its placed VMs).
+	DemandCores float64
+	// PCores is the server's physical core count.
+	PCores float64
+}
+
+// need is the candidate's pressure: expected demand per physical core.
+// Most-pressured servers are granted their overclock first.
+func (c Candidate) need() float64 { return c.DemandCores / c.PCores }
+
+// Actuator is how a Decider effects grants on the caller's state. The
+// caller keeps ownership of power accounting: SetOverclock must fold
+// the clock change into whatever incremental sums it maintains, and
+// RowPowerW must reflect every toggle made so far, so the feeder
+// capping loop reads the running sum instead of recomputing the fleet.
+type Actuator interface {
+	// SetOverclock switches the server at the candidate index to the
+	// overclocked (true) or nominal (false) configuration.
+	SetOverclock(index int, oc bool)
+	// RowPowerW returns the row's current total power draw.
+	RowPowerW() float64
+}
+
+// Outcome summarizes one step's decisions.
+type Outcome struct {
+	// Granted is the number of servers left overclocked after capping.
+	Granted int
+	// Cancelled counts grants revoked by the feeder budget this step.
+	Cancelled int
+	// Capped reports whether the feeder budget forced any revocation
+	// pass (a "cap event" even if zero grants were revocable).
+	Capped bool
+}
+
+// Reason is the machine-readable explanation attached to a grant
+// decision. The string values are the wire contract of the control
+// plane's overclock API.
+type Reason string
+
+const (
+	// ReasonGranted: the server may overclock.
+	ReasonGranted Reason = "granted"
+	// ReasonEq1Threshold: expected demand is below the Equation 1
+	// contention threshold — oversubscription needs no absorbing, so
+	// the grant would spend wear for nothing.
+	ReasonEq1Threshold Reason = "eq1_threshold"
+	// ReasonTankBudget: the tank's condenser cannot reject the heat of
+	// another overclocked server.
+	ReasonTankBudget Reason = "tank_budget"
+	// ReasonRiskBudget: the server has consumed wear faster than its
+	// pro-rata service-life schedule allows.
+	ReasonRiskBudget Reason = "risk_budget"
+	// ReasonFeederCap: the row feeder has no power headroom for the
+	// overclocked configuration.
+	ReasonFeederCap Reason = "feeder_cap"
+	// ReasonNotOverclockable: the server hardware cannot enter the
+	// overclocking bands (air-cooled fleet).
+	ReasonNotOverclockable Reason = "not_overclockable"
+)
+
+// Decision is the answer to a single grant query.
+type Decision struct {
+	// Allow reports whether the overclock may proceed.
+	Allow bool
+	// Reason explains the decision (ReasonGranted when allowed).
+	Reason Reason
+}
+
+// GrantQuery carries the state a single-server grant decision needs.
+// The caller (the daemon's API layer) snapshots these from the live
+// simulation; Evaluate applies the same checks the per-step path
+// applies, in the same order, plus the wear-risk budget the batch path
+// accrues but never gates on.
+type GrantQuery struct {
+	// Overclockable reports whether the hardware supports overclocking.
+	Overclockable bool
+	// DemandCores and PCores feed the Equation 1 threshold check.
+	DemandCores, PCores float64
+	// TankOverclocked is the number of servers currently overclocked
+	// in the target server's tank; TankBudget is that tank's condenser
+	// budget.
+	TankOverclocked, TankBudget int
+	// WearUsed is the fraction of the server's lifetime wear budget
+	// consumed; WearProRata is the fraction a server wearing exactly on
+	// the service-life schedule would have consumed by now.
+	WearUsed, WearProRata float64
+	// RowPowerW is the row's current draw and OverclockDeltaW the
+	// increase granting would cause.
+	RowPowerW, OverclockDeltaW float64
+}
+
+// Decider is the placement/overclock policy shared by the batch fleet
+// simulator and the control-plane daemon. Implementations must be
+// deterministic: identical Offer sequences and Actuator state produce
+// identical decisions.
+type Decider interface {
+	// Begin starts a control step over a fleet with nTanks tanks,
+	// resetting per-step scratch.
+	Begin(nTanks int)
+	// Offer registers one server's state for the step and reports
+	// whether the server wants (and may compete for) an overclock.
+	Offer(c Candidate) bool
+	// Decide grants and caps the step's offered candidates through act.
+	// Every offered candidate's server must currently run nominal; the
+	// decider toggles grants via act.SetOverclock.
+	Decide(act Actuator) Outcome
+	// Evaluate answers a single grant query with a typed decision.
+	Evaluate(q GrantQuery) Decision
+}
+
+// Governor is the paper's policy (§IV–V): servers whose expected
+// demand crosses the Equation 1 contention threshold request an
+// overclock; most-pressured servers are granted first, each tank
+// admits at most its condenser budget, and the row feeder revokes the
+// least-pressured grants until the row's power fits. The zero value is
+// unusable — fill Thresh, TankBudget and FeederBudgetW.
+type Governor struct {
+	// Thresh is the Equation 1 threshold: a server requests an
+	// overclock when expected demand exceeds Thresh × pcores (bursts
+	// run ~2× the long-run mean, so a mean above half the cores means
+	// contention during bursts — the regime overclocking absorbs).
+	Thresh float64
+	// TankBudget is the per-tank condenser overclock budget.
+	TankBudget []int
+	// FeederBudgetW is the row's power-delivery limit (0 = uncapped).
+	FeederBudgetW float64
+	// RiskBudget is the wear-rate multiple of the pro-rata schedule
+	// above which Evaluate denies grants (0 disables the check; the
+	// per-step batch path never applies it, matching the paper's
+	// governor, which spends lifetime credit rather than gating on it).
+	RiskBudget float64
+
+	reqs      []offered
+	granted   []bool
+	ocPerTank []int
+}
+
+// offered is a registered candidate with its sort key cached.
+type offered struct {
+	Candidate
+	need float64
+}
+
+var _ Decider = (*Governor)(nil)
+
+// Begin resets the per-step scratch, growing it only on the first step
+// (or a fleet reshape).
+func (g *Governor) Begin(nTanks int) {
+	g.reqs = g.reqs[:0]
+	if cap(g.ocPerTank) < nTanks {
+		g.ocPerTank = make([]int, nTanks)
+	}
+	g.ocPerTank = g.ocPerTank[:nTanks]
+	for i := range g.ocPerTank {
+		g.ocPerTank[i] = 0
+	}
+}
+
+// Offer applies the Equation 1 threshold and registers the candidate
+// when it crosses it.
+func (g *Governor) Offer(c Candidate) bool {
+	if c.DemandCores <= g.Thresh*c.PCores {
+		return false
+	}
+	g.reqs = append(g.reqs, offered{Candidate: c, need: c.need()})
+	return true
+}
+
+// Len, Swap and Less order the offered candidates most-pressured first
+// (ties by server ID). Governor implements sort.Interface directly so
+// the per-step sort needs no interface conversion or allocation.
+func (g *Governor) Len() int      { return len(g.reqs) }
+func (g *Governor) Swap(i, j int) { g.reqs[i], g.reqs[j] = g.reqs[j], g.reqs[i] }
+func (g *Governor) Less(i, j int) bool {
+	if g.reqs[i].need != g.reqs[j].need {
+		return g.reqs[i].need > g.reqs[j].need
+	}
+	return g.reqs[i].ID < g.reqs[j].ID
+}
+
+// Decide grants within tank budgets, then caps against the feeder.
+func (g *Governor) Decide(act Actuator) Outcome {
+	sort.Sort(g)
+
+	if cap(g.granted) < len(g.reqs) {
+		g.granted = make([]bool, len(g.reqs))
+	}
+	g.granted = g.granted[:len(g.reqs)]
+
+	var out Outcome
+	for i, r := range g.reqs {
+		g.granted[i] = g.ocPerTank[r.Tank] < g.TankBudget[r.Tank]
+		if g.granted[i] {
+			act.SetOverclock(r.Index, true)
+			g.ocPerTank[r.Tank]++
+			out.Granted++
+		}
+	}
+
+	// Feeder budget: cancel the least-pressured overclocks until the
+	// row fits (priority capping at the granularity of whole grants).
+	// RowPowerW is the caller's running sum, so the loop costs
+	// O(cancellations), not a fleet recompute per iteration.
+	if g.FeederBudgetW > 0 && act.RowPowerW() > g.FeederBudgetW {
+		out.Capped = true
+		for i := len(g.reqs) - 1; i >= 0 && act.RowPowerW() > g.FeederBudgetW; i-- {
+			if g.granted[i] {
+				g.granted[i] = false
+				act.SetOverclock(g.reqs[i].Index, false)
+				out.Granted--
+				out.Cancelled++
+			}
+		}
+	}
+	return out
+}
+
+// Evaluate applies the policy to one grant query: hardware capability,
+// Equation 1 threshold, tank condenser budget, wear-risk budget, then
+// feeder headroom — the first failing check names the decision.
+func (g *Governor) Evaluate(q GrantQuery) Decision {
+	if !q.Overclockable {
+		return Decision{Reason: ReasonNotOverclockable}
+	}
+	if q.DemandCores <= g.Thresh*q.PCores {
+		return Decision{Reason: ReasonEq1Threshold}
+	}
+	if q.TankOverclocked >= q.TankBudget {
+		return Decision{Reason: ReasonTankBudget}
+	}
+	if g.RiskBudget > 0 && q.WearProRata > 0 && q.WearUsed > g.RiskBudget*q.WearProRata {
+		return Decision{Reason: ReasonRiskBudget}
+	}
+	if g.FeederBudgetW > 0 && q.RowPowerW+q.OverclockDeltaW > g.FeederBudgetW {
+		return Decision{Reason: ReasonFeederCap}
+	}
+	return Decision{Allow: true, Reason: ReasonGranted}
+}

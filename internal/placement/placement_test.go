@@ -1,0 +1,291 @@
+package placement
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// fakeActuator records toggles and models row power as base + 100 W
+// per overclocked server.
+type fakeActuator struct {
+	oc      []bool
+	baseW   float64
+	perOCW  float64
+	toggles []int
+}
+
+func newFakeActuator(n int, baseW float64) *fakeActuator {
+	return &fakeActuator{oc: make([]bool, n), baseW: baseW, perOCW: 100}
+}
+
+func (a *fakeActuator) SetOverclock(i int, oc bool) {
+	a.oc[i] = oc
+	a.toggles = append(a.toggles, i)
+}
+
+func (a *fakeActuator) RowPowerW() float64 {
+	w := a.baseW
+	for _, oc := range a.oc {
+		if oc {
+			w += a.perOCW
+		}
+	}
+	return w
+}
+
+func gov(thresh float64, tankBudget []int, feederW float64) *Governor {
+	return &Governor{Thresh: thresh, TankBudget: tankBudget, FeederBudgetW: feederW}
+}
+
+func TestOfferAppliesThreshold(t *testing.T) {
+	g := gov(0.5, []int{4}, 0)
+	g.Begin(1)
+	if g.Offer(Candidate{Index: 0, ID: 0, DemandCores: 20, PCores: 48}) {
+		t.Fatal("below-threshold server offered a grant candidacy")
+	}
+	if !g.Offer(Candidate{Index: 1, ID: 1, DemandCores: 30, PCores: 48}) {
+		t.Fatal("above-threshold server not registered")
+	}
+	// The boundary is strict: demand exactly at thresh×pcores stays
+	// nominal (matches the original `d > thrDemand` comparison).
+	if g.Offer(Candidate{Index: 2, ID: 2, DemandCores: 24, PCores: 48}) {
+		t.Fatal("demand exactly at threshold must not request an overclock")
+	}
+}
+
+func TestDecideGrantsMostPressuredWithinTankBudget(t *testing.T) {
+	g := gov(0.5, []int{2}, 0)
+	g.Begin(1)
+	act := newFakeActuator(4, 0)
+	// Pressure order: 2 (0.9), 0 (0.8), 3 (0.7), 1 (0.6); budget 2.
+	demands := []float64{0.8 * 48, 0.6 * 48, 0.9 * 48, 0.7 * 48}
+	for i, d := range demands {
+		g.Offer(Candidate{Index: i, ID: i, Tank: 0, DemandCores: d, PCores: 48})
+	}
+	out := g.Decide(act)
+	if out.Granted != 2 || out.Cancelled != 0 || out.Capped {
+		t.Fatalf("outcome = %+v, want 2 grants uncapped", out)
+	}
+	if !act.oc[2] || !act.oc[0] || act.oc[1] || act.oc[3] {
+		t.Fatalf("granted the wrong servers: %v", act.oc)
+	}
+}
+
+func TestDecideHonoursPerTankBudgets(t *testing.T) {
+	g := gov(0.5, []int{1, 2}, 0)
+	g.Begin(2)
+	act := newFakeActuator(4, 0)
+	cands := []Candidate{
+		{Index: 0, ID: 0, Tank: 0, DemandCores: 0.95 * 48, PCores: 48},
+		{Index: 1, ID: 1, Tank: 0, DemandCores: 0.90 * 48, PCores: 48},
+		{Index: 2, ID: 2, Tank: 1, DemandCores: 0.70 * 48, PCores: 48},
+		{Index: 3, ID: 3, Tank: 1, DemandCores: 0.65 * 48, PCores: 48},
+	}
+	for _, c := range cands {
+		g.Offer(c)
+	}
+	out := g.Decide(act)
+	if out.Granted != 3 {
+		t.Fatalf("granted %d, want 3 (tank0 capped at 1)", out.Granted)
+	}
+	if !act.oc[0] || act.oc[1] || !act.oc[2] || !act.oc[3] {
+		t.Fatalf("grants = %v, want tank0's most-pressured + both of tank1", act.oc)
+	}
+}
+
+func TestDecideFeederCancelsLeastPressured(t *testing.T) {
+	// Base 350 W + 100 W per OC; feeder 600 W fits 2 overclocks.
+	g := gov(0.5, []int{4}, 600)
+	g.Begin(1)
+	act := newFakeActuator(4, 350)
+	for i, d := range []float64{0.9, 0.8, 0.7, 0.6} {
+		g.Offer(Candidate{Index: i, ID: i, Tank: 0, DemandCores: d * 48, PCores: 48})
+	}
+	out := g.Decide(act)
+	if !out.Capped || out.Cancelled != 2 || out.Granted != 2 {
+		t.Fatalf("outcome = %+v, want capped with 2 of 4 grants cancelled", out)
+	}
+	// The least-pressured grants (indices 3, 2) go first.
+	if !act.oc[0] || !act.oc[1] || act.oc[2] || act.oc[3] {
+		t.Fatalf("cancelled the wrong grants: %v", act.oc)
+	}
+}
+
+func TestDecideCapEventWithoutCancellableGrants(t *testing.T) {
+	// The row is over budget from nominal power alone: a cap event is
+	// recorded even though revoking every grant cannot fix it.
+	g := gov(0.5, []int{1}, 100)
+	g.Begin(1)
+	act := newFakeActuator(1, 350)
+	g.Offer(Candidate{Index: 0, ID: 0, Tank: 0, DemandCores: 40, PCores: 48})
+	out := g.Decide(act)
+	if !out.Capped || out.Granted != 0 || out.Cancelled != 1 {
+		t.Fatalf("outcome = %+v, want capped with the lone grant revoked", out)
+	}
+}
+
+func TestDecideTieBreaksByID(t *testing.T) {
+	g := gov(0.5, []int{1}, 0)
+	g.Begin(1)
+	act := newFakeActuator(2, 0)
+	// Identical pressure: the lower ID wins the single slot.
+	g.Offer(Candidate{Index: 0, ID: 7, Tank: 0, DemandCores: 30, PCores: 48})
+	g.Offer(Candidate{Index: 1, ID: 3, Tank: 0, DemandCores: 30, PCores: 48})
+	out := g.Decide(act)
+	if out.Granted != 1 || act.oc[0] || !act.oc[1] {
+		t.Fatalf("tie not broken by server ID: %+v %v", out, act.oc)
+	}
+}
+
+func TestBeginResetsScratch(t *testing.T) {
+	g := gov(0.5, []int{1}, 0)
+	for step := 0; step < 3; step++ {
+		g.Begin(1)
+		act := newFakeActuator(2, 0)
+		g.Offer(Candidate{Index: 0, ID: 0, Tank: 0, DemandCores: 30, PCores: 48})
+		out := g.Decide(act)
+		if out.Granted != 1 {
+			t.Fatalf("step %d granted %d, want 1 (scratch leaked across steps)", step, out.Granted)
+		}
+	}
+}
+
+func TestEvaluateReasonOrder(t *testing.T) {
+	g := gov(0.5, []int{2}, 1000)
+	g.RiskBudget = 1.0
+	base := GrantQuery{
+		Overclockable:   true,
+		DemandCores:     30,
+		PCores:          48,
+		TankOverclocked: 0,
+		TankBudget:      2,
+		WearUsed:        0.1,
+		WearProRata:     0.2,
+		RowPowerW:       800,
+		OverclockDeltaW: 100,
+	}
+	cases := []struct {
+		name   string
+		mutate func(*GrantQuery)
+		want   Reason
+		allow  bool
+	}{
+		{"granted", func(q *GrantQuery) {}, ReasonGranted, true},
+		{"not-overclockable", func(q *GrantQuery) { q.Overclockable = false }, ReasonNotOverclockable, false},
+		{"eq1", func(q *GrantQuery) { q.DemandCores = 20 }, ReasonEq1Threshold, false},
+		{"tank", func(q *GrantQuery) { q.TankOverclocked = 2 }, ReasonTankBudget, false},
+		{"risk", func(q *GrantQuery) { q.WearUsed = 0.5 }, ReasonRiskBudget, false},
+		{"feeder", func(q *GrantQuery) { q.OverclockDeltaW = 300 }, ReasonFeederCap, false},
+	}
+	for _, tc := range cases {
+		q := base
+		tc.mutate(&q)
+		d := g.Evaluate(q)
+		if d.Reason != tc.want || d.Allow != tc.allow {
+			t.Errorf("%s: Evaluate = %+v, want allow=%v reason=%s", tc.name, d, tc.allow, tc.want)
+		}
+	}
+}
+
+func TestEvaluateRiskBudgetDisabledByDefault(t *testing.T) {
+	g := gov(0.5, []int{2}, 0)
+	d := g.Evaluate(GrantQuery{
+		Overclockable: true, DemandCores: 30, PCores: 48,
+		TankBudget: 2, WearUsed: 5, WearProRata: 0.01,
+	})
+	if !d.Allow {
+		t.Fatalf("zero RiskBudget must not gate on wear: %+v", d)
+	}
+}
+
+// TestDecideMatchesNaiveReference drives random candidate sets through
+// the governor and checks grants against a straightforward
+// sort-grant-cap reimplementation.
+func TestDecideMatchesNaiveReference(t *testing.T) {
+	f := func(seeds []uint16) bool {
+		if len(seeds) == 0 {
+			return true
+		}
+		if len(seeds) > 24 {
+			seeds = seeds[:24]
+		}
+		nTanks := 3
+		budgets := []int{1, 2, 3}
+		const baseW, perOC, feeder = 300.0, 100.0, 650.0
+
+		g := gov(0.5, budgets, feeder)
+		g.Begin(nTanks)
+		act := newFakeActuator(len(seeds), baseW)
+		type cand struct {
+			c    Candidate
+			need float64
+		}
+		var offered []cand
+		for i, s := range seeds {
+			c := Candidate{
+				Index:       i,
+				ID:          i,
+				Tank:        i % nTanks,
+				DemandCores: float64(s%97) / 96 * 48,
+				PCores:      48,
+			}
+			if g.Offer(c) {
+				offered = append(offered, cand{c, c.DemandCores / c.PCores})
+			}
+		}
+		out := g.Decide(act)
+
+		// Naive reference: sort, admit per tank, cap from the tail.
+		sort.Slice(offered, func(i, j int) bool {
+			if offered[i].need != offered[j].need {
+				return offered[i].need > offered[j].need
+			}
+			return offered[i].c.ID < offered[j].c.ID
+		})
+		oc := make([]bool, len(seeds))
+		perTank := make([]int, nTanks)
+		granted := 0
+		for _, o := range offered {
+			if perTank[o.c.Tank] < budgets[o.c.Tank] {
+				oc[o.c.Index] = true
+				perTank[o.c.Tank]++
+				granted++
+			}
+		}
+		rowW := func() float64 {
+			w := baseW
+			for _, b := range oc {
+				if b {
+					w += perOC
+				}
+			}
+			return w
+		}
+		cancelled := 0
+		if rowW() > feeder {
+			for i := len(offered) - 1; i >= 0 && rowW() > feeder; i-- {
+				if oc[offered[i].c.Index] {
+					oc[offered[i].c.Index] = false
+					granted--
+					cancelled++
+				}
+			}
+		}
+
+		if out.Granted != granted || out.Cancelled != cancelled {
+			t.Logf("outcome %+v vs naive granted=%d cancelled=%d", out, granted, cancelled)
+			return false
+		}
+		for i := range oc {
+			if act.oc[i] != oc[i] {
+				t.Logf("server %d: governor %v, naive %v", i, act.oc[i], oc[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

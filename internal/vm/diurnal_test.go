@@ -1,0 +1,106 @@
+package vm
+
+import (
+	"math"
+	"testing"
+)
+
+func diurnalBase() DiurnalConfig {
+	return DiurnalConfig{
+		TraceConfig: TraceConfig{
+			Seed:             7,
+			ArrivalRatePerS:  0.05,
+			DurationS:        24 * 3600,
+			MeanLifetimeS:    2 * 3600,
+			HighPerfFraction: 0.1,
+		},
+		TroughFraction: 0.2,
+	}
+}
+
+func TestDiurnalFactorShape(t *testing.T) {
+	cfg := diurnalBase()
+	period := 24 * 3600.0
+	// Trough at t=0 and t=period, crest at half period.
+	if got := cfg.Factor(0); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("Factor(0) = %v, want trough 0.2", got)
+	}
+	if got := cfg.Factor(period); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("Factor(period) = %v, want trough 0.2", got)
+	}
+	if got := cfg.Factor(period / 2); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Factor(period/2) = %v, want crest 1", got)
+	}
+	// Bounded on [trough, 1] everywhere.
+	for ts := 0.0; ts <= period; ts += 613 {
+		f := cfg.Factor(ts)
+		if f < 0.2-1e-12 || f > 1+1e-12 {
+			t.Fatalf("Factor(%v) = %v out of [0.2, 1]", ts, f)
+		}
+	}
+	// PeriodS = 0 defaults to a 24-hour day.
+	explicit := cfg
+	explicit.PeriodS = 24 * 3600
+	for _, ts := range []float64{0, 3500, 40_000, 86_000} {
+		if cfg.Factor(ts) != explicit.Factor(ts) {
+			t.Fatalf("zero PeriodS != 24h default at t=%v", ts)
+		}
+	}
+}
+
+func TestGenerateDiurnalDeterministic(t *testing.T) {
+	cfg := diurnalBase()
+	a := GenerateDiurnal(cfg)
+	b := GenerateDiurnal(cfg)
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if *a[i] != *b[i] {
+			t.Fatalf("trace diverges at VM %d", i)
+		}
+	}
+}
+
+func TestGenerateDiurnalThinsTrace(t *testing.T) {
+	cfg := diurnalBase()
+	flat := Generate(cfg.TraceConfig)
+	diurnal := GenerateDiurnal(cfg)
+	if len(diurnal) == 0 {
+		t.Fatal("empty diurnal trace")
+	}
+	// Thinning strictly reduces volume: the raised cosine with a 0.2
+	// trough keeps 60% of arrivals in expectation.
+	if len(diurnal) >= len(flat) {
+		t.Fatalf("thinning did not reduce the trace: %d diurnal vs %d flat", len(diurnal), len(flat))
+	}
+	ratio := float64(len(diurnal)) / float64(len(flat))
+	if ratio < 0.5 || ratio > 0.7 {
+		t.Errorf("kept fraction %.3f, want ≈ 0.6 (trough 0.2 raised cosine)", ratio)
+	}
+	// IDs stay dense (1..n) so dcsim trace replay indexes cleanly.
+	for i, v := range diurnal {
+		if v.ID != i+1 {
+			t.Fatalf("VM %d has ID %d, want dense IDs", i, v.ID)
+		}
+	}
+}
+
+func TestGenerateDiurnalConcentratesAtCrest(t *testing.T) {
+	cfg := diurnalBase()
+	trace := GenerateDiurnal(cfg)
+	period := cfg.TraceConfig.DurationS
+	// Compare the middle half-day (around the crest) against the two
+	// outer quarters (around the troughs): the crest must dominate.
+	var crest, trough int
+	for _, v := range trace {
+		if v.ArrivalS > period/4 && v.ArrivalS < 3*period/4 {
+			crest++
+		} else {
+			trough++
+		}
+	}
+	if crest <= trough {
+		t.Fatalf("no diurnal shape: %d arrivals at crest half vs %d at trough quarters", crest, trough)
+	}
+}

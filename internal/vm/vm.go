@@ -10,6 +10,7 @@ package vm
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"immersionoc/internal/rng"
@@ -110,6 +111,45 @@ var sizeWeights = []float64{0.45, 0.30, 0.18, 0.07}
 
 // Generate produces a reproducible VM arrival trace.
 func Generate(cfg TraceConfig) []*VM {
+	return generate(cfg, nil)
+}
+
+// DiurnalConfig modulates a trace's Poisson arrival rate over a
+// raised-cosine day: ArrivalRatePerS is the daily peak, the trough is
+// TroughFraction of it.
+type DiurnalConfig struct {
+	TraceConfig
+	// TroughFraction is the trough rate as a fraction of the peak
+	// ArrivalRatePerS, in [0, 1]. 1 disables the modulation.
+	TroughFraction float64
+	// PeriodS is the modulation period (0 = 24 h). The peak sits at
+	// half the period, so a trace starting at t=0 starts in the trough.
+	PeriodS float64
+}
+
+// Factor returns the rate multiplier at time t: a raised cosine
+// between TroughFraction (at t = 0 mod PeriodS) and 1 (at half the
+// period).
+func (d DiurnalConfig) Factor(t float64) float64 {
+	period := d.PeriodS
+	if period <= 0 {
+		period = 24 * 3600
+	}
+	shape := (1 - math.Cos(2*math.Pi*t/period)) / 2 // 0 at trough, 1 at peak
+	return d.TroughFraction + (1-d.TroughFraction)*shape
+}
+
+// GenerateDiurnal produces a reproducible arrival trace whose rate
+// follows the diurnal day, by thinning: candidate arrivals are drawn
+// at the peak rate and kept with probability Factor(t) (the standard
+// construction for a non-homogeneous Poisson process). The per-VM
+// sampling matches Generate, so the workload mix is identical and only
+// the arrival intensity breathes.
+func GenerateDiurnal(cfg DiurnalConfig) []*VM {
+	return generate(cfg.TraceConfig, cfg.Factor)
+}
+
+func generate(cfg TraceConfig, keep func(t float64) float64) []*VM {
 	r := rng.New(cfg.Seed)
 	var out []*VM
 	t := 0.0
@@ -119,6 +159,9 @@ func Generate(cfg TraceConfig) []*VM {
 		t += r.Exp(cfg.ArrivalRatePerS)
 		if t >= cfg.DurationS {
 			break
+		}
+		if keep != nil && !r.Bernoulli(keep(t)) {
+			continue
 		}
 		id++
 		// Bounded Pareto lifetimes with alpha 1.2: heavy tail,
