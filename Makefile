@@ -24,20 +24,20 @@ verify:
 
 # Full benchmark sweep (kernel, queueing hot path, fleet control loop,
 # and every figure / table regeneration), one iteration each with
-# allocation stats, parsed into BENCH_5.json (benchmark -> ns/op,
+# allocation stats, parsed into BENCH_7.json (benchmark -> ns/op,
 # allocs/op, B/op, custom metrics) with the checked-in pre-change
 # baseline embedded alongside.
 # Takes ~10 minutes: BenchmarkRunnerAll replays the evaluation 4 times.
 bench:
 	$(GO) test -bench=. -benchtime=1x -benchmem -run='^$$' ./... \
-		| $(GO) run ./cmd/benchjson -baseline bench_baseline.json -out BENCH_5.json
-	@cat BENCH_5.json
+		| $(GO) run ./cmd/benchjson -baseline bench_baseline.json -out BENCH_7.json
+	@cat BENCH_7.json
 
-# CI bench smoke: one iteration of the kernel, oversubscription and
-# fleet-simulation hot-path benchmarks, piped through benchjson so
-# benchmark and tooling rot fail fast.
+# CI bench smoke: one iteration of the kernel, oversubscription,
+# fleet-simulation and sharded-hyperscale hot-path benchmarks, piped
+# through benchjson so benchmark and tooling rot fail fast.
 bench-smoke:
-	$(GO) test -bench='BenchmarkKernel|BenchmarkOversubscribed|BenchmarkFleetSim$$' \
+	$(GO) test -bench='BenchmarkKernel|BenchmarkOversubscribed|BenchmarkFleetSim$$|BenchmarkFleetHyperScale' \
 		-benchtime=1x -benchmem -run='^$$' \
 		./internal/sim/ ./internal/queueing/ . | $(GO) run ./cmd/benchjson
 

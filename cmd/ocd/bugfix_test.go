@@ -1,0 +1,197 @@
+package main
+
+// Regression tests for the daemon's time/locking/hardening bugs. Each
+// test fails against the pre-fix code:
+//
+//   - scaled mode used a time.Ticker and stepped once per tick, so a
+//     step outrunning the interval dropped ticks and lost simulated
+//     time permanently;
+//   - /v1/step held the daemon lock for the whole batch (up to
+//     100,000 steps), starving /v1/status;
+//   - request bodies were decoded unbounded and trailing garbage
+//     after the JSON document was silently ignored.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"immersionoc/internal/api"
+	"immersionoc/internal/placement"
+)
+
+// sleepyDecider is a Decider stub whose Decide stalls: Sleep models a
+// control step that outruns the scaled-mode interval. With FirstOnly
+// set only the first step stalls — the workload a ticker-driven loop
+// can never recover from, but an elapsed-time loop catches up after.
+type sleepyDecider struct {
+	Sleep     time.Duration
+	FirstOnly bool
+
+	mu    sync.Mutex
+	calls int
+}
+
+func (s *sleepyDecider) Begin(int) {}
+
+func (s *sleepyDecider) Offer(placement.Candidate) bool { return false }
+
+func (s *sleepyDecider) Decide(placement.Actuator) placement.Outcome {
+	s.mu.Lock()
+	s.calls++
+	stall := !s.FirstOnly || s.calls == 1
+	s.mu.Unlock()
+	if stall {
+		time.Sleep(s.Sleep)
+	}
+	return placement.Outcome{}
+}
+
+func (s *sleepyDecider) Evaluate(placement.GrantQuery) placement.Decision {
+	return placement.Decision{Reason: placement.ReasonEq1Threshold}
+}
+
+// TestScaledModeRecoversLostTime pins the runScaled fix: one control
+// step stalls far longer than the step interval, and the loop must
+// still converge simulated time to elapsed-wall × scale. The ticker
+// version drops ~50 ticks during the stall and stays that far behind
+// forever; the elapsed-time version catches up within a chunk.
+func TestScaledModeRecoversLostTime(t *testing.T) {
+	cfg := testFleet()
+	cfg.Decider = &sleepyDecider{Sleep: 250 * time.Millisecond, FirstOnly: true}
+	d, c := startDaemon(t, cfg, modeScaled)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	const scale = 60_000 // StepS=300 → one step per 5 ms of wall time
+	stepS := cfg.StepS
+	start := time.Now()
+	go d.runScaled(ctx, scale)
+
+	// The stalled step costs 250 ms ≈ 50 intervals. Converged means
+	// the lag is under 10 steps — far below the ~50 steps the ticker
+	// loop loses permanently, far above measurement slack.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err := c.Status(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		target := time.Since(start).Seconds() * scale
+		lost := target - st.SimTimeS
+		if st.SimTimeS > 0 && lost < 10*stepS {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("scaled mode never recovered the stalled step: sim %.0f s, wall target %.0f s (lost %.0f s = %.0f steps)",
+				st.SimTimeS, target, lost, lost/stepS)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The drift gauge must be exported and bounded once caught up.
+	drift := d.reg.Scope("ocd").Gauge("sim_time_drift_s").Value()
+	if drift > 10*stepS {
+		t.Fatalf("sim_time_drift_s = %.0f after convergence, want < %.0f", drift, 10*stepS)
+	}
+}
+
+// TestStatusAnswersDuringLargeStep pins the /v1/step chunking fix: a
+// long batch must release the daemon lock between chunks so /v1/status
+// answers mid-flight. Pre-fix the lock is held for the whole batch
+// (~3 s here) and the 1-second status deadline expires.
+func TestStatusAnswersDuringLargeStep(t *testing.T) {
+	cfg := testFleet()
+	cfg.Decider = &sleepyDecider{Sleep: 3 * time.Millisecond}
+	_, c := startDaemon(t, cfg, modeStepped)
+	ctx := context.Background()
+
+	const steps = 1000 // ≈ 3 s of stepping, ~16 chunks of 64
+	type stepResult struct {
+		resp api.StepResponse
+		err  error
+	}
+	done := make(chan stepResult, 1)
+	go func() {
+		resp, err := c.Step(ctx, api.StepRequest{Steps: steps})
+		done <- stepResult{resp, err}
+	}()
+
+	time.Sleep(100 * time.Millisecond) // let the batch take the lock
+	stCtx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	st, err := c.Status(stCtx)
+	if err != nil {
+		t.Fatalf("/v1/status starved while /v1/step batch in flight: %v", err)
+	}
+	if st.SimTimeS <= 0 {
+		t.Fatalf("status served before any chunk completed: %+v", st)
+	}
+
+	r := <-done
+	if r.err != nil {
+		t.Fatalf("step batch: %v", r.err)
+	}
+	if r.resp.StepsRun != steps || r.resp.SimTimeS != float64(steps)*cfg.StepS {
+		t.Fatalf("step batch = %+v, want %d steps to t=%v", r.resp, steps, float64(steps)*cfg.StepS)
+	}
+}
+
+// TestRequestBodyHardening pins the body-handling fixes: trailing
+// garbage after the JSON document is a 400, and a body over the cap is
+// a 413 instead of an unbounded decode.
+func TestRequestBodyHardening(t *testing.T) {
+	_, c := startDaemon(t, testFleet(), modeStepped)
+
+	post := func(body []byte) (int, string) {
+		resp, err := http.Post(c.BaseURL+"/v1/step", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(msg)
+	}
+
+	// A well-formed single document still works.
+	if code, msg := post([]byte(`{"steps":1}`)); code != http.StatusOK {
+		t.Fatalf("clean request: HTTP %d %s", code, msg)
+	}
+	// Trailing garbage after the document: 400.
+	if code, msg := post([]byte(`{"steps":1} trailing`)); code != http.StatusBadRequest || !strings.Contains(msg, "trailing") {
+		t.Fatalf("trailing garbage: HTTP %d %s, want 400 naming trailing data", code, msg)
+	}
+	// A second concatenated JSON document is trailing data too.
+	if code, _ := post([]byte(`{"steps":1}{"steps":99}`)); code != http.StatusBadRequest {
+		t.Fatalf("concatenated documents: HTTP %d, want 400", code)
+	}
+	// A body past the cap: 413.
+	huge, _ := json.Marshal(map[string]any{"steps": 1, "pad": strings.Repeat("x", maxBodyBytes+1)})
+	if code, msg := post(huge); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: HTTP %d %s, want 413", code, msg)
+	}
+}
+
+// TestHTTPServerTimeouts pins the server construction: a slowloris
+// client must be bounded by header/read timeouts.
+func TestHTTPServerTimeouts(t *testing.T) {
+	srv := newHTTPServer(http.NewServeMux())
+	if srv.ReadHeaderTimeout <= 0 {
+		t.Error("ReadHeaderTimeout unset: slowloris headers hold connections forever")
+	}
+	if srv.ReadTimeout <= 0 {
+		t.Error("ReadTimeout unset: slow request bodies hold the handler forever")
+	}
+	if srv.IdleTimeout <= 0 {
+		t.Error("IdleTimeout unset: idle keep-alive connections accumulate")
+	}
+	if srv.WriteTimeout > 0 && srv.WriteTimeout < time.Minute {
+		t.Error("WriteTimeout would cut off legitimate long /v1/step batches")
+	}
+}

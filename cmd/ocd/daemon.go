@@ -10,7 +10,9 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"sort"
@@ -30,8 +32,19 @@ const (
 )
 
 // maxStepsPerCall bounds one /v1/step request so a typo cannot hold
-// the simulation lock for minutes.
+// the simulation busy for minutes.
 const maxStepsPerCall = 100000
+
+// stepChunk is how many simulation steps run per lock acquisition: a
+// large /v1/step batch (and scaled-mode catch-up) releases the daemon
+// lock every chunk so /v1/status and other API calls interleave
+// instead of starving for the whole batch.
+const stepChunk = 64
+
+// maxBodyBytes caps a request body. The largest legitimate v1 request
+// is a prioritize call naming every server; a multi-gigabyte body is
+// an attack, not a request.
+const maxBodyBytes = 1 << 20
 
 type daemon struct {
 	mu   sync.Mutex
@@ -61,23 +74,53 @@ func newDaemon(cfg dcsim.Config, mode string, reg *telemetry.Registry) (*daemon,
 	}, nil
 }
 
-// runScaled drives the control loop from the wall clock: every
-// StepS/scale wall seconds, one simulated step.
+// runScaled drives the control loop from the wall clock. The target
+// simulated time is elapsed-wall-time × scale measured from the loop's
+// start; each pass steps the simulation until it catches up to the
+// target, in stepChunk batches so API requests interleave. Stepping
+// against the measured elapsed time — rather than counting ticker
+// ticks — means a step that outruns the interval, a scheduler stall,
+// or the truncation in the interval arithmetic can delay simulated
+// time but never silently lose it: the next pass sees the larger
+// elapsed time and catches up. The remaining gap is exported as the
+// ocd.sim_time_drift_s gauge (bounded by one step period when the
+// host keeps up).
 func (d *daemon) runScaled(ctx context.Context, scale float64) {
-	interval := time.Duration(d.sim.StepS() / scale * float64(time.Second))
-	if interval <= 0 {
-		interval = time.Millisecond
-	}
-	tick := time.NewTicker(interval)
-	defer tick.Stop()
-	for {
+	stepS := d.sim.StepS()
+	drift := d.reg.Scope("ocd").Gauge("sim_time_drift_s")
+	start := time.Now()
+	d.mu.Lock()
+	base := d.sim.Now()
+	d.mu.Unlock()
+	for ctx.Err() == nil {
+		target := base + time.Since(start).Seconds()*scale
+		d.mu.Lock()
+		steps := 0
+		for d.sim.Now()+stepS <= target && steps < stepChunk {
+			d.sim.Step()
+			steps++
+		}
+		now := d.sim.Now()
+		d.mu.Unlock()
+		drift.Set(base + time.Since(start).Seconds()*scale - now)
+		if steps == stepChunk {
+			// Still behind: yield the lock briefly, then keep catching
+			// up against a freshly measured target.
+			continue
+		}
+		// Caught up. Sleep until the next step is due, bounded so
+		// cancellation stays prompt even at extreme scales.
+		wait := time.Duration((now + stepS - target) / scale * float64(time.Second))
+		if wait < time.Millisecond {
+			wait = time.Millisecond
+		}
+		if wait > 250*time.Millisecond {
+			wait = 250 * time.Millisecond
+		}
 		select {
 		case <-ctx.Done():
 			return
-		case <-tick.C:
-			d.mu.Lock()
-			d.sim.Step()
-			d.mu.Unlock()
+		case <-time.After(wait):
 		}
 	}
 }
@@ -94,28 +137,44 @@ func errf(code int, format string, a ...any) error {
 	return &apiError{code: code, msg: fmt.Sprintf(format, a...)}
 }
 
-// post wires a typed request handler: decode JSON, check the version
-// tag, run fn under the daemon lock, encode the response (or an
-// ErrorResponse with the apiError's status).
-func post[Req any, Resp any](d *daemon, vers func(Req) string, fn func(Req) (Resp, error)) http.HandlerFunc {
+// post wires a typed request handler: cap and decode the JSON body
+// (rejecting oversized payloads and trailing garbage), check the
+// version tag, run fn with the request context, and encode the
+// response (or an ErrorResponse with the apiError's status). fn owns
+// its locking — most handlers are wrapped by locked, while /v1/step
+// chunks the lock itself.
+func post[Req any, Resp any](d *daemon, vers func(Req) string, fn func(context.Context, Req) (Resp, error)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		d.requests.Inc()
 		if r.Method != http.MethodPost {
 			writeError(w, http.StatusMethodNotAllowed, "POST only")
 			return
 		}
+		body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+		dec := json.NewDecoder(body)
 		var req Req
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		if err := dec.Decode(&req); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				writeError(w, http.StatusRequestEntityTooLarge,
+					fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+				return
+			}
 			writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+			return
+		}
+		// Exactly one JSON document per request: trailing garbage means
+		// a malformed client (or two concatenated requests) and is
+		// rejected rather than silently ignored.
+		if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+			writeError(w, http.StatusBadRequest, "trailing data after JSON document")
 			return
 		}
 		if v := vers(req); v != "" && v != api.Version {
 			writeError(w, http.StatusBadRequest, "unsupported version "+v)
 			return
 		}
-		d.mu.Lock()
-		resp, err := fn(req)
-		d.mu.Unlock()
+		resp, err := fn(r.Context(), req)
 		if err != nil {
 			code := http.StatusInternalServerError
 			if ae, ok := err.(*apiError); ok {
@@ -125,6 +184,16 @@ func post[Req any, Resp any](d *daemon, vers func(Req) string, fn func(Req) (Res
 			return
 		}
 		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// locked adapts a handler that needs the whole daemon lock for its
+// duration — every handler except the chunked /v1/step.
+func locked[Req any, Resp any](d *daemon, fn func(Req) (Resp, error)) func(context.Context, Req) (Resp, error) {
+	return func(_ context.Context, req Req) (Resp, error) {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		return fn(req)
 	}
 }
 
@@ -315,7 +384,11 @@ func (d *daemon) overclock(req api.OverclockGrantRequest) (api.OverclockDecision
 }
 
 // step advances the simulation deterministically (stepped mode only).
-func (d *daemon) step(req api.StepRequest) (api.StepResponse, error) {
+// The batch runs in stepChunk slices, releasing the daemon lock
+// between slices so /v1/status and the other handlers answer while a
+// 100,000-step batch is in flight, and checking the request context
+// so a disconnected client stops burning simulation time.
+func (d *daemon) step(ctx context.Context, req api.StepRequest) (api.StepResponse, error) {
 	if d.mode != modeStepped {
 		return api.StepResponse{}, errf(http.StatusConflict, "time is %s; POST /v1/step needs -mode stepped", d.mode)
 	}
@@ -326,10 +399,25 @@ func (d *daemon) step(req api.StepRequest) (api.StepResponse, error) {
 	if n > maxStepsPerCall {
 		return api.StepResponse{}, errf(http.StatusBadRequest, "steps %d exceeds the per-call cap %d", n, maxStepsPerCall)
 	}
-	for i := 0; i < n; i++ {
-		d.sim.Step()
+	run := 0
+	simT := 0.0
+	for run < n {
+		if err := ctx.Err(); err != nil {
+			return api.StepResponse{}, errf(http.StatusRequestTimeout, "cancelled after %d of %d steps: %v", run, n, err)
+		}
+		chunk := n - run
+		if chunk > stepChunk {
+			chunk = stepChunk
+		}
+		d.mu.Lock()
+		for i := 0; i < chunk; i++ {
+			d.sim.Step()
+		}
+		simT = d.sim.Now()
+		d.mu.Unlock()
+		run += chunk
 	}
-	return api.StepResponse{Vers: api.Version, SimTimeS: d.sim.Now(), StepsRun: n}, nil
+	return api.StepResponse{Vers: api.Version, SimTimeS: simT, StepsRun: run}, nil
 }
 
 // status snapshots the fleet KPIs (cumulative counts from the run's
@@ -375,11 +463,11 @@ func (d *daemon) finalReport() string {
 // handler builds the daemon's route table.
 func (d *daemon) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/filter", post(d, func(r api.FilterRequest) string { return r.Vers }, d.filter))
-	mux.HandleFunc("/v1/prioritize", post(d, func(r api.PrioritizeRequest) string { return r.Vers }, d.prioritize))
-	mux.HandleFunc("/v1/place", post(d, func(r api.PlaceRequest) string { return r.Vers }, d.place))
-	mux.HandleFunc("/v1/remove", post(d, func(r api.RemoveRequest) string { return r.Vers }, d.remove))
-	mux.HandleFunc("/v1/overclock", post(d, func(r api.OverclockGrantRequest) string { return r.Vers }, d.overclock))
+	mux.HandleFunc("/v1/filter", post(d, func(r api.FilterRequest) string { return r.Vers }, locked(d, d.filter)))
+	mux.HandleFunc("/v1/prioritize", post(d, func(r api.PrioritizeRequest) string { return r.Vers }, locked(d, d.prioritize)))
+	mux.HandleFunc("/v1/place", post(d, func(r api.PlaceRequest) string { return r.Vers }, locked(d, d.place)))
+	mux.HandleFunc("/v1/remove", post(d, func(r api.RemoveRequest) string { return r.Vers }, locked(d, d.remove)))
+	mux.HandleFunc("/v1/overclock", post(d, func(r api.OverclockGrantRequest) string { return r.Vers }, locked(d, d.overclock)))
 	mux.HandleFunc("/v1/step", post(d, func(r api.StepRequest) string { return r.Vers }, d.step))
 	mux.HandleFunc("/v1/status", func(w http.ResponseWriter, r *http.Request) {
 		d.requests.Inc()

@@ -22,7 +22,10 @@
 //	-mode m       "stepped" (time advances only via POST /v1/step) or
 //	              "scaled" (wall-clock drives steps continuously)
 //	-scale X      in scaled mode, simulated seconds per wall second
-//	-j N          GOMAXPROCS override (0 = runtime default)
+//	-shards N     partition the fleet into N concurrently-stepped
+//	              shards (0 = serial; KPIs are byte-stable either way)
+//	-j N          GOMAXPROCS override (0 = runtime default); also grows
+//	              the shared worker budget sharded stepping draws from
 //	-seed N       override the fleet trace's RNG seed
 //	-timeout d    graceful-shutdown drain budget (0 = 5s)
 //	-metrics f    write the final telemetry snapshot as JSON to f on exit
@@ -48,6 +51,7 @@ import (
 
 	"immersionoc/internal/cli"
 	"immersionoc/internal/dcsim"
+	"immersionoc/internal/sweep"
 	"immersionoc/internal/telemetry"
 	"immersionoc/internal/vm"
 )
@@ -63,6 +67,7 @@ type options struct {
 	fleet  string
 	mode   string
 	scale  float64
+	shards int
 }
 
 func parseArgs(args []string) (options, error) {
@@ -73,6 +78,7 @@ func parseArgs(args []string) (options, error) {
 	fs.StringVar(&c.fleet, "fleet", "default", `fleet config: "default" or a JSON file path`)
 	fs.StringVar(&c.mode, "mode", "stepped", `time mode: "stepped" (POST /v1/step) or "scaled" (wall clock)`)
 	fs.Float64Var(&c.scale, "scale", 300, "scaled mode: simulated seconds per wall second")
+	fs.IntVar(&c.shards, "shards", 0, "fleet simulation shards stepped concurrently (0 = serial)")
 	if _, err := cli.ParseInterleaved(fs, args); err != nil {
 		return c, err
 	}
@@ -81,6 +87,9 @@ func parseArgs(args []string) (options, error) {
 	}
 	if c.scale <= 0 {
 		return c, errors.New("-scale must be positive")
+	}
+	if c.shards < 0 {
+		return c, errors.New("-shards must be non-negative")
 	}
 	return c, nil
 }
@@ -162,6 +171,9 @@ func run(args []string) int {
 	}
 	if c.Workers > 0 {
 		runtime.GOMAXPROCS(c.Workers)
+		// The sharded simulation draws its step workers from the same
+		// process-wide budget octl's sweeps use; -j sizes both.
+		sweep.Shared.Grow(c.Workers)
 	}
 
 	cfg, err := loadFleet(c.fleet, c.Seed)
@@ -169,6 +181,7 @@ func run(args []string) int {
 		fmt.Fprintf(os.Stderr, "ocd: %v\n", err)
 		return 1
 	}
+	cfg.Shards = c.shards
 	reg := telemetry.NewRegistry()
 	cfg.Tel = reg.Scope("dcsim")
 	d, err := newDaemon(cfg, c.mode, reg)
@@ -194,7 +207,7 @@ func run(args []string) int {
 		fmt.Fprintf(os.Stderr, "ocd: %v\n", err)
 		return 1
 	}
-	srv := &http.Server{Handler: d.handler()}
+	srv := newHTTPServer(d.handler())
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 
@@ -229,6 +242,20 @@ func run(args []string) int {
 	}
 	fmt.Fprintf(os.Stderr, "ocd: final: %s\n", d.finalReport())
 	return 0
+}
+
+// newHTTPServer wraps the daemon handler in an http.Server with the
+// timeouts a long-lived control plane needs: a slowloris client
+// dribbling its header or body cannot pin a connection open forever,
+// while responses stay unbounded because a chunked /v1/step batch may
+// legitimately take minutes to answer.
+func newHTTPServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 }
 
 // writeMetrics flushes the registry snapshot as indented JSON.

@@ -137,6 +137,10 @@ type Cluster struct {
 	Policy  Policy
 	servers []*Server
 	placed  map[int]*Server // VM ID → server
+	// idx is the best-fit placement index: non-reserved live servers
+	// bucketed by remaining vcore headroom. Maintained by every
+	// mutation path (place/remove/fail/migrate/policy change).
+	idx *placeIndex
 	// Rejected counts placement failures.
 	Rejected int
 }
@@ -153,6 +157,7 @@ func New(spec ServerSpec, policy Policy, n int) *Cluster {
 		}
 		c.servers = append(c.servers, s)
 	}
+	c.rebuildIndex()
 	return c
 }
 
@@ -168,6 +173,8 @@ func (c *Cluster) SetOversubRatio(r float64) {
 		r = 0
 	}
 	c.Policy.CPUOversubRatio = r
+	// The vcore cap re-keys every server's headroom at once.
+	c.rebuildIndex()
 }
 
 // vcoreCap returns the server's vcore allocation limit under the
@@ -227,23 +234,66 @@ func (c *Cluster) Place(v *vm.VM) (*Server, error) {
 
 func (c *Cluster) place(v *vm.VM, useReserved bool) (*Server, error) {
 	var best *Server
-	bestLeft := 1 << 30
-	for _, s := range c.servers {
-		if !c.fits(s, v, useReserved) {
-			continue
+	if useReserved {
+		// Reserved capacity lives outside the index; the recovery path
+		// keeps the linear best-fit over the whole fleet.
+		bestLeft := 1 << 30
+		for _, s := range c.servers {
+			if !c.fits(s, v, useReserved) {
+				continue
+			}
+			left := c.vcoreCap(s) - s.vcoresUse - v.Type.VCores
+			if left < bestLeft || (left == bestLeft && best != nil && s.ID < best.ID) {
+				best, bestLeft = s, left
+			}
 		}
-		left := c.vcoreCap(s) - s.vcoresUse - v.Type.VCores
-		if left < bestLeft || (left == bestLeft && best != nil && s.ID < best.ID) {
-			best, bestLeft = s, left
-		}
+	} else {
+		best = c.placeIndexed(v)
 	}
 	if best == nil {
 		c.Rejected++
 		return nil, fmt.Errorf("cluster: no server fits VM %d (%d vcores, %.0f GB)", v.ID, v.Type.VCores, v.Type.MemoryGB)
 	}
+	oldR := c.headroom(best)
 	best.attach(v)
 	c.placed[v.ID] = best
+	if c.indexed(best) {
+		c.idx.move(best.ID, oldR, c.headroom(best))
+	}
 	return best, nil
+}
+
+// placeIndexed finds the best-fit server through the headroom index:
+// buckets scanned in ascending remaining-vcore order (= ascending
+// "left" for a fixed VM), bits within a bucket in ascending ID order,
+// so the first candidate that passes explain() is exactly the server
+// the linear scan would pick.
+func (c *Cluster) placeIndexed(v *vm.VM) *Server {
+	want := v.Type.VCores
+	minR := want
+	if v.Class == vm.HighPerf {
+		if !c.Spec.Overclockable {
+			// A uniform fleet without overclock headroom can never
+			// host a high-performance VM.
+			return nil
+		}
+		// The class constraint vcoresUse + want ≤ PCores rewritten in
+		// headroom terms: r ≥ want + (capV − PCores). Buckets below
+		// that would be rejected by explain one by one; skip them.
+		if over := c.idx.capV - c.Spec.PCores; over > 0 {
+			minR = want + over
+		}
+	}
+	var best *Server
+	c.idx.scan(minR, func(id int) bool {
+		s := c.servers[id]
+		if c.explain(s, v, false) != "" {
+			return false
+		}
+		best = s
+		return true
+	})
+	return best
 }
 
 // Remove releases a VM's resources.
@@ -252,8 +302,12 @@ func (c *Cluster) Remove(v *vm.VM) error {
 	if !ok {
 		return errors.New("cluster: VM not placed")
 	}
+	oldR := c.headroom(s)
 	s.detach(v)
 	delete(c.placed, v.ID)
+	if c.indexed(s) {
+		c.idx.move(s.ID, oldR, c.headroom(s))
+	}
 	return nil
 }
 
@@ -321,6 +375,9 @@ func (c *Cluster) FailServers(n int) []*vm.VM {
 	}
 	var displaced []*vm.VM
 	for _, s := range candidates[:n] {
+		// Drop the server from the placement index while its headroom
+		// is still well-defined; failed servers never come back.
+		c.idx.remove(s.ID, c.headroom(s))
 		s.Failed = true
 		for _, v := range s.vms {
 			displaced = append(displaced, v)
@@ -453,9 +510,16 @@ func (c *Cluster) ApplyMigrations(plan []Migration) int {
 			m.To.memUse+m.VM.Type.MemoryGB > m.To.Spec.MemoryGB {
 			continue
 		}
+		fromR, toR := c.headroom(m.From), c.headroom(m.To)
 		m.From.detach(m.VM)
 		m.To.attach(m.VM)
 		c.placed[m.VM.ID] = m.To
+		if c.indexed(m.From) {
+			c.idx.move(m.From.ID, fromR, c.headroom(m.From))
+		}
+		if c.indexed(m.To) {
+			c.idx.move(m.To.ID, toR, c.headroom(m.To))
+		}
 		done++
 	}
 	return done

@@ -88,15 +88,10 @@ func (s *Sim) TankBathC(i int) float64 { return s.tanks[i].BathC() }
 func (s *Sim) TankBudget(i int) int { return s.sc.tankBudget[i] }
 
 // TankOverclocked counts the servers currently overclocked in tank i.
-func (s *Sim) TankOverclocked(i int) int {
-	n := 0
-	for _, st := range s.states {
-		if st.tank == i && st.oc {
-			n++
-		}
-	}
-	return n
-}
+// The count is maintained on every clock toggle, so the read is O(1) —
+// at hyperscale the daemon's status endpoint would otherwise pay
+// tanks × servers per request.
+func (s *Sim) TankOverclocked(i int) int { return s.sc.ocPerTank[i] }
 
 // StepS returns the control-loop period in seconds.
 func (s *Sim) StepS() float64 { return s.cfg.StepS }

@@ -76,6 +76,12 @@ type Config struct {
 	// The default is a placement.Governor configured from this Config
 	// (Equation 1 threshold, per-tank condenser budgets, feeder cap).
 	Decider placement.Decider
+	// Shards partitions the fleet by tank into that many contiguous
+	// slices stepped concurrently under the process-wide sweep budget
+	// (clamped to [1, tanks]; ≤ 1 keeps the serial inline path). KPIs
+	// are byte-stable at every shard count — see internal/dcsim/shard.go
+	// for the ordered delta-replay barrier that guarantees it.
+	Shards int
 	// Tel, when non-nil, receives the run's telemetry: the control
 	// step counter, row power / bath temperature gauges with running
 	// peaks, and counters for rejections, cap events and cancelled
@@ -196,6 +202,11 @@ type stepContext struct {
 	heat   []float64 // per-tank heat input, reset each step
 	// tankBudget holds the per-tank condenser budgets (loop-invariant).
 	tankBudget []int
+	// ocPerTank counts the servers currently overclocked in each tank,
+	// maintained on every clock toggle so the control plane's per-tank
+	// status reads are O(1) instead of a fleet scan. During phase 1
+	// each element is written only by the shard owning its tank.
+	ocPerTank []int
 	// rowPowerW is Σ current per-server power, updated by deltas when
 	// a server's demand/allocation changes or its clock toggles.
 	rowPowerW float64
@@ -226,8 +237,10 @@ func (sc *stepContext) setOC(st *serverState, oc bool) {
 	}
 	st.oc = oc
 	if oc {
+		sc.ocPerTank[st.tank]++
 		sc.rowPowerW += st.powerOCW - st.powerNomW
 	} else {
+		sc.ocPerTank[st.tank]--
 		sc.rowPowerW += st.powerNomW - st.powerOCW
 	}
 }
@@ -262,6 +275,7 @@ type Sim struct {
 	tanks  []*thermal.Tank
 	states []*serverState
 	sc     *stepContext
+	shards []*shard
 	dec    placement.Decider
 	rep    *Report
 	events []vm.Event
@@ -292,21 +306,36 @@ func New(cfg Config) (*Sim, error) {
 		}
 	}
 
-	// The fleet shares one quantized hazard cache: within a step all
-	// servers of a tank accrue wear at one of two conditions (nominal
-	// or overclocked at the tank's bath), so the Arrhenius and
-	// Coffin–Manson evaluations amortize across the row.
-	hazards := reliability.NewHazardCache(reliability.Composite5nm)
 	states := make([]*serverState, cfg.Servers)
 	for i, s := range cl.Servers() {
-		w := reliability.NewWearMeter(reliability.Composite5nm, reliability.ServiceLifeYears)
-		w.SetHazardCache(hazards)
 		states[i] = &serverState{
 			srv:    s,
 			tank:   i / cfg.ServersPerTank,
-			wear:   w,
+			wear:   reliability.NewWearMeter(reliability.Composite5nm, reliability.ServiceLifeYears),
 			pcores: float64(s.Spec.PCores),
 			ocCap:  float64(s.Spec.PCores) * s.Spec.OCSpeedup,
+		}
+	}
+
+	// Shards partition the fleet by tank; each gets its own quantized
+	// hazard cache, because the cache memoizes through a plain map (not
+	// safe for concurrent use) while its values depend only on the
+	// queried condition — within a shard all servers of a tank accrue
+	// wear at one of two conditions (nominal or overclocked at the
+	// tank's bath), so the Arrhenius and Coffin–Manson evaluations
+	// still amortize across the shard's row slice.
+	nShards := cfg.Shards
+	if nShards < 1 {
+		nShards = 1
+	}
+	if nShards > nTanks {
+		nShards = nTanks
+	}
+	shards := newShards(nShards, nTanks, cfg.ServersPerTank, cfg.Servers)
+	for _, sh := range shards {
+		hazards := reliability.NewHazardCache(reliability.Composite5nm)
+		for _, st := range states[sh.s0:sh.s1] {
+			st.wear.SetHazardCache(hazards)
 		}
 	}
 
@@ -330,6 +359,7 @@ func New(cfg Config) (*Sim, error) {
 		states:     states,
 		heat:       make([]float64, nTanks),
 		tankBudget: make([]int, nTanks),
+		ocPerTank:  make([]int, nTanks),
 	}
 	for i, tk := range tanks {
 		n := cfg.ServersPerTank
@@ -359,6 +389,7 @@ func New(cfg Config) (*Sim, error) {
 		tanks:  tanks,
 		states: states,
 		sc:     sc,
+		shards: shards,
 		dec:    dec,
 		rep:    rep,
 		events: events,
@@ -407,8 +438,21 @@ func (s *Sim) Place(v *vm.VM) (*cluster.Server, error) {
 func (s *Sim) Remove(v *vm.VM) { _ = s.cl.Remove(v) }
 
 // Step executes one control step at the current simulated time, then
-// advances the clock by the configured period.
+// advances the clock by the configured period. It is StepCtx without
+// cancellation; the only failure left is a panicking shard cell, which
+// is re-raised rather than swallowed.
 func (s *Sim) Step() {
+	if err := s.StepCtx(context.Background()); err != nil {
+		panic(fmt.Sprintf("dcsim: step failed: %v", err))
+	}
+}
+
+// StepCtx executes one control step under ctx. With Shards > 1 the
+// parallel phases run through sweep.Map, which observes ctx between
+// cells; a non-nil error means the step was abandoned mid-flight and
+// the simulation must not be stepped further (batch runs return the
+// error, the daemon only ever steps with a background context).
+func (s *Sim) StepCtx(ctx context.Context) error {
 	cfg := &s.cfg
 	sc := s.sc
 	rep := s.rep
@@ -428,15 +472,27 @@ func (s *Sim) Step() {
 		}
 	}
 
-	// Overclock decisions: every server returns to nominal, then the
-	// decider grants the step's overclocks (Equation 1 threshold, tank
-	// admission, feeder capping — see internal/placement). Power
-	// caches refresh only for servers whose allocations changed since
-	// the last step.
+	// Phase 1 (parallel): per shard, refresh the power caches of
+	// servers whose allocations changed and return every clock to
+	// nominal, recording the row-power deltas in server order.
+	if err := s.runShards(ctx, func(sh *shard) { sh.phase1(sc) }); err != nil {
+		return err
+	}
+
+	// Barrier (serial): replay the recorded deltas shard by shard —
+	// fleet order, the exact addition sequence the serial loop ran —
+	// then drive the one Decider pass over the aggregated fleet
+	// (Equation 1 threshold, tank admission, feeder capping — see
+	// internal/placement). Grants and cancellations actuate through
+	// the step context, which scatters the clock changes back onto
+	// the shard-owned server states.
+	for _, sh := range s.shards {
+		for _, a := range sh.addends {
+			sc.rowPowerW += a
+		}
+	}
 	s.dec.Begin(len(s.tanks))
 	for i, st := range s.states {
-		sc.refreshPower(st)
-		sc.setOC(st, false)
 		d := st.lastDemand
 		s.dec.Offer(placement.Candidate{
 			Index:       i,
@@ -458,43 +514,22 @@ func (s *Sim) Step() {
 	rep.CancelledOverclocks += out.Cancelled
 	s.m.cancelledOC.Add(uint64(out.Cancelled))
 
-	// Thermals: integrate each tank's heat. Idle servers scale
-	// down — power follows demand.
-	for i := range sc.heat {
-		sc.heat[i] = 0
-	}
-	for _, st := range s.states {
-		w := nominalHeatW
-		if st.oc {
-			w = overclockHeatW
-		}
-		util := math.Min(1, st.lastDemand/st.pcores)
-		sc.heat[st.tank] += idleHeatW + (w-idleHeatW)*util
+	// Phase 2 (parallel): per shard, tank heat accumulation (idle
+	// servers scale down — power follows demand), condenser
+	// integration, and wear accrual at the stepped bath.
+	if err := s.runShards(ctx, func(sh *shard) { sh.phase2(s) }); err != nil {
+		return err
 	}
 	maxBath := 0.0
-	for i, tk := range s.tanks {
-		b := tk.Step(cfg.StepS, sc.heat[i])
-		if b > maxBath {
-			maxBath = b
+	for _, sh := range s.shards {
+		if sh.maxBath > maxBath {
+			maxBath = sh.maxBath
 		}
 	}
 	if maxBath > rep.MaxBathC {
 		rep.MaxBathC = maxBath
 	}
-
-	// Wear accrual: two conditions per tank (nominal/overclocked
-	// at the tank's bath), served by the shared hazard cache.
 	hours := cfg.StepS / 3600
-	for _, st := range s.states {
-		bath := s.tanks[st.tank].BathC()
-		cond := reliability.Condition{VoltageV: power.NominalVoltage, TjMaxC: bath + nominalTjRiseC, TjMinC: bath}
-		if st.oc {
-			cond = reliability.Condition{VoltageV: power.OverclockedVoltage, TjMaxC: bath + ocTjRiseC, TjMinC: bath}
-		}
-		util := math.Min(1, st.lastDemand/st.pcores)
-		st.wear.Accrue(cond, hours, util)
-		st.hours += hours
-	}
 
 	// KPIs.
 	density := s.cl.Stats().Density
@@ -526,6 +561,7 @@ func (s *Sim) Step() {
 	s.m.overclocked.Set(float64(granted))
 
 	s.t = t + cfg.StepS
+	return nil
 }
 
 // Report returns the run's KPIs with the fleet-average wear rate
@@ -564,7 +600,9 @@ func RunCtx(ctx context.Context, cfg Config) (*Report, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		sim.Step()
+		if err := sim.StepCtx(ctx); err != nil {
+			return nil, err
+		}
 	}
 	return sim.Report(), nil
 }

@@ -71,12 +71,19 @@ func TestGoldenReports(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			rep, err := Run(tc.cfg())
-			if err != nil {
-				t.Fatal(err)
-			}
-			if got := rep.String(); got != tc.want {
-				t.Errorf("report drifted from pre-optimization golden\n got: %s\nwant: %s", got, tc.want)
+			// The goldens must hold at every shard count: the sharded
+			// step's delta-replay barrier promises byte-stable KPIs
+			// from the serial path to any partitioning.
+			for _, shards := range []int{1, 4} {
+				cfg := tc.cfg()
+				cfg.Shards = shards
+				rep, err := Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := rep.String(); got != tc.want {
+					t.Errorf("shards=%d: report drifted from pre-optimization golden\n got: %s\nwant: %s", shards, got, tc.want)
+				}
 			}
 		})
 	}
@@ -92,7 +99,7 @@ func TestRowPowerIncrementalMatchesRecompute(t *testing.T) {
 		cl := cluster.New(cluster.TwoSocketBlade, cluster.Policy{CPUOversubRatio: 0.5}, 8)
 		servers := cl.Servers()
 		states := make([]*serverState, len(servers))
-		sc := &stepContext{}
+		sc := &stepContext{ocPerTank: make([]int, 1)}
 		for i, s := range servers {
 			states[i] = &serverState{srv: s, pcores: float64(s.Spec.PCores)}
 			states[i].powerNomW = BladeServer.Power(freq.B2, 0, 0)

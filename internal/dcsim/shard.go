@@ -1,0 +1,155 @@
+package dcsim
+
+// Fleet sharding: the control step partitioned by tank so independent
+// slices of the fleet advance concurrently under the process-wide
+// sweep budget, synchronizing only at the feeder/capping barrier.
+//
+// A shard owns a contiguous run of tanks and, through the fixed
+// server→tank geometry, the contiguous run of servers inside them —
+// tanks never straddle shards, so heat accumulation, tank integration
+// and wear accrual touch shard-local state only. The two parallel
+// phases bracket one serial barrier:
+//
+//	phase 1 (parallel)  refresh power caches, reset clocks to nominal
+//	barrier  (serial)   fold power deltas into the row sum, offer every
+//	                    server to the Decider, Decide (grant + feeder
+//	                    capping)
+//	phase 2 (parallel)  per-tank heat → condenser integration → wear
+//
+// Determinism is by construction, not by tolerance: phase 1 does not
+// touch the shared row-power sum — it records each server's addends
+// (the exact float64 deltas the serial loop would have added) in
+// server order, and the barrier replays them shard by shard, which is
+// fleet order. The running sum therefore sees the identical sequence
+// of additions at every shard count, so KPIs are byte-stable from
+// shards=1 to shards=N, and byte-identical to the pre-sharding serial
+// loop. The bath maximum reduces through per-shard maxima in shard
+// order, which preserves the serial comparison sequence exactly
+// (float max returns one of its operands).
+//
+// Wear accrual memoizes hazards per shard: the HazardCache is not
+// safe for concurrent use, and its values depend only on the queried
+// condition (quantized grid + lerp), so giving each shard its own
+// cache changes nothing but the memoization locality.
+
+import (
+	"context"
+	"math"
+
+	"immersionoc/internal/freq"
+	"immersionoc/internal/power"
+	"immersionoc/internal/reliability"
+	"immersionoc/internal/sweep"
+)
+
+// shard is one slice of the fleet: tanks [t0, t1) and the servers
+// [s0, s1) they hold, plus the per-step scratch the parallel phases
+// fill for the barrier to consume.
+type shard struct {
+	t0, t1 int
+	s0, s1 int
+
+	// addends are the row-power deltas phase 1 produced, in server
+	// order; the barrier replays them into stepContext.rowPowerW.
+	addends []float64
+	// maxBath is the shard's hottest bath after phase 2.
+	maxBath float64
+}
+
+// newShards partitions nTanks tanks into n contiguous shards (n
+// pre-clamped to [1, nTanks]) and derives each shard's server range
+// from the tank geometry.
+func newShards(n, nTanks, serversPerTank, servers int) []*shard {
+	shards := make([]*shard, n)
+	for i := range shards {
+		t0 := i * nTanks / n
+		t1 := (i + 1) * nTanks / n
+		s0 := t0 * serversPerTank
+		s1 := t1 * serversPerTank
+		if s1 > servers {
+			s1 = servers
+		}
+		shards[i] = &shard{t0: t0, t1: t1, s0: s0, s1: s1}
+	}
+	return shards
+}
+
+// phase1 refreshes the power caches of the shard's servers and resets
+// every clock to nominal, recording the row-power addends the serial
+// loop would have folded — same values, same per-server order — for
+// the barrier to replay. Overclock counts change only on tanks the
+// shard owns, so the shared ocPerTank slice is written race-free.
+func (sh *shard) phase1(sc *stepContext) {
+	sh.addends = sh.addends[:0]
+	for _, st := range sc.states[sh.s0:sh.s1] {
+		d, vc := st.srv.ExpectedDemand(), st.srv.VCoresUsed()
+		if d != st.lastDemand || vc != st.lastVCores {
+			old := st.current()
+			st.lastDemand, st.lastVCores = d, vc
+			st.powerNomW = BladeServer.Power(freq.B2, d, vc)
+			st.powerOCW = BladeServer.Power(freq.OC1, d, vc)
+			sh.addends = append(sh.addends, st.current()-old)
+		}
+		if st.oc {
+			st.oc = false
+			sc.ocPerTank[st.tank]--
+			sh.addends = append(sh.addends, st.powerNomW-st.powerOCW)
+		}
+	}
+}
+
+// phase2 integrates the shard's thermal and wear state: per-tank heat
+// accumulated in server order, condenser integration, the shard-local
+// bath maximum, and wear accrual against the shard's hazard cache.
+func (sh *shard) phase2(s *Sim) {
+	sc := s.sc
+	for t := sh.t0; t < sh.t1; t++ {
+		sc.heat[t] = 0
+	}
+	for _, st := range sc.states[sh.s0:sh.s1] {
+		w := nominalHeatW
+		if st.oc {
+			w = overclockHeatW
+		}
+		util := math.Min(1, st.lastDemand/st.pcores)
+		sc.heat[st.tank] += idleHeatW + (w-idleHeatW)*util
+	}
+	sh.maxBath = 0
+	for t := sh.t0; t < sh.t1; t++ {
+		b := s.tanks[t].Step(s.cfg.StepS, sc.heat[t])
+		if b > sh.maxBath {
+			sh.maxBath = b
+		}
+	}
+
+	hours := s.cfg.StepS / 3600
+	for _, st := range sc.states[sh.s0:sh.s1] {
+		bath := s.tanks[st.tank].BathC()
+		cond := reliability.Condition{VoltageV: power.NominalVoltage, TjMaxC: bath + nominalTjRiseC, TjMinC: bath}
+		if st.oc {
+			cond = reliability.Condition{VoltageV: power.OverclockedVoltage, TjMaxC: bath + ocTjRiseC, TjMinC: bath}
+		}
+		util := math.Min(1, st.lastDemand/st.pcores)
+		st.wear.Accrue(cond, hours, util)
+		st.hours += hours
+	}
+}
+
+// runShards executes f over every shard. A single shard runs inline
+// (the serial fast path the small fleets keep); multiple shards fan
+// out through sweep.Map, drawing workers from the lease attached to
+// ctx or the process-wide shared budget — the same cap octl -j and
+// the daemon grow, so sharded stepping and experiment sweeps never
+// oversubscribe the host together.
+func (s *Sim) runShards(ctx context.Context, f func(*shard)) error {
+	if len(s.shards) == 1 {
+		f(s.shards[0])
+		return nil
+	}
+	_, err := sweep.Map(ctx, len(s.shards), sweep.Options{Workers: len(s.shards)},
+		func(_ context.Context, i int) (struct{}, error) {
+			f(s.shards[i])
+			return struct{}{}, nil
+		})
+	return err
+}

@@ -1,0 +1,118 @@
+package dcsim
+
+// Tests for the sharded control step: partition geometry, and the
+// byte-stability promise — a fleet stepped under any shard count must
+// produce bit-identical KPIs and time series, because the barrier
+// replays the per-server power deltas in fleet order regardless of
+// which goroutine computed them.
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestShardPartitionGeometry(t *testing.T) {
+	cases := []struct {
+		shards, tanks, perTank, servers int
+	}{
+		{1, 3, 12, 36},
+		{4, 3, 12, 36}, // clamped by New, but newShards(3,...) directly
+		{3, 3, 12, 36},
+		{8, 84, 12, 1000}, // last tank partial
+		{7, 13, 5, 61},
+	}
+	for _, tc := range cases {
+		n := tc.shards
+		if n > tc.tanks {
+			n = tc.tanks
+		}
+		shards := newShards(n, tc.tanks, tc.perTank, tc.servers)
+		wantT, wantS := 0, 0
+		for i, sh := range shards {
+			if sh.t0 != wantT || sh.s0 != wantS {
+				t.Fatalf("%+v shard %d: range starts at (t%d, s%d), want (t%d, s%d)", tc, i, sh.t0, sh.s0, wantT, wantS)
+			}
+			if sh.t1 < sh.t0 || sh.s1 < sh.s0 {
+				t.Fatalf("%+v shard %d: inverted range %+v", tc, i, sh)
+			}
+			// Tanks must not straddle shards: the server range is
+			// derived from whole tanks.
+			if sh.s0 != sh.t0*tc.perTank {
+				t.Fatalf("%+v shard %d: server range splits a tank", tc, i)
+			}
+			wantT, wantS = sh.t1, sh.s1
+		}
+		if wantT != tc.tanks || wantS != tc.servers {
+			t.Fatalf("%+v: partition covers (t%d, s%d), want (t%d, s%d)", tc, wantT, wantS, tc.tanks, tc.servers)
+		}
+	}
+}
+
+// fleetScaleConfig is the 1000-server / 10k-VM workload of
+// BenchmarkFleetScale — large enough that grants, feeder interactions
+// and thousands of placements all occur.
+func fleetScaleConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Servers = 1000
+	cfg.ServersPerTank = 12
+	cfg.FeederBudgetW = 347000
+	cfg.Trace.DurationS = 24 * 3600
+	cfg.Trace.ArrivalRatePerS = 10000.0 / (24 * 3600)
+	cfg.Trace.MeanLifetimeS = 10 * 3600
+	return cfg
+}
+
+// TestShardsEquivalenceFleetScale pins shards=1 against shards=8 at
+// fleet scale on the complete report: every cumulative KPI and every
+// float64 sample of every time series, compared bit-for-bit.
+func TestShardsEquivalenceFleetScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet-scale equivalence run skipped in -short")
+	}
+	base := fleetScaleConfig()
+	runAt := func(shards int) *Report {
+		cfg := base
+		cfg.Shards = shards
+		rep, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		return rep
+	}
+	serial := runAt(1)
+	sharded := runAt(8)
+	if !reflect.DeepEqual(serial, sharded) {
+		t.Errorf("shards=1 and shards=8 reports differ\nserial:  %s\nsharded: %s", serial, sharded)
+		for i, p := range serial.PowerW.Values {
+			if sharded.PowerW.Values[i] != p {
+				t.Fatalf("first power divergence at sample %d: %v vs %v", i, p, sharded.PowerW.Values[i])
+			}
+		}
+		for i, b := range serial.BathC.Values {
+			if sharded.BathC.Values[i] != b {
+				t.Fatalf("first bath divergence at sample %d: %v vs %v", i, b, sharded.BathC.Values[i])
+			}
+		}
+	}
+	if serial.TotalGrants == 0 || serial.PeakOverclocked == 0 {
+		t.Fatalf("workload exercised no overclocking; equivalence is vacuous: %s", serial)
+	}
+}
+
+// TestShardsClampedToTanks checks shard counts beyond the tank count
+// degrade gracefully instead of creating empty shards.
+func TestShardsClampedToTanks(t *testing.T) {
+	cfg := smallConfig() // 3 tanks
+	cfg.Shards = 64
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sim.shards) != 3 {
+		t.Fatalf("64 shards over 3 tanks built %d shards, want 3", len(sim.shards))
+	}
+	sim.Step()
+	if sim.Now() != cfg.StepS {
+		t.Fatalf("sharded step did not advance time: %v", sim.Now())
+	}
+}
