@@ -595,6 +595,10 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 
 	res.P95LatencyS = eng.AllLatency.P95()
 	res.AvgLatencyS = eng.AllLatency.Mean()
+	// The engine is discarded on return and the result carries only
+	// scalars and series, so the latency sample blocks can go back to
+	// the pool for the next policy arm or replication.
+	defer eng.ReleaseStats()
 	res.Completed = eng.Completed
 	res.Dropped = gen.Dropped
 	res.VMHours = res.VMs.Integral(0, duration) / 3600

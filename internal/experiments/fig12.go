@@ -285,6 +285,10 @@ func runOversub(ctx context.Context, p Fig12Params, cfg freq.Config, pcores int,
 	for _, v := range vms {
 		p95Sum += v.Latency.P95()
 	}
+	// Each sweep point discards its engine; recycle the sample blocks
+	// for the next (pcores, config) cell.
+	defer eng.ReleaseStats()
+	defer powerDig.Release()
 	return Fig12Point{
 		Config:    cfg.Name,
 		PCores:    pcores,

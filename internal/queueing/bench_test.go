@@ -68,6 +68,10 @@ func BenchmarkOversubscribed(b *testing.B) {
 		if completed == 0 {
 			b.Fatal("benchmark scenario completed no requests")
 		}
+		// End-of-experiment digest release, as the harnesses do —
+		// without it every op re-allocates its chunk storage and the
+		// benchmark measures the allocator, not the request path.
+		eng.ReleaseStats()
 	}
 	b.ReportMetric(float64(completed), "requests/op")
 }

@@ -29,13 +29,29 @@ func TestPropertyWorkConservation(t *testing.T) {
 				vms[i].Workers = 1 + r.Intn(vms[i].VCores)
 			}
 		}
+		// Completed requests are recycled by the engine, so timings
+		// are snapshotted inside OnComplete per the Request recycling
+		// contract instead of read through retained pointers.
 		type issued struct {
-			req    *Request
 			vm     *VM
 			demand float64
 		}
+		type snap struct {
+			arrival, start, done float64
+			completed            bool
+		}
 		var reqs []issued
 		n := 5 + r.Intn(40)
+		snaps := make([]snap, n)
+		byPtr := make(map[*Request]int, n)
+		eng.OnComplete = func(req *Request, _ *VM) {
+			idx, ok := byPtr[req]
+			if !ok {
+				t.Fatal("completion for an unknown request pointer")
+			}
+			delete(byPtr, req) // the pointer may be handed out again
+			snaps[idx] = snap{req.ArrivalS, req.StartS, req.DoneS, true}
+		}
 		end := 0.0
 		for i := 0; i < n; i++ {
 			at := r.Float64() * 10
@@ -44,11 +60,10 @@ func TestPropertyWorkConservation(t *testing.T) {
 			}
 			vm := vms[r.Intn(nVMs)]
 			demand := 0.01 + r.Exp(2)
-			ii := issued{vm: vm, demand: demand}
 			idx := len(reqs)
-			reqs = append(reqs, ii)
+			reqs = append(reqs, issued{vm: vm, demand: demand})
 			eng.Sim.Schedule(sim.Time(at), func(*sim.Simulation) {
-				reqs[idx].req = vm.Submit(demand)
+				byPtr[vm.Submit(demand)] = idx
 			})
 		}
 		eng.Sim.Run()
@@ -56,15 +71,16 @@ func TestPropertyWorkConservation(t *testing.T) {
 		if int(eng.Completed) != n {
 			return false
 		}
-		for _, ii := range reqs {
-			if ii.req == nil || ii.req.DoneS < 0 {
+		for i, ii := range reqs {
+			sn := snaps[i]
+			if !sn.completed || sn.done < 0 {
 				return false
 			}
 			minSojourn := ii.demand / ii.vm.Speed()
-			if ii.req.Sojourn() < minSojourn-1e-9 {
+			if sn.done-sn.arrival < minSojourn-1e-9 {
 				return false
 			}
-			if ii.req.StartS < ii.req.ArrivalS-1e-9 || ii.req.DoneS < ii.req.StartS {
+			if sn.start < sn.arrival-1e-9 || sn.done < sn.start {
 				return false
 			}
 		}

@@ -23,6 +23,15 @@ import (
 )
 
 // Request is one client request flowing through the system.
+//
+// Recycling contract (mirroring sim.Event's): once a request has
+// completed — its fields are final and any Engine.OnComplete observer
+// has returned — the engine recycles the struct through a free-list,
+// and a later Submit may hand the same pointer out for an unrelated
+// request. Holders that need a completed request's timings past that
+// moment (tests, custom observers) must copy the values out inside
+// OnComplete or before the completion fires; reading through a
+// retained pointer later may observe a different request's life.
 type Request struct {
 	// ArrivalS is the virtual arrival time.
 	ArrivalS float64
@@ -187,6 +196,29 @@ type Engine struct {
 
 	// freeJobs recycles completed job structs (see job).
 	freeJobs []*job
+	// freeReqs recycles completed Request structs (see the Request
+	// recycling contract). Like the kernel's event free-list, its
+	// high-water mark is the peak number of in-flight requests, so the
+	// steady-state request path allocates nothing at all.
+	freeReqs []*Request
+}
+
+// newReq returns a pooled Request initialised for arrival at now.
+func (e *Engine) newReq(now, demand float64) *Request {
+	if n := len(e.freeReqs); n > 0 {
+		r := e.freeReqs[n-1]
+		e.freeReqs[n-1] = nil
+		e.freeReqs = e.freeReqs[:n-1]
+		*r = Request{ArrivalS: now, DemandS: demand, StartS: -1, DoneS: -1}
+		return r
+	}
+	return &Request{ArrivalS: now, DemandS: demand, StartS: -1, DoneS: -1}
+}
+
+// freeReq recycles a completed request struct per the recycling
+// contract: callers must not touch it through old pointers afterwards.
+func (e *Engine) freeReq(r *Request) {
+	e.freeReqs = append(e.freeReqs, r)
 }
 
 // newJob returns a pooled job, allocating the struct and its bound
@@ -203,11 +235,12 @@ func (e *Engine) newJob() *job {
 	return j
 }
 
-// freeJob recycles a completed job. Pointer fields are dropped so the
-// request and VM can be collected independently of the pool.
+// freeJob recycles a completed job. Only done is dropped — retime
+// branches on it to pick Schedule vs Reschedule. req and vm are left
+// stale (both are engine-pooled or engine-owned, so nothing leaks) and
+// overwritten at the next dispatch; nil-ing them here would cost two
+// write barriers per completion.
 func (e *Engine) freeJob(j *job) {
-	j.req = nil
-	j.vm = nil
 	j.done = nil
 	j.idx = -1
 	e.freeJobs = append(e.freeJobs, j)
@@ -234,6 +267,22 @@ func (e *Engine) SetTelemetry(scope *telemetry.Scope) {
 	for _, h := range e.hosts {
 		for _, v := range h.vms {
 			v.util = scope.Gauge("util." + v.Name)
+		}
+	}
+}
+
+// ReleaseStats returns the storage behind the engine's latency
+// digests (AllLatency plus every live VM's Latency) to the shared
+// chunk pool. Harnesses call it once a run has been reduced to
+// scalars, just before discarding the engine, so the next
+// replication's digests reuse the blocks instead of allocating
+// million-sample buffers afresh. The digests remain usable and simply
+// start empty.
+func (e *Engine) ReleaseStats() {
+	e.AllLatency.Release()
+	for _, h := range e.hosts {
+		for _, v := range h.vms {
+			v.Latency.Release()
 		}
 	}
 }
@@ -400,7 +449,7 @@ func (v *VM) BusyIntegral(now float64) float64 {
 // seconds) to the VM at the current simulation time.
 func (v *VM) Submit(demand float64) *Request {
 	now := float64(v.host.eng.Sim.Now())
-	r := &Request{ArrivalS: now, DemandS: demand, StartS: -1, DoneS: -1}
+	r := v.host.eng.newReq(now, demand)
 	v.host.eng.locArrivals++
 	v.queue.push(r)
 	v.host.dispatch(v)
@@ -446,13 +495,14 @@ func (h *Host) dispatch(vm *VM) {
 // runnable returns the number of in-service vcores on the host.
 func (h *Host) runnable() int { return len(h.jobs) }
 
-// removeJob swap-removes j from the host's in-service list.
+// removeJob swap-removes j from the host's in-service list. The
+// truncated tail slot keeps a stale pointer (jobs are pooled for the
+// engine's lifetime; a nil store is a write barrier per completion).
 func (h *Host) removeJob(j *job) {
 	last := len(h.jobs) - 1
 	moved := h.jobs[last]
 	h.jobs[j.idx] = moved
 	moved.idx = j.idx
-	h.jobs[last] = nil
 	h.jobs = h.jobs[:last]
 }
 
@@ -525,6 +575,8 @@ func (h *Host) complete(j *job) {
 	if h.eng.OnComplete != nil {
 		h.eng.OnComplete(req, vm)
 	}
+	// Observers have returned; the struct may now live a new life.
+	h.eng.freeReq(req)
 	if vm.removed && vm.running == 0 && vm.queue.len() == 0 {
 		h.pruneVM(vm)
 	}
@@ -590,7 +642,14 @@ type ServiceSampler func(*rng.Source) float64
 // coefficient of variation — the paper's "General" service-time
 // distribution.
 func LogNormalService(meanS, cv float64) ServiceSampler {
-	return func(r *rng.Source) float64 { return r.LogNormal(meanS, cv) }
+	// The (mean, cv) → (mu, sigma) conversion costs two logs and a
+	// sqrt; hoisting it out of the per-request path draws the exact
+	// same variates.
+	mu, sigma, ok := rng.LogNormalParams(meanS, cv)
+	if !ok {
+		return func(*rng.Source) float64 { return meanS }
+	}
+	return func(r *rng.Source) float64 { return r.LogNormalMuSigma(mu, sigma) }
 }
 
 // DeterministicService returns a constant-demand sampler.

@@ -99,7 +99,21 @@ func (s *Source) Norm(mean, stddev float64) float64 {
 // the desired mean and coefficient of variation (stddev/mean) of the
 // resulting distribution. Log-normal service times give the "general"
 // distribution in the paper's M/G/k client-server application.
+// Samplers drawing many values with fixed parameters should hoist the
+// parameter conversion with LogNormalParams + LogNormalMuSigma.
 func (s *Source) LogNormal(mean, cv float64) float64 {
+	mu, sigma, ok := LogNormalParams(mean, cv)
+	if !ok {
+		return mean
+	}
+	return s.LogNormalMuSigma(mu, sigma)
+}
+
+// LogNormalParams converts a (mean, cv) parameterization into the
+// underlying normal's (mu, sigma). ok is false for cv == 0, where the
+// distribution degenerates to the constant mean. The conversion costs
+// two logs and a square root, so per-request samplers compute it once.
+func LogNormalParams(mean, cv float64) (mu, sigma float64, ok bool) {
 	if mean <= 0 {
 		panic("rng: LogNormal with non-positive mean")
 	}
@@ -107,11 +121,18 @@ func (s *Source) LogNormal(mean, cv float64) float64 {
 		panic("rng: LogNormal with negative cv")
 	}
 	if cv == 0 {
-		return mean
+		return 0, 0, false
 	}
 	sigma2 := math.Log(1 + cv*cv)
-	mu := math.Log(mean) - sigma2/2
-	return math.Exp(s.Norm(mu, math.Sqrt(sigma2)))
+	return math.Log(mean) - sigma2/2, math.Sqrt(sigma2), true
+}
+
+// LogNormalMuSigma draws exp(Norm(mu, sigma)) — LogNormal with the
+// parameter conversion already done. Consumes exactly the same
+// variates as LogNormal, so hoisting the conversion does not perturb
+// the stream.
+func (s *Source) LogNormalMuSigma(mu, sigma float64) float64 {
+	return math.Exp(s.Norm(mu, sigma))
 }
 
 // Pareto returns a bounded Pareto value with shape alpha and minimum

@@ -37,10 +37,14 @@ func Seconds(d time.Duration) Duration { return d.Seconds() }
 // through a pointer retained past that moment could cancel whatever
 // event the struct was reused for.
 type Event struct {
-	at   Time
-	seq  uint64
-	fn   func(*Simulation)
-	idx  int // heap index; -1 when not queued
+	at  Time
+	seq uint64
+	fn  func(*Simulation)
+	// idx is the event's slot in whichever queue container holds it
+	// (heap index, wheel bucket slot, drain or overflow position);
+	// -1 when not queued.
+	idx  int
+	loc  int32 // container code, see locNone and friends in wheel.go
 	dead bool
 }
 
@@ -60,6 +64,33 @@ func (e *Event) Cancelled() bool { return e.dead }
 // Queued reports whether the event is still in the pending queue
 // (i.e. it has neither fired nor been drained after cancellation).
 func (e *Event) Queued() bool { return e.idx >= 0 }
+
+// queueImpl is the event-queue backend contract. Both implementations
+// deliver events in strictly increasing (at, seq) order; Cancel stays
+// lazy (tombstones are drained by the run loop), so len counts dead
+// events until they pass the pop point.
+type queueImpl interface {
+	push(e *Event)
+	// fix re-positions e after its (at, seq) changed in place.
+	fix(e *Event)
+	// queued reports whether e is currently held by this queue.
+	queued(e *Event) bool
+	peek() *Event
+	pop() *Event
+	len() int
+}
+
+// QueueImpl selects the event-queue backend for a Simulation.
+type QueueImpl int
+
+const (
+	// WheelQueue is the default O(1) hierarchical timing wheel
+	// (see wheel.go).
+	WheelQueue QueueImpl = iota
+	// HeapQueue is the O(log n) binary-heap reference kernel, kept
+	// for differential testing against the wheel.
+	HeapQueue
+)
 
 type eventQueue []*Event
 
@@ -90,11 +121,43 @@ func (q *eventQueue) Pop() any {
 	return e
 }
 
+// heapQueue adapts the container/heap eventQueue to queueImpl.
+type heapQueue struct{ q eventQueue }
+
+func (h *heapQueue) push(e *Event) {
+	e.loc = locHeap
+	heap.Push(&h.q, e)
+}
+
+func (h *heapQueue) fix(e *Event) { heap.Fix(&h.q, e.idx) }
+
+func (h *heapQueue) queued(e *Event) bool {
+	return e.idx >= 0 && e.idx < len(h.q) && h.q[e.idx] == e
+}
+
+func (h *heapQueue) peek() *Event {
+	if len(h.q) == 0 {
+		return nil
+	}
+	return h.q[0]
+}
+
+func (h *heapQueue) pop() *Event {
+	if len(h.q) == 0 {
+		return nil
+	}
+	e := heap.Pop(&h.q).(*Event)
+	e.loc = locNone
+	return e
+}
+
+func (h *heapQueue) len() int { return len(h.q) }
+
 // Simulation is a discrete-event simulator instance. The zero value is
 // not usable; construct with New.
 type Simulation struct {
 	now     Time
-	queue   eventQueue
+	queue   queueImpl
 	seq     uint64
 	stopped bool
 	fired   uint64
@@ -117,10 +180,10 @@ func (s *Simulation) alloc(at Time, fn func(*Simulation)) *Event {
 		e := s.free[n-1]
 		s.free[n-1] = nil
 		s.free = s.free[:n-1]
-		e.at, e.seq, e.fn, e.idx, e.dead = at, s.seq, fn, -1, false
+		e.at, e.seq, e.fn, e.idx, e.loc, e.dead = at, s.seq, fn, -1, locNone, false
 		return e
 	}
-	return &Event{at: at, seq: s.seq, fn: fn, idx: -1}
+	return &Event{at: at, seq: s.seq, fn: fn, idx: -1, loc: locNone}
 }
 
 // release recycles an event that left the queue. The callback reference
@@ -148,9 +211,23 @@ func (s *Simulation) SetTelemetry(scope *telemetry.Scope) {
 	s.events = scope.Counter("events")
 }
 
-// New returns an empty simulation with the clock at zero.
+// New returns an empty simulation with the clock at zero, backed by
+// the timing-wheel event queue.
 func New() *Simulation {
-	return &Simulation{}
+	return NewWith(WheelQueue)
+}
+
+// NewWith returns an empty simulation backed by the chosen event-queue
+// implementation. Both backends fire events in the exact same order;
+// HeapQueue exists so differential tests can compare the wheel against
+// the reference kernel.
+func NewWith(impl QueueImpl) *Simulation {
+	switch impl {
+	case HeapQueue:
+		return &Simulation{queue: &heapQueue{}}
+	default:
+		return &Simulation{queue: newWheelQueue()}
+	}
 }
 
 // Now returns the current virtual time.
@@ -159,8 +236,9 @@ func (s *Simulation) Now() Time { return s.now }
 // EventsFired returns the number of events executed so far.
 func (s *Simulation) EventsFired() uint64 { return s.fired }
 
-// Pending returns the number of events still queued.
-func (s *Simulation) Pending() int { return len(s.queue) }
+// Pending returns the number of events still queued (cancelled events
+// count until the run loop drains past them).
+func (s *Simulation) Pending() int { return s.queue.len() }
 
 // Schedule queues fn to run at absolute virtual time at. Scheduling in
 // the past (before Now) panics: it indicates a logic error in the model.
@@ -173,7 +251,7 @@ func (s *Simulation) Schedule(at Time, fn func(*Simulation)) *Event {
 	}
 	e := s.alloc(at, fn)
 	s.seq++
-	heap.Push(&s.queue, e)
+	s.queue.push(e)
 	return e
 }
 
@@ -193,7 +271,7 @@ func (s *Simulation) Reschedule(e *Event, at Time) {
 	if at < s.now {
 		panic(fmt.Sprintf("sim: reschedule at %v before now %v", at, s.now))
 	}
-	if e.idx < 0 || e.idx >= len(s.queue) || s.queue[e.idx] != e {
+	if !s.queue.queued(e) {
 		panic("sim: reschedule of an event that is not queued")
 	}
 	if e.dead {
@@ -202,7 +280,7 @@ func (s *Simulation) Reschedule(e *Event, at Time) {
 	e.at = at
 	e.seq = s.seq
 	s.seq++
-	heap.Fix(&s.queue, e.idx)
+	s.queue.fix(e)
 }
 
 // After queues fn to run d seconds after the current time.
@@ -254,7 +332,7 @@ func (s *Simulation) runUntil(ctx context.Context, end Time) (uint64, error) {
 			fn()
 		}
 	}
-	for len(s.queue) > 0 && !s.stopped {
+	for !s.stopped {
 		if batch >= ctxCheckEvery {
 			s.events.Add(batch)
 			batch = 0
@@ -265,11 +343,11 @@ func (s *Simulation) runUntil(ctx context.Context, end Time) (uint64, error) {
 				}
 			}
 		}
-		next := s.queue[0]
-		if next.at > end {
+		next := s.queue.peek()
+		if next == nil || next.at > end {
 			break
 		}
-		heap.Pop(&s.queue)
+		s.queue.pop()
 		if next.dead {
 			s.release(next)
 			continue
@@ -295,8 +373,11 @@ func (s *Simulation) runUntil(ctx context.Context, end Time) (uint64, error) {
 // Step executes exactly one pending event (skipping cancelled ones) and
 // reports whether an event was executed.
 func (s *Simulation) Step() bool {
-	for len(s.queue) > 0 {
-		e := heap.Pop(&s.queue).(*Event)
+	for {
+		e := s.queue.pop()
+		if e == nil {
+			return false
+		}
 		if e.dead {
 			s.release(e)
 			continue
@@ -307,7 +388,6 @@ func (s *Simulation) Step() bool {
 		s.release(e)
 		return true
 	}
-	return false
 }
 
 // Ticker invokes fn every period seconds starting at start, until the

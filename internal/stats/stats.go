@@ -9,90 +9,267 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
+
+// Digest sample storage is chunked: samples append into fixed-size
+// blocks instead of one contiguous slice, so a digest holding tens of
+// millions of samples never doubles-and-copies a GB-scale buffer, and
+// blocks recycle through a package-level pool across harness
+// replications. Chunk sizes tier up from chunkMinFloats to
+// chunkMaxFloats (doubling per chunk) so small digests stay small
+// while large ones amortize to one 512 KiB block per 64Ki samples.
+const (
+	chunkMinShift = 10 // 1Ki floats = 8 KiB
+	chunkMaxShift = 16 // 64Ki floats = 512 KiB
+	chunkClasses  = chunkMaxShift - chunkMinShift + 1
+)
+
+// chunkPools recycles sample blocks by size class. Pooled blocks are
+// plain capacity: length is reset on acquire. sync.Pool keeps this
+// safe under the fleet simulator's concurrent shards.
+var chunkPools [chunkClasses]sync.Pool
+
+// chunkClass returns the size class of the i-th chunk of a digest.
+func chunkClass(i int) int {
+	if i >= chunkClasses {
+		return chunkClasses - 1
+	}
+	return i
+}
+
+func acquireChunk(class int) []float64 {
+	if c, ok := chunkPools[class].Get().([]float64); ok {
+		return c[:0]
+	}
+	return make([]float64, 0, 1<<(chunkMinShift+class))
+}
 
 // Digest accumulates samples and answers percentile queries exactly.
 // It is intended for simulation-scale sample counts (millions), where
 // keeping every sample is cheap and exactness keeps the reproduced
-// tables stable across runs.
+// tables stable across runs. Storage is a list of pooled fixed-size
+// chunks; quantile queries sort each chunk in place and select order
+// statistics with a k-way merge, so results are identical to sorting
+// one flat buffer.
 type Digest struct {
-	samples []float64
-	sorted  bool
-	sum     float64
+	chunks [][]float64
+	// active indexes the chunk currently receiving samples; chunks
+	// past it are pre-acquired (Reserve) or retained (Reset) capacity.
+	active int
+	count  int
+	sorted bool
+	sum    float64
 }
 
 // NewDigest returns an empty digest.
 func NewDigest() *Digest { return &Digest{} }
 
-// Reserve grows the digest's sample buffer to hold at least n samples
-// without further reallocation. Harnesses that replay the same
+// Reserve grows the digest's chunk list to hold at least n samples
+// without further chunk acquisition. Harnesses that replay the same
 // simulation several times (replications, ablation arms) call it with
 // the expected request count so the million-sample latency buffers are
-// sized once instead of doubling their way up every run.
+// drawn from the pool once up front.
 func (d *Digest) Reserve(n int) {
-	if n > cap(d.samples) {
-		buf := make([]float64, len(d.samples), n)
-		copy(buf, d.samples)
-		d.samples = buf
+	total := 0
+	for _, c := range d.chunks {
+		total += cap(c)
+	}
+	for total < n {
+		c := acquireChunk(chunkClass(len(d.chunks)))
+		total += cap(c)
+		d.chunks = append(d.chunks, c)
 	}
 }
 
 // Add records one sample.
 func (d *Digest) Add(v float64) {
-	d.samples = append(d.samples, v)
+	for {
+		if d.active == len(d.chunks) {
+			d.chunks = append(d.chunks, acquireChunk(chunkClass(len(d.chunks))))
+		}
+		c := d.chunks[d.active]
+		if len(c) < cap(c) {
+			d.chunks[d.active] = append(c, v)
+			break
+		}
+		d.active++
+	}
+	d.count++
 	d.sorted = false
 	d.sum += v
 }
 
 // Count returns the number of samples recorded.
-func (d *Digest) Count() int { return len(d.samples) }
+func (d *Digest) Count() int { return d.count }
 
 // Sum returns the sum of all samples.
 func (d *Digest) Sum() float64 { return d.sum }
 
 // Mean returns the arithmetic mean (0 for an empty digest).
 func (d *Digest) Mean() float64 {
-	if len(d.samples) == 0 {
+	if d.count == 0 {
 		return 0
 	}
-	return d.sum / float64(len(d.samples))
+	return d.sum / float64(d.count)
 }
 
-// Reset discards all samples.
+// Reset discards all samples but keeps the chunks, so a warmed digest
+// records the next run without touching the pool or the allocator.
 func (d *Digest) Reset() {
-	d.samples = d.samples[:0]
+	for i := range d.chunks {
+		d.chunks[i] = d.chunks[i][:0]
+	}
+	d.active = 0
+	d.count = 0
 	d.sorted = false
 	d.sum = 0
 }
 
+// Release empties the digest and returns its chunks to the pool for
+// other digests to reuse. Harnesses call it once a run's digests have
+// been reduced to scalars; using the digest afterwards is valid and
+// starts from empty storage.
+func (d *Digest) Release() {
+	for i, c := range d.chunks {
+		chunkPools[chunkClass(i)].Put(c[:0])
+		d.chunks[i] = nil
+	}
+	d.chunks = d.chunks[:0]
+	d.active = 0
+	d.count = 0
+	d.sorted = false
+	d.sum = 0
+}
+
+// ensureSorted sorts each chunk in place. Chunk contents are a
+// partition of the samples, so per-chunk sorting plus merge-selection
+// in the query paths reproduces flat-sorted order exactly.
 func (d *Digest) ensureSorted() {
 	if !d.sorted {
-		sort.Float64s(d.samples)
+		for _, c := range d.chunks {
+			sort.Float64s(c)
+		}
 		d.sorted = true
 	}
+}
+
+// orderStats returns the k-th and (k+1)-th smallest samples (0-based),
+// merging the sorted chunks from whichever end is nearer the rank. If
+// k is the last rank both returns are the k-th sample. Precondition:
+// chunks are sorted and 0 <= k < count.
+func (d *Digest) orderStats(k int) (float64, float64) {
+	if k+1 < d.count-k {
+		return d.mergeSelect(k, false)
+	}
+	if k == d.count-1 {
+		v, _ := d.mergeSelect(0, true)
+		return v, v
+	}
+	// Descending, the (k+1)-th smallest pops first (rank count-2-k
+	// from the top) and the k-th smallest pops right after it.
+	hi, lo := d.mergeSelect(d.count-2-k, true)
+	return lo, hi
+}
+
+// mergeSelect pops r+2 elements off a k-way merge of the sorted chunks
+// and returns the r-th and (r+1)-th popped (the latter clamped to the
+// r-th at the end of the data). desc merges largest-first, so rank r
+// counts from the top.
+func (d *Digest) mergeSelect(r int, desc bool) (float64, float64) {
+	// cur[i] is how many elements chunk i has already yielded.
+	cur := make([]int, len(d.chunks))
+	head := func(i int) float64 {
+		c := d.chunks[i]
+		if desc {
+			return c[len(c)-1-cur[i]]
+		}
+		return c[cur[i]]
+	}
+	// h is a binary min-heap (max-heap when desc) of chunk indices
+	// ordered by their next unyielded element.
+	h := make([]int, 0, len(d.chunks))
+	before := func(a, b int) bool {
+		if desc {
+			return head(a) > head(b)
+		}
+		return head(a) < head(b)
+	}
+	up := func(i int) {
+		for i > 0 {
+			p := (i - 1) / 2
+			if !before(h[i], h[p]) {
+				break
+			}
+			h[i], h[p] = h[p], h[i]
+			i = p
+		}
+	}
+	down := func() {
+		i := 0
+		for {
+			l, rgt := 2*i+1, 2*i+2
+			m := i
+			if l < len(h) && before(h[l], h[m]) {
+				m = l
+			}
+			if rgt < len(h) && before(h[rgt], h[m]) {
+				m = rgt
+			}
+			if m == i {
+				return
+			}
+			h[i], h[m] = h[m], h[i]
+			i = m
+		}
+	}
+	for i, c := range d.chunks {
+		if len(c) > 0 {
+			h = append(h, i)
+			up(len(h) - 1)
+		}
+	}
+	var a, b float64
+	for popped := 0; popped <= r+1 && len(h) > 0; popped++ {
+		top := h[0]
+		v := head(top)
+		if popped == r {
+			a, b = v, v
+		} else if popped == r+1 {
+			b = v
+		}
+		cur[top]++
+		if cur[top] == len(d.chunks[top]) {
+			h[0] = h[len(h)-1]
+			h = h[:len(h)-1]
+		}
+		down()
+	}
+	return a, b
 }
 
 // Quantile returns the q-quantile (q in [0,1]) using linear
 // interpolation between closest ranks. Returns 0 for an empty digest.
 func (d *Digest) Quantile(q float64) float64 {
-	if len(d.samples) == 0 {
+	if d.count == 0 {
 		return 0
 	}
 	if q < 0 || q > 1 {
 		panic(fmt.Sprintf("stats: quantile %v out of [0,1]", q))
 	}
 	d.ensureSorted()
-	if len(d.samples) == 1 {
-		return d.samples[0]
+	if d.count == 1 {
+		return d.chunks[0][0]
 	}
-	pos := q * float64(len(d.samples)-1)
+	pos := q * float64(d.count-1)
 	lo := int(math.Floor(pos))
 	hi := int(math.Ceil(pos))
+	vlo, vhi := d.orderStats(lo)
 	if lo == hi {
-		return d.samples[lo]
+		return vlo
 	}
 	frac := pos - float64(lo)
-	return d.samples[lo]*(1-frac) + d.samples[hi]*frac
+	return vlo*(1-frac) + vhi*frac
 }
 
 // P95 returns the 95th percentile.
@@ -103,35 +280,48 @@ func (d *Digest) P99() float64 { return d.Quantile(0.99) }
 
 // Max returns the largest sample (0 for empty).
 func (d *Digest) Max() float64 {
-	if len(d.samples) == 0 {
+	if d.count == 0 {
 		return 0
 	}
 	d.ensureSorted()
-	return d.samples[len(d.samples)-1]
+	m := math.Inf(-1)
+	for _, c := range d.chunks {
+		if len(c) > 0 && c[len(c)-1] > m {
+			m = c[len(c)-1]
+		}
+	}
+	return m
 }
 
 // Min returns the smallest sample (0 for empty).
 func (d *Digest) Min() float64 {
-	if len(d.samples) == 0 {
+	if d.count == 0 {
 		return 0
 	}
 	d.ensureSorted()
-	return d.samples[0]
+	m := math.Inf(1)
+	for _, c := range d.chunks {
+		if len(c) > 0 && c[0] < m {
+			m = c[0]
+		}
+	}
+	return m
 }
 
 // Stddev returns the population standard deviation.
 func (d *Digest) Stddev() float64 {
-	n := len(d.samples)
-	if n == 0 {
+	if d.count == 0 {
 		return 0
 	}
 	mean := d.Mean()
 	var ss float64
-	for _, v := range d.samples {
-		dv := v - mean
-		ss += dv * dv
+	for _, c := range d.chunks {
+		for _, v := range c {
+			dv := v - mean
+			ss += dv * dv
+		}
 	}
-	return math.Sqrt(ss / float64(n))
+	return math.Sqrt(ss / float64(d.count))
 }
 
 // Window is a rolling time window of (time, value) samples. The

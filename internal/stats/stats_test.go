@@ -120,6 +120,120 @@ func TestDigestQuantileProperty(t *testing.T) {
 	}
 }
 
+// TestDigestChunkedMatchesFlatSort is the differential gate for the
+// chunked storage: across several chunk boundaries (tiered sizes
+// included), every quantile must be bit-identical to indexing one
+// flat sorted buffer, interleaved with adds after queries.
+func TestDigestChunkedMatchesFlatSort(t *testing.T) {
+	d := NewDigest()
+	r := uint64(0x9e3779b97f4a7c15)
+	next := func() float64 {
+		r ^= r << 13
+		r ^= r >> 7
+		r ^= r << 17
+		return float64(r%1000000) / 997.0
+	}
+	var flat []float64
+	check := func() {
+		sorted := append([]float64(nil), flat...)
+		sort.Float64s(sorted)
+		for _, q := range []float64{0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1} {
+			pos := q * float64(len(sorted)-1)
+			lo, hi := int(math.Floor(pos)), int(math.Ceil(pos))
+			want := sorted[lo]
+			if lo != hi {
+				frac := pos - float64(lo)
+				want = sorted[lo]*(1-frac) + sorted[hi]*frac
+			}
+			if got := d.Quantile(q); got != want {
+				t.Fatalf("n=%d Quantile(%v) = %v, want %v", len(sorted), q, got, want)
+			}
+		}
+		if d.Min() != sorted[0] || d.Max() != sorted[len(sorted)-1] {
+			t.Fatalf("n=%d min/max %v/%v, want %v/%v",
+				len(sorted), d.Min(), d.Max(), sorted[0], sorted[len(sorted)-1])
+		}
+	}
+	// Past 1Ki+2Ki+4Ki the digest spans four chunks of three size
+	// classes; query mid-stream to exercise re-sorting partially
+	// filled chunks after adds.
+	for _, n := range []int{1, 100, 1500, 4000, 9000} {
+		for len(flat) < n {
+			v := next()
+			d.Add(v)
+			flat = append(flat, v)
+		}
+		check()
+	}
+	if len(d.chunks) < 4 {
+		t.Fatalf("expected multi-chunk storage, got %d chunks", len(d.chunks))
+	}
+}
+
+// TestDigestResetKeepsChunks: a warmed digest must record a same-sized
+// run after Reset without growing its chunk list or allocating.
+func TestDigestResetKeepsChunks(t *testing.T) {
+	d := NewDigest()
+	fill := func() {
+		for i := 0; i < 5000; i++ {
+			d.Add(float64(i%97) * 1.5)
+		}
+	}
+	fill()
+	chunks := len(d.chunks)
+	d.Reset()
+	if d.Count() != 0 || d.Sum() != 0 {
+		t.Fatal("reset did not clear digest")
+	}
+	if got := testing.AllocsPerRun(5, func() { fill(); d.Reset() }); got != 0 {
+		t.Fatalf("warm fill allocated %.1f times", got)
+	}
+	if len(d.chunks) != chunks {
+		t.Fatalf("chunk list changed across Reset: %d -> %d", chunks, len(d.chunks))
+	}
+}
+
+// TestDigestReleaseRecycles: released chunks come back from the pool
+// for the next digest instead of the allocator.
+func TestDigestReleaseRecycles(t *testing.T) {
+	d := NewDigest()
+	for i := 0; i < 3000; i++ {
+		d.Add(float64(i))
+	}
+	if got := d.Quantile(0.5); got != 1499.5 {
+		t.Fatalf("median %v, want 1499.5", got)
+	}
+	d.Release()
+	if d.Count() != 0 || len(d.chunks) != 0 {
+		t.Fatalf("release left count=%d chunks=%d", d.Count(), len(d.chunks))
+	}
+	// The digest stays usable after Release.
+	d.Add(7)
+	if d.Count() != 1 || d.Quantile(1) != 7 {
+		t.Fatalf("digest unusable after Release: count=%d", d.Count())
+	}
+}
+
+// TestDigestReserveIsWarm: Reserve(n) must make n adds chunk-acquisition
+// free.
+func TestDigestReserveIsWarm(t *testing.T) {
+	d := NewDigest()
+	d.Reserve(10000)
+	chunks := len(d.chunks)
+	if chunks == 0 {
+		t.Fatal("Reserve acquired no chunks")
+	}
+	for i := 0; i < 10000; i++ {
+		d.Add(float64(i))
+	}
+	if len(d.chunks) != chunks {
+		t.Fatalf("adds within the reservation grew chunks %d -> %d", chunks, len(d.chunks))
+	}
+	if d.Count() != 10000 {
+		t.Fatalf("count %d", d.Count())
+	}
+}
+
 func TestWindowEviction(t *testing.T) {
 	w := NewWindow(10)
 	w.Add(0, 1)

@@ -235,6 +235,30 @@ func BenchmarkCounterInc(b *testing.B) {
 	}
 }
 
+// BenchmarkCounterHandles contrasts the two ways to reach a metric:
+// resolving it by name on every observation versus holding the handle,
+// which is what every hot loop (queueing's SetTelemetry, dcsim's fleet
+// step) does. The held row must stay at 0 allocs/op — handle
+// resolution happens once, before the timer starts.
+func BenchmarkCounterHandles(b *testing.B) {
+	b.Run("lookup", func(b *testing.B) {
+		s := NewRegistry().Scope("bench")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Counter("c").Inc()
+		}
+	})
+	b.Run("held", func(b *testing.B) {
+		c := NewRegistry().Scope("bench").Counter("c")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+}
+
 func BenchmarkCounterIncNil(b *testing.B) {
 	var c *Counter
 	b.ReportAllocs()
