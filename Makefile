@@ -23,31 +23,39 @@ verify:
 	$(GO) vet ./... && $(GO) build ./... && $(GO) test -race ./...
 
 # Full benchmark sweep (kernel, queueing hot path, fleet control loop,
-# and every figure / table regeneration) with allocation stats, parsed
-# into BENCH_8.json (benchmark -> ns/op, allocs/op, B/op, custom
-# metrics) with the checked-in pre-change baseline embedded alongside.
-# Micro-benchmarks get pinned iteration counts: at -benchtime=1x a
-# sub-100ns kernel primitive reads clock jitter, not cost, and the
-# baseline deltas were meaningless. Harness benchmarks run one full
-# experiment per op, so 1x is already the right unit for them.
+# serving path, and every figure / table regeneration) with allocation
+# stats, parsed into BENCH_9.json (benchmark -> ns/op, allocs/op, B/op,
+# custom metrics) with the checked-in pre-change baseline embedded
+# alongside. Micro-benchmarks get pinned iteration counts: at
+# -benchtime=1x a sub-100ns kernel primitive reads clock jitter, not
+# cost, and the baseline deltas were meaningless. Harness benchmarks
+# run one full experiment per op, so 1x is already the right unit for
+# them (BenchmarkOcdbench runs a 1s closed-loop load test per op and
+# reports p50/p99/p999 as custom metrics). The serving endpoint
+# benchmarks pin 2000 iterations (µs-scale ops); the mixed
+# read-while-stepping A/B pins 20000 (the per-read cost is ~µs and the
+# stepper cycle is ms-scale, so short runs read scheduler noise).
 # Takes ~10 minutes: BenchmarkRunnerAll replays the evaluation 4 times.
 bench:
 	( $(GO) test -bench=BenchmarkKernel -benchtime=200000x -benchmem -run='^$$' ./internal/sim/ && \
 	  $(GO) test -bench=BenchmarkOversubscribed -benchtime=20x -benchmem -run='^$$' ./internal/queueing/ && \
 	  $(GO) test -bench=. -benchtime=1000000x -benchmem -run='^$$' ./internal/telemetry/ && \
+	  $(GO) test -bench='BenchmarkServing(Filter|Prioritize|Status|Metrics)$$' -benchtime=2000x -benchmem -run='^$$' ./internal/ocd/ && \
+	  $(GO) test -bench=BenchmarkServingMixedReadWhileStepping -benchtime=20000x -benchmem -run='^$$' ./internal/ocd/ && \
 	  $(GO) test -bench=. -benchtime=1x -benchmem -run='^$$' \
-	    $$($(GO) list ./... | grep -v -e internal/sim -e internal/queueing -e internal/telemetry) ) \
-		| $(GO) run ./cmd/benchjson -baseline bench_baseline.json -out BENCH_8.json
-	@cat BENCH_8.json
+	    $$($(GO) list ./... | grep -v -e internal/sim -e internal/queueing -e internal/telemetry -e internal/ocd) ) \
+		| $(GO) run ./cmd/benchjson -baseline bench_baseline.json -out BENCH_9.json
+	@cat BENCH_9.json
 
 # CI bench smoke: one iteration of the kernel (both queue backends),
-# oversubscription, a GB-scale harness (TableXI), fleet-simulation and
-# sharded-hyperscale hot-path benchmarks, piped through benchjson so
-# benchmark and tooling rot fail fast.
+# oversubscription, a GB-scale harness (TableXI), fleet-simulation,
+# sharded-hyperscale and mixed read-while-stepping serving hot-path
+# benchmarks, piped through benchjson so benchmark and tooling rot
+# fail fast.
 bench-smoke:
-	$(GO) test -bench='BenchmarkKernel|BenchmarkOversubscribed|BenchmarkTableXI$$|BenchmarkFleetSim$$|BenchmarkFleetHyperScale' \
+	$(GO) test -bench='BenchmarkKernel|BenchmarkOversubscribed|BenchmarkTableXI$$|BenchmarkFleetSim$$|BenchmarkFleetHyperScale|BenchmarkServingMixedReadWhileStepping' \
 		-benchtime=1x -benchmem -run='^$$' \
-		./internal/sim/ ./internal/queueing/ . | $(GO) run ./cmd/benchjson
+		./internal/sim/ ./internal/queueing/ ./internal/ocd/ . | $(GO) run ./cmd/benchjson
 
 # Serial-vs-parallel wall clock of the full evaluation.
 bench-runner:

@@ -51,6 +51,7 @@ import (
 
 	"immersionoc/internal/cli"
 	"immersionoc/internal/dcsim"
+	"immersionoc/internal/ocd"
 	"immersionoc/internal/sweep"
 	"immersionoc/internal/telemetry"
 	"immersionoc/internal/vm"
@@ -82,8 +83,8 @@ func parseArgs(args []string) (options, error) {
 	if _, err := cli.ParseInterleaved(fs, args); err != nil {
 		return c, err
 	}
-	if c.mode != modeStepped && c.mode != modeScaled {
-		return c, fmt.Errorf("-mode must be %q or %q", modeStepped, modeScaled)
+	if c.mode != ocd.ModeStepped && c.mode != ocd.ModeScaled {
+		return c, fmt.Errorf("-mode must be %q or %q", ocd.ModeStepped, ocd.ModeScaled)
 	}
 	if c.scale <= 0 {
 		return c, errors.New("-scale must be positive")
@@ -184,7 +185,7 @@ func run(args []string) int {
 	cfg.Shards = c.shards
 	reg := telemetry.NewRegistry()
 	cfg.Tel = reg.Scope("dcsim")
-	d, err := newDaemon(cfg, c.mode, reg)
+	d, err := ocd.New(cfg, c.mode, reg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ocd: %v\n", err)
 		return 1
@@ -207,12 +208,12 @@ func run(args []string) int {
 		fmt.Fprintf(os.Stderr, "ocd: %v\n", err)
 		return 1
 	}
-	srv := newHTTPServer(d.handler())
+	srv := newHTTPServer(d.Handler())
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 
-	if c.mode == modeScaled {
-		go d.runScaled(ctx, c.scale)
+	if c.mode == ocd.ModeScaled {
+		go d.RunScaled(ctx, c.scale)
 	}
 
 	// Wait for a signal (or the server dying under us), then drain:
@@ -240,7 +241,7 @@ func run(args []string) int {
 			return 1
 		}
 	}
-	fmt.Fprintf(os.Stderr, "ocd: final: %s\n", d.finalReport())
+	fmt.Fprintf(os.Stderr, "ocd: final: %s\n", d.FinalReport())
 	return 0
 }
 

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestHTTPServerTimeouts pins the server construction: a slowloris
+// client must be bounded by header/read timeouts.
+func TestHTTPServerTimeouts(t *testing.T) {
+	srv := newHTTPServer(http.NewServeMux())
+	if srv.ReadHeaderTimeout <= 0 {
+		t.Error("ReadHeaderTimeout unset: slowloris headers hold connections forever")
+	}
+	if srv.ReadTimeout <= 0 {
+		t.Error("ReadTimeout unset: slow request bodies hold the handler forever")
+	}
+	if srv.IdleTimeout <= 0 {
+		t.Error("IdleTimeout unset: idle keep-alive connections accumulate")
+	}
+	if srv.WriteTimeout > 0 && srv.WriteTimeout < time.Minute {
+		t.Error("WriteTimeout would cut off legitimate long /v1/step batches")
+	}
+}

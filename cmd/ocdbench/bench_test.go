@@ -1,0 +1,34 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkOcdbench runs the closed-loop generator against a
+// self-hosted 500-server fleet (paced stepper contending with the
+// readers) for one second per op, and reports the measured read
+// quantiles as custom metrics so ocdbench's p99 lands in BENCH_9.json
+// next to the serving micro-benchmarks.
+func BenchmarkOcdbench(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := runLoad(loadCfg{
+			servers:    500,
+			workers:    4,
+			duration:   time.Second,
+			mix:        "status=6,metrics=2,filter=1,prioritize=1",
+			stepBatch:  10,
+			stepPeriod: 5 * time.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Errors > 0 {
+			b.Fatalf("%d request errors", rep.Errors)
+		}
+		b.ReportMetric(rep.P50Us, "p50-us")
+		b.ReportMetric(rep.P99Us, "p99-us")
+		b.ReportMetric(rep.P999Us, "p999-us")
+		b.ReportMetric(rep.RPS, "req/s")
+	}
+}

@@ -8,8 +8,37 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 )
+
+// defaultTransport is the shared connection pool every Client without
+// an explicit HTTPClient uses. http.DefaultTransport keeps only two
+// idle connections per host, so a load generator with dozens of
+// workers hammering one daemon would churn through ephemeral ports;
+// this transport keeps enough keep-alive connections per host for a
+// saturating closed-loop workload to reuse them all.
+var defaultTransport = &http.Transport{
+	Proxy:               http.ProxyFromEnvironment,
+	MaxIdleConns:        256,
+	MaxIdleConnsPerHost: 128,
+	IdleConnTimeout:     90 * time.Second,
+}
+
+// defaultClient wraps the shared transport with the API's default
+// request timeout. Shared across Clients: the connection pool is the
+// point.
+var defaultClient = &http.Client{Timeout: 30 * time.Second, Transport: defaultTransport}
+
+// encBuf is the pooled per-call encode scratch: the request is encoded
+// into a reused buffer and served to the transport through a reused
+// reader, so steady-state calls allocate no body machinery.
+type encBuf struct {
+	buf bytes.Buffer
+	rd  bytes.Reader
+}
+
+var encBufs = sync.Pool{New: func() any { return new(encBuf) }}
 
 // Client is the typed Go client of the ocd control-plane API. Server
 // and client share this package's request/response structs, so a field
@@ -17,16 +46,17 @@ import (
 type Client struct {
 	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
-	// HTTPClient overrides the transport (nil = a client with a 30 s
-	// timeout).
+	// HTTPClient overrides the transport (nil = the shared keep-alive
+	// client with a 30 s timeout).
 	HTTPClient *http.Client
 }
 
-// NewClient returns a client for the daemon at baseURL.
+// NewClient returns a client for the daemon at baseURL, using the
+// shared keep-alive transport.
 func NewClient(baseURL string) *Client {
 	return &Client{
 		BaseURL:    strings.TrimRight(baseURL, "/"),
-		HTTPClient: &http.Client{Timeout: 30 * time.Second},
+		HTTPClient: defaultClient,
 	}
 }
 
@@ -34,7 +64,7 @@ func (c *Client) http() *http.Client {
 	if c.HTTPClient != nil {
 		return c.HTTPClient
 	}
-	return &http.Client{Timeout: 30 * time.Second}
+	return defaultClient
 }
 
 // call POSTs req as JSON to path (or GETs when req is nil) and decodes
@@ -43,11 +73,16 @@ func (c *Client) http() *http.Client {
 func (c *Client) call(ctx context.Context, method, path string, req, out any) error {
 	var body io.Reader
 	if req != nil {
-		data, err := json.Marshal(req)
-		if err != nil {
+		eb := encBufs.Get().(*encBuf)
+		// The transport finishes reading the body inside Do, so the
+		// scratch is free for reuse once the call returns.
+		defer encBufs.Put(eb)
+		eb.buf.Reset()
+		if err := json.NewEncoder(&eb.buf).Encode(req); err != nil {
 			return fmt.Errorf("api: encode %s: %w", path, err)
 		}
-		body = bytes.NewReader(data)
+		eb.rd.Reset(eb.buf.Bytes())
+		body = &eb.rd
 	}
 	hreq, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
 	if err != nil {

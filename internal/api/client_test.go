@@ -1,0 +1,70 @@
+package api
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// TestClientSharesKeepAliveTransport pins the client's connection
+// discipline: every NewClient uses the one shared transport (so
+// connection pools are program-wide, not per-client), and the pool is
+// sized for a saturating load generator rather than DefaultTransport's
+// two idle connections per host.
+func TestClientSharesKeepAliveTransport(t *testing.T) {
+	a, b := NewClient("http://x"), NewClient("http://y")
+	if a.HTTPClient != b.HTTPClient {
+		t.Fatal("NewClient built per-client http.Clients; the shared pool is the point")
+	}
+	tr, ok := a.HTTPClient.Transport.(*http.Transport)
+	if !ok {
+		t.Fatalf("default client transport is %T, want *http.Transport", a.HTTPClient.Transport)
+	}
+	if tr.MaxIdleConnsPerHost < 64 {
+		t.Fatalf("MaxIdleConnsPerHost = %d; a multi-worker load generator would churn connections", tr.MaxIdleConnsPerHost)
+	}
+	if tr.DisableKeepAlives {
+		t.Fatal("keep-alives disabled on the shared transport")
+	}
+	if (&Client{}).http() != defaultClient {
+		t.Fatal("zero-value Client does not fall back to the shared client")
+	}
+}
+
+// TestClientReusesConnections drives sequential calls through the
+// shared transport against a connection-counting server: keep-alive
+// must hold them all on one TCP connection.
+func TestClientReusesConnections(t *testing.T) {
+	var mu sync.Mutex
+	conns := map[string]bool{}
+	ts := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"version":"v1","sim_time_s":0,"steps_run":0}`))
+	}))
+	ts.Config.ConnState = func(c net.Conn, s http.ConnState) {
+		if s == http.StateNew {
+			mu.Lock()
+			conns[c.RemoteAddr().String()] = true
+			mu.Unlock()
+		}
+	}
+	ts.Start()
+	defer ts.Close()
+
+	c := NewClient(ts.URL)
+	ctx := context.Background()
+	for i := 0; i < 20; i++ {
+		if _, err := c.Step(ctx, StepRequest{Steps: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu.Lock()
+	n := len(conns)
+	mu.Unlock()
+	if n != 1 {
+		t.Fatalf("20 sequential calls used %d connections, want 1 (keep-alive reuse)", n)
+	}
+}

@@ -192,33 +192,47 @@ func (c *Cluster) fits(s *Server, v *vm.VM, useReserved bool) bool {
 	return c.explain(s, v, useReserved) == ""
 }
 
+// Placement-failure reasons served by the control-plane filter API.
+// The vocabulary is a small fixed set of interned constants so
+// rejection-heavy filter responses reference them instead of
+// allocating one string per server.
+const (
+	// ReasonFailed covers failed or reserved hardware.
+	ReasonFailed = "failed"
+	// ReasonMemory is a memory-capacity rejection.
+	ReasonMemory = "memory"
+	// ReasonCapacity is a vcore-cap rejection.
+	ReasonCapacity = "capacity"
+	// ReasonClass is a high-performance VM without guaranteed
+	// overclock headroom.
+	ReasonClass = "class"
+)
+
 // Explain reports why v cannot be placed on s under the policy, as the
-// machine-readable reason the control-plane filter API serves:
-// "failed" (failed or reserved hardware), "memory", "capacity" (the
-// vcore cap), or "class" (a high-performance VM without guaranteed
-// overclock headroom). An empty reason means v fits.
+// machine-readable reason the control-plane filter API serves (the
+// Reason* constants). An empty reason means v fits.
 func (c *Cluster) Explain(s *Server, v *vm.VM) string {
 	return c.explain(s, v, false)
 }
 
 func (c *Cluster) explain(s *Server, v *vm.VM, useReserved bool) string {
 	if s.Failed || (s.Reserved && !useReserved) {
-		return "failed"
+		return ReasonFailed
 	}
 	if s.memUse+v.Type.MemoryGB > s.Spec.MemoryGB {
-		return "memory"
+		return ReasonMemory
 	}
 	if s.vcoresUse+v.Type.VCores > c.vcoreCap(s) {
-		return "capacity"
+		return ReasonCapacity
 	}
 	// High-performance VMs need overclocking headroom guaranteed:
 	// only non-oversubscribed overclockable servers qualify.
 	if v.Class == vm.HighPerf {
 		if !s.Spec.Overclockable {
-			return "class"
+			return ReasonClass
 		}
 		if s.vcoresUse+v.Type.VCores > s.Spec.PCores {
-			return "class"
+			return ReasonClass
 		}
 	}
 	return ""
@@ -294,6 +308,12 @@ func (c *Cluster) placeIndexed(v *vm.VM) *Server {
 		return true
 	})
 	return best
+}
+
+// Host returns the server currently hosting VM id, if it is placed.
+func (c *Cluster) Host(id int) (*Server, bool) {
+	s, ok := c.placed[id]
+	return s, ok
 }
 
 // Remove releases a VM's resources.

@@ -1,0 +1,140 @@
+package cluster
+
+// Flat is a columnar, read-only export of per-server placement state:
+// the slice of fields the control-plane read path needs to answer
+// filter/prioritize/status queries without touching the live Cluster.
+// The ocd daemon publishes one Flat per control step (inside a
+// dcsim.FleetSnapshot) and serves reads from it lock-free, so the copy
+// layout is flat slices — cheap to fill in one pass, cache-friendly to
+// scan, and free of pointers back into mutable cluster state.
+//
+// Fleets are spec-uniform (New builds every server from one
+// ServerSpec), so the spec and the policy-derived vcore cap are stored
+// once instead of per server.
+type Flat struct {
+	// Servers is the fleet size (the length of every per-server slice).
+	Servers int
+	// PlacedVMs and Density are the Stats() packing KPIs, computed in
+	// the same pass that fills the per-server columns.
+	PlacedVMs int
+	Density   float64
+
+	// Spec is the (uniform) server hardware shape; OversubRatio the
+	// policy's CPU oversubscription; VCoreCap the per-server vcore
+	// allocation limit the two imply.
+	Spec         ServerSpec
+	OversubRatio float64
+	VCoreCap     int
+
+	// Per-server columns, indexed by dense fleet index.
+	ID           []int
+	VCoresUsed   []int
+	VMs          []int
+	MemoryUsedGB []float64
+	DemandCores  []float64
+	Failed       []bool
+	Reserved     []bool
+}
+
+// vcoreCapSpec is vcoreCap for a bare spec (the per-server value is
+// uniform across a fleet built by New).
+func (c *Cluster) vcoreCapSpec(spec ServerSpec) int {
+	capV := spec.PCores
+	if c.Policy.CPUOversubRatio > 0 && spec.Overclockable {
+		capV = int(float64(spec.PCores) * (1 + c.Policy.CPUOversubRatio))
+	}
+	return capV
+}
+
+// ExportFlat fills dst from the cluster's current state, reusing dst's
+// slices when they are large enough. The export is a pure read: it
+// does not touch placement state, so interleaving it with reads or
+// between mutations cannot perturb a deterministic replay.
+func (c *Cluster) ExportFlat(dst *Flat) {
+	n := len(c.servers)
+	dst.Servers = n
+	dst.Spec = c.Spec
+	dst.OversubRatio = c.Policy.CPUOversubRatio
+	dst.VCoreCap = c.vcoreCapSpec(c.Spec)
+
+	dst.ID = growInts(dst.ID, n)
+	dst.VCoresUsed = growInts(dst.VCoresUsed, n)
+	dst.VMs = growInts(dst.VMs, n)
+	dst.MemoryUsedGB = growFloats(dst.MemoryUsedGB, n)
+	dst.DemandCores = growFloats(dst.DemandCores, n)
+	dst.Failed = growBools(dst.Failed, n)
+	dst.Reserved = growBools(dst.Reserved, n)
+
+	// One pass fills the columns and accumulates the Stats() packing
+	// KPIs exactly as Stats computes them: failed servers contribute
+	// nothing, density is allocated vcores per non-failed pcore.
+	placed, vcores, pcores := 0, 0, 0
+	for i, s := range c.servers {
+		dst.ID[i] = s.ID
+		dst.VCoresUsed[i] = s.vcoresUse
+		dst.VMs[i] = len(s.vms)
+		dst.MemoryUsedGB[i] = s.memUse
+		dst.DemandCores[i] = s.expDemand
+		dst.Failed[i] = s.Failed
+		dst.Reserved[i] = s.Reserved
+		if s.Failed {
+			continue
+		}
+		pcores += s.Spec.PCores
+		vcores += s.vcoresUse
+		placed += len(s.vms)
+	}
+	dst.PlacedVMs = placed
+	dst.Density = 0
+	if pcores > 0 {
+		dst.Density = float64(vcores) / float64(pcores)
+	}
+}
+
+// Explain mirrors Cluster.Explain over the flat export: the
+// machine-readable reason server i cannot take a VM of the given
+// shape, or "" when it fits. The returned strings are the same
+// interned constants Explain returns, so callers building per-server
+// failure lists never allocate a reason. Kept next to explain() so the
+// two cannot drift; TestFlatExplainMatchesLive pins the equivalence.
+func (f *Flat) Explain(i, vcores int, memoryGB float64, highPerf bool) string {
+	if f.Failed[i] || f.Reserved[i] {
+		return ReasonFailed
+	}
+	if f.MemoryUsedGB[i]+memoryGB > f.Spec.MemoryGB {
+		return ReasonMemory
+	}
+	if f.VCoresUsed[i]+vcores > f.VCoreCap {
+		return ReasonCapacity
+	}
+	if highPerf {
+		if !f.Spec.Overclockable {
+			return ReasonClass
+		}
+		if f.VCoresUsed[i]+vcores > f.Spec.PCores {
+			return ReasonClass
+		}
+	}
+	return ""
+}
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}

@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"immersionoc/internal/vm"
+)
+
+// TestFlatExplainMatchesLive pins Flat.Explain to Cluster.Explain over
+// randomized placement churn: after every mutation batch the export is
+// refreshed and every (server, probe-VM) pair must yield the same
+// reason string — including the same interned constant, checked by
+// value — plus the same Stats-derived packing KPIs.
+func TestFlatExplainMatchesLive(t *testing.T) {
+	c := New(TwoSocketBlade, Policy{CPUOversubRatio: 0.25, BufferFraction: 0.1}, 40)
+	rng := rand.New(rand.NewSource(9))
+	probes := []*vm.VM{
+		{ID: -1, Type: vm.Size2, Class: vm.Regular},
+		{ID: -2, Type: vm.Size8, Class: vm.HighPerf},
+		{ID: -3, Type: vm.Size16, Class: vm.Regular},
+		{ID: -4, Type: vm.Size16, Class: vm.HighPerf},
+	}
+	sizes := []vm.Type{vm.Size2, vm.Size4, vm.Size8, vm.Size16}
+
+	var flat Flat
+	var live []*vm.VM
+	nextID := 0
+	for round := 0; round < 30; round++ {
+		for i := 0; i < 25; i++ {
+			if len(live) > 0 && rng.Intn(3) == 0 {
+				j := rng.Intn(len(live))
+				if err := c.Remove(live[j]); err != nil {
+					t.Fatalf("remove: %v", err)
+				}
+				live[j] = live[len(live)-1]
+				live = live[:len(live)-1]
+				continue
+			}
+			class := vm.Regular
+			if rng.Intn(4) == 0 {
+				class = vm.HighPerf
+			}
+			v := &vm.VM{ID: nextID, Type: sizes[rng.Intn(len(sizes))], Class: class, AvgUtil: 0.5}
+			nextID++
+			if _, err := c.Place(v); err == nil {
+				live = append(live, v)
+			}
+		}
+		if round == 15 {
+			// A mid-test failure batch exercises the Failed column;
+			// displaced VMs are gone from the cluster, so drop them
+			// from the live set too.
+			gone := map[int]bool{}
+			for _, v := range c.FailServers(3) {
+				gone[v.ID] = true
+			}
+			kept := live[:0]
+			for _, v := range live {
+				if !gone[v.ID] {
+					kept = append(kept, v)
+				}
+			}
+			live = kept
+		}
+
+		c.ExportFlat(&flat)
+		if flat.Servers != len(c.Servers()) {
+			t.Fatalf("round %d: Servers = %d, want %d", round, flat.Servers, len(c.Servers()))
+		}
+		st := c.Stats()
+		if flat.PlacedVMs != st.PlacedVMs || flat.Density != st.Density {
+			t.Fatalf("round %d: flat KPIs (%d, %v) != Stats (%d, %v)",
+				round, flat.PlacedVMs, flat.Density, st.PlacedVMs, st.Density)
+		}
+		for i, s := range c.Servers() {
+			if flat.ID[i] != s.ID || flat.VCoresUsed[i] != s.VCoresUsed() ||
+				flat.VMs[i] != s.VMs() || flat.MemoryUsedGB[i] != s.MemoryUsed() ||
+				flat.DemandCores[i] != s.ExpectedDemand() {
+				t.Fatalf("round %d server %d: column mismatch", round, i)
+			}
+			for _, p := range probes {
+				want := c.Explain(s, p)
+				got := flat.Explain(i, p.Type.VCores, p.Type.MemoryGB, p.Class == vm.HighPerf)
+				if got != want {
+					t.Fatalf("round %d server %d probe %s: Explain %q, flat %q",
+						round, i, p.Type.Name, want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestFlatExportReusesSlices checks the fill-in-place contract: a
+// second export into the same destination must not reallocate the
+// per-server columns.
+func TestFlatExportReusesSlices(t *testing.T) {
+	c := New(TwoSocketBlade, Policy{}, 16)
+	var flat Flat
+	c.ExportFlat(&flat)
+	before := &flat.ID[0]
+	if n := testing.AllocsPerRun(50, func() { c.ExportFlat(&flat) }); n != 0 {
+		t.Fatalf("re-export allocated %v times per run, want 0", n)
+	}
+	if &flat.ID[0] != before {
+		t.Fatalf("re-export replaced the ID column backing array")
+	}
+}

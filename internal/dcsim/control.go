@@ -75,6 +75,12 @@ func (s *Sim) SetOverclock(i int, oc bool) {
 	s.sc.setOC(st, oc)
 }
 
+// RefreshServerPower folds server i's pending power delta into the
+// row sum, exactly as a Server() read would, without building the info
+// struct. Control planes call it after a mutation so the running sum
+// is fully folded before they publish a read snapshot.
+func (s *Sim) RefreshServerPower(i int) { s.sc.refreshPower(s.states[i]) }
+
 // RowPowerW returns the row's current total power draw.
 func (s *Sim) RowPowerW() float64 { return s.sc.rowPowerW }
 

@@ -1,0 +1,121 @@
+package dcsim
+
+// FleetSnapshot is the immutable read-model export: everything the
+// control-plane's read endpoints (filter / prioritize / status) need,
+// copied out of the live simulation in one pass so a published
+// snapshot can be read lock-free while the simulation steps on.
+//
+// The export is strictly observational. In particular it does NOT
+// refresh the per-server power caches: rowPowerW is a running float
+// sum whose value depends on the order deltas were folded in, and the
+// step loop replays those deltas in fleet order to stay byte-stable
+// across shard counts. Copying the current value — rather than
+// "helpfully" refreshing stale entries — is what keeps a snapshot
+// taken between steps bit-identical to what the locked read path
+// reports at the same simulated time.
+
+import (
+	"immersionoc/internal/cluster"
+	"immersionoc/internal/reliability"
+)
+
+// FleetSnapshot carries the fleet's read-model state at one simulated
+// instant. All slices are indexed the same way the simulation indexes
+// them: per-server columns by dense fleet index, per-tank columns by
+// tank index (tank of server i = i / ServersPerTank).
+type FleetSnapshot struct {
+	// SimTimeS is the simulated time the snapshot was taken at; StepS
+	// the control period.
+	SimTimeS, StepS float64
+	// ServersPerTank maps a server index to its tank.
+	ServersPerTank int
+
+	// RowPowerW is the row draw exactly as the running sum stood.
+	RowPowerW float64
+	// Overclocked is the number of servers currently overclocked
+	// (Σ OCPerTank).
+	Overclocked int
+
+	// Cumulative KPIs from the run report.
+	Rejected             int
+	MaxBathC             float64
+	TotalGrants          int
+	CancelledOverclocks  int
+	CapEvents            int
+	OverclockServerHours float64
+	MeanWearUsed         float64
+
+	// Per-tank columns.
+	OCPerTank  []int
+	TankBudget []int
+	TankBathC  []float64
+
+	// Per-server wear columns: consumed lifetime-budget fraction and
+	// the pro-rata fraction an on-schedule server would have consumed.
+	WearUsed    []float64
+	WearProRata []float64
+
+	// Flat is the cluster's columnar placement export (allocations,
+	// headroom inputs, packing KPIs).
+	Flat cluster.Flat
+}
+
+// Snapshot fills dst from the simulation's current state, reusing
+// dst's slices when they are large enough so steady-state republishing
+// does not allocate once the destination has warmed up. The caller
+// must hold whatever lock serializes simulation access; the snapshot
+// itself touches no simulation state that a pure read would not
+// (Report refreshes the derived MeanWearUsed KPI, as the status
+// endpoint always has).
+func (s *Sim) Snapshot(dst *FleetSnapshot) {
+	rep := s.Report()
+	dst.SimTimeS = s.t
+	dst.StepS = s.cfg.StepS
+	dst.ServersPerTank = s.cfg.ServersPerTank
+	dst.RowPowerW = s.sc.rowPowerW
+
+	dst.Rejected = rep.Rejected
+	dst.MaxBathC = rep.MaxBathC
+	dst.TotalGrants = rep.TotalGrants
+	dst.CancelledOverclocks = rep.CancelledOverclocks
+	dst.CapEvents = rep.CapEvents
+	dst.OverclockServerHours = rep.OverclockServerHours
+	dst.MeanWearUsed = rep.MeanWearUsed
+
+	nTanks := len(s.tanks)
+	dst.OCPerTank = growIntCol(dst.OCPerTank, nTanks)
+	dst.TankBudget = growIntCol(dst.TankBudget, nTanks)
+	dst.TankBathC = growFloatCol(dst.TankBathC, nTanks)
+	oc := 0
+	for i, tk := range s.tanks {
+		dst.OCPerTank[i] = s.sc.ocPerTank[i]
+		dst.TankBudget[i] = s.sc.tankBudget[i]
+		dst.TankBathC[i] = tk.BathC()
+		oc += s.sc.ocPerTank[i]
+	}
+	dst.Overclocked = oc
+
+	n := len(s.states)
+	dst.WearUsed = growFloatCol(dst.WearUsed, n)
+	dst.WearProRata = growFloatCol(dst.WearProRata, n)
+	for i, st := range s.states {
+		dst.WearUsed[i] = st.wear.Used()
+		dst.WearProRata[i] = st.hours / (reliability.ServiceLifeYears * 24 * 365)
+	}
+
+	s.cl.ExportFlat(&dst.Flat)
+}
+
+func growIntCol(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growFloatCol(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}

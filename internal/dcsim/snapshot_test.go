@@ -1,0 +1,121 @@
+package dcsim
+
+import (
+	"testing"
+)
+
+// TestSnapshotMatchesLiveReads pins the snapshot export to the live
+// control accessors at several points through a run: every exported
+// field must equal what the corresponding Sim method reports at the
+// same instant, including the row-power running sum copied bit-exact.
+func TestSnapshotMatchesLiveReads(t *testing.T) {
+	cfg := DefaultConfig()
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap FleetSnapshot
+	for !sim.Done() {
+		for i := 0; i < 40 && !sim.Done(); i++ {
+			sim.Step()
+		}
+		sim.Snapshot(&snap)
+		if snap.SimTimeS != sim.Now() || snap.StepS != sim.StepS() {
+			t.Fatalf("time mismatch: snap (%v, %v) vs sim (%v, %v)",
+				snap.SimTimeS, snap.StepS, sim.Now(), sim.StepS())
+		}
+		if snap.RowPowerW != sim.RowPowerW() {
+			t.Fatalf("row power: snap %v != live %v", snap.RowPowerW, sim.RowPowerW())
+		}
+		rep := sim.Report()
+		if snap.Rejected != rep.Rejected || snap.MaxBathC != rep.MaxBathC ||
+			snap.TotalGrants != rep.TotalGrants ||
+			snap.CancelledOverclocks != rep.CancelledOverclocks ||
+			snap.CapEvents != rep.CapEvents ||
+			snap.OverclockServerHours != rep.OverclockServerHours ||
+			snap.MeanWearUsed != rep.MeanWearUsed {
+			t.Fatalf("report KPI mismatch at t=%v", sim.Now())
+		}
+		oc := 0
+		for i := 0; i < sim.TankCount(); i++ {
+			if snap.OCPerTank[i] != sim.TankOverclocked(i) ||
+				snap.TankBudget[i] != sim.TankBudget(i) ||
+				snap.TankBathC[i] != sim.TankBathC(i) {
+				t.Fatalf("tank %d column mismatch at t=%v", i, sim.Now())
+			}
+			oc += sim.TankOverclocked(i)
+		}
+		if snap.Overclocked != oc {
+			t.Fatalf("overclocked: snap %d != live %d", snap.Overclocked, oc)
+		}
+		for i := 0; i < sim.ServerCount(); i++ {
+			info := sim.Server(i)
+			if snap.WearUsed[i] != info.WearUsed || snap.WearProRata[i] != info.WearProRata {
+				t.Fatalf("server %d wear mismatch at t=%v", i, sim.Now())
+			}
+			if snap.Flat.VCoresUsed[i] != info.VCoresUsed ||
+				snap.Flat.VMs[i] != info.VMs ||
+				snap.Flat.MemoryUsedGB[i] != info.MemoryUsedGB {
+				t.Fatalf("server %d placement column mismatch at t=%v", i, sim.Now())
+			}
+		}
+		if snap.Flat.Density != sim.Cluster().Stats().Density {
+			t.Fatalf("density mismatch at t=%v", sim.Now())
+		}
+	}
+}
+
+// TestSnapshotIsReadOnly checks that taking a snapshot cannot perturb
+// the simulation: a run interleaved with snapshots produces KPIs
+// byte-identical to an undisturbed run. This is the property that lets
+// the daemon publish after every step without forking from the batch
+// evaluation — in particular the export must not refresh power caches,
+// which would reorder the row-power float additions.
+func TestSnapshotIsReadOnly(t *testing.T) {
+	cfg := DefaultConfig()
+	plain, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap FleetSnapshot
+	for !sim.Done() {
+		sim.Snapshot(&snap)
+		sim.Step()
+	}
+	sim.Snapshot(&snap)
+	got := sim.Report()
+	if got.String() != plain.String() ||
+		got.PeakDensity != plain.PeakDensity ||
+		got.MaxBathC != plain.MaxBathC ||
+		got.OverclockServerHours != plain.OverclockServerHours ||
+		got.MeanWearUsed != plain.MeanWearUsed {
+		t.Fatalf("snapshot-interleaved run diverged:\n  got  %v\n  want %v", got, plain)
+	}
+	if snap.RowPowerW != sim.RowPowerW() {
+		t.Fatalf("final row power mismatch")
+	}
+}
+
+// TestSnapshotReusesSlices checks the warm-destination contract:
+// re-snapshotting into the same FleetSnapshot performs zero
+// allocations, which is what lets the daemon republish after every
+// mutation without generating garbage.
+func TestSnapshotReusesSlices(t *testing.T) {
+	cfg := DefaultConfig()
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		sim.Step()
+	}
+	var snap FleetSnapshot
+	sim.Snapshot(&snap)
+	if n := testing.AllocsPerRun(50, func() { sim.Snapshot(&snap) }); n != 0 {
+		t.Fatalf("warm snapshot allocated %v times per run, want 0", n)
+	}
+}

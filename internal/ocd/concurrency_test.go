@@ -1,10 +1,10 @@
-package main
+package ocd
 
 // Concurrency suite: hammer every API surface of a running scaled-mode
 // daemon from parallel clients while the background stepper advances
 // simulated time. Run under -race this is the regression net for the
 // daemon's locking discipline — the chunked step loop, the locked
-// handler adapter, and runScaled all contend for d.mu here.
+// handler adapter, and RunScaled all contend for d.mu here.
 
 import (
 	"context"
@@ -16,10 +16,10 @@ import (
 )
 
 func TestDaemonConcurrentClients(t *testing.T) {
-	d, c := startDaemon(t, testFleet(), modeScaled)
+	d, c := startDaemon(t, testFleet(), ModeScaled)
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	go d.runScaled(ctx, 300_000)
+	go d.RunScaled(ctx, 300_000)
 
 	const iters = 40
 	var wg sync.WaitGroup

@@ -1,11 +1,27 @@
-package main
-
-// The daemon wraps a stepwise dcsim.Sim behind the typed v1 API. One
-// mutex serializes every simulation touch — the Sim is engineered for
-// a single control loop, and an HTTP handler is just another entrant
-// into that loop. Decisions go through the Sim's placement.Decider, so
-// an answer served here is the same answer the batch evaluation would
-// compute.
+// Package ocd is the overclocking control-plane daemon behind the
+// `ocd` command: a stepwise dcsim.Sim served over the typed v1 API.
+//
+// The daemon is split into two planes:
+//
+//   - The WRITE plane — /v1/place, /v1/remove, /v1/overclock,
+//     /v1/step, and scaled-time stepping — serializes behind one
+//     mutex. The Sim is engineered for a single control loop, and a
+//     mutating handler is just another entrant into that loop.
+//     Decisions go through the Sim's placement.Decider, so an answer
+//     served here is the same answer the batch evaluation would
+//     compute.
+//
+//   - The READ plane — /v1/filter, /v1/prioritize, /v1/status,
+//     /healthz, /metrics — never touches the mutex. After every
+//     mutation (and after every step chunk) the write plane publishes
+//     an immutable fleetView through an atomic pointer; readers load
+//     the current view and answer entirely from it. Reads never
+//     contend with stepping or with each other, and the read handlers
+//     are allocation-free in steady state (see view.go).
+//
+// See DESIGN.md "Serving performance" for the snapshot lifecycle and
+// the recycling contracts.
+package ocd
 
 import (
 	"context"
@@ -17,6 +33,7 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"immersionoc/internal/api"
@@ -26,9 +43,11 @@ import (
 	"immersionoc/internal/vm"
 )
 
+// Time modes: stepped (time advances only via POST /v1/step) or
+// scaled (wall clock drives steps continuously).
 const (
-	modeStepped = "stepped"
-	modeScaled  = "scaled"
+	ModeStepped = "stepped"
+	ModeScaled  = "scaled"
 )
 
 // maxStepsPerCall bounds one /v1/step request so a typo cannot hold
@@ -37,8 +56,9 @@ const maxStepsPerCall = 100000
 
 // stepChunk is how many simulation steps run per lock acquisition: a
 // large /v1/step batch (and scaled-mode catch-up) releases the daemon
-// lock every chunk so /v1/status and other API calls interleave
-// instead of starving for the whole batch.
+// lock every chunk so mutating API calls interleave instead of
+// starving for the whole batch, and republishes the read snapshot so
+// the read plane observes the batch's progress.
 const stepChunk = 64
 
 // maxBodyBytes caps a request body. The largest legitimate v1 request
@@ -46,24 +66,43 @@ const stepChunk = 64
 // an attack, not a request.
 const maxBodyBytes = 1 << 20
 
-type daemon struct {
+// Daemon serves one simulated fleet. Create with New, wire with
+// Handler, and in scaled mode drive time with RunScaled.
+type Daemon struct {
 	mu   sync.Mutex
 	sim  *dcsim.Sim
 	vms  map[int]*vm.VM // placed VMs by ID, for Remove
 	mode string
 	reg  *telemetry.Registry
 
+	// snap is the published read model: an immutable view readers load
+	// without locking. Replaced (never mutated) under mu.
+	snap atomic.Pointer[fleetView]
+	// lockedReads routes the read endpoints through mu and the live
+	// Sim instead of the snapshot — the pre-snapshot serving path,
+	// kept as the differential-test oracle and the benchmark baseline.
+	lockedReads bool
+
+	// scratch pools the per-request read-plane state (decode buffer,
+	// response slices, pooled encoder); renderers pools the /metrics
+	// exposition plans. Both recycle via sync.Pool so concurrent
+	// readers never share state.
+	scratch   sync.Pool
+	renderers sync.Pool
+
 	grants, denies *telemetry.Counter
 	requests       *telemetry.Counter
 }
 
-func newDaemon(cfg dcsim.Config, mode string, reg *telemetry.Registry) (*daemon, error) {
+// New builds a daemon around a fresh simulation and publishes the
+// initial read snapshot. mode is ModeStepped or ModeScaled.
+func New(cfg dcsim.Config, mode string, reg *telemetry.Registry) (*Daemon, error) {
 	sim, err := dcsim.New(cfg)
 	if err != nil {
 		return nil, err
 	}
 	ocd := reg.Scope("ocd")
-	return &daemon{
+	d := &Daemon{
 		sim:      sim,
 		vms:      make(map[int]*vm.VM),
 		mode:     mode,
@@ -71,10 +110,14 @@ func newDaemon(cfg dcsim.Config, mode string, reg *telemetry.Registry) (*daemon,
 		grants:   ocd.Counter("overclock_grants"),
 		denies:   ocd.Counter("overclock_denies"),
 		requests: ocd.Counter("http_requests"),
-	}, nil
+	}
+	d.scratch.New = func() any { return newServScratch() }
+	d.renderers.New = func() any { return telemetry.NewPromRenderer(reg, "ocd") }
+	d.publishLocked()
+	return d, nil
 }
 
-// runScaled drives the control loop from the wall clock. The target
+// RunScaled drives the control loop from the wall clock. The target
 // simulated time is elapsed-wall-time × scale measured from the loop's
 // start; each pass steps the simulation until it catches up to the
 // target, in stepChunk batches so API requests interleave. Stepping
@@ -85,7 +128,7 @@ func newDaemon(cfg dcsim.Config, mode string, reg *telemetry.Registry) (*daemon,
 // elapsed time and catches up. The remaining gap is exported as the
 // ocd.sim_time_drift_s gauge (bounded by one step period when the
 // host keeps up).
-func (d *daemon) runScaled(ctx context.Context, scale float64) {
+func (d *Daemon) RunScaled(ctx context.Context, scale float64) {
 	stepS := d.sim.StepS()
 	drift := d.reg.Scope("ocd").Gauge("sim_time_drift_s")
 	start := time.Now()
@@ -101,6 +144,9 @@ func (d *daemon) runScaled(ctx context.Context, scale float64) {
 			steps++
 		}
 		now := d.sim.Now()
+		if steps > 0 {
+			d.publishLocked()
+		}
 		d.mu.Unlock()
 		drift.Set(base + time.Since(start).Seconds()*scale - now)
 		if steps == stepChunk {
@@ -143,7 +189,7 @@ func errf(code int, format string, a ...any) error {
 // response (or an ErrorResponse with the apiError's status). fn owns
 // its locking — most handlers are wrapped by locked, while /v1/step
 // chunks the lock itself.
-func post[Req any, Resp any](d *daemon, vers func(Req) string, fn func(context.Context, Req) (Resp, error)) http.HandlerFunc {
+func post[Req any, Resp any](d *Daemon, vers func(Req) string, fn func(context.Context, Req) (Resp, error)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		d.requests.Inc()
 		if r.Method != http.MethodPost {
@@ -188,12 +234,16 @@ func post[Req any, Resp any](d *daemon, vers func(Req) string, fn func(context.C
 }
 
 // locked adapts a handler that needs the whole daemon lock for its
-// duration — every handler except the chunked /v1/step.
-func locked[Req any, Resp any](d *daemon, fn func(Req) (Resp, error)) func(context.Context, Req) (Resp, error) {
+// duration, republishing the read snapshot before releasing it — even
+// a denied overclock refreshes power caches as a side effect, so every
+// locked entrant republishes.
+func locked[Req any, Resp any](d *Daemon, fn func(Req) (Resp, error)) func(context.Context, Req) (Resp, error) {
 	return func(_ context.Context, req Req) (Resp, error) {
 		d.mu.Lock()
 		defer d.mu.Unlock()
-		return fn(req)
+		resp, err := fn(req)
+		d.publishLocked()
+		return resp, err
 	}
 }
 
@@ -207,24 +257,33 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 	writeJSON(w, code, api.ErrorResponse{Vers: api.Version, Error: msg})
 }
 
+// classFromSpec resolves a VMSpec's class tag, sharing the validation
+// (and its exact error messages) between the locked write path and the
+// snapshot read path.
+func classFromSpec(s *api.VMSpec) (vm.Class, error) {
+	if s.VCores <= 0 || s.MemoryGB <= 0 {
+		return 0, errf(http.StatusBadRequest, "vm %d: need positive vcores and memory", s.ID)
+	}
+	switch s.Class {
+	case "", "regular":
+		return vm.Regular, nil
+	case "high-perf":
+		return vm.HighPerf, nil
+	case "harvest":
+		return vm.Harvest, nil
+	default:
+		return 0, errf(http.StatusBadRequest, "vm %d: unknown class %q", s.ID, s.Class)
+	}
+}
+
 // vmFromSpec reconstructs the simulator's VM from its wire form. The
 // placement models read only size, class and the utilization
 // statistics, all of which survive the JSON round trip bit-exactly, so
 // an API-driven arrival is indistinguishable from a trace-replayed one.
 func vmFromSpec(s api.VMSpec) (*vm.VM, error) {
-	if s.VCores <= 0 || s.MemoryGB <= 0 {
-		return nil, errf(http.StatusBadRequest, "vm %d: need positive vcores and memory", s.ID)
-	}
-	var class vm.Class
-	switch s.Class {
-	case "", "regular":
-		class = vm.Regular
-	case "high-perf":
-		class = vm.HighPerf
-	case "harvest":
-		class = vm.Harvest
-	default:
-		return nil, errf(http.StatusBadRequest, "vm %d: unknown class %q", s.ID, s.Class)
+	class, err := classFromSpec(&s)
+	if err != nil {
+		return nil, err
 	}
 	return &vm.VM{
 		ID:               s.ID,
@@ -235,14 +294,15 @@ func vmFromSpec(s api.VMSpec) (*vm.VM, error) {
 	}, nil
 }
 
-func (d *daemon) serverRef(i int) api.ServerRef {
+func (d *Daemon) serverRef(i int) api.ServerRef {
 	info := d.sim.Server(i)
 	return api.ServerRef{Index: info.Index, ID: info.ID, Tank: info.Tank}
 }
 
-// filter answers "which servers can take this VM" with per-server
-// machine-readable rejection reasons.
-func (d *daemon) filter(req api.FilterRequest) (api.FilterResponse, error) {
+// filterLocked answers "which servers can take this VM" from the live
+// simulation under the daemon lock — the read plane's oracle (see
+// view.go for the snapshot path that normally serves /v1/filter).
+func (d *Daemon) filterLocked(req api.FilterRequest) (api.FilterResponse, error) {
 	v, err := vmFromSpec(req.VM)
 	if err != nil {
 		return api.FilterResponse{}, err
@@ -257,7 +317,7 @@ func (d *daemon) filter(req api.FilterRequest) (api.FilterResponse, error) {
 			d.sim.TankOverclocked(ref.Tank) >= d.sim.TankBudget(ref.Tank) {
 			// A guaranteed-overclock VM needs condenser headroom in the
 			// tank, not just core headroom on the server.
-			reason = "thermal"
+			reason = reasonThermal
 		}
 		if reason == "" {
 			resp.Eligible = append(resp.Eligible, ref)
@@ -268,10 +328,12 @@ func (d *daemon) filter(req api.FilterRequest) (api.FilterResponse, error) {
 	return resp, nil
 }
 
-// prioritize scores candidates 0–100: packing headroom after placement
-// blended with remaining wear credit (a server with slack in both can
-// absorb bursts by overclocking instead of degrading).
-func (d *daemon) prioritize(req api.PrioritizeRequest) (api.PrioritizeResponse, error) {
+// prioritizeLocked scores candidates 0–100 from the live simulation
+// under the daemon lock: packing headroom after placement blended with
+// remaining wear credit (a server with slack in both can absorb bursts
+// by overclocking instead of degrading). The snapshot path in view.go
+// replicates this arithmetic expression for expression.
+func (d *Daemon) prioritizeLocked(req api.PrioritizeRequest) (api.PrioritizeResponse, error) {
 	v, err := vmFromSpec(req.VM)
 	if err != nil {
 		return api.PrioritizeResponse{}, err
@@ -309,7 +371,7 @@ func (d *daemon) prioritize(req api.PrioritizeRequest) (api.PrioritizeResponse, 
 
 // place binds a VM through the cluster packer with trace-identical
 // rejection accounting.
-func (d *daemon) place(req api.PlaceRequest) (api.PlaceResponse, error) {
+func (d *Daemon) place(req api.PlaceRequest) (api.PlaceResponse, error) {
 	v, err := vmFromSpec(req.VM)
 	if err != nil {
 		return api.PlaceResponse{}, err
@@ -328,12 +390,20 @@ func (d *daemon) place(req api.PlaceRequest) (api.PlaceResponse, error) {
 
 // remove releases a VM; departures of VMs that were rejected at
 // arrival are no-ops, matching trace replay.
-func (d *daemon) remove(req api.RemoveRequest) (api.RemoveResponse, error) {
+func (d *Daemon) remove(req api.RemoveRequest) (api.RemoveResponse, error) {
 	v, ok := d.vms[req.ID]
 	if !ok {
 		return api.RemoveResponse{Vers: api.Version, Removed: false}, nil
 	}
+	host, hosted := d.sim.Cluster().Host(v.ID)
 	d.sim.Remove(v)
+	if hosted {
+		// Fold the departure's power delta now, as place does for
+		// arrivals via serverRef: every API mutation leaves the row sum
+		// fully folded, so the published snapshot and a locked read
+		// report the same draw.
+		d.sim.RefreshServerPower(host.ID)
+	}
 	delete(d.vms, req.ID)
 	return api.RemoveResponse{Vers: api.Version, Removed: true}, nil
 }
@@ -342,7 +412,7 @@ func (d *daemon) remove(req api.RemoveRequest) (api.RemoveResponse, error) {
 // decider, so an API grant obeys exactly the governor's admission
 // rules: Equation 1 threshold, tank condenser budget, wear-risk
 // budget, feeder cap.
-func (d *daemon) overclock(req api.OverclockGrantRequest) (api.OverclockDecision, error) {
+func (d *Daemon) overclock(req api.OverclockGrantRequest) (api.OverclockDecision, error) {
 	if req.Server < 0 || req.Server >= d.sim.ServerCount() {
 		return api.OverclockDecision{}, errf(http.StatusBadRequest, "server %d out of range", req.Server)
 	}
@@ -384,12 +454,13 @@ func (d *daemon) overclock(req api.OverclockGrantRequest) (api.OverclockDecision
 }
 
 // step advances the simulation deterministically (stepped mode only).
-// The batch runs in stepChunk slices, releasing the daemon lock
-// between slices so /v1/status and the other handlers answer while a
-// 100,000-step batch is in flight, and checking the request context
-// so a disconnected client stops burning simulation time.
-func (d *daemon) step(ctx context.Context, req api.StepRequest) (api.StepResponse, error) {
-	if d.mode != modeStepped {
+// The batch runs in stepChunk slices, releasing the daemon lock and
+// republishing the read snapshot between slices so the read plane
+// observes progress while a 100,000-step batch is in flight, and
+// checking the request context so a disconnected client stops burning
+// simulation time.
+func (d *Daemon) step(ctx context.Context, req api.StepRequest) (api.StepResponse, error) {
+	if d.mode != ModeStepped {
 		return api.StepResponse{}, errf(http.StatusConflict, "time is %s; POST /v1/step needs -mode stepped", d.mode)
 	}
 	n := req.Steps
@@ -414,15 +485,17 @@ func (d *daemon) step(ctx context.Context, req api.StepRequest) (api.StepRespons
 			d.sim.Step()
 		}
 		simT = d.sim.Now()
+		d.publishLocked()
 		d.mu.Unlock()
 		run += chunk
 	}
 	return api.StepResponse{Vers: api.Version, SimTimeS: simT, StepsRun: run}, nil
 }
 
-// status snapshots the fleet KPIs (cumulative counts from the run's
-// report plus live row/thermal state).
-func (d *daemon) status() api.FleetStatus {
+// statusLocked snapshots the fleet KPIs from the live simulation under
+// the daemon lock (cumulative counts from the run's report plus live
+// row/thermal state) — the oracle for the snapshot status path.
+func (d *Daemon) statusLocked() api.FleetStatus {
 	rep := d.sim.Report()
 	oc := 0
 	maxBath := 0.0
@@ -453,42 +526,54 @@ func (d *daemon) status() api.FleetStatus {
 	}
 }
 
-// finalReport renders the closing fleet report for the shutdown log.
-func (d *daemon) finalReport() string {
+// FinalReport renders the closing fleet report for the shutdown log.
+func (d *Daemon) FinalReport() string {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.sim.Report().String()
 }
 
-// handler builds the daemon's route table.
-func (d *daemon) handler() http.Handler {
+// Handler builds the daemon's route table. The read endpoints serve
+// from the published snapshot (view.go); with lockedReads set they
+// fall back to the live-simulation-under-mutex path instead.
+func (d *Daemon) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/filter", post(d, func(r api.FilterRequest) string { return r.Vers }, locked(d, d.filter)))
-	mux.HandleFunc("/v1/prioritize", post(d, func(r api.PrioritizeRequest) string { return r.Vers }, locked(d, d.prioritize)))
+	if d.lockedReads {
+		mux.HandleFunc("/v1/filter", post(d, func(r api.FilterRequest) string { return r.Vers },
+			locked(d, d.filterLocked)))
+		mux.HandleFunc("/v1/prioritize", post(d, func(r api.PrioritizeRequest) string { return r.Vers },
+			locked(d, d.prioritizeLocked)))
+		mux.HandleFunc("/v1/status", func(w http.ResponseWriter, r *http.Request) {
+			d.requests.Inc()
+			if r.Method != http.MethodGet {
+				writeError(w, http.StatusMethodNotAllowed, "GET only")
+				return
+			}
+			d.mu.Lock()
+			st := d.statusLocked()
+			d.mu.Unlock()
+			writeJSON(w, http.StatusOK, st)
+		})
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintln(w, "ok")
+		})
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			d.requests.Inc()
+			snap := d.reg.Snapshot()
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = snap.WritePrometheus(w, "ocd")
+		})
+	} else {
+		mux.HandleFunc("/v1/filter", d.serveFilter)
+		mux.HandleFunc("/v1/prioritize", d.servePrioritize)
+		mux.HandleFunc("/v1/status", d.serveStatus)
+		mux.HandleFunc("/healthz", d.serveHealthz)
+		mux.HandleFunc("/metrics", d.serveMetrics)
+	}
 	mux.HandleFunc("/v1/place", post(d, func(r api.PlaceRequest) string { return r.Vers }, locked(d, d.place)))
 	mux.HandleFunc("/v1/remove", post(d, func(r api.RemoveRequest) string { return r.Vers }, locked(d, d.remove)))
 	mux.HandleFunc("/v1/overclock", post(d, func(r api.OverclockGrantRequest) string { return r.Vers }, locked(d, d.overclock)))
 	mux.HandleFunc("/v1/step", post(d, func(r api.StepRequest) string { return r.Vers }, d.step))
-	mux.HandleFunc("/v1/status", func(w http.ResponseWriter, r *http.Request) {
-		d.requests.Inc()
-		if r.Method != http.MethodGet {
-			writeError(w, http.StatusMethodNotAllowed, "GET only")
-			return
-		}
-		d.mu.Lock()
-		st := d.status()
-		d.mu.Unlock()
-		writeJSON(w, http.StatusOK, st)
-	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		d.requests.Inc()
-		snap := d.reg.Snapshot()
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = snap.WritePrometheus(w, "ocd")
-	})
 	return mux
 }

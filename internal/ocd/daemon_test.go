@@ -1,4 +1,4 @@
-package main
+package ocd
 
 import (
 	"bytes"
@@ -28,15 +28,15 @@ func testFleet() dcsim.Config {
 	return cfg
 }
 
-func startDaemon(t *testing.T, cfg dcsim.Config, mode string) (*daemon, *api.Client) {
+func startDaemon(t *testing.T, cfg dcsim.Config, mode string) (*Daemon, *api.Client) {
 	t.Helper()
 	reg := telemetry.NewRegistry()
 	cfg.Tel = reg.Scope("dcsim")
-	d, err := newDaemon(cfg, mode, reg)
+	d, err := New(cfg, mode, reg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(d.handler())
+	ts := httptest.NewServer(d.Handler())
 	t.Cleanup(ts.Close)
 	return d, api.NewClient(ts.URL)
 }
@@ -48,7 +48,7 @@ func bigVM(id int) api.VMSpec {
 }
 
 func TestDaemonLifecycle(t *testing.T) {
-	_, c := startDaemon(t, testFleet(), modeStepped)
+	_, c := startDaemon(t, testFleet(), ModeStepped)
 	ctx := context.Background()
 
 	if err := c.Healthz(ctx); err != nil {
@@ -58,7 +58,7 @@ func TestDaemonLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st.Servers != 12 || st.Tanks != 3 || st.Mode != modeStepped || st.SimTimeS != 0 {
+	if st.Servers != 12 || st.Tanks != 3 || st.Mode != ModeStepped || st.SimTimeS != 0 {
 		t.Fatalf("initial status = %+v", st)
 	}
 
@@ -160,7 +160,7 @@ func TestDaemonLifecycle(t *testing.T) {
 }
 
 func TestDaemonMetricsExposition(t *testing.T) {
-	_, c := startDaemon(t, testFleet(), modeStepped)
+	_, c := startDaemon(t, testFleet(), ModeStepped)
 	ctx := context.Background()
 
 	for i := 1; i <= 2; i++ {
@@ -201,7 +201,7 @@ func TestDaemonMetricsExposition(t *testing.T) {
 }
 
 func TestDaemonScaledMode(t *testing.T) {
-	d, c := startDaemon(t, testFleet(), modeScaled)
+	d, c := startDaemon(t, testFleet(), ModeScaled)
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 
@@ -212,7 +212,7 @@ func TestDaemonScaledMode(t *testing.T) {
 
 	// Wall clock drives the simulation: 300 sim-seconds per
 	// millisecond makes progress visible within a few ticks.
-	go d.runScaled(ctx, 300_000)
+	go d.RunScaled(ctx, 300_000)
 	deadline := time.Now().Add(5 * time.Second)
 	for {
 		st, err := c.Status(ctx)
@@ -230,7 +230,7 @@ func TestDaemonScaledMode(t *testing.T) {
 }
 
 func TestDaemonRequestValidation(t *testing.T) {
-	_, c := startDaemon(t, testFleet(), modeStepped)
+	_, c := startDaemon(t, testFleet(), ModeStepped)
 	ctx := context.Background()
 
 	// Unsupported wire version.

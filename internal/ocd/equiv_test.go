@@ -1,4 +1,4 @@
-package main
+package ocd
 
 // The batch-equivalence test: the same diurnal workload driven two
 // ways — replayed inside dcsim.Run (the paper's evaluation path) and
@@ -83,11 +83,11 @@ func TestHTTPSteppedMatchesBatch(t *testing.T) {
 	daemonCfg.Events = []vm.Event{}
 	reg := telemetry.NewRegistry()
 	daemonCfg.Tel = reg.Scope("dcsim")
-	d, err := newDaemon(daemonCfg, modeStepped, reg)
+	d, err := New(daemonCfg, ModeStepped, reg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(d.handler())
+	ts := httptest.NewServer(d.Handler())
 	defer ts.Close()
 	c := api.NewClient(ts.URL)
 	ctx := context.Background()

@@ -1,0 +1,178 @@
+package ocd
+
+// TestSnapshotReadersNeverBlockStep is the read-plane liveness and
+// consistency net, run under -race in CI's multicore leg: parallel
+// readers hammer the snapshot endpoints through the Handler while
+// /v1/step advances the simulation 10,000 steps, and every response a
+// reader sees must be internally consistent — a whole snapshot, never
+// a torn mix of two. Reader progress is also asserted: lock-free reads
+// must keep landing while step batches hold the daemon lock.
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"immersionoc/internal/api"
+)
+
+func TestSnapshotReadersNeverBlockStep(t *testing.T) {
+	cfg := testFleet()
+	d, _ := startDaemon(t, cfg, ModeStepped)
+	h := d.Handler()
+
+	// Seed a mixed population so filter/prioritize have real state.
+	for i := 0; i < 8; i++ {
+		body := `{"vm":{"id":` + itoa(2000+i) + `,"vcores":4,"memory_gb":16,"avg_util":0.5}}`
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/place", strings.NewReader(body)))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("seed place %d: HTTP %d %s", i, rec.Code, rec.Body.String())
+		}
+	}
+
+	const totalSteps = 10_000
+	var stepsDone atomic.Bool
+	var readsWhileStepping atomic.Int64
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	fail := func(err error) {
+		select {
+		case errc <- err:
+		default:
+		}
+	}
+
+	// Stepper: 100 batches of 100 steps through the HTTP handler.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer stepsDone.Store(true)
+		for i := 0; i < 100; i++ {
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/step", strings.NewReader(`{"steps":100}`)))
+			if rec.Code != http.StatusOK {
+				fail(errStr("step batch: " + rec.Body.String()))
+				return
+			}
+		}
+	}()
+
+	// Mutator: place/remove churn contending for the write lock.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; !stepsDone.Load(); i++ {
+			id := 3000 + i%16
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/place",
+				strings.NewReader(`{"vm":{"id":`+itoa(id)+`,"vcores":2,"memory_gb":8,"avg_util":0.3}}`)))
+			if rec.Code != http.StatusOK {
+				fail(errStr("churn place: " + rec.Body.String()))
+				return
+			}
+			rec = httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/remove",
+				strings.NewReader(`{"id":`+itoa(id)+`}`)))
+			if rec.Code != http.StatusOK {
+				fail(errStr("churn remove: " + rec.Body.String()))
+				return
+			}
+		}
+	}()
+
+	// Readers: status consistency, filter completeness, metrics
+	// render — all against the lock-free plane.
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lastT := -1.0
+			for !stepsDone.Load() {
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/status", nil))
+				var st api.FleetStatus
+				if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+					fail(err)
+					return
+				}
+				// Shape fields are immutable; a torn snapshot would mix
+				// them up. Time must never run backwards for one reader.
+				if st.Servers != 12 || st.Tanks != 3 || st.StepS != cfg.StepS {
+					fail(errStr("inconsistent status: " + rec.Body.String()))
+					return
+				}
+				if st.SimTimeS < lastT {
+					fail(errStr("sim time ran backwards: " + rec.Body.String()))
+					return
+				}
+				lastT = st.SimTimeS
+
+				rec = httptest.NewRecorder()
+				h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/filter",
+					strings.NewReader(`{"vm":{"id":1,"vcores":4,"memory_gb":16,"avg_util":0.5}}`)))
+				var fr api.FilterResponse
+				if err := json.Unmarshal(rec.Body.Bytes(), &fr); err != nil {
+					fail(err)
+					return
+				}
+				if len(fr.Eligible)+len(fr.Failed) != 12 {
+					fail(errStr("filter lost servers: " + rec.Body.String()))
+					return
+				}
+
+				rec = httptest.NewRecorder()
+				h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+				if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "ocd_http_requests_total") {
+					fail(errStr("metrics render: " + rec.Body.String()))
+					return
+				}
+				readsWhileStepping.Add(1)
+			}
+		}()
+	}
+
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+	if readsWhileStepping.Load() == 0 {
+		t.Fatal("no reader completed while the step batches ran; the read plane blocked")
+	}
+
+	// The fleet must have actually advanced the full 10k steps.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/status", nil))
+	var st api.FleetStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if want := float64(totalSteps) * cfg.StepS; st.SimTimeS != want {
+		t.Fatalf("sim time %v after the run, want %v", st.SimTimeS, want)
+	}
+}
+
+type errStr string
+
+func (e errStr) Error() string { return string(e) }
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

@@ -114,6 +114,22 @@ func (d *Digest) Mean() float64 {
 	return d.sum / float64(d.count)
 }
 
+// Merge folds every sample of o into d, leaving o untouched. Workers
+// that each record into a private digest (the load generator's
+// per-worker latency streams) merge them into one digest for the final
+// quantile queries; the result is identical to having recorded all
+// samples into d directly.
+func (d *Digest) Merge(o *Digest) {
+	if o == nil {
+		return
+	}
+	for _, c := range o.chunks {
+		for _, v := range c {
+			d.Add(v)
+		}
+	}
+}
+
 // Reset discards all samples but keeps the chunks, so a warmed digest
 // records the next run without touching the pool or the allocator.
 func (d *Digest) Reset() {

@@ -353,3 +353,36 @@ func TestHistogramInvalidPanics(t *testing.T) {
 	}()
 	NewHistogram(5, 5, 3)
 }
+
+func TestDigestMerge(t *testing.T) {
+	// Recording 1..n split across three digests and merging must be
+	// indistinguishable from recording into one digest directly —
+	// including across chunk boundaries (n exceeds one chunk).
+	const n = 3000
+	want := NewDigest()
+	parts := []*Digest{NewDigest(), NewDigest(), NewDigest()}
+	for i := 0; i < n; i++ {
+		v := float64((i * 7919) % n)
+		want.Add(v)
+		parts[i%3].Add(v)
+	}
+	got := NewDigest()
+	for _, p := range parts {
+		got.Merge(p)
+	}
+	got.Merge(nil) // no-op
+	got.Merge(NewDigest())
+	if got.Count() != want.Count() || got.Sum() != want.Sum() {
+		t.Fatalf("merge: count/sum (%d, %v) != direct (%d, %v)",
+			got.Count(), got.Sum(), want.Count(), want.Sum())
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.99, 0.999, 1} {
+		if g, w := got.Quantile(q), want.Quantile(q); g != w {
+			t.Fatalf("merge: q%v = %v, want %v", q, g, w)
+		}
+	}
+	// Sources must be untouched by the merge.
+	if parts[0].Count() != n/3 {
+		t.Fatalf("merge consumed the source digest")
+	}
+}
