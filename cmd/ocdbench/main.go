@@ -1,15 +1,21 @@
 // Command ocdbench is a closed-loop load generator for the ocd
-// daemon's read plane. Each worker issues one request at a time from a
-// weighted endpoint mix and records the round-trip latency in a
-// per-worker stats.Digest, so the report's p50/p99/p999 are exact
-// order statistics, not histogram-bucket approximations. With no
-// -addr it self-hosts an in-process daemon on a loopback listener —
-// fleet size and a paced background stepper are then configurable, so
-// one binary measures the serving path end to end (HTTP stack
-// included) without a deployment.
+// daemon. Each worker issues one request at a time from a weighted
+// endpoint mix — read endpoints and the write plane's place/remove/
+// overclock — and records the round-trip latency in a per-worker
+// stats.Digest, so the report's p50/p99/p999 are exact order
+// statistics, not histogram-bucket approximations. With no -addr it
+// self-hosts an in-process daemon on a loopback listener — fleet size,
+// a paced background stepper, and the write plane's publish knobs are
+// then configurable, so one binary measures the serving path end to
+// end (HTTP stack included) without a deployment.
 //
-//	ocdbench -servers 2000 -workers 4 -duration 10s \
-//	    -mix status=6,metrics=2,filter=1,prioritize=1
+// -mix takes either explicit endpoint=weight pairs or a preset:
+// "read" (the status-poll-dominant default), "mixed" (reads with a
+// placement churn minority), or "write" (place/remove/overclock
+// heavy — the mix that stresses snapshot publication).
+//
+//	ocdbench -servers 2000 -workers 4 -duration 10s -mix write
+//	ocdbench -servers 2000 -mix write -publish-max-latency 1ms
 //	ocdbench -addr http://127.0.0.1:8080 -duration 30s -json
 //
 // Exit codes follow octl's convention: 0 on success, 1 on a runtime
@@ -45,13 +51,15 @@ func main() {
 // loadCfg is one benchmark run's shape, filled from flags (or directly
 // by the BenchmarkOcdbench harness).
 type loadCfg struct {
-	addr       string        // target daemon; "" self-hosts
-	servers    int           // self-host fleet size
-	workers    int           // concurrent closed-loop workers
-	duration   time.Duration // measurement window
-	mix        string        // weighted endpoint mix
-	stepBatch  int           // self-host: steps per control-loop pass
-	stepPeriod time.Duration // self-host: idle gap between passes; 0 disables stepping
+	addr          string        // target daemon; "" self-hosts
+	servers       int           // self-host fleet size
+	workers       int           // concurrent closed-loop workers
+	duration      time.Duration // measurement window
+	mix           string        // weighted endpoint mix or preset name
+	stepBatch     int           // self-host: steps per control-loop pass
+	stepPeriod    time.Duration // self-host: idle gap between passes; 0 disables stepping
+	publishWindow time.Duration // self-host: write-plane group-commit window
+	fullCopy      bool          // self-host: break COW publish chaining (baseline)
 }
 
 // endpointStats accumulates one endpoint's latencies across workers.
@@ -98,10 +106,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.IntVar(&cfg.workers, "workers", 4, "concurrent closed-loop workers")
 	fs.DurationVar(&cfg.duration, "duration", 10*time.Second, "measurement window")
 	fs.StringVar(&cfg.mix, "mix", "status=6,metrics=2,filter=1,prioritize=1",
-		"weighted endpoint mix (filter, prioritize, status, metrics, healthz)")
+		"weighted endpoint mix (filter, prioritize, status, metrics, healthz, place, remove, overclock) or a preset: read, mixed, write")
 	fs.IntVar(&cfg.stepBatch, "step-batch", 10, "self-host: simulation steps per control-loop pass")
 	fs.DurationVar(&cfg.stepPeriod, "step-period", 5*time.Millisecond,
 		"self-host: idle gap between control-loop passes (0 disables stepping)")
+	fs.DurationVar(&cfg.publishWindow, "publish-max-latency", 0,
+		"self-host: write-plane group-commit window (0 publishes after every write)")
+	fs.BoolVar(&cfg.fullCopy, "full-copy-publish", false,
+		"self-host: re-materialize the whole snapshot on every publish (pre-COW baseline)")
 	asJSON := fs.Bool("json", false, "emit the report as JSON")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -133,12 +145,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// parseMix expands "status=6,metrics=2,filter=1" into a request
-// schedule each worker cycles through, so the issued mix matches the
-// weights exactly rather than statistically.
+// mixPresets name the common load shapes so a run is `-mix write`
+// instead of a hand-tuned weight list. The write preset weights the
+// mutating endpoints heavily — the shape that stresses snapshot
+// publication rather than the read plane.
+var mixPresets = map[string]string{
+	"read":  "status=6,metrics=2,filter=1,prioritize=1",
+	"mixed": "status=3,filter=1,prioritize=1,place=2,remove=1,overclock=1",
+	"write": "place=6,remove=5,overclock=4,status=1",
+}
+
+// parseMix expands "status=6,metrics=2,filter=1" (or a preset name)
+// into a request schedule each worker cycles through, so the issued
+// mix matches the weights exactly rather than statistically. Weights
+// are reduced by their gcd first: "status=6,metrics=2" and
+// "status=3,metrics=1" issue the same mix, and the shorter cycle keeps
+// worker offset staggering effective at high weights.
 func parseMix(mix string) ([]string, error) {
-	known := map[string]bool{"filter": true, "prioritize": true, "status": true, "metrics": true, "healthz": true}
-	var schedule []string
+	if preset, ok := mixPresets[strings.TrimSpace(mix)]; ok {
+		mix = preset
+	}
+	known := map[string]bool{
+		"filter": true, "prioritize": true, "status": true, "metrics": true, "healthz": true,
+		"place": true, "remove": true, "overclock": true,
+	}
+	type entry struct {
+		name string
+		w    int
+	}
+	var entries []entry
 	for _, part := range strings.Split(mix, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
@@ -155,14 +190,33 @@ func parseMix(mix string) ([]string, error) {
 		if err != nil || w < 0 {
 			return nil, fmt.Errorf("mix entry %q: weight must be a non-negative integer", part)
 		}
+		entries = append(entries, entry{name, w})
+	}
+	g := 0
+	for _, e := range entries {
+		g = gcd(g, e.w)
+	}
+	var schedule []string
+	for _, e := range entries {
+		w := e.w
+		if g > 1 {
+			w /= g
+		}
 		for i := 0; i < w; i++ {
-			schedule = append(schedule, name)
+			schedule = append(schedule, e.name)
 		}
 	}
 	if len(schedule) == 0 {
 		return nil, fmt.Errorf("mix %q selects no endpoints", mix)
 	}
 	return schedule, nil
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
 }
 
 // selfHost builds a prefilled fleet, serves it on a loopback listener,
@@ -177,6 +231,8 @@ func selfHost(cfg loadCfg) (addr string, cleanup func(), err error) {
 	if err != nil {
 		return "", nil, err
 	}
+	d.SetPublishMaxLatency(cfg.publishWindow)
+	d.SetFullCopyPublish(cfg.fullCopy)
 	h := d.Handler()
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -268,6 +324,13 @@ func runLoad(cfg loadCfg) (*report, error) {
 	}
 	filterVM := api.VMSpec{ID: 1, VCores: 16, MemoryGB: 64, AvgUtil: 0.9}
 	prioritizeVM := api.VMSpec{ID: 1, VCores: 8, MemoryGB: 32, AvgUtil: 0.5}
+	// Write-endpoint ID management: each worker owns a disjoint ID
+	// stripe far above the prefill range, so concurrent placers never
+	// collide, and keeps a FIFO of its own live placements for removes.
+	// A remove with an empty FIFO departs a never-placed ID — a valid
+	// no-op request, so the issued mix stays exactly as scheduled.
+	const writeIDBase = 1 << 30
+	const writeIDStride = 1 << 20
 
 	type workerStats map[string]*endpointStats
 	results := make([]workerStats, cfg.workers)
@@ -280,6 +343,9 @@ func runLoad(cfg loadCfg) (*report, error) {
 			defer func() { donec <- w }()
 			ws := make(workerStats, 5)
 			results[w] = ws
+			nextID := writeIDBase + w*writeIDStride
+			var pendingIDs []int // this worker's live placements, FIFO
+			ocServer := w
 			// Stagger starting offsets so workers don't issue the
 			// schedule in lockstep.
 			i := w * (len(schedule)/cfg.workers + 1)
@@ -304,6 +370,24 @@ func runLoad(cfg loadCfg) (*report, error) {
 					_, err = c.Metrics(ctx)
 				case "healthz":
 					err = c.Healthz(ctx)
+				case "place":
+					var resp api.PlaceResponse
+					spec := api.VMSpec{ID: nextID, VCores: 2, MemoryGB: 8, AvgUtil: 0.5}
+					nextID++
+					resp, err = c.Place(ctx, api.PlaceRequest{VM: spec})
+					if err == nil && resp.Placed {
+						pendingIDs = append(pendingIDs, spec.ID)
+					}
+				case "remove":
+					id := writeIDBase - 1 // never placed: a no-op departure
+					if len(pendingIDs) > 0 {
+						id = pendingIDs[0]
+						pendingIDs = pendingIDs[1:]
+					}
+					_, err = c.Remove(ctx, api.RemoveRequest{ID: id})
+				case "overclock":
+					_, err = c.Overclock(ctx, api.OverclockGrantRequest{Server: ocServer % st.Servers})
+					ocServer += cfg.workers
 				}
 				es.digest.Add(float64(time.Since(t0)) / float64(time.Microsecond))
 				es.requests++

@@ -102,3 +102,114 @@ func TestParseMixSchedule(t *testing.T) {
 		t.Fatalf("schedule %v, want status×2 metrics×1", sched)
 	}
 }
+
+// TestParseMixNormalizesWeights pins the gcd reduction: scaled weight
+// lists collapse to the same minimal cycle, and the issued proportions
+// are untouched.
+func TestParseMixNormalizesWeights(t *testing.T) {
+	a, err := parseMix("status=6,metrics=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := parseMix("status=3,metrics=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) || len(a) != 4 {
+		t.Fatalf("scaled mix not normalized: %v vs %v", a, b)
+	}
+	n := map[string]int{}
+	for _, s := range a {
+		n[s]++
+	}
+	if n["status"] != 3 || n["metrics"] != 1 {
+		t.Fatalf("normalized schedule %v, want status×3 metrics×1", a)
+	}
+	// Co-prime weights must pass through unreduced.
+	c, err := parseMix("place=6,remove=5,overclock=4,status=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c) != 16 {
+		t.Fatalf("co-prime weights reduced: %v", c)
+	}
+}
+
+// TestParseMixPresets checks each preset expands to a valid schedule
+// with the documented emphasis.
+func TestParseMixPresets(t *testing.T) {
+	for name, want := range map[string]string{
+		"read":  "status",
+		"mixed": "status",
+		"write": "place",
+	} {
+		sched, err := parseMix(name)
+		if err != nil {
+			t.Fatalf("preset %s: %v", name, err)
+		}
+		n := map[string]int{}
+		for _, s := range sched {
+			n[s]++
+		}
+		top, topN := "", 0
+		for s, c := range n {
+			if c > topN {
+				top, topN = s, c
+			}
+		}
+		if top != want {
+			t.Fatalf("preset %s: dominant endpoint %s, want %s (schedule %v)", name, top, want, sched)
+		}
+	}
+	// The write preset must carry all three mutating endpoints.
+	sched, err := parseMix("write")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := map[string]int{}
+	for _, s := range sched {
+		n[s]++
+	}
+	if n["place"] == 0 || n["remove"] == 0 || n["overclock"] == 0 {
+		t.Fatalf("write preset missing a mutating endpoint: %v", sched)
+	}
+}
+
+// TestOcdbenchWriteMixSmoke drives the write preset end to end against
+// a self-hosted fleet — placers, removers and overclockers through the
+// real client — with a group-commit window set, and requires an
+// error-free run reporting all four endpoints.
+func TestOcdbenchWriteMixSmoke(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-servers", "64", "-workers", "2", "-duration", "150ms",
+		"-step-batch", "2", "-step-period", "2ms",
+		"-mix", "write", "-publish-max-latency", "1ms",
+		"-json",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	var rep report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("report not JSON: %v\n%s", err, out.String())
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d request errors: %s", rep.Errors, out.String())
+	}
+	if len(rep.Endpoints) != 4 {
+		t.Fatalf("want place/remove/overclock/status in report, got %d: %s", len(rep.Endpoints), out.String())
+	}
+	seen := map[string]bool{}
+	for _, e := range rep.Endpoints {
+		seen[e.Endpoint] = true
+		if e.Requests == 0 {
+			t.Fatalf("endpoint %s issued no requests: %s", e.Endpoint, out.String())
+		}
+	}
+	for _, want := range []string{"place", "remove", "overclock", "status"} {
+		if !seen[want] {
+			t.Fatalf("endpoint %s missing from report: %s", want, out.String())
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 
+	"immersionoc/internal/cow"
 	"immersionoc/internal/vm"
 )
 
@@ -141,6 +142,16 @@ type Cluster struct {
 	// bucketed by remaining vcore headroom. Maintained by every
 	// mutation path (place/remove/fail/migrate/policy change).
 	idx *placeIndex
+	// track records which export chunks the mutation paths dirtied
+	// since the last ExportFlat; server IDs double as fleet indices
+	// (New assigns ID = i), so marking by ID marks the export row.
+	track *cow.Tracker
+	// placedCount / vcoresAlloc / pcoresLive are the Stats() packing
+	// KPIs maintained incrementally (failed servers excluded), so
+	// PlacedVMs and Density are O(1) reads instead of fleet scans.
+	placedCount int
+	vcoresAlloc int
+	pcoresLive  int
 	// Rejected counts placement failures.
 	Rejected int
 }
@@ -156,9 +167,35 @@ func New(spec ServerSpec, policy Policy, n int) *Cluster {
 			s.Reserved = true
 		}
 		c.servers = append(c.servers, s)
+		c.pcoresLive += spec.PCores
 	}
+	c.track = cow.NewTracker(n, 0)
 	c.rebuildIndex()
 	return c
+}
+
+// SetExportChunkShift re-chunks the flat export at 1<<shift servers
+// per chunk (shift 0 restores the default). Test hook for exercising
+// the COW machinery at small chunk sizes; call it before the first
+// ExportFlat — it resets dirty tracking, and a Flat filled under the
+// old geometry is fully re-materialized on its next export.
+func (c *Cluster) SetExportChunkShift(shift uint) {
+	c.track = cow.NewTracker(len(c.servers), shift)
+}
+
+// PlacedVMs returns the number of VMs placed on non-failed servers,
+// maintained incrementally — the Stats().PlacedVMs value as an O(1)
+// read.
+func (c *Cluster) PlacedVMs() int { return c.placedCount }
+
+// Density returns allocated vcores per available pcore, maintained
+// incrementally — the Stats().Density value as an O(1) read (same
+// integer division, so the float is bit-identical).
+func (c *Cluster) Density() float64 {
+	if c.pcoresLive > 0 {
+		return float64(c.vcoresAlloc) / float64(c.pcoresLive)
+	}
+	return 0
 }
 
 // Servers returns the fleet.
@@ -271,6 +308,9 @@ func (c *Cluster) place(v *vm.VM, useReserved bool) (*Server, error) {
 	oldR := c.headroom(best)
 	best.attach(v)
 	c.placed[v.ID] = best
+	c.placedCount++
+	c.vcoresAlloc += v.Type.VCores
+	c.track.Mark(best.ID)
 	if c.indexed(best) {
 		c.idx.move(best.ID, oldR, c.headroom(best))
 	}
@@ -325,6 +365,9 @@ func (c *Cluster) Remove(v *vm.VM) error {
 	oldR := c.headroom(s)
 	s.detach(v)
 	delete(c.placed, v.ID)
+	c.placedCount--
+	c.vcoresAlloc -= v.Type.VCores
+	c.track.Mark(s.ID)
 	if c.indexed(s) {
 		c.idx.move(s.ID, oldR, c.headroom(s))
 	}
@@ -399,6 +442,10 @@ func (c *Cluster) FailServers(n int) []*vm.VM {
 		// is still well-defined; failed servers never come back.
 		c.idx.remove(s.ID, c.headroom(s))
 		s.Failed = true
+		c.placedCount -= len(s.vms)
+		c.vcoresAlloc -= s.vcoresUse
+		c.pcoresLive -= s.Spec.PCores
+		c.track.Mark(s.ID)
 		for _, v := range s.vms {
 			displaced = append(displaced, v)
 			delete(c.placed, v.ID)
@@ -534,6 +581,10 @@ func (c *Cluster) ApplyMigrations(plan []Migration) int {
 		m.From.detach(m.VM)
 		m.To.attach(m.VM)
 		c.placed[m.VM.ID] = m.To
+		// Both endpoints are live, so the packing KPIs are unchanged;
+		// only the export rows move.
+		c.track.Mark(m.From.ID)
+		c.track.Mark(m.To.ID)
 		if c.indexed(m.From) {
 			c.idx.move(m.From.ID, fromR, c.headroom(m.From))
 		}

@@ -1,21 +1,28 @@
 package cluster
 
+import "immersionoc/internal/cow"
+
 // Flat is a columnar, read-only export of per-server placement state:
-// the slice of fields the control-plane read path needs to answer
+// the fields the control-plane read path needs to answer
 // filter/prioritize/status queries without touching the live Cluster.
-// The ocd daemon publishes one Flat per control step (inside a
-// dcsim.FleetSnapshot) and serves reads from it lock-free, so the copy
-// layout is flat slices — cheap to fill in one pass, cache-friendly to
-// scan, and free of pointers back into mutable cluster state.
+// The ocd daemon publishes one Flat per mutation (inside a
+// dcsim.FleetSnapshot) and serves reads from it lock-free.
+//
+// The per-server columns are chunked copy-on-write (internal/cow): an
+// export chained off the previous published Flat re-materializes only
+// the chunks whose servers changed since that publish and aliases the
+// rest, so publishing after a one-VM placement costs O(dirty chunks),
+// not O(fleet). Readers index columns through At(i); a published Flat
+// and everything it references are immutable.
 //
 // Fleets are spec-uniform (New builds every server from one
 // ServerSpec), so the spec and the policy-derived vcore cap are stored
 // once instead of per server.
 type Flat struct {
-	// Servers is the fleet size (the length of every per-server slice).
+	// Servers is the fleet size (the length of every per-server column).
 	Servers int
-	// PlacedVMs and Density are the Stats() packing KPIs, computed in
-	// the same pass that fills the per-server columns.
+	// PlacedVMs and Density are the Stats() packing KPIs, read from the
+	// cluster's incremental counters at export time.
 	PlacedVMs int
 	Density   float64
 
@@ -26,14 +33,14 @@ type Flat struct {
 	OversubRatio float64
 	VCoreCap     int
 
-	// Per-server columns, indexed by dense fleet index.
-	ID           []int
-	VCoresUsed   []int
-	VMs          []int
-	MemoryUsedGB []float64
-	DemandCores  []float64
-	Failed       []bool
-	Reserved     []bool
+	// Per-server columns, indexed by dense fleet index via At(i).
+	ID           cow.Col[int]
+	VCoresUsed   cow.Col[int]
+	VMs          cow.Col[int]
+	MemoryUsedGB cow.Col[float64]
+	DemandCores  cow.Col[float64]
+	Failed       cow.Col[bool]
+	Reserved     cow.Col[bool]
 }
 
 // vcoreCapSpec is vcoreCap for a bare spec (the per-server value is
@@ -46,49 +53,58 @@ func (c *Cluster) vcoreCapSpec(spec ServerSpec) int {
 	return capV
 }
 
-// ExportFlat fills dst from the cluster's current state, reusing dst's
-// slices when they are large enough. The export is a pure read: it
-// does not touch placement state, so interleaving it with reads or
-// between mutations cannot perturb a deterministic replay.
+// ExportFlat fills dst from the cluster's current state. When dst is
+// the Flat produced by the previous export (the daemon chains each
+// published view off its predecessor), only the chunks containing
+// servers mutated since then are rebuilt; a fresh or foreign dst is
+// materialized in full. The export is a pure read of placement state,
+// so interleaving it with reads or between mutations cannot perturb a
+// deterministic replay.
 func (c *Cluster) ExportFlat(dst *Flat) {
-	n := len(c.servers)
-	dst.Servers = n
+	dst.Servers = len(c.servers)
 	dst.Spec = c.Spec
 	dst.OversubRatio = c.Policy.CPUOversubRatio
 	dst.VCoreCap = c.vcoreCapSpec(c.Spec)
+	dst.PlacedVMs = c.placedCount
+	dst.Density = c.Density()
 
-	dst.ID = growInts(dst.ID, n)
-	dst.VCoresUsed = growInts(dst.VCoresUsed, n)
-	dst.VMs = growInts(dst.VMs, n)
-	dst.MemoryUsedGB = growFloats(dst.MemoryUsedGB, n)
-	dst.DemandCores = growFloats(dst.DemandCores, n)
-	dst.Failed = growBools(dst.Failed, n)
-	dst.Reserved = growBools(dst.Reserved, n)
-
-	// One pass fills the columns and accumulates the Stats() packing
-	// KPIs exactly as Stats computes them: failed servers contribute
-	// nothing, density is allocated vcores per non-failed pcore.
-	placed, vcores, pcores := 0, 0, 0
-	for i, s := range c.servers {
-		dst.ID[i] = s.ID
-		dst.VCoresUsed[i] = s.vcoresUse
-		dst.VMs[i] = len(s.vms)
-		dst.MemoryUsedGB[i] = s.memUse
-		dst.DemandCores[i] = s.expDemand
-		dst.Failed[i] = s.Failed
-		dst.Reserved[i] = s.Reserved
-		if s.Failed {
-			continue
+	srv := c.servers
+	cow.Fill(c.track, &dst.ID, func(d []int, base int) {
+		for j := range d {
+			d[j] = srv[base+j].ID
 		}
-		pcores += s.Spec.PCores
-		vcores += s.vcoresUse
-		placed += len(s.vms)
-	}
-	dst.PlacedVMs = placed
-	dst.Density = 0
-	if pcores > 0 {
-		dst.Density = float64(vcores) / float64(pcores)
-	}
+	})
+	cow.Fill(c.track, &dst.VCoresUsed, func(d []int, base int) {
+		for j := range d {
+			d[j] = srv[base+j].vcoresUse
+		}
+	})
+	cow.Fill(c.track, &dst.VMs, func(d []int, base int) {
+		for j := range d {
+			d[j] = len(srv[base+j].vms)
+		}
+	})
+	cow.Fill(c.track, &dst.MemoryUsedGB, func(d []float64, base int) {
+		for j := range d {
+			d[j] = srv[base+j].memUse
+		}
+	})
+	cow.Fill(c.track, &dst.DemandCores, func(d []float64, base int) {
+		for j := range d {
+			d[j] = srv[base+j].expDemand
+		}
+	})
+	cow.Fill(c.track, &dst.Failed, func(d []bool, base int) {
+		for j := range d {
+			d[j] = srv[base+j].Failed
+		}
+	})
+	cow.Fill(c.track, &dst.Reserved, func(d []bool, base int) {
+		for j := range d {
+			d[j] = srv[base+j].Reserved
+		}
+	})
+	c.track.Advance()
 }
 
 // Explain mirrors Cluster.Explain over the flat export: the
@@ -98,43 +114,22 @@ func (c *Cluster) ExportFlat(dst *Flat) {
 // failure lists never allocate a reason. Kept next to explain() so the
 // two cannot drift; TestFlatExplainMatchesLive pins the equivalence.
 func (f *Flat) Explain(i, vcores int, memoryGB float64, highPerf bool) string {
-	if f.Failed[i] || f.Reserved[i] {
+	if f.Failed.At(i) || f.Reserved.At(i) {
 		return ReasonFailed
 	}
-	if f.MemoryUsedGB[i]+memoryGB > f.Spec.MemoryGB {
+	if f.MemoryUsedGB.At(i)+memoryGB > f.Spec.MemoryGB {
 		return ReasonMemory
 	}
-	if f.VCoresUsed[i]+vcores > f.VCoreCap {
+	if f.VCoresUsed.At(i)+vcores > f.VCoreCap {
 		return ReasonCapacity
 	}
 	if highPerf {
 		if !f.Spec.Overclockable {
 			return ReasonClass
 		}
-		if f.VCoresUsed[i]+vcores > f.Spec.PCores {
+		if f.VCoresUsed.At(i)+vcores > f.Spec.PCores {
 			return ReasonClass
 		}
 	}
 	return ""
-}
-
-func growInts(s []int, n int) []int {
-	if cap(s) < n {
-		return make([]int, n)
-	}
-	return s[:n]
-}
-
-func growFloats(s []float64, n int) []float64 {
-	if cap(s) < n {
-		return make([]float64, n)
-	}
-	return s[:n]
-}
-
-func growBools(s []bool, n int) []bool {
-	if cap(s) < n {
-		return make([]bool, n)
-	}
-	return s[:n]
 }

@@ -74,9 +74,9 @@ func TestFlatExplainMatchesLive(t *testing.T) {
 				round, flat.PlacedVMs, flat.Density, st.PlacedVMs, st.Density)
 		}
 		for i, s := range c.Servers() {
-			if flat.ID[i] != s.ID || flat.VCoresUsed[i] != s.VCoresUsed() ||
-				flat.VMs[i] != s.VMs() || flat.MemoryUsedGB[i] != s.MemoryUsed() ||
-				flat.DemandCores[i] != s.ExpectedDemand() {
+			if flat.ID.At(i) != s.ID || flat.VCoresUsed.At(i) != s.VCoresUsed() ||
+				flat.VMs.At(i) != s.VMs() || flat.MemoryUsedGB.At(i) != s.MemoryUsed() ||
+				flat.DemandCores.At(i) != s.ExpectedDemand() {
 				t.Fatalf("round %d server %d: column mismatch", round, i)
 			}
 			for _, p := range probes {
@@ -91,18 +91,106 @@ func TestFlatExplainMatchesLive(t *testing.T) {
 	}
 }
 
-// TestFlatExportReusesSlices checks the fill-in-place contract: a
-// second export into the same destination must not reallocate the
-// per-server columns.
-func TestFlatExportReusesSlices(t *testing.T) {
-	c := New(TwoSocketBlade, Policy{}, 16)
+// TestFlatExportSharesCleanChunks checks the COW contract: a clean
+// re-export into the chained destination allocates nothing and keeps
+// every chunk shared; after one placement, only the dirty chunk is
+// re-materialized while the rest stay aliased.
+func TestFlatExportSharesCleanChunks(t *testing.T) {
+	c := New(TwoSocketBlade, Policy{}, 5000)
+	c.SetExportChunkShift(10) // 5 chunks of 1024, last short
 	var flat Flat
 	c.ExportFlat(&flat)
-	before := &flat.ID[0]
-	if n := testing.AllocsPerRun(50, func() { c.ExportFlat(&flat) }); n != 0 {
-		t.Fatalf("re-export allocated %v times per run, want 0", n)
+	before := make([][]int, flat.ID.NumChunks())
+	for i := range before {
+		before[i] = flat.ID.Chunk(i)
 	}
-	if &flat.ID[0] != before {
-		t.Fatalf("re-export replaced the ID column backing array")
+	if n := testing.AllocsPerRun(50, func() { c.ExportFlat(&flat) }); n != 0 {
+		t.Fatalf("clean re-export allocated %v times per run, want 0", n)
+	}
+	for i := range before {
+		if &flat.ID.Chunk(i)[0] != &before[i][0] {
+			t.Fatalf("clean re-export replaced chunk %d", i)
+		}
+	}
+
+	// One placement on server 0 dirties chunk 0 of every column; the
+	// other chunks stay shared with the previous view.
+	v := &vm.VM{ID: 1, Type: vm.Size4, AvgUtil: 0.5}
+	if _, err := c.Place(v); err != nil {
+		t.Fatal(err)
+	}
+	prev := flat
+	c.ExportFlat(&flat)
+	if &flat.VCoresUsed.Chunk(0)[0] == &prev.VCoresUsed.Chunk(0)[0] {
+		t.Fatalf("dirty chunk 0 was not re-materialized")
+	}
+	for i := 1; i < flat.VCoresUsed.NumChunks(); i++ {
+		if &flat.VCoresUsed.Chunk(i)[0] != &prev.VCoresUsed.Chunk(i)[0] {
+			t.Fatalf("clean chunk %d was re-materialized", i)
+		}
+	}
+	if prev.VCoresUsed.At(0) != 0 || flat.VCoresUsed.At(0) != v.Type.VCores {
+		t.Fatalf("published view mutated: prev %d, new %d", prev.VCoresUsed.At(0), flat.VCoresUsed.At(0))
+	}
+}
+
+// TestIncrementalKPIsMatchStats is the incremental-vs-recompute
+// differential for the packing KPIs: after randomized churn — places,
+// removes, failures, migrations, policy flips — the O(1) PlacedVMs and
+// Density reads must equal the Stats() fleet scan bit for bit.
+func TestIncrementalKPIsMatchStats(t *testing.T) {
+	c := New(TwoSocketBlade, Policy{CPUOversubRatio: 0.25, BufferFraction: 0.1}, 60)
+	rng := rand.New(rand.NewSource(17))
+	sizes := []vm.Type{vm.Size2, vm.Size4, vm.Size8, vm.Size16}
+	var live []*vm.VM
+	nextID := 0
+	check := func(stage string) {
+		t.Helper()
+		st := c.Stats()
+		if c.PlacedVMs() != st.PlacedVMs {
+			t.Fatalf("%s: PlacedVMs %d != Stats %d", stage, c.PlacedVMs(), st.PlacedVMs)
+		}
+		if c.Density() != st.Density {
+			t.Fatalf("%s: Density %v != Stats %v", stage, c.Density(), st.Density)
+		}
+	}
+	check("fresh")
+	for round := 0; round < 40; round++ {
+		for i := 0; i < 20; i++ {
+			if len(live) > 0 && rng.Intn(3) == 0 {
+				j := rng.Intn(len(live))
+				if err := c.Remove(live[j]); err != nil {
+					t.Fatalf("remove: %v", err)
+				}
+				live[j] = live[len(live)-1]
+				live = live[:len(live)-1]
+				continue
+			}
+			v := &vm.VM{ID: nextID, Type: sizes[rng.Intn(len(sizes))], AvgUtil: 0.6}
+			nextID++
+			if _, err := c.Place(v); err == nil {
+				live = append(live, v)
+			}
+		}
+		switch round {
+		case 10:
+			gone := map[int]bool{}
+			for _, v := range c.FailServers(4) {
+				gone[v.ID] = true
+			}
+			kept := live[:0]
+			for _, v := range live {
+				if !gone[v.ID] {
+					kept = append(kept, v)
+				}
+			}
+			live = kept
+		case 20:
+			c.SetOversubRatio(0)
+			c.ApplyMigrations(c.PlanMigrations(8))
+		case 30:
+			c.SetOversubRatio(0.25)
+		}
+		check("round")
 	}
 }

@@ -99,5 +99,10 @@ func (s *Sim) TankBudget(i int) int { return s.sc.tankBudget[i] }
 // tanks × servers per request.
 func (s *Sim) TankOverclocked(i int) int { return s.sc.ocPerTank[i] }
 
+// Overclocked counts the servers currently overclocked fleet-wide,
+// maintained incrementally alongside the per-tank counts — the O(1)
+// read Snapshot publishes, where the export used to re-sum the tanks.
+func (s *Sim) Overclocked() int { return s.sc.ocTotal }
+
 // StepS returns the control-loop period in seconds.
 func (s *Sim) StepS() float64 { return s.cfg.StepS }

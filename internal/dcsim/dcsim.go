@@ -37,6 +37,7 @@ import (
 	"math"
 
 	"immersionoc/internal/cluster"
+	"immersionoc/internal/cow"
 	"immersionoc/internal/freq"
 	"immersionoc/internal/placement"
 	"immersionoc/internal/power"
@@ -82,6 +83,11 @@ type Config struct {
 	// are byte-stable at every shard count — see internal/dcsim/shard.go
 	// for the ordered delta-replay barrier that guarantees it.
 	Shards int
+	// SnapshotChunkShift re-chunks the snapshot's per-server COW
+	// columns at 1<<shift servers per chunk (0 = the cow package
+	// default of 1024). Test hook: small chunks exercise the
+	// copy-on-write machinery on small fleets.
+	SnapshotChunkShift uint
 	// Tel, when non-nil, receives the run's telemetry: the control
 	// step counter, row power / bath temperature gauges with running
 	// peaks, and counters for rejections, cap events and cancelled
@@ -207,6 +213,16 @@ type stepContext struct {
 	// status reads are O(1) instead of a fleet scan. During phase 1
 	// each element is written only by the shard owning its tank.
 	ocPerTank []int
+	// ocTotal is Σ ocPerTank, maintained alongside it so the fleet-wide
+	// Overclocked KPI is an O(1) read instead of an O(tanks) recount.
+	// Phase 1's clock resets accumulate per-shard deltas (shard.ocDelta)
+	// that the serial barrier folds in.
+	ocTotal int
+	// ocGen / bathGen are snapshot-invalidation generations: ocGen
+	// advances whenever any clock may have toggled, bathGen whenever a
+	// step integrated the tanks. Snapshot shares its per-tank columns
+	// with the previous export while the generation is unchanged.
+	ocGen, bathGen uint64
 	// rowPowerW is Σ current per-server power, updated by deltas when
 	// a server's demand/allocation changes or its clock toggles.
 	rowPowerW float64
@@ -236,11 +252,14 @@ func (sc *stepContext) setOC(st *serverState, oc bool) {
 		return
 	}
 	st.oc = oc
+	sc.ocGen++
 	if oc {
 		sc.ocPerTank[st.tank]++
+		sc.ocTotal++
 		sc.rowPowerW += st.powerOCW - st.powerNomW
 	} else {
 		sc.ocPerTank[st.tank]--
+		sc.ocTotal--
 		sc.rowPowerW += st.powerNomW - st.powerOCW
 	}
 }
@@ -282,6 +301,15 @@ type Sim struct {
 	ei     int
 	t      float64
 	m      simMetrics
+
+	// wearTrack drives the snapshot's wear-column COW: steps mark the
+	// whole fleet (every server accrues wear each step), everything
+	// else leaves the columns shareable.
+	wearTrack *cow.Tracker
+	// wearStale gates the Report() MeanWearUsed recompute: wear moves
+	// only in step phase 2, so between steps the cached mean is exact
+	// and Report is O(1).
+	wearStale bool
 }
 
 // New validates cfg and builds the fleet at simulated time zero.
@@ -297,6 +325,9 @@ func New(cfg Config) (*Sim, error) {
 	}
 
 	cl := cluster.New(cluster.TwoSocketBlade, cluster.Policy{CPUOversubRatio: cfg.OversubRatio}, cfg.Servers)
+	if cfg.SnapshotChunkShift != 0 {
+		cl.SetExportChunkShift(cfg.SnapshotChunkShift)
+	}
 	nTanks := (cfg.Servers + cfg.ServersPerTank - 1) / cfg.ServersPerTank
 	tanks := make([]*thermal.Tank, nTanks)
 	for i := range tanks {
@@ -360,6 +391,8 @@ func New(cfg Config) (*Sim, error) {
 		heat:       make([]float64, nTanks),
 		tankBudget: make([]int, nTanks),
 		ocPerTank:  make([]int, nTanks),
+		ocGen:      1,
+		bathGen:    1,
 	}
 	for i, tk := range tanks {
 		n := cfg.ServersPerTank
@@ -384,15 +417,17 @@ func New(cfg Config) (*Sim, error) {
 	}
 
 	return &Sim{
-		cfg:    cfg,
-		cl:     cl,
-		tanks:  tanks,
-		states: states,
-		sc:     sc,
-		shards: shards,
-		dec:    dec,
-		rep:    rep,
-		events: events,
+		cfg:       cfg,
+		cl:        cl,
+		tanks:     tanks,
+		states:    states,
+		sc:        sc,
+		shards:    shards,
+		dec:       dec,
+		rep:       rep,
+		events:    events,
+		wearTrack: cow.NewTracker(cfg.Servers, cfg.SnapshotChunkShift),
+		wearStale: true,
 		m: simMetrics{
 			steps:       cfg.Tel.Counter("steps"),
 			rejected:    cfg.Tel.Counter("rejected"),
@@ -490,6 +525,7 @@ func (s *Sim) StepCtx(ctx context.Context) error {
 		for _, a := range sh.addends {
 			sc.rowPowerW += a
 		}
+		sc.ocTotal += sh.ocDelta
 	}
 	s.dec.Begin(len(s.tanks))
 	for i, st := range s.states {
@@ -531,8 +567,18 @@ func (s *Sim) StepCtx(ctx context.Context) error {
 	}
 	hours := cfg.StepS / 3600
 
-	// KPIs.
-	density := s.cl.Stats().Density
+	// Snapshot invalidation: phase 1 may have reset clocks (ocGen also
+	// advances on every setOC), phase 2 integrated every tank and
+	// accrued wear on every server, and the cached mean wear is stale.
+	sc.ocGen++
+	sc.bathGen++
+	s.wearTrack.MarkAll()
+	s.wearStale = true
+
+	// KPIs. Density reads the cluster's incremental counters — the
+	// same integer division Stats() runs, so the value is bit-identical
+	// without the O(servers) scan.
+	density := s.cl.Density()
 	if density > rep.PeakDensity {
 		rep.PeakDensity = density
 	}
@@ -565,18 +611,23 @@ func (s *Sim) StepCtx(ctx context.Context) error {
 }
 
 // Report returns the run's KPIs with the fleet-average wear rate
-// refreshed to the current step.
+// refreshed to the current step. Wear moves only inside Step, so the
+// O(servers) mean recompute runs at most once per step — between steps
+// (the mutation-heavy daemon regime) Report is O(1) off the cache.
 func (s *Sim) Report() *Report {
-	var wearSum float64
-	for _, st := range s.states {
-		if st.hours > 0 {
-			proRata := st.hours / (reliability.ServiceLifeYears * 24 * 365)
-			if proRata > 0 {
-				wearSum += st.wear.Used() / proRata
+	if s.wearStale {
+		var wearSum float64
+		for _, st := range s.states {
+			if st.hours > 0 {
+				proRata := st.hours / (reliability.ServiceLifeYears * 24 * 365)
+				if proRata > 0 {
+					wearSum += st.wear.Used() / proRata
+				}
 			}
 		}
+		s.rep.MeanWearUsed = wearSum / float64(len(s.states))
+		s.wearStale = false
 	}
-	s.rep.MeanWearUsed = wearSum / float64(len(s.states))
 	return s.rep
 }
 

@@ -52,6 +52,10 @@ type shard struct {
 	// addends are the row-power deltas phase 1 produced, in server
 	// order; the barrier replays them into stepContext.rowPowerW.
 	addends []float64
+	// ocDelta is the net overclock-count change from phase 1's clock
+	// resets (always ≤ 0); the barrier folds it into the shared
+	// stepContext.ocTotal, which phase 1 must not touch concurrently.
+	ocDelta int
 	// maxBath is the shard's hottest bath after phase 2.
 	maxBath float64
 }
@@ -81,6 +85,7 @@ func newShards(n, nTanks, serversPerTank, servers int) []*shard {
 // shard owns, so the shared ocPerTank slice is written race-free.
 func (sh *shard) phase1(sc *stepContext) {
 	sh.addends = sh.addends[:0]
+	sh.ocDelta = 0
 	for _, st := range sc.states[sh.s0:sh.s1] {
 		d, vc := st.srv.ExpectedDemand(), st.srv.VCoresUsed()
 		if d != st.lastDemand || vc != st.lastVCores {
@@ -93,6 +98,7 @@ func (sh *shard) phase1(sc *stepContext) {
 		if st.oc {
 			st.oc = false
 			sc.ocPerTank[st.tank]--
+			sh.ocDelta--
 			sh.addends = append(sh.addends, st.powerNomW-st.powerOCW)
 		}
 	}

@@ -2,8 +2,18 @@ package dcsim
 
 // FleetSnapshot is the immutable read-model export: everything the
 // control-plane's read endpoints (filter / prioritize / status) need,
-// copied out of the live simulation in one pass so a published
-// snapshot can be read lock-free while the simulation steps on.
+// copied out of the live simulation so a published snapshot can be
+// read lock-free while the simulation steps on.
+//
+// The export is O(changed state), not O(fleet): per-server columns are
+// chunked copy-on-write (internal/cow) chained off the previously
+// exported snapshot, per-tank columns are shared wholesale between
+// exports when no clock toggled / no step ran (generation-gated), and
+// the scalar KPIs (Overclocked, the packing KPIs inside Flat) read
+// incrementally maintained counters instead of re-scanning tanks or
+// servers. A destination must be reused only against the Sim that
+// filled it (generation fields are per-Sim); a fresh destination is
+// materialized in full.
 //
 // The export is strictly observational. In particular it does NOT
 // refresh the per-server power caches: rowPowerW is a running float
@@ -16,11 +26,12 @@ package dcsim
 
 import (
 	"immersionoc/internal/cluster"
+	"immersionoc/internal/cow"
 	"immersionoc/internal/reliability"
 )
 
 // FleetSnapshot carries the fleet's read-model state at one simulated
-// instant. All slices are indexed the same way the simulation indexes
+// instant. All columns are indexed the same way the simulation indexes
 // them: per-server columns by dense fleet index, per-tank columns by
 // tank index (tank of server i = i / ServersPerTank).
 type FleetSnapshot struct {
@@ -33,7 +44,7 @@ type FleetSnapshot struct {
 	// RowPowerW is the row draw exactly as the running sum stood.
 	RowPowerW float64
 	// Overclocked is the number of servers currently overclocked
-	// (Σ OCPerTank).
+	// (= Σ OCPerTank, maintained incrementally on clock toggles).
 	Overclocked int
 
 	// Cumulative KPIs from the run report.
@@ -45,34 +56,44 @@ type FleetSnapshot struct {
 	OverclockServerHours float64
 	MeanWearUsed         float64
 
-	// Per-tank columns.
+	// Per-tank columns. TankBudget aliases the simulation's immutable
+	// budget table; OCPerTank and TankBathC are copied only when a
+	// clock toggle / control step invalidated them (the generation
+	// fields below) and shared with the previous export otherwise.
+	// Published snapshots never mutate them.
 	OCPerTank  []int
 	TankBudget []int
 	TankBathC  []float64
+	ocGen      uint64
+	bathGen    uint64
 
 	// Per-server wear columns: consumed lifetime-budget fraction and
 	// the pro-rata fraction an on-schedule server would have consumed.
-	WearUsed    []float64
-	WearProRata []float64
+	// Chunked COW: shared between exports while no step runs.
+	WearUsed    cow.Col[float64]
+	WearProRata cow.Col[float64]
 
 	// Flat is the cluster's columnar placement export (allocations,
-	// headroom inputs, packing KPIs).
+	// headroom inputs, packing KPIs), chunked COW as well.
 	Flat cluster.Flat
 }
 
-// Snapshot fills dst from the simulation's current state, reusing
-// dst's slices when they are large enough so steady-state republishing
-// does not allocate once the destination has warmed up. The caller
-// must hold whatever lock serializes simulation access; the snapshot
-// itself touches no simulation state that a pure read would not
-// (Report refreshes the derived MeanWearUsed KPI, as the status
-// endpoint always has).
+// Snapshot fills dst from the simulation's current state. When dst is
+// the snapshot produced by this Sim's previous export, unchanged
+// columns (and unchanged chunks of the per-server columns) are shared
+// with it rather than copied, so steady-state republishing after a
+// k-server mutation costs O(k + dirty chunks). The caller must hold
+// whatever lock serializes simulation access; the snapshot itself
+// touches no simulation state that a pure read would not (Report
+// refreshes the derived MeanWearUsed KPI, as the status endpoint
+// always has).
 func (s *Sim) Snapshot(dst *FleetSnapshot) {
 	rep := s.Report()
 	dst.SimTimeS = s.t
 	dst.StepS = s.cfg.StepS
 	dst.ServersPerTank = s.cfg.ServersPerTank
 	dst.RowPowerW = s.sc.rowPowerW
+	dst.Overclocked = s.sc.ocTotal
 
 	dst.Rejected = rep.Rejected
 	dst.MaxBathC = rep.MaxBathC
@@ -83,39 +104,32 @@ func (s *Sim) Snapshot(dst *FleetSnapshot) {
 	dst.MeanWearUsed = rep.MeanWearUsed
 
 	nTanks := len(s.tanks)
-	dst.OCPerTank = growIntCol(dst.OCPerTank, nTanks)
-	dst.TankBudget = growIntCol(dst.TankBudget, nTanks)
-	dst.TankBathC = growFloatCol(dst.TankBathC, nTanks)
-	oc := 0
-	for i, tk := range s.tanks {
-		dst.OCPerTank[i] = s.sc.ocPerTank[i]
-		dst.TankBudget[i] = s.sc.tankBudget[i]
-		dst.TankBathC[i] = tk.BathC()
-		oc += s.sc.ocPerTank[i]
+	dst.TankBudget = s.sc.tankBudget // immutable after New: always shared
+	if dst.ocGen != s.sc.ocGen || len(dst.OCPerTank) != nTanks {
+		dst.OCPerTank = append([]int(nil), s.sc.ocPerTank...)
+		dst.ocGen = s.sc.ocGen
 	}
-	dst.Overclocked = oc
+	if dst.bathGen != s.sc.bathGen || len(dst.TankBathC) != nTanks {
+		col := make([]float64, nTanks)
+		for i, tk := range s.tanks {
+			col[i] = tk.BathC()
+		}
+		dst.TankBathC = col
+		dst.bathGen = s.sc.bathGen
+	}
 
-	n := len(s.states)
-	dst.WearUsed = growFloatCol(dst.WearUsed, n)
-	dst.WearProRata = growFloatCol(dst.WearProRata, n)
-	for i, st := range s.states {
-		dst.WearUsed[i] = st.wear.Used()
-		dst.WearProRata[i] = st.hours / (reliability.ServiceLifeYears * 24 * 365)
-	}
+	states := s.states
+	cow.Fill(s.wearTrack, &dst.WearUsed, func(d []float64, base int) {
+		for j := range d {
+			d[j] = states[base+j].wear.Used()
+		}
+	})
+	cow.Fill(s.wearTrack, &dst.WearProRata, func(d []float64, base int) {
+		for j := range d {
+			d[j] = states[base+j].hours / (reliability.ServiceLifeYears * 24 * 365)
+		}
+	})
+	s.wearTrack.Advance()
 
 	s.cl.ExportFlat(&dst.Flat)
-}
-
-func growIntCol(s []int, n int) []int {
-	if cap(s) < n {
-		return make([]int, n)
-	}
-	return s[:n]
-}
-
-func growFloatCol(s []float64, n int) []float64 {
-	if cap(s) < n {
-		return make([]float64, n)
-	}
-	return s[:n]
 }

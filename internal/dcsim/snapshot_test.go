@@ -45,17 +45,17 @@ func TestSnapshotMatchesLiveReads(t *testing.T) {
 			}
 			oc += sim.TankOverclocked(i)
 		}
-		if snap.Overclocked != oc {
-			t.Fatalf("overclocked: snap %d != live %d", snap.Overclocked, oc)
+		if snap.Overclocked != oc || sim.Overclocked() != oc {
+			t.Fatalf("overclocked: snap %d, incremental %d, recount %d", snap.Overclocked, sim.Overclocked(), oc)
 		}
 		for i := 0; i < sim.ServerCount(); i++ {
 			info := sim.Server(i)
-			if snap.WearUsed[i] != info.WearUsed || snap.WearProRata[i] != info.WearProRata {
+			if snap.WearUsed.At(i) != info.WearUsed || snap.WearProRata.At(i) != info.WearProRata {
 				t.Fatalf("server %d wear mismatch at t=%v", i, sim.Now())
 			}
-			if snap.Flat.VCoresUsed[i] != info.VCoresUsed ||
-				snap.Flat.VMs[i] != info.VMs ||
-				snap.Flat.MemoryUsedGB[i] != info.MemoryUsedGB {
+			if snap.Flat.VCoresUsed.At(i) != info.VCoresUsed ||
+				snap.Flat.VMs.At(i) != info.VMs ||
+				snap.Flat.MemoryUsedGB.At(i) != info.MemoryUsedGB {
 				t.Fatalf("server %d placement column mismatch at t=%v", i, sim.Now())
 			}
 		}

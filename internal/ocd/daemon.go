@@ -76,12 +76,32 @@ type Daemon struct {
 	reg  *telemetry.Registry
 
 	// snap is the published read model: an immutable view readers load
-	// without locking. Replaced (never mutated) under mu.
+	// without locking. Replaced (never mutated) under mu. Each view
+	// chains off its predecessor through the snapshot's chunked COW
+	// columns, so a publish costs O(what changed), not O(fleet).
 	snap atomic.Pointer[fleetView]
 	// lockedReads routes the read endpoints through mu and the live
 	// Sim instead of the snapshot — the pre-snapshot serving path,
 	// kept as the differential-test oracle and the benchmark baseline.
 	lockedReads bool
+	// fullCopyPublish breaks the view chain so every publish
+	// re-materializes the whole fleet — the pre-COW publication path,
+	// kept live as the publish benchmarks' baseline arm.
+	fullCopyPublish bool
+
+	// Group commit (write-plane publish coalescing). publishWindow = 0
+	// (the default) publishes after every write. With a positive
+	// window, a write more than one window after the last publish
+	// publishes immediately (a lone write is never delayed), while
+	// writes arriving inside the window mark the view pending and arm
+	// one trailing-edge flush timer — a burst of B writes costs one
+	// leading publish plus one trailing publish instead of B, and no
+	// write waits longer than the window to become visible. All fields
+	// are guarded by mu; the timer callback re-acquires it.
+	publishWindow time.Duration
+	lastPublish   time.Time
+	pendingView   bool
+	flushArmed    bool
 
 	// scratch pools the per-request read-plane state (decode buffer,
 	// response slices, pooled encoder); renderers pools the /metrics
@@ -114,7 +134,72 @@ func New(cfg dcsim.Config, mode string, reg *telemetry.Registry) (*Daemon, error
 	d.scratch.New = func() any { return newServScratch() }
 	d.renderers.New = func() any { return telemetry.NewPromRenderer(reg, "ocd") }
 	d.publishLocked()
+	d.lastPublish = time.Now()
 	return d, nil
+}
+
+// SetPublishMaxLatency sets the group-commit window: the longest a
+// write may stay unpublished while later writes coalesce into one
+// snapshot publication. Zero (the default) publishes after every
+// write. Call before the daemon starts serving.
+func (d *Daemon) SetPublishMaxLatency(w time.Duration) {
+	if w < 0 {
+		w = 0
+	}
+	d.publishWindow = w
+}
+
+// SetFullCopyPublish toggles full re-materialization on every publish
+// — the pre-COW publication cost, kept callable as the live baseline
+// for the publish benchmarks and A/B load tests. Call before the
+// daemon starts serving.
+func (d *Daemon) SetFullCopyPublish(on bool) { d.fullCopyPublish = on }
+
+// publishNowLocked publishes unconditionally, absorbing any pending
+// coalesced write. Caller must hold d.mu.
+func (d *Daemon) publishNowLocked() {
+	d.pendingView = false
+	d.lastPublish = time.Now()
+	d.publishLocked()
+}
+
+// publishAfterWriteLocked is the group-commit gate every mutating
+// entrant publishes through. Caller must hold d.mu.
+func (d *Daemon) publishAfterWriteLocked() {
+	if d.publishWindow <= 0 {
+		d.publishLocked()
+		return
+	}
+	now := time.Now()
+	if now.Sub(d.lastPublish) >= d.publishWindow {
+		// Leading edge: first write after an idle stretch publishes
+		// immediately.
+		d.pendingView = false
+		d.lastPublish = now
+		d.publishLocked()
+		return
+	}
+	// Inside the window: coalesce, and make sure exactly one
+	// trailing-edge flush is armed so the latest write is published
+	// within the max-latency bound even if no further write arrives.
+	d.pendingView = true
+	if !d.flushArmed {
+		d.flushArmed = true
+		delay := d.publishWindow - now.Sub(d.lastPublish)
+		time.AfterFunc(delay, d.flushPending)
+	}
+}
+
+// flushPending is the trailing-edge timer callback: publish the
+// coalesced writes, if a step or later leading-edge publish has not
+// already absorbed them.
+func (d *Daemon) flushPending() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.flushArmed = false
+	if d.pendingView {
+		d.publishNowLocked()
+	}
 }
 
 // RunScaled drives the control loop from the wall clock. The target
@@ -145,7 +230,7 @@ func (d *Daemon) RunScaled(ctx context.Context, scale float64) {
 		}
 		now := d.sim.Now()
 		if steps > 0 {
-			d.publishLocked()
+			d.publishNowLocked()
 		}
 		d.mu.Unlock()
 		drift.Set(base + time.Since(start).Seconds()*scale - now)
@@ -236,13 +321,15 @@ func post[Req any, Resp any](d *Daemon, vers func(Req) string, fn func(context.C
 // locked adapts a handler that needs the whole daemon lock for its
 // duration, republishing the read snapshot before releasing it — even
 // a denied overclock refreshes power caches as a side effect, so every
-// locked entrant republishes.
+// locked entrant republishes (through the group-commit gate: with a
+// publish window set, bursts coalesce into one publication per
+// window).
 func locked[Req any, Resp any](d *Daemon, fn func(Req) (Resp, error)) func(context.Context, Req) (Resp, error) {
 	return func(_ context.Context, req Req) (Resp, error) {
 		d.mu.Lock()
 		defer d.mu.Unlock()
 		resp, err := fn(req)
-		d.publishLocked()
+		d.publishAfterWriteLocked()
 		return resp, err
 	}
 }
@@ -485,7 +572,11 @@ func (d *Daemon) step(ctx context.Context, req api.StepRequest) (api.StepRespons
 			d.sim.Step()
 		}
 		simT = d.sim.Now()
-		d.publishLocked()
+		// Steps publish unconditionally (absorbing any pending
+		// coalesced write): the chunked COW export makes the per-chunk
+		// republish O(servers the chunk's steps touched + dirty
+		// chunks), so progress visibility costs what changed.
+		d.publishNowLocked()
 		d.mu.Unlock()
 		run += chunk
 	}
@@ -513,7 +604,7 @@ func (d *Daemon) statusLocked() api.FleetStatus {
 		Servers:              d.sim.ServerCount(),
 		Tanks:                d.sim.TankCount(),
 		PlacedVMs:            len(d.vms),
-		Density:              d.sim.Cluster().Stats().Density,
+		Density:              d.sim.Cluster().Density(),
 		Rejected:             rep.Rejected,
 		RowPowerW:            d.sim.RowPowerW(),
 		MaxBathC:             rep.MaxBathC,

@@ -177,6 +177,38 @@ func TestSnapshotMatchesLockedReads(t *testing.T) {
 	post("/v1/overclock", `{"server":2,"cancel":true}`)
 	checkpoint("after churn")
 
+	// Failed-server churn: no HTTP endpoint fails hardware, so the
+	// failure is injected under the daemon lock on both twins, as an
+	// operator tool would. The emptied servers' power deltas are folded
+	// in fleet order before the republish so the published row sum stays
+	// bit-exact with the locked twin, whose read path folds on demand.
+	fail := func(d *Daemon) []int {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		var displaced []int
+		for _, v := range d.sim.Cluster().FailServers(2) {
+			displaced = append(displaced, v.ID)
+		}
+		for i := 0; i < d.sim.ServerCount(); i++ {
+			d.sim.RefreshServerPower(i)
+		}
+		d.publishAfterWriteLocked()
+		return displaced
+	}
+	displaced := fail(dSnap)
+	fail(dLocked)
+	checkpoint("after server failures")
+
+	// Remove-after-fail: a displaced VM is still in the daemon's placed
+	// set but no longer hosted, so its departure must be a cluster-side
+	// no-op that still answers Removed:true — and both planes must agree
+	// on the shrunken placed count afterwards.
+	for _, id := range displaced {
+		post("/v1/remove", fmt.Sprintf(`{"id":%d}`, id))
+	}
+	post("/v1/remove", `{"id":424242}`) // never placed: Removed:false
+	checkpoint("after remove-after-fail")
+
 	// Oversized body: same 413 from both planes.
 	huge := `{"vm":{"id":1,"vcores":4,"memory_gb":16},"pad":"` + strings.Repeat("x", maxBodyBytes+1) + `"}`
 	a := hit(hSnap, http.MethodPost, "/v1/filter", huge)

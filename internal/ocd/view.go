@@ -53,15 +53,25 @@ type fleetView struct {
 	placedVMs int
 }
 
-// publishLocked snapshots the simulation into a fresh view and makes
-// it the current read model. Caller must hold d.mu. Every mutating
-// entrant republishes — even a denied overclock or a no-op remove —
-// so the read plane can never serve state older than the last write.
+// publishLocked snapshots the simulation into a new view and makes it
+// the current read model. Caller must hold d.mu. The view CHAINS off
+// the previously published one: the snapshot export shares every
+// column chunk that no mutation dirtied since the last publish, so a
+// one-VM write republishes in O(dirty chunks) instead of O(fleet). The
+// previous view is never written — readers holding it are undisturbed.
+// With fullCopyPublish set the chain is broken every time and the view
+// materializes from scratch: the pre-COW publication cost, kept live
+// as the benchmark baseline.
 func (d *Daemon) publishLocked() {
 	if d.lockedReads {
 		return
 	}
 	v := &fleetView{}
+	if !d.fullCopyPublish {
+		if prev := d.snap.Load(); prev != nil {
+			v.FleetSnapshot = prev.FleetSnapshot
+		}
+	}
 	d.sim.Snapshot(&v.FleetSnapshot)
 	v.placedVMs = len(d.vms)
 	d.snap.Store(v)
@@ -214,7 +224,7 @@ func (d *Daemon) serveFilter(w http.ResponseWriter, r *http.Request) {
 	sc.failed = sc.failed[:0]
 	for i := 0; i < flat.Servers; i++ {
 		tank := i / view.ServersPerTank
-		ref := api.ServerRef{Index: i, ID: flat.ID[i], Tank: tank}
+		ref := api.ServerRef{Index: i, ID: flat.ID.At(i), Tank: tank}
 		reason := flat.Explain(i, sc.freq.VM.VCores, sc.freq.VM.MemoryGB, highPerf)
 		if reason == "" && highPerf && view.OCPerTank[tank] >= view.TankBudget[tank] {
 			// A guaranteed-overclock VM needs condenser headroom in the
@@ -278,14 +288,14 @@ func (d *Daemon) servePrioritize(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, fmt.Sprintf("server %d out of range", i))
 			return
 		}
-		headroom := (capV - float64(flat.VCoresUsed[i]) - vcores) / capV
+		headroom := (capV - float64(flat.VCoresUsed.At(i)) - vcores) / capV
 		headroom = math.Max(0, math.Min(1, headroom))
 		credit := 1.0
-		if view.WearProRata[i] > 0 {
-			credit = math.Max(0, math.Min(1, 1-view.WearUsed[i]/view.WearProRata[i]))
+		if view.WearProRata.At(i) > 0 {
+			credit = math.Max(0, math.Min(1, 1-view.WearUsed.At(i)/view.WearProRata.At(i)))
 		}
 		sc.scores = append(sc.scores, api.HostScore{
-			Server: api.ServerRef{Index: i, ID: flat.ID[i], Tank: i / view.ServersPerTank},
+			Server: api.ServerRef{Index: i, ID: flat.ID.At(i), Tank: i / view.ServersPerTank},
 			Score:  100 * (0.6*headroom + 0.4*credit),
 		})
 	}
